@@ -1,0 +1,51 @@
+// Ablation: behaviour as the frame error rate rises from the wired-LAN
+// regime (~0) toward lossy-network conditions (paper §3: on wired LANs
+// error recovery efficiency "makes little difference" — this quantifies
+// where that stops being true and how each protocol degrades).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<double> rates = {0.0, 0.0001, 0.001, 0.005, 0.02};
+  if (options.quick) rates = {0.0, 0.005};
+
+  struct Proto {
+    const char* label;
+    rmcast::ProtocolKind kind;
+  };
+  const std::vector<Proto> protos = {{"ACK", rmcast::ProtocolKind::kAck},
+                                     {"NAK", rmcast::ProtocolKind::kNakPolling},
+                                     {"Ring", rmcast::ProtocolKind::kRing},
+                                     {"Tree6", rmcast::ProtocolKind::kFlatTree}};
+
+  harness::Table table({"frame_error_rate", "ACK", "NAK", "Ring", "Tree6"});
+  for (double rate : rates) {
+    std::vector<std::string> row = {str_format("%.4f", rate)};
+    for (const Proto& proto : protos) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 15;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = proto.kind;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = 40;
+      spec.protocol.poll_interval = 32;
+      spec.protocol.tree_height = 5;
+      spec.cluster.link.frame_error_rate = rate;
+      spec.time_limit = sim::seconds(300.0);
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Ablation: frame-error-rate sweep (500KB, 15 receivers, pkt 8KB)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

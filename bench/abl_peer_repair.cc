@@ -1,0 +1,52 @@
+// Ablation: who performs retransmissions — the sender (the paper's
+// protocols) or the receivers themselves (SRM-style peer repair, the
+// paper's reference [7]). Under loss, peer repair moves most repair work
+// off the sender at the price of taking the sender out of the NAK fast
+// path (its timer backstops losses no peer can fix, including lost
+// acknowledgments).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  harness::Table table(
+      {"repair_scheme", "loss", "seconds", "sender_retx", "peer_repairs"});
+  for (double loss : {0.002, 0.01}) {
+    for (int mode = 0; mode < 2; ++mode) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 15;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = 40;
+      spec.protocol.poll_interval = 32;
+      spec.protocol.multicast_nak_suppression = true;
+      spec.protocol.selective_repeat = true;  // what SRM presumes; fair to both
+      spec.protocol.receiver_driven_timeouts = true;
+      spec.protocol.peer_repair = mode == 1;
+      spec.cluster.link.frame_error_rate = loss;
+      spec.seed = options.seed;
+      spec.time_limit = sim::seconds(300.0);
+      harness::RunResult r = harness::run_multicast(spec);
+      std::uint64_t repairs = 0;
+      for (const auto& rs : r.receivers) repairs += rs.repairs_sent;
+      table.add_row({mode == 1 ? "peer repair (SRM-style)" : "sender repair (paper)",
+                     str_format("%.3f", loss),
+                     r.completed ? str_format("%.6f", r.seconds) : "FAILED",
+                     str_format("%llu", (unsigned long long)r.sender.retransmissions),
+                     str_format("%llu", (unsigned long long)repairs)});
+    }
+  }
+  bench::emit(table, options,
+              "Ablation: sender repair vs SRM-style peer repair (NAK-polling, 500KB, "
+              "15 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

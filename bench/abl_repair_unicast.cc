@@ -1,0 +1,44 @@
+// Ablation: multicast vs unicast retransmission (paper §3, first LAN
+// feature: repairs "cost almost the same bandwidth" either way, but a
+// multicast repair makes every receiver that already holds the packet
+// spend CPU discarding the duplicate). Measures time plus the duplicate
+// load at unaffected receivers.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  harness::Table table({"repair_mode", "loss", "seconds", "receiver_duplicates"});
+  for (double loss : {0.005, 0.02}) {
+    for (bool unicast : {false, true}) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 15;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kAck;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = 20;
+      spec.protocol.unicast_nak_retransmissions = unicast;
+      spec.cluster.link.frame_error_rate = loss;
+      spec.seed = options.seed;
+      spec.time_limit = sim::seconds(300.0);
+      harness::RunResult r = harness::run_multicast(spec);
+      std::uint64_t dups = 0;
+      for (const auto& rs : r.receivers) dups += rs.duplicates;
+      table.add_row({unicast ? "unicast" : "multicast", str_format("%.3f", loss),
+                     r.completed ? str_format("%.6f", r.seconds) : "FAILED",
+                     str_format("%llu", (unsigned long long)dups)});
+    }
+  }
+  bench::emit(table, options,
+              "Ablation: multicast vs unicast NAK repairs (ACK protocol, 500KB, 15 "
+              "receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,59 @@
+// Ablation: one slow receiver in an otherwise homogeneous group. The
+// paper explicitly assumes homogeneous clusters (§3) — this measures what
+// that assumption is worth: with reliable multicast, the whole group
+// advances at the pace of the slowest acknowledger, and the protocols
+// differ in how hard a straggler drags them (per-packet ACK protocols
+// couple tightest; NAK-polling only at poll boundaries).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  struct Proto {
+    const char* label;
+    rmcast::ProtocolKind kind;
+  };
+  const std::vector<Proto> protos = {{"ACK", rmcast::ProtocolKind::kAck},
+                                     {"NAK", rmcast::ProtocolKind::kNakPolling},
+                                     {"Ring", rmcast::ProtocolKind::kRing},
+                                     {"Tree6", rmcast::ProtocolKind::kFlatTree}};
+  // 4x is already deep into the interesting regime: the tree protocols'
+  // relay chains overrun the straggler's buffers and spiral into repair
+  // traffic (see EXPERIMENTS.md); larger factors only stretch the tail.
+  std::vector<double> factors = {1.0, 2.0, 4.0};
+  if (options.quick) factors = {1.0, 4.0};
+
+  harness::Table table({"straggler_cpu_factor", "ACK", "NAK", "Ring", "Tree6"});
+  for (double factor : factors) {
+    std::vector<std::string> row = {str_format("%.0fx", factor)};
+    for (const Proto& proto : protos) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 15;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = proto.kind;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = 40;
+      spec.protocol.poll_interval = 32;
+      spec.protocol.tree_height = 6;
+      // Receiver 7 (host 8) is the straggler.
+      spec.cluster.straggler_index = 8;
+      spec.cluster.straggler_cpu_factor = factor;
+      spec.seed = options.seed;
+      spec.time_limit = sim::seconds(300.0);
+      harness::RunResult r = harness::run_multicast(spec);
+      row.push_back(r.completed ? str_format("%.6f", r.seconds) : "FAILED");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Ablation: one straggling receiver (500KB, 15 receivers, pkt 8KB)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

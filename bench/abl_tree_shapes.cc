@@ -1,0 +1,46 @@
+// Ablation: flat tree vs binary tree (paper §3: "The existing tree-based
+// protocols impose a logical tree that grows ... Such a logical structure
+// is not effective in controlling the number of simultaneous
+// transmissions"). Compares the paper's flat chains against the classic
+// binary layout across message sizes, including the small-message regime
+// where relay depth dominates (binary depth lg N vs flat depth H).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::uint64_t> sizes = {256, 8192, 65'536, 500'000, 2'000'000};
+  if (options.quick) sizes = {256, 500'000};
+
+  harness::Table table({"message_bytes", "flat_H3", "flat_H6", "flat_H15", "binary"});
+  for (std::uint64_t size : sizes) {
+    std::vector<std::string> row = {str_format("%llu", (unsigned long long)size)};
+    auto run_tree = [&](rmcast::ProtocolKind kind, std::size_t height) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = size;
+      spec.protocol.kind = kind;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = 20;
+      spec.protocol.tree_height = height;
+      return bench::measure(spec, options);
+    };
+    for (std::size_t h : {std::size_t{3}, std::size_t{6}, std::size_t{15}}) {
+      row.push_back(bench::seconds_cell(run_tree(rmcast::ProtocolKind::kFlatTree, h)));
+    }
+    row.push_back(bench::seconds_cell(run_tree(rmcast::ProtocolKind::kBinaryTree, 1)));
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Ablation: flat-tree chains vs binary tree (30 receivers, pkt 8KB, "
+              "window 20)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

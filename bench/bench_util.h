@@ -1,0 +1,69 @@
+// Shared plumbing for the table/figure bench binaries.
+//
+// Every binary runs argument-free and prints the paper's rows as an
+// aligned table. Optional flags:
+//   --csv       CSV instead of the aligned table
+//   --trials=N  measurement repetitions per point (default 3, as in §5)
+//   --quick     1 trial and a reduced sweep, for fast iteration
+//   --seed=N    base seed
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace rmc::bench {
+
+struct BenchOptions {
+  bool csv = false;
+  bool quick = false;
+  int trials = 3;
+  std::uint64_t seed = 1;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  Flags flags = Flags::parse(argc, argv,
+                             {{"csv", "emit CSV instead of an aligned table"},
+                              {"quick", "single trial, reduced sweep"},
+                              {"trials", "trials per point (default 3)"},
+                              {"seed", "base seed (default 1)"}});
+  BenchOptions options;
+  options.csv = flags.has("csv");
+  options.quick = flags.has("quick");
+  options.trials = static_cast<int>(flags.get_int("trials", options.quick ? 1 : 3));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  return options;
+}
+
+inline void emit(const harness::Table& table, const BenchOptions& options,
+                 const std::string& title) {
+  if (options.csv) {
+    table.print_csv();
+    return;
+  }
+  std::printf("%s\n\n", title.c_str());
+  table.print();
+  std::printf("\n");
+}
+
+// Mean communication time over the configured trials; negative on failure.
+inline double measure(const harness::MulticastRunSpec& base, const BenchOptions& options) {
+  return harness::mean_seconds(
+      [&](std::uint64_t seed) {
+        harness::MulticastRunSpec spec = base;
+        spec.seed = seed;
+        return harness::run_multicast(spec);
+      },
+      options.trials, options.seed);
+}
+
+inline std::string seconds_cell(double seconds) {
+  if (seconds < 0) return "FAILED";
+  return str_format("%.6f", seconds);
+}
+
+}  // namespace rmc::bench

@@ -1,0 +1,85 @@
+// Development probe: one run with full statistics. Not part of the paper's
+// tables; kept because it is the fastest way to see where a configuration's
+// time goes (retransmissions, drops, ACK load).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags = Flags::parse(argc, argv,
+                             {{"proto", "ack|nak|ring|tree"},
+                              {"pkt", "packet size"},
+                              {"win", "window"},
+                              {"poll", "poll interval"},
+                              {"height", "tree height"},
+                              {"bytes", "message size"},
+                              {"n", "receivers"},
+                              {"seed", "seed"},
+                              {"loss", "frame error rate"},
+                              {"sr", "selective repeat"},
+                              {"mnak", "multicast nak suppression"},
+                              {"peer", "peer repair"}});
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = static_cast<std::size_t>(flags.get_int("n", 30));
+  spec.message_bytes = static_cast<std::uint64_t>(flags.get_int("bytes", 2 * 1024 * 1024));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::string proto = flags.get("proto", "nak");
+  if (proto == "ack") spec.protocol.kind = rmcast::ProtocolKind::kAck;
+  if (proto == "nak") spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+  if (proto == "ring") spec.protocol.kind = rmcast::ProtocolKind::kRing;
+  if (proto == "tree") spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
+  if (proto == "btree") spec.protocol.kind = rmcast::ProtocolKind::kBinaryTree;
+  spec.protocol.packet_size = static_cast<std::size_t>(flags.get_int("pkt", 8000));
+  spec.protocol.window_size = static_cast<std::size_t>(flags.get_int("win", 50));
+  spec.protocol.poll_interval = static_cast<std::size_t>(flags.get_int("poll", 43));
+  spec.protocol.tree_height = static_cast<std::size_t>(flags.get_int("height", 6));
+  spec.protocol.selective_repeat = flags.has("sr");
+  spec.protocol.multicast_nak_suppression = flags.has("mnak") || flags.has("peer");
+  spec.protocol.peer_repair = flags.has("peer");
+  if (flags.has("peer")) {
+    spec.protocol.selective_repeat = true;
+    spec.protocol.receiver_driven_timeouts = true;
+  }
+  spec.cluster.link.frame_error_rate = flags.get_double("loss", 0.0);
+  spec.time_limit = sim::seconds(5.0);
+
+  harness::RunResult r = harness::run_multicast(spec);
+  std::printf("completed=%d seconds=%.6f (%s) error='%s'\n", r.completed, r.seconds,
+              str_format("%.1fMbps", r.throughput_bps() / 1e6).c_str(), r.error.c_str());
+  const auto& s = r.sender;
+  std::printf("sender: data=%llu retx=%llu acks=%llu naks=%llu alloc_req=%llu "
+              "alloc_rsp=%llu rto=%llu suppressed=%llu stale=%llu\n",
+              (unsigned long long)s.data_packets_sent, (unsigned long long)s.retransmissions,
+              (unsigned long long)s.acks_received, (unsigned long long)s.naks_received,
+              (unsigned long long)s.alloc_requests_sent,
+              (unsigned long long)s.alloc_responses_received,
+              (unsigned long long)s.rto_fires,
+              (unsigned long long)s.suppressed_retransmissions,
+              (unsigned long long)s.stale_packets);
+  std::uint64_t acks = 0, naks = 0, dups = 0, gaps = 0, delivered = 0;
+  for (const auto& rs : r.receivers) {
+    acks += rs.acks_sent;
+    naks += rs.naks_sent;
+    dups += rs.duplicates;
+    gaps += rs.gaps_detected;
+    delivered += rs.messages_delivered;
+  }
+  std::printf("receivers: delivered=%llu acks=%llu naks=%llu dups=%llu gaps=%llu\n",
+              (unsigned long long)delivered, (unsigned long long)acks,
+              (unsigned long long)naks, (unsigned long long)dups,
+              (unsigned long long)gaps);
+  std::printf("drops: rcvbuf=%llu link=%llu\n", (unsigned long long)r.rcvbuf_drops,
+              (unsigned long long)r.link_drops);
+  std::printf("sender: cpu_busy=%.4fs nic_busy=%.4fs of %.4fs\n",
+              r.sender_cpu_busy_seconds, r.sender_nic_busy_seconds, r.seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

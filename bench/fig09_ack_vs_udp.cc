@@ -1,0 +1,49 @@
+// Figure 9: protocol overhead against raw UDP multicast across message
+// sizes (single packet territory, up to 32 KB). Three curves: raw UDP
+// (receivers reply on the last packet), the ACK-based protocol, and the
+// ACK-based protocol without the user-space copy — the paper's
+// deliberately incorrect variant that isolates the copy's cost.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::uint64_t> sizes = {1,    64,    256,   1024,  4096,
+                                      8192, 16384, 24576, 32768};
+  if (options.quick) sizes = {1, 1024, 8192, 32768};
+
+  harness::Table table(
+      {"message_bytes", "udp_seconds", "ack_seconds", "ack_nocopy_seconds"});
+  for (std::uint64_t size : sizes) {
+    double udp = harness::mean_seconds(
+        [&](std::uint64_t seed) {
+          return harness::run_raw_udp(30, size, 50'000, seed);
+        },
+        options.trials, options.seed);
+
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = 30;
+    spec.message_bytes = size;
+    spec.protocol.kind = rmcast::ProtocolKind::kAck;
+    spec.protocol.packet_size = 50'000;
+    spec.protocol.window_size = 5;
+    double ack = bench::measure(spec, options);
+
+    spec.protocol.copy_user_data = false;
+    double nocopy = bench::measure(spec, options);
+
+    table.add_row({str_format("%llu", static_cast<unsigned long long>(size)),
+                   bench::seconds_cell(udp), bench::seconds_cell(ack),
+                   bench::seconds_cell(nocopy)});
+  }
+  bench::emit(table, options, "Figure 9: ACK-based protocol vs raw UDP, 30 receivers");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,37 @@
+// Figure 10: ACK-based protocol, 500 KB to 30 receivers — communication
+// time across window sizes 1..5 for the paper's packet sizes. Expected
+// shape: window 2 already reaches the best time for every packet size
+// (the tiny LAN round trip leaves nothing for deeper pipelining), and
+// larger packets always win.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> packet_sizes = {500, 1300, 3125, 6250, 50'000};
+  harness::Table table({"window", "pkt500", "pkt1300", "pkt3125", "pkt6250", "pkt50000"});
+  for (std::size_t window = 1; window <= 5; ++window) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t pkt : packet_sizes) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kAck;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = window;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 10: ACK-based protocol, window x packet size (500KB, 30 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,48 @@
+// Figure 11: scalability of the ACK-based protocol. (a) small messages
+// (1 B, 256 B, 4 KB): time grows almost linearly with the receiver count
+// because per-receiver acknowledgments dominate. (b) large messages
+// (8 KB, 64 KB, 500 KB): data transmission dominates and the protocol
+// scales. Packet size 50 KB as in the paper.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= 30; n += options.quick ? 7 : 2) counts.push_back(n);
+
+  const std::vector<std::uint64_t> small = {1, 256, 4096};
+  const std::vector<std::uint64_t> large = {8192, 65536, 500'000};
+
+  auto sweep = [&](const std::vector<std::uint64_t>& sizes, const char* title) {
+    std::vector<std::string> headers = {"receivers"};
+    for (auto s : sizes) headers.push_back(str_format("size%llu", (unsigned long long)s));
+    harness::Table table(headers);
+    for (std::size_t n : counts) {
+      std::vector<std::string> row = {str_format("%zu", n)};
+      for (std::uint64_t size : sizes) {
+        harness::MulticastRunSpec spec;
+        spec.n_receivers = n;
+        spec.message_bytes = size;
+        spec.protocol.kind = rmcast::ProtocolKind::kAck;
+        spec.protocol.packet_size = 50'000;
+        spec.protocol.window_size = 5;
+        row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, options, title);
+  };
+
+  sweep(small, "Figure 11(a): ACK-based scalability, small messages");
+  sweep(large, "Figure 11(b): ACK-based scalability, large messages");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,42 @@
+// Figure 12: NAK-based protocol with polling — communication time across
+// poll intervals 1..20 for packet sizes 1 KB / 5 KB / 10 KB (500 KB to 30
+// receivers, window 20). Expected shape: tiny intervals degenerate into
+// the ACK protocol (worse at small packets), intervals at the window edge
+// stall the pipeline, the optimum sits in between.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> packet_sizes = {1000, 5000, 10'000};
+  std::vector<std::size_t> intervals;
+  for (std::size_t i = 1; i <= 20; i += options.quick ? 4 : 1) intervals.push_back(i);
+
+  harness::Table table({"poll_interval", "pkt1000", "pkt5000", "pkt10000"});
+  for (std::size_t interval : intervals) {
+    std::vector<std::string> row = {str_format("%zu", interval)};
+    for (std::size_t pkt : packet_sizes) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = 20;
+      spec.protocol.poll_interval = interval;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 12: NAK-based protocol, poll interval sweep (500KB, 30 receivers, "
+              "window 20)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

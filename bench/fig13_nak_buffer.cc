@@ -1,0 +1,48 @@
+// Figure 13: NAK-based protocol with polling across total buffer sizes
+// (window x packet) for packet sizes 500 B / 8 KB / 50 KB, with the poll
+// interval pinned at ~83% of the window (500 KB to 30 receivers).
+// Expected shape: small buffers starve the pipeline; mid-size packets win
+// overall; performance is not monotonic in packet size.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> packet_sizes = {500, 8000, 50'000};
+  std::vector<std::uint64_t> buffer_sizes = {50'000, 100'000, 200'000, 300'000,
+                                             400'000, 500'000};
+  if (options.quick) buffer_sizes = {50'000, 200'000, 500'000};
+
+  harness::Table table({"buffer_bytes", "pkt500", "pkt8000", "pkt50000"});
+  for (std::uint64_t buffer : buffer_sizes) {
+    std::vector<std::string> row = {str_format("%llu", (unsigned long long)buffer)};
+    for (std::size_t pkt : packet_sizes) {
+      std::size_t window = static_cast<std::size_t>(buffer / pkt);
+      if (window == 0) {
+        row.push_back("n/a");
+        continue;
+      }
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = window;
+      spec.protocol.poll_interval = std::max<std::size_t>(1, window * 83 / 100);
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 13: NAK-based protocol, buffer size sweep (500KB, 30 receivers, "
+              "poll at 83% of window)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,46 @@
+// Figure 14: scalability of the NAK-based protocol with polling — 500 KB
+// across 1..30 receivers at packet sizes 500 B / 8 KB / 50 KB, window and
+// poll interval tuned per packet size as in the paper (e.g. 8 KB uses
+// window 25, poll 21). Expected: a few percent growth from 1 to 30
+// receivers, flatter at larger packets.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+struct Tuning {
+  std::size_t packet;
+  std::size_t window;
+  std::size_t poll;
+};
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<Tuning> tunings = {{500, 100, 83}, {8000, 25, 21}, {50'000, 10, 8}};
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= 30; n += options.quick ? 7 : 2) counts.push_back(n);
+
+  harness::Table table({"receivers", "pkt500", "pkt8000", "pkt50000"});
+  for (std::size_t n : counts) {
+    std::vector<std::string> row = {str_format("%zu", n)};
+    for (const Tuning& t : tunings) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = n;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+      spec.protocol.packet_size = t.packet;
+      spec.protocol.window_size = t.window;
+      spec.protocol.poll_interval = t.poll;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options, "Figure 14: NAK-based protocol scalability (500KB)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,39 @@
+// Figure 15: ring-based protocol — packet size sweep sending 2 MB to 30
+// receivers with window 35. Expected shape: a U-curve with the best times
+// around 5-10 KB packets (small packets cost per-packet overhead, large
+// packets break the pipeline).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::size_t> packet_sizes = {1000, 2000,  5000,  8000,
+                                           10'000, 20'000, 35'000, 50'000};
+  if (options.quick) packet_sizes = {1000, 8000, 50'000};
+
+  harness::Table table({"packet_bytes", "seconds", "throughput"});
+  for (std::size_t pkt : packet_sizes) {
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = 30;
+    spec.message_bytes = 2 * 1024 * 1024;
+    spec.protocol.kind = rmcast::ProtocolKind::kRing;
+    spec.protocol.packet_size = pkt;
+    spec.protocol.window_size = 35;
+    double seconds = bench::measure(spec, options);
+    double mbps = seconds > 0 ? spec.message_bytes * 8.0 / seconds / 1e6 : 0.0;
+    table.add_row({str_format("%zu", pkt), bench::seconds_cell(seconds),
+                   str_format("%.1fMbps", mbps)});
+  }
+  bench::emit(table, options,
+              "Figure 15: ring-based protocol, packet size sweep (2MB, 30 receivers, "
+              "window 35)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

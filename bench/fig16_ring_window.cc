@@ -1,0 +1,39 @@
+// Figure 16: ring-based protocol — window sweep (40..100) for packet sizes
+// 1 KB / 8 KB / 20 KB, 2 MB to 30 receivers. The ring needs more than one
+// window slot per receiver (token rotation releases packet X only on the
+// ACK of X+N), and the best window grows with packet size.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> packet_sizes = {1000, 8000, 20'000};
+  std::vector<std::size_t> windows;
+  for (std::size_t w = 40; w <= 100; w += options.quick ? 20 : 10) windows.push_back(w);
+
+  harness::Table table({"window", "pkt1000", "pkt8000", "pkt20000"});
+  for (std::size_t window : windows) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t pkt : packet_sizes) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 2 * 1024 * 1024;
+      spec.protocol.kind = rmcast::ProtocolKind::kRing;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = window;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 16: ring-based protocol, window sweep (2MB, 30 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,36 @@
+// Figure 17: scalability of the ring-based protocol — 2 MB, 8 KB packets,
+// window 50, across receiver counts. The paper reports under 1% growth
+// from 1 to 30 receivers.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= 30; n += options.quick ? 7 : 2) counts.push_back(n);
+
+  harness::Table table({"receivers", "seconds", "throughput"});
+  for (std::size_t n : counts) {
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = n;
+    spec.message_bytes = 2 * 1024 * 1024;
+    spec.protocol.kind = rmcast::ProtocolKind::kRing;
+    spec.protocol.packet_size = 8000;
+    spec.protocol.window_size = 50;
+    double seconds = bench::measure(spec, options);
+    double mbps = seconds > 0 ? spec.message_bytes * 8.0 / seconds / 1e6 : 0.0;
+    table.add_row({str_format("%zu", n), bench::seconds_cell(seconds),
+                   str_format("%.1fMbps", mbps)});
+  }
+  bench::emit(table, options,
+              "Figure 17: ring-based protocol scalability (2MB, pkt 8KB, window 50)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,41 @@
+// Figure 18: flat-tree protocol — tree height sweep transferring 500 KB to
+// 30 receivers with packet sizes 50 KB and 8 KB (window 20). Expected
+// shape: both extremes (H=1, the ACK protocol, and H=30, a single chain)
+// lose to intermediate heights, and 8 KB packets beat 50 KB at every
+// height except H=1.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::size_t> heights = {1, 2, 3, 5, 6, 10, 15, 30};
+  if (options.quick) heights = {1, 6, 30};
+
+  harness::Table table({"height", "pkt50000", "pkt8000"});
+  for (std::size_t height : heights) {
+    std::vector<std::string> row = {str_format("%zu", height)};
+    for (std::size_t pkt : {std::size_t{50'000}, std::size_t{8000}}) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = 20;
+      spec.protocol.tree_height = height;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 18: flat-tree protocol, height sweep (500KB, 30 receivers, "
+              "window 20)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,42 @@
+// Figure 19: flat-tree protocol — window sweep (1..20) for heights 1, 2,
+// 6 and 30 at 8 KB packets (500 KB, 30 receivers). Taller trees need more
+// window to cover the chain's acknowledgment latency; with enough window
+// every tree beats the ACK protocol (H=1), whose per-receiver ACK load is
+// the bottleneck at this packet size.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> heights = {1, 2, 6, 30};
+  std::vector<std::size_t> windows;
+  for (std::size_t w = 1; w <= 20; w += options.quick ? 5 : 1) windows.push_back(w);
+
+  harness::Table table({"window", "H1", "H2", "H6", "H30"});
+  for (std::size_t window : windows) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t height : heights) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
+      spec.protocol.packet_size = 8000;
+      spec.protocol.window_size = window;
+      spec.protocol.tree_height = height;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 19: flat-tree protocol, window sweep per height (500KB, pkt 8KB, "
+              "30 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,39 @@
+// Figure 20: flat-tree protocol on small messages (1 B, 256 B, 8 KB) as
+// the tree height grows. Relaying acknowledgments at user level adds a
+// per-hop delay, so the transfer time of a small message climbs steeply
+// at large heights — the paper's case against trees for small messages.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<std::size_t> heights = {1, 2, 3, 5, 6, 10, 15, 20, 30};
+  if (options.quick) heights = {1, 6, 30};
+
+  harness::Table table({"height", "size1", "size256", "size8192"});
+  for (std::size_t height : heights) {
+    std::vector<std::string> row = {str_format("%zu", height)};
+    for (std::uint64_t size : {std::uint64_t{1}, std::uint64_t{256}, std::uint64_t{8192}}) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = size;
+      spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
+      spec.protocol.packet_size = 8192;
+      spec.protocol.window_size = 20;
+      spec.protocol.tree_height = height;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 20: flat-tree protocol, small messages vs height (30 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

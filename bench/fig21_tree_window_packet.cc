@@ -1,0 +1,40 @@
+// Figure 21: flat-tree protocol at height 6 — window sweep (1..50) for
+// packet sizes 1300 B / 8 KB / 50 KB (500 KB, 30 receivers). Unlike the
+// ACK protocol, both knobs matter: 50 KB packets break the pipeline,
+// 1300 B packets pay per-packet overhead, 8 KB with enough window wins.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  const std::vector<std::size_t> packet_sizes = {1300, 8000, 50'000};
+  std::vector<std::size_t> windows = {1, 2, 3, 5, 8, 12, 16, 20, 30, 40, 50};
+  if (options.quick) windows = {1, 5, 20, 50};
+
+  harness::Table table({"window", "pkt1300", "pkt8000", "pkt50000"});
+  for (std::size_t window : windows) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t pkt : packet_sizes) {
+      harness::MulticastRunSpec spec;
+      spec.n_receivers = 30;
+      spec.message_bytes = 500'000;
+      spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
+      spec.protocol.packet_size = pkt;
+      spec.protocol.window_size = window;
+      spec.protocol.tree_height = 6;
+      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, options,
+              "Figure 21: flat-tree (H=6), window x packet size (500KB, 30 receivers)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and protocol machinery: event scheduling, header codecs, fragmentation,
+// and window bookkeeping. These guard against regressions that would make
+// the experiment sweeps impractically slow.
+#include <benchmark/benchmark.h>
+
+#include "inet/ip.h"
+#include "rmcast/window.h"
+#include "rmcast/wire.h"
+#include "sim/simulator.h"
+
+namespace rmc {
+namespace {
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_HeaderRoundTrip(benchmark::State& state) {
+  rmcast::Header h{rmcast::PacketType::kData, rmcast::kFlagLast, 7, 42, 1000};
+  for (auto _ : state) {
+    Writer w(rmcast::kHeaderBytes);
+    rmcast::write_header(w, h);
+    Reader r(BytesView(w.buffer().data(), w.buffer().size()));
+    auto out = rmcast::read_header(r);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HeaderRoundTrip);
+
+void BM_FragmentDatagram(benchmark::State& state) {
+  inet::Datagram d;
+  d.src = {net::Ipv4Addr(10, 0, 0, 1), 1};
+  d.dst = {net::Ipv4Addr(10, 0, 0, 2), 2};
+  d.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    auto fragments = inet::fragment_datagram(d, 1);
+    benchmark::DoNotOptimize(fragments);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FragmentDatagram)->Arg(1500)->Arg(8000)->Arg(50000);
+
+void BM_WindowCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    rmcast::SenderWindow w;
+    w.reset(256, 32);
+    rmcast::CumTracker t;
+    t.reset(30);
+    std::uint32_t released = 0;
+    while (!w.all_released()) {
+      while (w.can_send()) {
+        std::uint32_t seq = w.claim_next();
+        w.mark_sent(seq, seq);
+      }
+      ++released;
+      for (std::size_t unit = 0; unit < 30; ++unit) t.on_ack(unit, released);
+      w.release_to(t.min_cum());
+    }
+    benchmark::DoNotOptimize(w.base());
+  }
+}
+BENCHMARK(BM_WindowCycle);
+
+}  // namespace
+}  // namespace rmc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table 3: throughput sending a 2 MB message to 30 receivers, each
+// protocol at the configuration the paper found best (§5):
+//   ACK   50 KB packets, window 5
+//   NAK   8 KB packets, window 50, poll interval 43
+//   ring  8 KB packets, window 50
+//   tree  8 KB packets, window 20, heights 6 and 15
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+struct Row {
+  const char* label;
+  double paper_mbps;
+  rmcast::ProtocolConfig config;
+};
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<Row> rows;
+  {
+    rmcast::ProtocolConfig c;
+    c.kind = rmcast::ProtocolKind::kAck;
+    c.packet_size = 50'000;
+    c.window_size = 5;
+    rows.push_back({"ACK-based", 68.0, c});
+  }
+  {
+    rmcast::ProtocolConfig c;
+    c.kind = rmcast::ProtocolKind::kNakPolling;
+    c.packet_size = 8'000;
+    c.window_size = 50;
+    c.poll_interval = 43;
+    rows.push_back({"NAK-based", 89.7, c});
+  }
+  {
+    rmcast::ProtocolConfig c;
+    c.kind = rmcast::ProtocolKind::kRing;
+    c.packet_size = 8'000;
+    c.window_size = 50;
+    rows.push_back({"Ring-based", 84.6, c});
+  }
+  for (std::size_t height : {std::size_t{6}, std::size_t{15}}) {
+    rmcast::ProtocolConfig c;
+    c.kind = rmcast::ProtocolKind::kFlatTree;
+    c.packet_size = 8'000;
+    c.window_size = 20;
+    c.tree_height = height;
+    rows.push_back({height == 6 ? "Tree-based (H=6)" : "Tree-based (H=15)",
+                    height == 6 ? 77.3 : 81.2, c});
+  }
+
+  harness::Table table({"protocol", "measured", "paper", "time"});
+  for (const Row& row : rows) {
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = 30;
+    spec.message_bytes = 2 * 1024 * 1024;
+    spec.protocol = row.config;
+    double seconds = bench::measure(spec, options);
+    double mbps = seconds > 0
+                      ? static_cast<double>(spec.message_bytes) * 8.0 / seconds / 1e6
+                      : 0.0;
+    table.add_row({row.label, str_format("%.1fMbps", mbps),
+                   str_format("%.1fMbps", row.paper_mbps), bench::seconds_cell(seconds)});
+  }
+  bench::emit(table, options,
+              "Table 3: throughput, 2MB message, 30 receivers (tuned configs)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,0 +1,129 @@
+#include "baseline/raw_udp.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace rmc::baseline {
+
+namespace {
+
+// u8 type, u8 last, u16 node, u32 round, u32 seq
+enum : std::uint8_t { kBlastData = 1, kBlastReply = 2 };
+constexpr std::size_t kBlastHeaderBytes = 12;
+
+}  // namespace
+
+RawUdpBlastSender::RawUdpBlastSender(rt::Runtime& runtime, rt::UdpSocket& socket,
+                                     net::Endpoint group, std::size_t n_receivers)
+    : rt_(runtime), socket_(socket), group_(group), n_receivers_(n_receivers) {
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+void RawUdpBlastSender::send_packet(std::uint32_t seq, bool last, std::size_t len) {
+  Writer w(kBlastHeaderBytes + len);
+  w.u8(kBlastData);
+  w.u8(last ? 1 : 0);
+  w.u16(0);
+  w.u32(round_);
+  w.u32(seq);
+  if (len > 0) {
+    Buffer zeros(len, 0);
+    w.bytes(BytesView(zeros.data(), zeros.size()));
+  }
+  ++stats_.packets_sent;
+  Buffer packet = w.take();
+  socket_.send_to(group_, BytesView(packet.data(), packet.size()));
+}
+
+void RawUdpBlastSender::blast(std::uint64_t message_bytes, std::size_t packet_size,
+                              CompletionHandler on_complete) {
+  RMC_ENSURE(packet_size > 0, "packet size must be positive");
+  RMC_ENSURE(timer_ == rt::kInvalidTimerId && outstanding_ == 0, "blast in progress");
+  ++round_;
+  on_complete_ = std::move(on_complete);
+  replied_.assign(n_receivers_, false);
+  outstanding_ = n_receivers_;
+
+  const std::uint32_t total = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (message_bytes + packet_size - 1) / packet_size));
+  std::uint64_t remaining = message_bytes;
+  for (std::uint32_t seq = 0; seq < total; ++seq) {
+    const std::size_t len =
+        static_cast<std::size_t>(std::min<std::uint64_t>(packet_size, remaining));
+    remaining -= len;
+    send_packet(seq, seq + 1 == total, len);
+  }
+  last_len_ = static_cast<std::size_t>(std::min<std::uint64_t>(
+      packet_size, message_bytes == 0 ? 0 : message_bytes - std::uint64_t{total - 1} * packet_size));
+  timer_ = rt_.schedule_after(sim::milliseconds(20), [this] { on_timeout(); });
+}
+
+void RawUdpBlastSender::on_timeout() {
+  timer_ = rt::kInvalidTimerId;
+  if (outstanding_ == 0) return;
+  // Only the reply-soliciting packet is ever retried.
+  ++stats_.last_packet_retries;
+  send_packet(UINT32_MAX, true, last_len_);
+  timer_ = rt_.schedule_after(sim::milliseconds(20), [this] { on_timeout(); });
+}
+
+void RawUdpBlastSender::on_packet(const net::Endpoint& src, BytesView payload) {
+  (void)src;
+  Reader r(payload);
+  std::uint8_t type = r.u8();
+  r.u8();
+  std::uint16_t node = r.u16();
+  std::uint32_t round = r.u32();
+  if (!r.ok() || type != kBlastReply || round != round_) return;
+  if (node >= replied_.size() || replied_[node]) return;
+  ++stats_.replies_received;
+  replied_[node] = true;
+  if (--outstanding_ == 0) {
+    if (timer_ != rt::kInvalidTimerId) {
+      rt_.cancel(timer_);
+      timer_ = rt::kInvalidTimerId;
+    }
+    if (on_complete_) {
+      CompletionHandler handler = std::move(on_complete_);
+      on_complete_ = nullptr;
+      handler();
+    }
+  }
+}
+
+RawUdpReceiver::RawUdpReceiver(rt::Runtime& runtime, rt::UdpSocket& data_socket,
+                               net::Endpoint sender_control, std::uint16_t node_id)
+    : rt_(runtime),
+      socket_(data_socket),
+      sender_control_(sender_control),
+      node_id_(node_id) {
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+void RawUdpReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
+  (void)src;
+  Reader r(payload);
+  std::uint8_t type = r.u8();
+  std::uint8_t last = r.u8();
+  r.u16();
+  std::uint32_t round = r.u32();
+  if (!r.ok() || type != kBlastData) return;
+  ++packets_received_;
+  if (last != 0) {
+    Writer w(kBlastHeaderBytes);
+    w.u8(kBlastReply);
+    w.u8(0);
+    w.u16(node_id_);
+    w.u32(round);
+    w.u32(0);
+    Buffer reply = w.take();
+    socket_.send_to(sender_control_, BytesView(reply.data(), reply.size()));
+  }
+}
+
+}  // namespace rmc::baseline

@@ -1,0 +1,75 @@
+// Raw UDP multicast blast, the paper's Figure 9 baseline.
+//
+// "The raw UDP performance is measured by using UDP with IP multicast to
+// send all of the data and having the receivers reply upon receipt of the
+// last packet" (paper §5). No reliability for the body: a lost middle
+// packet is simply never recovered (the benchmark network is error-free).
+// The only retransmission is of the final, reply-soliciting packet, so the
+// measurement itself cannot hang.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/serial.h"
+#include "runtime/runtime.h"
+
+namespace rmc::baseline {
+
+class RawUdpBlastSender {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  // `socket` receives the 1-byte replies; `n_receivers` replies complete a
+  // blast.
+  RawUdpBlastSender(rt::Runtime& runtime, rt::UdpSocket& socket, net::Endpoint group,
+                    std::size_t n_receivers);
+
+  void blast(std::uint64_t message_bytes, std::size_t packet_size,
+             CompletionHandler on_complete);
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t replies_received = 0;
+    std::uint64_t last_packet_retries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_packet(const net::Endpoint& src, BytesView payload);
+  void send_packet(std::uint32_t seq, bool last, std::size_t len);
+  void on_timeout();
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& socket_;
+  net::Endpoint group_;
+  std::size_t n_receivers_;
+  std::uint32_t round_ = 0;
+  std::size_t last_len_ = 0;
+  std::vector<bool> replied_;
+  std::size_t outstanding_ = 0;
+  rt::TimerId timer_ = rt::kInvalidTimerId;
+  CompletionHandler on_complete_;
+  Stats stats_;
+};
+
+class RawUdpReceiver {
+ public:
+  // `data_socket` must be joined to the group; replies leave through it.
+  RawUdpReceiver(rt::Runtime& runtime, rt::UdpSocket& data_socket,
+                 net::Endpoint sender_control, std::uint16_t node_id);
+
+  std::uint64_t packets_received() const { return packets_received_; }
+
+ private:
+  void on_packet(const net::Endpoint& src, BytesView payload);
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& socket_;
+  net::Endpoint sender_control_;
+  std::uint16_t node_id_;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace rmc::baseline

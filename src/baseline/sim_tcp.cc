@@ -1,0 +1,266 @@
+#include "baseline/sim_tcp.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/panic.h"
+
+namespace rmc::baseline {
+
+namespace {
+
+// Segment header: u8 type, u64 offset, u16 length.
+enum : std::uint8_t {
+  kSyn = 1,
+  kSynAck = 2,
+  kData = 3,
+  kAck = 4,
+  kFin = 5,
+  kFinAck = 6,
+};
+
+constexpr std::size_t kTcpHeaderBytes = 11;
+
+Buffer make_segment(std::uint8_t type, std::uint64_t offset, std::size_t len) {
+  Writer w(kTcpHeaderBytes + len);
+  w.u8(type);
+  w.u64(offset);
+  w.u16(static_cast<std::uint16_t>(len));
+  if (len > 0) {
+    Buffer zeros(len, 0);
+    w.bytes(BytesView(zeros.data(), zeros.size()));
+  }
+  return w.take();
+}
+
+}  // namespace
+
+TcpBulkSender::TcpBulkSender(rt::Runtime& runtime, rt::UdpSocket& socket,
+                             TcpParams params)
+    : rt_(runtime), socket_(socket), params_(params) {
+  RMC_ENSURE(params_.mss > 0 && params_.window_bytes >= params_.mss,
+             "window must hold at least one segment");
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+TcpBulkSender::~TcpBulkSender() { disarm_timer(); }
+
+void TcpBulkSender::transfer(const net::Endpoint& peer, std::uint64_t n_bytes,
+                             CompletionHandler on_complete) {
+  RMC_ENSURE(state_ == State::kIdle, "transfer already in progress");
+  peer_ = peer;
+  total_ = n_bytes;
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  dup_acks_ = 0;
+  on_complete_ = std::move(on_complete);
+  state_ = State::kSynSent;
+  send_control(kSyn);
+  arm_timer();
+}
+
+void TcpBulkSender::send_control(std::uint8_t type) {
+  Buffer seg = make_segment(type, snd_una_, 0);
+  socket_.send_to(peer_, BytesView(seg.data(), seg.size()));
+}
+
+void TcpBulkSender::send_segment(std::uint64_t offset) {
+  const std::size_t len =
+      static_cast<std::size_t>(std::min<std::uint64_t>(params_.mss, total_ - offset));
+  Buffer seg = make_segment(kData, offset, len);
+  ++stats_.segments_sent;
+  socket_.send_to(peer_, BytesView(seg.data(), seg.size()));
+}
+
+void TcpBulkSender::pump() {
+  while (snd_nxt_ < total_ && snd_nxt_ - snd_una_ + params_.mss <= params_.window_bytes) {
+    send_segment(snd_nxt_);
+    snd_nxt_ += std::min<std::uint64_t>(params_.mss, total_ - snd_nxt_);
+  }
+}
+
+void TcpBulkSender::on_packet(const net::Endpoint& src, BytesView payload) {
+  if (src != peer_ || state_ == State::kIdle) return;
+  Reader r(payload);
+  std::uint8_t type = r.u8();
+  std::uint64_t offset = r.u64();
+  r.u16();
+  if (!r.ok()) return;
+
+  switch (type) {
+    case kSynAck:
+      if (state_ == State::kSynSent) {
+        state_ = State::kEstablished;
+        if (total_ == 0) {
+          state_ = State::kFinSent;
+          send_control(kFin);
+        } else {
+          pump();
+        }
+        arm_timer();
+      }
+      break;
+
+    case kAck: {
+      if (state_ != State::kEstablished) break;
+      ++stats_.acks_received;
+      if (offset > snd_una_) {
+        snd_una_ = offset;
+        dup_acks_ = 0;
+        if (snd_una_ == total_) {
+          state_ = State::kFinSent;
+          send_control(kFin);
+          arm_timer();
+          break;
+        }
+        pump();
+        arm_timer();
+      } else if (offset == snd_una_ && snd_una_ < snd_nxt_) {
+        if (++dup_acks_ >= params_.dup_ack_threshold) {
+          dup_acks_ = 0;
+          ++stats_.fast_retransmits;
+          ++stats_.retransmissions;
+          send_segment(snd_una_);
+        }
+      }
+      break;
+    }
+
+    case kFinAck:
+      if (state_ == State::kFinSent) complete();
+      break;
+
+    default:
+      break;
+  }
+}
+
+void TcpBulkSender::on_timeout() {
+  timer_ = rt::kInvalidTimerId;
+  switch (state_) {
+    case State::kIdle:
+      return;
+    case State::kSynSent:
+      send_control(kSyn);
+      break;
+    case State::kEstablished: {
+      ++stats_.rto_fires;
+      // Go-Back-N from the first unacknowledged byte.
+      std::uint64_t offset = snd_una_;
+      while (offset < snd_nxt_) {
+        ++stats_.retransmissions;
+        send_segment(offset);
+        offset += std::min<std::uint64_t>(params_.mss, total_ - offset);
+      }
+      break;
+    }
+    case State::kFinSent:
+      send_control(kFin);
+      break;
+  }
+  arm_timer();
+}
+
+void TcpBulkSender::arm_timer() {
+  disarm_timer();
+  timer_ = rt_.schedule_after(params_.rto, [this] { on_timeout(); });
+}
+
+void TcpBulkSender::disarm_timer() {
+  if (timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(timer_);
+    timer_ = rt::kInvalidTimerId;
+  }
+}
+
+void TcpBulkSender::complete() {
+  disarm_timer();
+  state_ = State::kIdle;
+  if (on_complete_) {
+    CompletionHandler handler = std::move(on_complete_);
+    on_complete_ = nullptr;
+    handler();
+  }
+}
+
+TcpBulkReceiver::TcpBulkReceiver(rt::Runtime& runtime, rt::UdpSocket& socket)
+    : rt_(runtime), socket_(socket) {
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+void TcpBulkReceiver::send_ack(const net::Endpoint& to) {
+  Buffer seg = make_segment(kAck, rcv_nxt_, 0);
+  socket_.send_to(to, BytesView(seg.data(), seg.size()));
+}
+
+void TcpBulkReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
+  Reader r(payload);
+  std::uint8_t type = r.u8();
+  std::uint64_t offset = r.u64();
+  std::uint16_t len = r.u16();
+  if (!r.ok()) return;
+
+  switch (type) {
+    case kSyn:
+      // New (or retried) connection resets stream state.
+      peer_ = src;
+      connected_ = true;
+      rcv_nxt_ = 0;
+      {
+        Buffer seg = make_segment(kSynAck, 0, 0);
+        socket_.send_to(src, BytesView(seg.data(), seg.size()));
+      }
+      break;
+
+    case kData:
+      if (!connected_ || src != peer_) break;
+      if (offset == rcv_nxt_) {
+        rcv_nxt_ += len;
+      }
+      // In-order or not, acknowledge cumulatively (duplicate ACKs drive
+      // the sender's fast retransmit).
+      send_ack(src);
+      break;
+
+    case kFin:
+      if (connected_ && src == peer_) {
+        connected_ = false;
+        ++transfers_;
+      }
+      {
+        Buffer seg = make_segment(kFinAck, 0, 0);
+        socket_.send_to(src, BytesView(seg.data(), seg.size()));
+      }
+      break;
+
+    default:
+      break;
+  }
+}
+
+void TcpFanout::transfer_all(std::uint64_t n_bytes, CompletionHandler on_complete) {
+  RMC_ENSURE(!receivers_.empty(), "fan-out needs receivers");
+  n_bytes_ = n_bytes;
+  on_complete_ = std::move(on_complete);
+  index_ = 0;
+  next();
+}
+
+void TcpFanout::next() {
+  if (index_ == receivers_.size()) {
+    if (on_complete_) {
+      TcpFanout::CompletionHandler handler = std::move(on_complete_);
+      on_complete_ = nullptr;
+      handler();
+    }
+    return;
+  }
+  const net::Endpoint peer = receivers_[index_++];
+  sender_.transfer(peer, n_bytes_, [this] { next(); });
+}
+
+}  // namespace rmc::baseline

@@ -1,0 +1,130 @@
+// TCP-like reliable unicast stream, the paper's Figure 8 baseline.
+//
+// The reproduced experiment compares multicast against "TCP, the standard
+// reliable unicast protocol" used the way early MPI implementations used
+// it: the root opens a connection to each receiver in turn and pushes the
+// whole message (so total time grows linearly with the receiver count).
+// This model keeps the TCP machinery that matters at LAN bulk-transfer
+// scale — MSS segmentation, a byte-granular sliding window, cumulative
+// ACKs, duplicate-ACK fast retransmit, timeout-driven Go-Back-N, and a
+// SYN/FIN handshake — and omits congestion control: on a dedicated
+// switched LAN the window is pegged at the receive buffer, which is how
+// the original testbed behaved in steady state.
+//
+// Segments travel over the simulated UDP sockets; payload content is
+// synthetic (zeros), since the baseline measures transport behaviour, not
+// data integrity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/serial.h"
+#include "runtime/runtime.h"
+
+namespace rmc::baseline {
+
+struct TcpParams {
+  std::size_t mss = 1448;               // fits one 1500-byte frame
+  std::size_t window_bytes = 64 * 1024;  // SO_RCVBUF-sized send window
+  sim::Time rto = sim::milliseconds(20);
+  int dup_ack_threshold = 3;
+};
+
+// Bulk-transfer sender. One transfer at a time.
+class TcpBulkSender {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  TcpBulkSender(rt::Runtime& runtime, rt::UdpSocket& socket, TcpParams params = {});
+  ~TcpBulkSender();
+  TcpBulkSender(const TcpBulkSender&) = delete;
+  TcpBulkSender& operator=(const TcpBulkSender&) = delete;
+
+  // Transfers `n_bytes` to the TcpBulkReceiver listening at `peer`.
+  void transfer(const net::Endpoint& peer, std::uint64_t n_bytes,
+                CompletionHandler on_complete);
+
+  bool busy() const { return state_ != State::kIdle; }
+
+  struct Stats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t rto_fires = 0;
+    std::uint64_t fast_retransmits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class State { kIdle, kSynSent, kEstablished, kFinSent };
+
+  void on_packet(const net::Endpoint& src, BytesView payload);
+  void pump();
+  void send_segment(std::uint64_t offset);
+  void send_control(std::uint8_t type);
+  void arm_timer();
+  void disarm_timer();
+  void on_timeout();
+  void complete();
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& socket_;
+  TcpParams params_;
+  State state_ = State::kIdle;
+  net::Endpoint peer_;
+  std::uint64_t total_ = 0;
+  std::uint64_t snd_una_ = 0;  // oldest unacknowledged byte
+  std::uint64_t snd_nxt_ = 0;  // next byte to send
+  int dup_acks_ = 0;
+  rt::TimerId timer_ = rt::kInvalidTimerId;
+  CompletionHandler on_complete_;
+  Stats stats_;
+};
+
+// Bulk-transfer receiver: accepts one connection at a time, acknowledges
+// cumulatively, and reports received-in-order bytes.
+class TcpBulkReceiver {
+ public:
+  explicit TcpBulkReceiver(rt::Runtime& runtime, rt::UdpSocket& socket);
+  TcpBulkReceiver(const TcpBulkReceiver&) = delete;
+  TcpBulkReceiver& operator=(const TcpBulkReceiver&) = delete;
+
+  std::uint64_t bytes_received() const { return rcv_nxt_; }
+  std::uint64_t transfers_completed() const { return transfers_; }
+
+ private:
+  void on_packet(const net::Endpoint& src, BytesView payload);
+  void send_ack(const net::Endpoint& to);
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& socket_;
+  net::Endpoint peer_;
+  bool connected_ = false;
+  std::uint64_t rcv_nxt_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+// Figure 8's sender: pushes the same message to every receiver, one
+// connection after another (linear fan-out).
+class TcpFanout {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  TcpFanout(TcpBulkSender& sender, std::vector<net::Endpoint> receivers)
+      : sender_(sender), receivers_(std::move(receivers)) {}
+
+  void transfer_all(std::uint64_t n_bytes, CompletionHandler on_complete);
+
+ private:
+  void next();
+
+  TcpBulkSender& sender_;
+  std::vector<net::Endpoint> receivers_;
+  std::size_t index_ = 0;
+  std::uint64_t n_bytes_ = 0;
+  CompletionHandler on_complete_;
+};
+
+}  // namespace rmc::baseline

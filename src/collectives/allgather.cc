@@ -1,0 +1,69 @@
+#include "collectives/allgather.h"
+
+#include "common/panic.h"
+
+namespace rmc::collectives {
+
+AllgatherNode::AllgatherNode(std::size_t rank, rmcast::MulticastSender& sender,
+                             std::vector<rmcast::MulticastReceiver*> receivers)
+    : rank_(rank),
+      n_ranks_(receivers.size()),
+      sender_(sender),
+      receivers_(std::move(receivers)) {
+  RMC_ENSURE(rank_ < n_ranks_, "rank out of range");
+  RMC_ENSURE(receivers_[rank_] == nullptr, "a node must not receive its own group");
+  for (std::size_t g = 0; g < n_ranks_; ++g) {
+    if (g == rank_) continue;
+    RMC_ENSURE(receivers_[g] != nullptr, "missing receiver for a peer rank");
+    receivers_[g]->set_message_handler(
+        [this, g](const Buffer& data, std::uint32_t /*session*/) { on_chunk(g, data); });
+  }
+}
+
+void AllgatherNode::run(BytesView chunk, CompletionHandler on_complete) {
+  my_chunk_.assign(chunk.begin(), chunk.end());
+  on_complete_ = std::move(on_complete);
+  chunks_.assign(n_ranks_, {});
+  have_.assign(n_ranks_, false);
+  chunks_[rank_] = my_chunk_;
+  have_[rank_] = true;
+  started_own_ = false;
+  own_done_ = false;
+  done_ = false;
+  maybe_start_own_round();
+}
+
+bool AllgatherNode::have_all_before(std::size_t rank) const {
+  for (std::size_t g = 0; g < rank; ++g) {
+    if (!have_[g]) return false;
+  }
+  return true;
+}
+
+void AllgatherNode::maybe_start_own_round() {
+  if (started_own_ || !have_all_before(rank_)) return;
+  started_own_ = true;
+  sender_.send(BytesView(my_chunk_.data(), my_chunk_.size()), [this] {
+    own_done_ = true;
+    maybe_complete();
+  });
+}
+
+void AllgatherNode::on_chunk(std::size_t from_rank, const Buffer& data) {
+  if (have_[from_rank]) return;  // later sessions are not part of this gather
+  chunks_[from_rank] = data;
+  have_[from_rank] = true;
+  maybe_start_own_round();
+  maybe_complete();
+}
+
+void AllgatherNode::maybe_complete() {
+  if (done_ || !own_done_) return;
+  for (bool h : have_) {
+    if (!h) return;
+  }
+  done_ = true;
+  if (on_complete_) on_complete_(chunks_);
+}
+
+}  // namespace rmc::collectives

@@ -1,0 +1,61 @@
+// Decentralised all-gather over reliable multicast.
+//
+// Every rank owns a multicast group on which it is the sender; the
+// all-gather runs as P sequential broadcast rounds in rank order. A rank
+// starts its own round once it has delivered every earlier rank's
+// contribution, so no external coordinator is needed — exactly how a
+// multicast-based MPI_Allgather over a LAN would sequence itself to keep
+// the number of simultaneous transmitters at one (the property §3 of the
+// paper says the protocol layer may need to control).
+//
+// Wiring: rank r constructs an AllgatherNode with its own sender (for the
+// group it roots) and one receiver per other rank, indexed by that rank.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rmcast/receiver.h"
+#include "rmcast/sender.h"
+
+namespace rmc::collectives {
+
+class AllgatherNode {
+ public:
+  // Invoked once with the gathered chunks, indexed by rank.
+  using CompletionHandler = std::function<void(const std::vector<Buffer>& chunks)>;
+
+  // `receivers[g]` must be the receiver for rank g's group, null at g ==
+  // rank (a node does not receive its own broadcast). The sender and
+  // receivers must outlive the node.
+  AllgatherNode(std::size_t rank, rmcast::MulticastSender& sender,
+                std::vector<rmcast::MulticastReceiver*> receivers);
+  AllgatherNode(const AllgatherNode&) = delete;
+  AllgatherNode& operator=(const AllgatherNode&) = delete;
+
+  // Contributes `chunk` and completes when all ranks' chunks are in.
+  void run(BytesView chunk, CompletionHandler on_complete);
+
+  bool done() const { return done_; }
+
+ private:
+  void on_chunk(std::size_t from_rank, const Buffer& data);
+  void maybe_start_own_round();
+  void maybe_complete();
+  bool have_all_before(std::size_t rank) const;
+
+  std::size_t rank_;
+  std::size_t n_ranks_;
+  rmcast::MulticastSender& sender_;
+  std::vector<rmcast::MulticastReceiver*> receivers_;
+  std::vector<Buffer> chunks_;
+  std::vector<bool> have_;
+  bool started_own_ = false;
+  bool own_done_ = false;
+  bool done_ = false;
+  Buffer my_chunk_;
+  CompletionHandler on_complete_;
+};
+
+}  // namespace rmc::collectives

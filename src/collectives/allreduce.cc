@@ -1,0 +1,61 @@
+#include "collectives/allreduce.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/serial.h"
+
+namespace rmc::collectives {
+
+Buffer pack_doubles(std::span<const double> values) {
+  Writer w(values.size() * sizeof(double));
+  for (double v : values) w.u64(std::bit_cast<std::uint64_t>(v));
+  return w.take();
+}
+
+std::vector<double> unpack_doubles(BytesView bytes) {
+  if (bytes.size() % sizeof(double) != 0) return {};
+  Reader r(bytes);
+  std::vector<double> out;
+  out.reserve(bytes.size() / sizeof(double));
+  while (r.remaining() >= sizeof(double)) {
+    out.push_back(std::bit_cast<double>(r.u64()));
+  }
+  return out;
+}
+
+std::vector<double> reduce_vectors(const std::vector<std::vector<double>>& inputs,
+                                   ReduceOp op) {
+  if (inputs.empty()) return {};
+  const std::size_t n = inputs[0].size();
+  for (const auto& v : inputs) {
+    if (v.size() != n) return {};
+  }
+  std::vector<double> acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      switch (op) {
+        case ReduceOp::kSum: acc[k] += inputs[i][k]; break;
+        case ReduceOp::kMin: acc[k] = std::min(acc[k], inputs[i][k]); break;
+        case ReduceOp::kMax: acc[k] = std::max(acc[k], inputs[i][k]); break;
+      }
+    }
+  }
+  return acc;
+}
+
+void AllreduceNode::run(std::span<const double> contribution, ReduceOp op,
+                        CompletionHandler on_complete) {
+  Buffer packed = pack_doubles(contribution);
+  gather_.run(BytesView(packed.data(), packed.size()),
+              [op, on_complete = std::move(on_complete)](const std::vector<Buffer>& chunks) {
+                std::vector<std::vector<double>> vectors;
+                vectors.reserve(chunks.size());
+                for (const Buffer& c : chunks) {
+                  vectors.push_back(unpack_doubles(BytesView(c.data(), c.size())));
+                }
+                on_complete(reduce_vectors(vectors, op));
+              });
+}
+
+}  // namespace rmc::collectives

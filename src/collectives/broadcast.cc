@@ -1,0 +1,16 @@
+#include "collectives/broadcast.h"
+
+namespace rmc::collectives {
+
+void Broadcaster::broadcast(BytesView data, CompletionHandler on_complete) {
+  sender_.send(data, [this, on_complete = std::move(on_complete)] {
+    ++completed_;
+    if (on_complete) on_complete();
+  });
+}
+
+void Broadcaster::barrier(CompletionHandler on_complete) {
+  broadcast(BytesView{}, std::move(on_complete));
+}
+
+}  // namespace rmc::collectives

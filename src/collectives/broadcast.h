@@ -1,0 +1,40 @@
+// Broadcast and barrier collectives over reliable multicast.
+//
+// The reproduced paper's motivation (§1) is exactly this layer: collective
+// communication routines for message-passing libraries realized over
+// reliable multicast instead of point-to-point TCP. Broadcaster is the
+// root side of an MPI_Bcast-shaped operation; the non-root side is a plain
+// rmcast::MulticastReceiver whose message handler receives the payload.
+//
+// barrier() is root-coordinated: it completes at the root once every
+// receiver has processed an (empty) broadcast — the allocation handshake
+// and the acknowledgment path already constitute a full round trip to
+// every member, which is what a root-observed barrier needs.
+#pragma once
+
+#include <functional>
+
+#include "rmcast/sender.h"
+
+namespace rmc::collectives {
+
+class Broadcaster {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  explicit Broadcaster(rmcast::MulticastSender& sender) : sender_(sender) {}
+
+  // MPI_Bcast, root side: reliably delivers `data` to every group member.
+  void broadcast(BytesView data, CompletionHandler on_complete);
+
+  // Completes once every group member has acknowledged an empty message.
+  void barrier(CompletionHandler on_complete);
+
+  std::uint64_t broadcasts_completed() const { return completed_; }
+
+ private:
+  rmcast::MulticastSender& sender_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace rmc::collectives

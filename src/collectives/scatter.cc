@@ -1,0 +1,36 @@
+#include "collectives/scatter.h"
+
+namespace rmc::collectives {
+
+Buffer scatter_pack(const std::vector<Buffer>& chunks) {
+  std::size_t total = 4;
+  for (const Buffer& c : chunks) total += 4 + c.size();
+  Writer w(total);
+  w.u32(static_cast<std::uint32_t>(chunks.size()));
+  for (const Buffer& c : chunks) {
+    w.u32(static_cast<std::uint32_t>(c.size()));
+    w.bytes(BytesView(c.data(), c.size()));
+  }
+  return w.take();
+}
+
+std::optional<Buffer> scatter_extract(BytesView packed, std::size_t rank) {
+  Reader r(packed);
+  std::uint32_t n = r.u32();
+  if (!r.ok() || rank >= n) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t len = r.u32();
+    BytesView body = r.bytes(len);
+    if (!r.ok()) return std::nullopt;
+    if (i == rank) return Buffer(body.begin(), body.end());
+  }
+  return std::nullopt;
+}
+
+void Scatterer::scatter(const std::vector<Buffer>& chunks,
+                        CompletionHandler on_complete) {
+  packed_ = scatter_pack(chunks);
+  sender_.send(BytesView(packed_.data(), packed_.size()), std::move(on_complete));
+}
+
+}  // namespace rmc::collectives

@@ -1,0 +1,40 @@
+// Scatter over reliable multicast.
+//
+// Personalised data is packed into one multicast message; each receiver
+// extracts its own slice. On a broadcast medium this costs one traversal
+// of the wire regardless of the receiver count — the trade the paper's
+// LAN-feature discussion (§3) highlights — at the price of every NIC
+// seeing every byte. The pack format is self-describing:
+//   u32 n_chunks, then n_chunks of (u32 length, bytes).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/serial.h"
+#include "rmcast/sender.h"
+
+namespace rmc::collectives {
+
+// Packs per-rank chunks (arbitrary, possibly unequal sizes).
+Buffer scatter_pack(const std::vector<Buffer>& chunks);
+
+// Extracts chunk `rank`; nullopt on malformed input or out-of-range rank.
+std::optional<Buffer> scatter_extract(BytesView packed, std::size_t rank);
+
+class Scatterer {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  explicit Scatterer(rmcast::MulticastSender& sender) : sender_(sender) {}
+
+  // MPI_Scatter, root side: chunk i goes to receiver node id i.
+  void scatter(const std::vector<Buffer>& chunks, CompletionHandler on_complete);
+
+ private:
+  rmcast::MulticastSender& sender_;
+  Buffer packed_;  // kept alive for the duration of the send
+};
+
+}  // namespace rmc::collectives

@@ -1,0 +1,57 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace rmc {
+
+Flags Flags::parse(int argc, char** argv, const std::map<std::string, std::string>& known) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value = "1";
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    if (name == "help") {
+      std::fprintf(stderr, "flags:\n");
+      for (const auto& [flag, help] : known) {
+        std::fprintf(stderr, "  --%-16s %s\n", flag.c_str(), help.c_str());
+      }
+      std::exit(0);
+    }
+    if (known.count(name) == 0) {
+      std::fprintf(stderr, "unknown flag --%s (try --help)\n", name.c_str());
+      std::exit(2);
+    }
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace rmc

@@ -1,0 +1,31 @@
+// Tiny command-line flag parser for the bench binaries and examples.
+//
+// Every bench target must run with no arguments (the harness sweeps all
+// parameters itself), so flags are strictly optional knobs: --csv, --quick,
+// --seed=N, --trials=N. Unknown flags are an error so typos don't silently
+// run the wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rmc {
+
+class Flags {
+ public:
+  // Parses argv; exits with a usage message on malformed or unknown flags.
+  // `known` maps flag name (without --) to a help string; boolean flags are
+  // given as "--name", valued flags as "--name=value".
+  static Flags parse(int argc, char** argv, const std::map<std::string, std::string>& known);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rmc

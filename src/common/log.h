@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded; logging exists for
+// debugging protocol traces, not for production telemetry, so the design
+// favours zero setup: a process-global level, printf-style formatting, and
+// stderr output. Levels above the global level compile down to a branch.
+#pragma once
+
+#include <cstdarg>
+
+namespace rmc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+// Global log level; defaults to kWarn. Reads env RMC_LOG (error|warn|info|debug|trace)
+// on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// printf-style log statement; prepends the level tag.
+void log_write(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace rmc
+
+#define RMC_LOG(level, ...)                          \
+  do {                                               \
+    if (static_cast<int>(level) <=                   \
+        static_cast<int>(::rmc::log_level())) {      \
+      ::rmc::log_write((level), __VA_ARGS__);        \
+    }                                                \
+  } while (0)
+
+#define RMC_ERROR(...) RMC_LOG(::rmc::LogLevel::kError, __VA_ARGS__)
+#define RMC_WARN(...) RMC_LOG(::rmc::LogLevel::kWarn, __VA_ARGS__)
+#define RMC_INFO(...) RMC_LOG(::rmc::LogLevel::kInfo, __VA_ARGS__)
+#define RMC_DEBUG(...) RMC_LOG(::rmc::LogLevel::kDebug, __VA_ARGS__)
+#define RMC_TRACE(...) RMC_LOG(::rmc::LogLevel::kTrace, __VA_ARGS__)

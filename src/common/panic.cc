@@ -1,0 +1,14 @@
+#include "common/panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rmc {
+
+void panic(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[rmc panic] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rmc

@@ -1,0 +1,31 @@
+// Fatal-error and invariant-checking helpers.
+//
+// Simulator and protocol code maintain invariants that, when violated,
+// indicate a programming error rather than a recoverable condition.
+// RMC_ENSURE aborts with a source location and message; it is always on
+// (release builds included) because the cost is negligible next to the
+// discrete-event machinery and silent corruption of a simulation is worse
+// than a crash.
+#pragma once
+
+#include <string>
+
+namespace rmc {
+
+// Prints `message` with source location to stderr and aborts.
+[[noreturn]] void panic(const char* file, int line, const std::string& message);
+
+}  // namespace rmc
+
+#define RMC_PANIC(msg) ::rmc::panic(__FILE__, __LINE__, (msg))
+
+#define RMC_ENSURE(cond, msg)                     \
+  do {                                            \
+    if (!(cond)) [[unlikely]] {                   \
+      ::rmc::panic(__FILE__, __LINE__,            \
+                   std::string("ENSURE failed: ") \
+                       .append(#cond)             \
+                       .append(" — ")             \
+                       .append(msg));             \
+    }                                             \
+  } while (0)

@@ -1,0 +1,64 @@
+// Endian-safe wire serialization.
+//
+// All multi-byte fields on the wire are big-endian (network byte order),
+// matching the convention of the IP protocol suite the reproduced system
+// sits on. Writer appends to a growable buffer; Reader consumes a span and
+// reports truncation via ok() rather than exceptions so protocol code can
+// drop malformed datagrams cheaply (the paper's stack silently discards
+// garbage, it never aborts).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rmc {
+
+using Buffer = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(BytesView data);
+
+  const Buffer& buffer() const { return buf_; }
+  Buffer take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Buffer buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  // Reads exactly n bytes; returns an empty view (and clears ok) on underrun.
+  BytesView bytes(std::size_t n);
+
+  // True iff no read so far ran past the end of the input.
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool ensure(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rmc

@@ -1,0 +1,53 @@
+// Running statistics and small-sample summaries for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rmc {
+
+// Welford online mean/variance plus min/max. Numerically stable for the
+// long accumulation runs the harness performs.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Keeps every sample; supports exact percentiles. Intended for the modest
+// sample counts of the harness (trials per point), not for streaming data.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Exact percentile with linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+// Saturating event counter used by protocol statistics.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t by = 1) { value += by; }
+};
+
+}  // namespace rmc

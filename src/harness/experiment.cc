@@ -1,0 +1,205 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "baseline/raw_udp.h"
+#include "baseline/sim_tcp.h"
+#include "common/panic.h"
+#include "common/strings.h"
+#include "harness/testbed.h"
+#include "rmcast/receiver.h"
+#include "rmcast/sender.h"
+
+namespace rmc::harness {
+
+namespace {
+
+Buffer make_pattern(std::uint64_t n_bytes) {
+  Buffer data(n_bytes);
+  for (std::uint64_t i = 0; i < n_bytes; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return data;
+}
+
+std::uint64_t collect_link_drops(inet::Cluster& cluster) {
+  std::uint64_t drops = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (const net::TxPort* nic = cluster.host_nic(i)) {
+      drops += nic->stats().queue_drops + nic->stats().error_drops;
+    }
+  }
+  for (const auto& sw : cluster.switches()) {
+    for (std::size_t p = 0; p < sw->n_ports(); ++p) {
+      drops += sw->port_tx(p).stats().queue_drops + sw->port_tx(p).stats().error_drops;
+    }
+  }
+  if (const net::SharedBus* bus = cluster.bus()) {
+    drops += bus->stats().queue_drops + bus->stats().excessive_collision_drops;
+  }
+  return drops;
+}
+
+// Steps the simulator until `done` is set or the clock passes the limit.
+void run_to(sim::Simulator& simulator, const bool& done, sim::Time limit) {
+  while (!done && simulator.now() < limit) {
+    if (!simulator.step()) break;
+  }
+}
+
+}  // namespace
+
+double RunResult::throughput_bps() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(message_bytes) * 8.0 / seconds;
+}
+
+std::uint64_t RunResult::total_acks_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& r : receivers) total += r.acks_sent;
+  return total;
+}
+
+std::uint64_t RunResult::total_naks_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& r : receivers) total += r.naks_sent;
+  return total;
+}
+
+RunResult run_multicast(const MulticastRunSpec& spec) {
+  RunResult result;
+  result.message_bytes = spec.message_bytes;
+
+  std::string config_error = rmcast::validate(spec.protocol, spec.n_receivers);
+  if (!config_error.empty()) {
+    result.error = config_error;
+    return result;
+  }
+
+  inet::ClusterParams cluster_params = spec.cluster;
+  cluster_params.seed = spec.seed;
+  Testbed bed(spec.n_receivers, cluster_params);
+
+  rmcast::MulticastSender sender(bed.sender_runtime(), bed.sender_socket(),
+                                 bed.membership(), spec.protocol);
+
+  std::vector<std::unique_ptr<rmcast::MulticastReceiver>> receivers;
+  std::vector<bool> delivered_ok(spec.n_receivers, false);
+  const Buffer message = make_pattern(spec.message_bytes);
+  for (std::size_t i = 0; i < spec.n_receivers; ++i) {
+    receivers.push_back(std::make_unique<rmcast::MulticastReceiver>(
+        bed.receiver_runtime(i), bed.receiver_data_socket(i),
+        bed.receiver_control_socket(i), bed.membership(), i, spec.protocol));
+    receivers[i]->set_message_handler(
+        [&, i](const Buffer& received, std::uint32_t /*session*/) {
+          delivered_ok[i] = !spec.verify_payload || received == message;
+        });
+  }
+
+  bool done = false;
+  sim::Time completed_at = 0;
+  sender.send(BytesView(message.data(), message.size()), [&] {
+    done = true;
+    completed_at = bed.simulator().now();
+  });
+
+  run_to(bed.simulator(), done, spec.time_limit);
+
+  result.sender = sender.stats();
+  for (const auto& r : receivers) result.receivers.push_back(r->stats());
+  result.rcvbuf_drops = bed.total_rcvbuf_drops();
+  result.link_drops = collect_link_drops(bed.cluster());
+  result.sender_cpu_busy_seconds = sim::to_seconds(bed.cluster().host(0).stats().cpu_busy);
+  if (const net::TxPort* nic = bed.cluster().host_nic(0)) {
+    result.sender_nic_busy_seconds = sim::to_seconds(nic->stats().busy_time);
+  }
+
+  if (!done) {
+    result.error = str_format("timed out after %.1fs of simulated time",
+                              sim::to_seconds(spec.time_limit));
+    return result;
+  }
+  for (std::size_t i = 0; i < spec.n_receivers; ++i) {
+    if (!delivered_ok[i]) {
+      result.error = str_format("receiver %zu did not deliver a correct copy", i);
+      return result;
+    }
+  }
+  result.completed = true;
+  result.seconds = sim::to_seconds(completed_at);
+  return result;
+}
+
+RunResult run_tcp_fanout(std::size_t n_receivers, std::uint64_t message_bytes,
+                         std::uint64_t seed, inet::ClusterParams cluster_params) {
+  RunResult result;
+  result.message_bytes = message_bytes;
+  cluster_params.seed = seed;
+  Testbed bed(n_receivers, cluster_params);
+
+  baseline::TcpBulkSender sender(bed.sender_runtime(), bed.sender_socket());
+  std::vector<std::unique_ptr<baseline::TcpBulkReceiver>> receivers;
+  for (std::size_t i = 0; i < n_receivers; ++i) {
+    receivers.push_back(std::make_unique<baseline::TcpBulkReceiver>(
+        bed.receiver_runtime(i), bed.receiver_control_socket(i)));
+  }
+  baseline::TcpFanout fanout(sender, bed.membership().receiver_control);
+
+  bool done = false;
+  sim::Time completed_at = 0;
+  fanout.transfer_all(message_bytes, [&] {
+    done = true;
+    completed_at = bed.simulator().now();
+  });
+
+  run_to(bed.simulator(), done, sim::seconds(120.0));
+  if (!done) {
+    result.error = "tcp fan-out timed out";
+    return result;
+  }
+  for (const auto& r : receivers) {
+    if (r->bytes_received() != message_bytes || r->transfers_completed() != 1) {
+      result.error = "tcp receiver did not complete";
+      return result;
+    }
+  }
+  result.completed = true;
+  result.seconds = sim::to_seconds(completed_at);
+  return result;
+}
+
+RunResult run_raw_udp(std::size_t n_receivers, std::uint64_t message_bytes,
+                      std::size_t packet_size, std::uint64_t seed,
+                      inet::ClusterParams cluster_params) {
+  RunResult result;
+  result.message_bytes = message_bytes;
+  cluster_params.seed = seed;
+  Testbed bed(n_receivers, cluster_params);
+
+  baseline::RawUdpBlastSender sender(bed.sender_runtime(), bed.sender_socket(),
+                                     bed.membership().group, n_receivers);
+  std::vector<std::unique_ptr<baseline::RawUdpReceiver>> receivers;
+  for (std::size_t i = 0; i < n_receivers; ++i) {
+    receivers.push_back(std::make_unique<baseline::RawUdpReceiver>(
+        bed.receiver_runtime(i), bed.receiver_data_socket(i),
+        bed.membership().sender_control, static_cast<std::uint16_t>(i)));
+  }
+
+  bool done = false;
+  sim::Time completed_at = 0;
+  sender.blast(message_bytes, packet_size, [&] {
+    done = true;
+    completed_at = bed.simulator().now();
+  });
+
+  run_to(bed.simulator(), done, sim::seconds(120.0));
+  if (!done) {
+    result.error = "raw udp blast timed out";
+    return result;
+  }
+  result.completed = true;
+  result.seconds = sim::to_seconds(completed_at);
+  return result;
+}
+
+}  // namespace rmc::harness

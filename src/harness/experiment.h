@@ -1,0 +1,83 @@
+// Experiment runners: one simulated message transfer, measured the way the
+// paper measures it.
+//
+// "Communication time" is the interval from the application's send() call
+// to the moment the sender knows every receiver holds the message (for the
+// reliable protocols), to the completion of the last sequential transfer
+// (TCP fan-out), or to the arrival of the last receiver's reply (raw UDP)
+// — matching §5's methodology. Like the paper, run_trials() repeats each
+// measurement (default three times, with different seeds standing in for
+// the testbed's run-to-run randomness) and reports the average.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inet/cluster.h"
+#include "rmcast/config.h"
+#include "rmcast/stats.h"
+
+namespace rmc::harness {
+
+struct MulticastRunSpec {
+  std::size_t n_receivers = 30;
+  rmcast::ProtocolConfig protocol;
+  std::uint64_t message_bytes = 500'000;
+  std::uint64_t seed = 1;
+  inet::ClusterParams cluster;  // n_hosts is derived from n_receivers
+  // Abort the run if the simulated clock passes this limit.
+  sim::Time time_limit = sim::seconds(120.0);
+  // Verify every receiver got a byte-exact copy (leave on; cheap).
+  bool verify_payload = true;
+};
+
+struct RunResult {
+  bool completed = false;
+  double seconds = 0.0;  // communication time
+  double throughput_bps() const;
+  std::uint64_t message_bytes = 0;
+
+  rmcast::SenderStats sender;
+  std::vector<rmcast::ReceiverStats> receivers;
+  std::uint64_t rcvbuf_drops = 0;
+  std::uint64_t link_drops = 0;  // queue + frame-error drops, all ports
+  // Utilization of the sender host over the run — the two candidate
+  // bottlenecks of every experiment in the paper.
+  double sender_cpu_busy_seconds = 0.0;
+  double sender_nic_busy_seconds = 0.0;
+  std::string error;
+
+  // Aggregates across receivers, for Table 2-style accounting.
+  std::uint64_t total_acks_sent() const;
+  std::uint64_t total_naks_sent() const;
+};
+
+// One reliable-multicast transfer on a fresh testbed.
+RunResult run_multicast(const MulticastRunSpec& spec);
+
+// Figure 8 baseline: sequential TCP fan-out of `message_bytes` to each
+// receiver.
+RunResult run_tcp_fanout(std::size_t n_receivers, std::uint64_t message_bytes,
+                         std::uint64_t seed, inet::ClusterParams cluster = {});
+
+// Figure 9 baseline: unreliable UDP multicast blast, completion on the
+// last receiver's reply.
+RunResult run_raw_udp(std::size_t n_receivers, std::uint64_t message_bytes,
+                      std::size_t packet_size, std::uint64_t seed,
+                      inet::ClusterParams cluster = {});
+
+// Averages `runner(seed)` over `trials` seeds (the paper uses three runs).
+// Returns the mean seconds; every trial must complete.
+template <typename Runner>
+double mean_seconds(Runner&& runner, int trials = 3, std::uint64_t base_seed = 1) {
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    RunResult result = runner(base_seed + static_cast<std::uint64_t>(t));
+    if (!result.completed) return -1.0;
+    sum += result.seconds;
+  }
+  return sum / trials;
+}
+
+}  // namespace rmc::harness

@@ -1,0 +1,28 @@
+// Aligned-table and CSV output for the bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rmc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  // Column-aligned plain text.
+  void print(std::FILE* out = stdout) const;
+  // RFC-4180-ish CSV (fields containing commas or quotes are quoted).
+  void print_csv(std::FILE* out = stdout) const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmc::harness

@@ -1,0 +1,34 @@
+#include "harness/trace.h"
+
+#include <algorithm>
+
+namespace rmc::harness {
+
+const char* TraceRecorder::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kAllocRequest: return "alloc_request";
+    case Kind::kTransmit: return "transmit";
+    case Kind::kRetransmit: return "retransmit";
+    case Kind::kAck: return "ack";
+    case Kind::kNak: return "nak";
+    case Kind::kTimeout: return "timeout";
+    case Kind::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+std::size_t TraceRecorder::count(Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const Event& e) { return e.kind == kind; }));
+}
+
+void TraceRecorder::write_csv(std::FILE* out) const {
+  std::fprintf(out, "seconds,kind,session,a,b\n");
+  for (const Event& e : events_) {
+    std::fprintf(out, "%.9f,%s,%u,%u,%u\n", e.seconds, kind_name(e.kind), e.session,
+                 e.a, e.b);
+  }
+}
+
+}  // namespace rmc::harness

@@ -1,0 +1,69 @@
+// Protocol trace recording: a SenderObserver that timestamps every
+// protocol event, for post-mortem analysis of a run (CSV export) and for
+// tests that assert event ordering.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rmcast/observer.h"
+#include "runtime/runtime.h"
+
+namespace rmc::harness {
+
+class TraceRecorder final : public rmcast::SenderObserver {
+ public:
+  enum class Kind { kAllocRequest, kTransmit, kRetransmit, kAck, kNak, kTimeout, kComplete };
+
+  struct Event {
+    double seconds;  // runtime clock at the event
+    Kind kind;
+    std::uint32_t session;
+    // kTransmit/kRetransmit: seq, flags. kAck/kNak: node, seq/cum.
+    // kTimeout: base, 0. kAllocRequest: total packets, 0.
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+  };
+
+  explicit TraceRecorder(rt::Runtime& runtime) : rt_(runtime) {}
+
+  void on_alloc_request(std::uint32_t session, std::uint32_t total) override {
+    record(Kind::kAllocRequest, session, total, 0);
+  }
+  void on_transmit(std::uint32_t session, std::uint32_t seq, std::uint8_t flags,
+                   bool retransmission) override {
+    record(retransmission ? Kind::kRetransmit : Kind::kTransmit, session, seq, flags);
+  }
+  void on_ack(std::uint32_t session, std::uint16_t node, std::uint32_t cum) override {
+    record(Kind::kAck, session, node, cum);
+  }
+  void on_nak(std::uint32_t session, std::uint16_t node, std::uint32_t seq) override {
+    record(Kind::kNak, session, node, seq);
+  }
+  void on_timeout(std::uint32_t session, std::uint32_t base) override {
+    record(Kind::kTimeout, session, base, 0);
+  }
+  void on_complete(std::uint32_t session) override {
+    record(Kind::kComplete, session, 0, 0);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t count(Kind kind) const;
+  void clear() { events_.clear(); }
+
+  // One row per event: seconds,kind,session,a,b
+  void write_csv(std::FILE* out) const;
+
+  static const char* kind_name(Kind kind);
+
+ private:
+  void record(Kind kind, std::uint32_t session, std::uint32_t a, std::uint32_t b) {
+    events_.push_back(Event{sim::to_seconds(rt_.now()), kind, session, a, b});
+  }
+
+  rt::Runtime& rt_;
+  std::vector<Event> events_;
+};
+
+}  // namespace rmc::harness

@@ -1,0 +1,137 @@
+#include "inet/cluster.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+#include "common/strings.h"
+
+namespace rmc::inet {
+
+Cluster::Cluster(ClusterParams params) : params_(std::move(params)), rng_(params_.seed) {
+  RMC_ENSURE(params_.n_hosts >= 1, "cluster needs at least one host");
+
+  std::unordered_map<std::uint32_t, net::MacAddr> arp;
+  for (std::size_t i = 0; i < params_.n_hosts; ++i) {
+    auto addr = host_addr(i);
+    auto mac = net::MacAddr::host(static_cast<std::uint32_t>(i));
+    arp.emplace(addr.bits(), mac);
+    HostParams host_params = params_.host;
+    if (static_cast<int>(i) == params_.straggler_index) {
+      const double f = params_.straggler_cpu_factor;
+      host_params.send_syscall = static_cast<sim::Time>(host_params.send_syscall * f);
+      host_params.send_per_byte_ns *= f;
+      host_params.send_per_fragment =
+          static_cast<sim::Time>(host_params.send_per_fragment * f);
+      host_params.recv_syscall = static_cast<sim::Time>(host_params.recv_syscall * f);
+      host_params.recv_per_byte_ns *= f;
+      host_params.recv_per_fragment =
+          static_cast<sim::Time>(host_params.recv_per_fragment * f);
+      host_params.interrupt_per_frame =
+          static_cast<sim::Time>(host_params.interrupt_per_frame * f);
+    }
+    hosts_.push_back(std::make_unique<Host>(sim_, str_format("P%zu", i), addr, mac,
+                                            host_params));
+  }
+  // Shared static ARP table: the testbed's 31 hosts never change.
+  auto resolver = [arp](net::Ipv4Addr addr) {
+    auto it = arp.find(addr.bits());
+    RMC_ENSURE(it != arp.end(), "MAC resolution for unknown host");
+    return it->second;
+  };
+  for (auto& host : hosts_) host->set_mac_resolver(resolver);
+
+  switch (params_.wiring) {
+    case Wiring::kTwoSwitch:
+      build_switched(std::min<std::size_t>(16, params_.n_hosts));
+      break;
+    case Wiring::kSingleSwitch:
+      build_switched(params_.n_hosts);
+      break;
+    case Wiring::kSharedBus:
+      build_bus();
+      break;
+  }
+}
+
+void Cluster::build_switched(std::size_t n_switch_a) {
+  const std::size_t n = hosts_.size();
+  const std::size_t n_switch_b = n - n_switch_a;
+  net::SwitchParams sw_params{params_.link, params_.switch_forwarding_latency,
+                              params_.multicast_snooping};
+
+  // Switch A carries its hosts plus (if needed) the uplink to switch B.
+  const bool two_switches = n_switch_b > 0;
+  switches_.push_back(std::make_unique<net::EthernetSwitch>(
+      sim_, n_switch_a + (two_switches ? 1 : 0) + 1, sw_params, &rng_));
+  if (two_switches) {
+    switches_.push_back(std::make_unique<net::EthernetSwitch>(
+        sim_, n_switch_b + 1 + 1, sw_params, &rng_));
+  }
+  net::EthernetSwitch& sw_a = *switches_[0];
+
+  nics_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::EthernetSwitch& sw = (i < n_switch_a) ? sw_a : *switches_[1];
+    std::size_t port = (i < n_switch_a) ? i : i - n_switch_a;
+    nics_[i] = std::make_unique<net::TxPort>(sim_, params_.link, &rng_);
+    // Host NIC -> switch ingress; switch egress -> host NIC receive.
+    net::FrameSink ingress = sw.attach(port, hosts_[i]->frame_input());
+    nics_[i]->connect(std::move(ingress));
+    auto* nic = nics_[i].get();
+    Host* host = hosts_[i].get();
+    host->set_frame_output([nic](const net::Frame& f) { nic->send(f); });
+    // SO_SNDBUF backpressure: the host sees its own transmit backlog and
+    // is woken whenever a frame leaves it.
+    host->set_nic_backlog_fn([nic] { return nic->queued_wire_bytes(); });
+    nic->set_dequeue_hook([host](std::size_t bytes) { host->on_nic_dequeue(bytes); });
+
+    if (params_.multicast_snooping) {
+      // Joins register the host's own port on its switch and the uplink
+      // port on the far switch (so cross-switch group traffic still
+      // crosses); leaves unregister symmetrically.
+      net::EthernetSwitch* own = &sw;
+      net::EthernetSwitch* other =
+          two_switches ? switches_[i < n_switch_a ? 1 : 0].get() : nullptr;
+      const std::size_t other_uplink = i < n_switch_a ? n_switch_b : n_switch_a;
+      host->set_membership_observer(
+          [own, port, other, other_uplink](net::MacAddr mac, bool joined) {
+            if (joined) {
+              own->register_group_port(mac, port);
+              if (other) other->register_group_port(mac, other_uplink);
+            } else {
+              own->unregister_group_port(mac, port);
+              if (other) other->unregister_group_port(mac, other_uplink);
+            }
+          });
+    }
+  }
+
+  if (two_switches) {
+    // Uplink on the last port of each switch: egress of A delivers straight
+    // into B's ingress and vice versa (each egress TxPort already models
+    // the cable's serialization and propagation).
+    net::EthernetSwitch& sw_b = *switches_[1];
+    const std::size_t port_a = n_switch_a;
+    const std::size_t port_b = n_switch_b;
+    sw_a.attach(port_a, [&sw_b, port_b](const net::Frame& f) {
+      sw_b.handle_frame(port_b, f);
+    });
+    sw_b.attach(port_b, [&sw_a, port_a](const net::Frame& f) {
+      sw_a.handle_frame(port_a, f);
+    });
+  }
+}
+
+void Cluster::build_bus() {
+  bus_ = std::make_unique<net::SharedBus>(sim_, params_.bus, rng_);
+  for (auto& host : hosts_) {
+    std::size_t id = bus_->add_station(host->frame_input());
+    host->set_frame_output(bus_->station_tx(id));
+    net::SharedBus* bus = bus_.get();
+    host->set_nic_backlog_fn([bus, id] { return bus->station_backlog_bytes(id); });
+    Host* h = host.get();
+    bus_->set_dequeue_hook(id, [h](std::size_t bytes) { h->on_nic_dequeue(bytes); });
+  }
+}
+
+}  // namespace rmc::inet

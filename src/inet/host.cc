@@ -1,0 +1,244 @@
+#include "inet/host.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/panic.h"
+
+namespace rmc::inet {
+
+void Socket::bind(std::uint16_t port) { port_ = port; }
+
+void Socket::join(net::Ipv4Addr group) {
+  RMC_ENSURE(group.is_multicast(), "join requires a multicast group address");
+  if (groups_.insert(group).second) host_->on_join(group);
+}
+
+void Socket::leave(net::Ipv4Addr group) {
+  if (groups_.erase(group) > 0) host_->on_leave(group);
+}
+
+void Socket::send_to(const net::Endpoint& dst, BytesView payload) {
+  host_->send_datagram(*this, dst, Buffer(payload.begin(), payload.end()));
+}
+
+net::Endpoint Socket::local_endpoint() const { return {host_->addr(), port_}; }
+
+Host::Host(sim::Simulator& simulator, std::string name, net::Ipv4Addr addr,
+           net::MacAddr mac, HostParams params)
+    : sim_(simulator),
+      name_(std::move(name)),
+      addr_(addr),
+      mac_(mac),
+      params_(params),
+      reassembler_(simulator, params.reassembly_timeout,
+                   [this](Datagram d, std::size_t n_fragments) {
+                     deliver(std::move(d), n_fragments);
+                   }) {}
+
+Socket* Host::open_socket() {
+  auto socket = std::unique_ptr<Socket>(new Socket(this));
+  socket->rcvbuf_bytes_ = params_.default_rcvbuf_bytes;
+  sockets_.push_back(std::move(socket));
+  return sockets_.back().get();
+}
+
+void Host::run_on_cpu(sim::Time cost, std::function<void()> fn) {
+  enqueue_cpu(CpuTask{cost, std::move(fn), 0});
+}
+
+void Host::enqueue_cpu(CpuTask task) {
+  cpu_queue_.push_back(std::move(task));
+  if (!cpu_busy_ && !cpu_send_blocked_) start_next_cpu_task();
+}
+
+bool Host::send_space_available(std::size_t wire_bytes) const {
+  const std::size_t backlog = nic_backlog_fn_ ? nic_backlog_fn_() : 0;
+  if (wire_bytes > params_.default_sndbuf_bytes) {
+    // A datagram larger than the whole buffer drains it completely first.
+    return backlog == 0;
+  }
+  return backlog + wire_bytes <= params_.default_sndbuf_bytes;
+}
+
+void Host::start_next_cpu_task() {
+  if (cpu_queue_.empty()) return;
+  CpuTask& front = cpu_queue_.front();
+  if (front.send_wire_bytes > 0 && !send_space_available(front.send_wire_bytes)) {
+    // sendto() sleeps until the NIC backlog leaves room; everything queued
+    // behind it (the process is single-threaded) sleeps too.
+    cpu_send_blocked_ = true;
+    return;
+  }
+  cpu_send_blocked_ = false;
+  cpu_busy_ = true;
+  const sim::Time start = std::max(sim_.now(), cpu_horizon_);
+  const sim::Time done = start + front.cost;
+  cpu_horizon_ = done;
+  stats_.cpu_busy += front.cost;
+  sim_.schedule_at(done, [this] {
+    CpuTask task = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    cpu_busy_ = false;
+    task.fn();
+    if (!cpu_busy_ && !cpu_send_blocked_) start_next_cpu_task();
+  });
+}
+
+void Host::on_nic_dequeue(std::size_t /*wire_bytes*/) {
+  if (cpu_send_blocked_ && !cpu_busy_) start_next_cpu_task();
+}
+
+std::uint16_t Host::ephemeral_port() {
+  // Linear probe over the ephemeral range; hosts here open a handful of
+  // sockets, so collisions are all but impossible.
+  for (int guard = 0; guard < 16384; ++guard) {
+    std::uint16_t candidate = next_ephemeral_++;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+    bool taken = std::any_of(sockets_.begin(), sockets_.end(),
+                             [&](const auto& s) { return s->port_ == candidate; });
+    if (!taken) return candidate;
+  }
+  RMC_PANIC("ephemeral port space exhausted");
+}
+
+namespace {
+
+// Total wire occupancy of a UDP payload once fragmented and framed; what a
+// sendto() must fit into the transmit backlog (SO_SNDBUF).
+std::size_t datagram_wire_bytes(std::size_t payload_size) {
+  std::size_t segment = kUdpHeaderBytes + payload_size;
+  std::size_t total = 0;
+  std::size_t offset = 0;
+  do {
+    std::size_t chunk = std::min(kIpPayloadPerFrame, segment - offset);
+    std::size_t frame = std::max(net::kEthHeaderBytes + kIpHeaderBytes + chunk +
+                                     net::kEthCrcBytes,
+                                 net::kEthMinFrameBytes);
+    total += frame + net::kEthPreambleAndIfgBytes;
+    offset += chunk;
+  } while (offset < segment);
+  return total;
+}
+
+}  // namespace
+
+void Host::send_datagram(Socket& socket, const net::Endpoint& dst, Buffer payload) {
+  RMC_ENSURE(payload.size() <= kMaxUdpPayload, "datagram exceeds UDP maximum");
+  RMC_ENSURE(dst.port != 0, "destination port required");
+  if (socket.port_ == 0) socket.port_ = ephemeral_port();
+
+  Datagram datagram{socket.local_endpoint(), dst, std::move(payload)};
+  const std::size_t n_fragments = fragment_count(datagram.payload.size());
+  const sim::Time cost =
+      params_.send_syscall +
+      static_cast<sim::Time>(params_.send_per_byte_ns *
+                             static_cast<double>(datagram.payload.size())) +
+      static_cast<sim::Time>(n_fragments) * params_.send_per_fragment;
+  ++socket.stats_.datagrams_sent;
+  const std::size_t wire_bytes = datagram_wire_bytes(datagram.payload.size());
+
+  const std::uint16_t ident = next_ident_++;
+  enqueue_cpu(CpuTask{cost, [this, datagram = std::move(datagram), ident] {
+    if (datagram.dst.addr == addr_) {
+      // Local delivery: no NIC involved.
+      deliver(datagram, fragment_count(datagram.payload.size()));
+      return;
+    }
+    net::MacAddr dst_mac;
+    if (datagram.dst.addr.is_multicast()) {
+      dst_mac = net::MacAddr::from_multicast_group(datagram.dst.addr);
+    } else {
+      RMC_ENSURE(mac_resolver_ != nullptr, "no MAC resolver configured");
+      dst_mac = mac_resolver_(datagram.dst.addr);
+    }
+    for (IpFragment& fragment : fragment_datagram(datagram, ident)) {
+      ++stats_.frames_out;
+      if (frame_output_) {
+        frame_output_(net::make_frame(dst_mac, mac_, fragment.serialize()));
+      }
+    }
+  }, wire_bytes});
+}
+
+bool Host::accepts_mac(net::MacAddr dst) const {
+  if (dst == mac_ || dst.is_broadcast()) return true;
+  return dst.is_group() && joined_macs_.count(dst) > 0;
+}
+
+void Host::handle_frame(const net::Frame& frame) {
+  if (!accepts_mac(frame.dst)) {
+    ++stats_.frames_filtered;
+    return;
+  }
+  ++stats_.frames_in;
+  // Interrupt service: steals CPU from future work without delaying work
+  // already in flight (interrupts preempt).
+  cpu_horizon_ = std::max(cpu_horizon_, sim_.now()) + params_.interrupt_per_frame;
+  stats_.cpu_busy += params_.interrupt_per_frame;
+
+  auto fragment = IpFragment::parse(
+      BytesView(frame.payload->data(), frame.payload->size()));
+  if (!fragment) return;
+  reassembler_.accept(*fragment);
+}
+
+void Host::deliver(Datagram datagram, std::size_t n_fragments) {
+  // Multicast datagrams fan out to every socket joined to the group on the
+  // destination port; unicast delivers to the first matching socket.
+  bool matched = false;
+  for (auto& socket : sockets_) {
+    if (socket->port_ != datagram.dst.port) continue;
+    if (datagram.dst.addr.is_multicast()) {
+      if (socket->groups_.count(datagram.dst.addr) == 0) continue;
+    } else if (datagram.dst.addr != addr_) {
+      continue;
+    }
+    matched = true;
+
+    Socket* s = socket.get();
+    if (s->pending_bytes_ + datagram.payload.size() > s->rcvbuf_bytes_) {
+      ++s->stats_.rcvbuf_drops;
+      RMC_TRACE("%s: rcvbuf overflow on port %u", name_.c_str(), s->port_);
+      continue;
+    }
+    s->pending_bytes_ += datagram.payload.size();
+    s->queue_.push_back(Socket::Queued{datagram, n_fragments});
+
+    const sim::Time cost =
+        params_.recv_syscall +
+        static_cast<sim::Time>(params_.recv_per_byte_ns *
+                               static_cast<double>(datagram.payload.size())) +
+        static_cast<sim::Time>(n_fragments) * params_.recv_per_fragment;
+    run_on_cpu(cost, [this, s] {
+      RMC_ENSURE(!s->queue_.empty(), "socket delivery with empty queue");
+      Socket::Queued item = std::move(s->queue_.front());
+      s->queue_.pop_front();
+      s->pending_bytes_ -= item.datagram.payload.size();
+      ++s->stats_.datagrams_delivered;
+      if (s->handler_) s->handler_(item.datagram);
+    });
+
+    if (!datagram.dst.addr.is_multicast()) break;
+  }
+  if (!matched) ++stats_.datagrams_no_socket;
+}
+
+void Host::on_join(net::Ipv4Addr group) {
+  auto mac = net::MacAddr::from_multicast_group(group);
+  if (++joined_macs_[mac] == 1 && membership_observer_) {
+    membership_observer_(mac, true);
+  }
+}
+
+void Host::on_leave(net::Ipv4Addr group) {
+  auto mac = net::MacAddr::from_multicast_group(group);
+  auto it = joined_macs_.find(mac);
+  RMC_ENSURE(it != joined_macs_.end(), "leave without matching join");
+  if (--it->second == 0) {
+    joined_macs_.erase(it);
+    if (membership_observer_) membership_observer_(mac, false);
+  }
+}
+
+}  // namespace rmc::inet

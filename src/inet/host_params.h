@@ -1,0 +1,55 @@
+// Host cost model constants.
+//
+// These calibrate the simulated hosts to the testbed of the reproduced
+// paper: Pentium III / 650 MHz workstations with 100 Mbps 3Com NICs on
+// Linux 2.2, where a UDP send or receive costs tens of microseconds of
+// syscall/protocol work plus a per-byte copy-and-checksum term, and every
+// accepted frame costs interrupt service time. All protocol-visible
+// processing serializes through one CPU per host — that serialization is
+// what turns many simultaneous acknowledgments into the "ACK implosion"
+// the paper measures.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace rmc::inet {
+
+struct HostParams {
+  // Per-datagram cost of the send path (syscall, UDP/IP encapsulation).
+  sim::Time send_syscall = sim::microseconds(30);
+  // Kernel copy + checksum on send, ns per payload byte (~125 MB/s).
+  double send_per_byte_ns = 8.0;
+  // Driver/queueing work per transmitted fragment (frame).
+  sim::Time send_per_fragment = sim::microseconds(8);
+
+  // Per-datagram cost of delivering to the application: recvfrom() plus
+  // the user-level protocol loop's per-packet work (header parse, state
+  // walk, gettimeofday — the paper's implementation runs entirely in user
+  // space).
+  sim::Time recv_syscall = sim::microseconds(40);
+  // Kernel copy on receive, ns per payload byte.
+  double recv_per_byte_ns = 8.0;
+  // IP/driver work per received fragment.
+  sim::Time recv_per_fragment = sim::microseconds(6);
+  // Interrupt service per accepted frame; charged even if the datagram is
+  // later dropped at the socket buffer.
+  sim::Time interrupt_per_frame = sim::microseconds(8);
+
+  // Default SO_RCVBUF: datagrams beyond this are dropped, the paper's
+  // dominant loss mechanism on an otherwise error-free wired LAN.
+  std::size_t default_rcvbuf_bytes = 64 * 1024;
+
+  // Default SO_SNDBUF: sendto() blocks the (single-threaded) process until
+  // the datagram fits in the NIC transmit backlog. At 50 KB packets the
+  // buffer holds one datagram, so copy and transmission stop overlapping —
+  // the mechanism behind the ACK protocol's large-packet throughput
+  // ceiling in the reproduced testbed.
+  std::size_t default_sndbuf_bytes = 64 * 1024;
+
+  // Incomplete IP reassemblies are discarded after this long.
+  sim::Time reassembly_timeout = sim::milliseconds(200);
+};
+
+}  // namespace rmc::inet

@@ -1,0 +1,156 @@
+#include "inet/ip.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace rmc::inet {
+
+namespace {
+
+// Wire layout of the modelled IP header (exactly kIpHeaderBytes):
+//   u8 protocol, u8 flags, u16 ident, u32 src, u32 dst, u32 offset, u32 total
+constexpr std::uint8_t kProtoUdp = 17;
+constexpr std::uint8_t kFlagMoreFragments = 0x01;
+
+}  // namespace
+
+Buffer IpFragment::serialize() const {
+  Writer w(kIpHeaderBytes + data.size());
+  w.u8(kProtoUdp);
+  w.u8(more_fragments ? kFlagMoreFragments : 0);
+  w.u16(ident);
+  w.u32(src.bits());
+  w.u32(dst.bits());
+  w.u32(offset);
+  w.u32(total_bytes);
+  w.bytes(data);
+  RMC_ENSURE(w.size() == kIpHeaderBytes + data.size(), "IP header layout drifted");
+  return w.take();
+}
+
+std::optional<IpFragment> IpFragment::parse(BytesView frame_payload) {
+  Reader r(frame_payload);
+  IpFragment f;
+  std::uint8_t proto = r.u8();
+  std::uint8_t flags = r.u8();
+  f.ident = r.u16();
+  f.src = net::Ipv4Addr(r.u32());
+  f.dst = net::Ipv4Addr(r.u32());
+  f.offset = r.u32();
+  f.total_bytes = r.u32();
+  if (!r.ok() || proto != kProtoUdp) return std::nullopt;
+  f.more_fragments = (flags & kFlagMoreFragments) != 0;
+  BytesView body = r.bytes(r.remaining());
+  f.data.assign(body.begin(), body.end());
+  if (f.offset + f.data.size() > f.total_bytes) return std::nullopt;
+  return f;
+}
+
+std::vector<IpFragment> fragment_datagram(const Datagram& datagram, std::uint16_t ident) {
+  RMC_ENSURE(datagram.payload.size() <= kMaxUdpPayload, "UDP payload too large");
+
+  // Build the UDP segment: 8-byte header + payload.
+  Writer w(kUdpHeaderBytes + datagram.payload.size());
+  w.u16(datagram.src.port);
+  w.u16(datagram.dst.port);
+  w.u16(static_cast<std::uint16_t>(kUdpHeaderBytes + datagram.payload.size()));
+  w.u16(0);  // checksum: corruption is modelled at the link layer
+  w.bytes(datagram.payload);
+  Buffer segment = w.take();
+
+  std::vector<IpFragment> fragments;
+  const std::size_t total = segment.size();
+  fragments.reserve((total + kIpPayloadPerFrame - 1) / kIpPayloadPerFrame);
+  std::size_t offset = 0;
+  do {
+    std::size_t chunk = std::min(kIpPayloadPerFrame, total - offset);
+    IpFragment f;
+    f.src = datagram.src.addr;
+    f.dst = datagram.dst.addr;
+    f.ident = ident;
+    f.offset = static_cast<std::uint32_t>(offset);
+    f.total_bytes = static_cast<std::uint32_t>(total);
+    f.more_fragments = offset + chunk < total;
+    f.data.assign(segment.begin() + static_cast<std::ptrdiff_t>(offset),
+                  segment.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    fragments.push_back(std::move(f));
+    offset += chunk;
+  } while (offset < total);
+  return fragments;
+}
+
+std::size_t fragment_count(std::size_t payload_bytes) {
+  std::size_t segment = kUdpHeaderBytes + payload_bytes;
+  return (segment + kIpPayloadPerFrame - 1) / kIpPayloadPerFrame;
+}
+
+Reassembler::Reassembler(sim::Simulator& simulator, sim::Time timeout,
+                         DatagramHandler on_datagram)
+    : sim_(simulator), timeout_(timeout), on_datagram_(std::move(on_datagram)) {}
+
+void Reassembler::accept(const IpFragment& fragment) {
+  const Key key{fragment.src.bits(), fragment.dst.bits(), fragment.ident};
+  auto [it, inserted] = pending_.try_emplace(key);
+  Pending& p = it->second;
+  if (inserted) {
+    p.segment.resize(fragment.total_bytes);
+    p.first_seen = sim_.now();
+    if (!sweep_scheduled_) {
+      sweep_scheduled_ = true;
+      sim_.schedule_after(timeout_, [this] { expire_stale(); });
+    }
+  }
+  if (p.segment.size() != fragment.total_bytes) return;  // inconsistent; ignore
+
+  // Duplicate or overlapping fragments are ignored (they cannot occur with
+  // unique idents, but a malformed peer must not corrupt state).
+  auto [range_it, fresh] = p.ranges.try_emplace(
+      fragment.offset, static_cast<std::uint32_t>(fragment.data.size()));
+  if (!fresh) return;
+
+  std::copy(fragment.data.begin(), fragment.data.end(),
+            p.segment.begin() + fragment.offset);
+  p.bytes_received += fragment.data.size();
+  ++p.n_fragments;
+
+  if (p.bytes_received == p.segment.size()) {
+    finish(key, p);
+    pending_.erase(it);
+  }
+}
+
+void Reassembler::finish(const Key& key, Pending& p) {
+  Reader r(BytesView(p.segment.data(), p.segment.size()));
+  std::uint16_t src_port = r.u16();
+  std::uint16_t dst_port = r.u16();
+  std::uint16_t length = r.u16();
+  r.u16();  // checksum
+  if (!r.ok() || length != p.segment.size()) return;
+
+  Datagram d;
+  d.src = net::Endpoint{net::Ipv4Addr(key.src), src_port};
+  d.dst = net::Endpoint{net::Ipv4Addr(key.dst), dst_port};
+  BytesView body = r.bytes(r.remaining());
+  d.payload.assign(body.begin(), body.end());
+  if (on_datagram_) on_datagram_(std::move(d), p.n_fragments);
+}
+
+void Reassembler::expire_stale() {
+  sweep_scheduled_ = false;
+  const sim::Time now = sim_.now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.first_seen >= timeout_) {
+      ++timeouts_;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!pending_.empty() && !sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    sim_.schedule_after(timeout_, [this] { expire_stale(); });
+  }
+}
+
+}  // namespace rmc::inet

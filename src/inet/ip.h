@@ -1,0 +1,102 @@
+// Minimal IPv4/UDP layer: datagrams, MTU fragmentation, reassembly.
+//
+// The model keeps exactly what the reproduced experiments depend on:
+// datagram semantics up to 64 KB, per-fragment header overhead on the
+// wire, loss of any fragment losing the whole datagram, and reassembly
+// state that times out. Header fields are serialized for real (the frame
+// payload is honest bytes), but options, TTL and checksums are omitted —
+// corruption is modelled at the link layer instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/serial.h"
+#include "net/ipv4.h"
+#include "sim/simulator.h"
+
+namespace rmc::inet {
+
+// Largest UDP payload, as with real IPv4: 65535 - 20 (IP) - 8 (UDP).
+inline constexpr std::size_t kMaxUdpPayload = 65507;
+
+// Modelled header sizes (bytes).
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+// IP payload per 1500-byte MTU frame.
+inline constexpr std::size_t kIpPayloadPerFrame = 1500 - kIpHeaderBytes;  // 1480
+
+struct Datagram {
+  net::Endpoint src;
+  net::Endpoint dst;
+  Buffer payload;
+};
+
+// One IP fragment as carried in an Ethernet frame payload. `data` holds a
+// slice of the UDP segment (UDP header + application payload).
+struct IpFragment {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint16_t ident = 0;
+  std::uint32_t offset = 0;  // byte offset into the UDP segment
+  bool more_fragments = false;
+  std::uint32_t total_bytes = 0;  // UDP segment size, repeated in every fragment
+  Buffer data;
+
+  // Serializes to exactly kIpHeaderBytes of header followed by data.
+  Buffer serialize() const;
+  static std::optional<IpFragment> parse(BytesView frame_payload);
+};
+
+// Splits a datagram into MTU-sized fragments. `ident` must be unique per
+// (src, dst) for the lifetime of any reassembly. The UDP header (ports,
+// length) rides at the front of the segment, as on a real wire.
+std::vector<IpFragment> fragment_datagram(const Datagram& datagram, std::uint16_t ident);
+
+// Count of frames a UDP payload of `payload_bytes` occupies; used by host
+// cost accounting and by tests that reason about wire time.
+std::size_t fragment_count(std::size_t payload_bytes);
+
+// Reassembles fragments back into datagrams. Incomplete reassemblies are
+// discarded `timeout` after their first fragment.
+class Reassembler {
+ public:
+  using DatagramHandler = std::function<void(Datagram, std::size_t n_fragments)>;
+
+  Reassembler(sim::Simulator& simulator, sim::Time timeout, DatagramHandler on_datagram);
+
+  void accept(const IpFragment& fragment);
+
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint16_t ident;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Pending {
+    Buffer segment;                                 // UDP header + payload
+    std::map<std::uint32_t, std::uint32_t> ranges;  // offset -> length received
+    std::size_t bytes_received = 0;
+    std::size_t n_fragments = 0;
+    sim::Time first_seen = 0;
+  };
+
+  void finish(const Key& key, Pending& pending);
+  void expire_stale();
+
+  sim::Simulator& sim_;
+  sim::Time timeout_;
+  DatagramHandler on_datagram_;
+  std::map<Key, Pending> pending_;
+  std::uint64_t timeouts_ = 0;
+  bool sweep_scheduled_ = false;
+};
+
+}  // namespace rmc::inet

@@ -1,0 +1,77 @@
+#include "net/ethernet_switch.h"
+
+#include "common/panic.h"
+
+namespace rmc::net {
+
+EthernetSwitch::EthernetSwitch(sim::Simulator& simulator, std::size_t n_ports,
+                               SwitchParams params, Rng* rng)
+    : sim_(simulator), params_(params) {
+  RMC_ENSURE(n_ports >= 2, "a switch needs at least two ports");
+  ports_.reserve(n_ports);
+  for (std::size_t i = 0; i < n_ports; ++i) {
+    ports_.push_back(std::make_unique<TxPort>(sim_, params_.port, rng));
+  }
+}
+
+FrameSink EthernetSwitch::attach(std::size_t port, FrameSink deliver) {
+  RMC_ENSURE(port < ports_.size(), "switch port out of range");
+  ports_[port]->connect(std::move(deliver));
+  return [this, port](const Frame& frame) { handle_frame(port, frame); };
+}
+
+void EthernetSwitch::handle_frame(std::size_t ingress_port, const Frame& frame) {
+  RMC_ENSURE(ingress_port < ports_.size(), "ingress port out of range");
+  // Learn the station behind the ingress port. Group addresses are never
+  // valid sources, so no check is needed before learning.
+  fdb_[frame.src] = ingress_port;
+
+  if (!frame.is_group_addressed()) {
+    if (auto it = fdb_.find(frame.dst); it != fdb_.end()) {
+      if (it->second != ingress_port) {
+        ++stats_.frames_forwarded;
+        enqueue(it->second, frame);
+      }
+      // Destination is behind the ingress port: filter (drop) the frame.
+      return;
+    }
+  } else if (params_.multicast_snooping && !frame.dst.is_broadcast()) {
+    if (auto it = group_ports_.find(frame.dst); it != group_ports_.end()) {
+      ++stats_.frames_snoop_forwarded;
+      for (const auto& [port, refs] : it->second) {
+        if (port != ingress_port) enqueue(port, frame);
+      }
+      return;
+    }
+    // Unregistered group: fall through to flooding, as snooping switches
+    // do for groups they have not learned.
+  }
+  // Multicast, broadcast, or unknown unicast: flood.
+  ++stats_.frames_flooded;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p != ingress_port) enqueue(p, frame);
+  }
+}
+
+void EthernetSwitch::register_group_port(MacAddr group, std::size_t port) {
+  RMC_ENSURE(port < ports_.size(), "switch port out of range");
+  ++group_ports_[group][port];
+}
+
+void EthernetSwitch::unregister_group_port(MacAddr group, std::size_t port) {
+  auto it = group_ports_.find(group);
+  RMC_ENSURE(it != group_ports_.end(), "unregister for unknown group");
+  auto pit = it->second.find(port);
+  RMC_ENSURE(pit != it->second.end(), "unregister for unknown port");
+  if (--pit->second == 0) it->second.erase(pit);
+  if (it->second.empty()) group_ports_.erase(it);
+}
+
+void EthernetSwitch::enqueue(std::size_t egress_port, const Frame& frame) {
+  // The forwarding latency models table lookup and crossbar transfer; the
+  // egress TxPort then charges queueing and serialization.
+  sim_.schedule_after(params_.forwarding_latency,
+                      [this, egress_port, frame] { ports_[egress_port]->send(frame); });
+}
+
+}  // namespace rmc::net

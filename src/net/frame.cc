@@ -1,0 +1,12 @@
+#include "net/frame.h"
+
+#include <algorithm>
+
+namespace rmc::net {
+
+std::size_t Frame::frame_bytes() const {
+  std::size_t raw = kEthHeaderBytes + payload_size() + kEthCrcBytes;
+  return std::max(raw, kEthMinFrameBytes);
+}
+
+}  // namespace rmc::net

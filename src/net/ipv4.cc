@@ -1,0 +1,25 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace rmc::net {
+
+Ipv4Addr Ipv4Addr::parse(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  int matched = std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) return Ipv4Addr{};
+  return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                  static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::str() const {
+  return str_format("%u.%u.%u.%u", bits_ >> 24, (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF,
+                    bits_ & 0xFF);
+}
+
+std::string Endpoint::str() const { return str_format("%s:%u", addr.str().c_str(), port); }
+
+}  // namespace rmc::net

@@ -1,0 +1,59 @@
+// IPv4 addresses and UDP endpoints.
+//
+// These are plain value types with no simulator dependencies so they can be
+// shared by the simulated stack (rmc::inet) and the real-socket backend
+// (rmc::rt::PosixRuntime) — the protocol layer addresses peers identically
+// on both.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rmc::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order_bits) : bits_(host_order_bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_(std::uint32_t{a} << 24 | std::uint32_t{b} << 16 | std::uint32_t{c} << 8 | d) {}
+
+  // Parses dotted-quad; returns the unspecified address on malformed input.
+  static Ipv4Addr parse(const std::string& dotted);
+
+  constexpr std::uint32_t bits() const { return bits_; }  // host byte order
+  constexpr bool is_multicast() const { return (bits_ >> 28) == 0xE; }  // 224.0.0.0/4
+  constexpr bool is_unspecified() const { return bits_ == 0; }
+  std::string str() const;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+struct Endpoint {
+  Ipv4Addr addr;
+  std::uint16_t port = 0;
+
+  std::string str() const;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+}  // namespace rmc::net
+
+template <>
+struct std::hash<rmc::net::Ipv4Addr> {
+  std::size_t operator()(const rmc::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<rmc::net::Endpoint> {
+  std::size_t operator()(const rmc::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(std::uint64_t{e.addr.bits()} << 16 | e.port);
+  }
+};

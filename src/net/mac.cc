@@ -1,0 +1,21 @@
+#include "net/mac.h"
+
+#include "common/strings.h"
+
+namespace rmc::net {
+
+MacAddr MacAddr::from_multicast_group(Ipv4Addr group) {
+  return MacAddr(0x0100'5E00'0000ULL | (group.bits() & 0x007F'FFFFULL));
+}
+
+std::string MacAddr::str() const {
+  return str_format("%02x:%02x:%02x:%02x:%02x:%02x",
+                    static_cast<unsigned>(bits_ >> 40) & 0xFF,
+                    static_cast<unsigned>(bits_ >> 32) & 0xFF,
+                    static_cast<unsigned>(bits_ >> 24) & 0xFF,
+                    static_cast<unsigned>(bits_ >> 16) & 0xFF,
+                    static_cast<unsigned>(bits_ >> 8) & 0xFF,
+                    static_cast<unsigned>(bits_) & 0xFF);
+}
+
+}  // namespace rmc::net

@@ -1,0 +1,58 @@
+#include "net/tx_port.h"
+
+#include "common/panic.h"
+
+namespace rmc::net {
+
+TxPort::TxPort(sim::Simulator& simulator, LinkParams params, Rng* rng)
+    : sim_(simulator), params_(params), rng_(rng) {
+  RMC_ENSURE(params_.rate_bps > 0, "link rate must be positive");
+  RMC_ENSURE(params_.frame_error_rate == 0.0 || rng_ != nullptr,
+             "frame errors require an Rng");
+}
+
+void TxPort::send(Frame frame) {
+  if (transmitting_ && queue_.size() >= params_.queue_frames) {
+    ++stats_.queue_drops;
+    if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
+    return;
+  }
+  queued_wire_bytes_ += frame.wire_bytes();
+  queue_.push_back(std::move(frame));
+  if (!transmitting_) start_next();
+}
+
+void TxPort::start_next() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  Frame frame = std::move(queue_.front());
+  queue_.pop_front();
+  queued_wire_bytes_ -= frame.wire_bytes();
+  if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
+
+  const sim::Time tx_time = sim::transmission_time(frame.wire_bytes(), params_.rate_bps);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.wire_bytes();
+  stats_.busy_time += tx_time;
+
+  const bool corrupted = params_.frame_error_rate > 0.0 && rng_ != nullptr &&
+                         rng_->chance(params_.frame_error_rate);
+  if (corrupted) {
+    ++stats_.error_drops;
+  } else {
+    // Store-and-forward: the frame is delivered once fully serialized plus
+    // the wire propagation delay.
+    sim_.schedule_after(tx_time + params_.propagation,
+                        [this, frame = std::move(frame)] {
+                          if (sink_) sink_(frame);
+                        });
+  }
+  // The transmitter is busy for the serialization time regardless of
+  // whether the frame survives the wire.
+  sim_.schedule_after(tx_time, [this] { start_next(); });
+}
+
+}  // namespace rmc::net

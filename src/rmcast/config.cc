@@ -1,0 +1,91 @@
+#include "rmcast/config.h"
+
+#include "common/strings.h"
+#include "inet/ip.h"
+#include "rmcast/wire.h"
+
+namespace rmc::rmcast {
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kAck: return "ACK-based";
+    case ProtocolKind::kNakPolling: return "NAK-based";
+    case ProtocolKind::kRing: return "Ring-based";
+    case ProtocolKind::kFlatTree: return "Tree-based";
+    case ProtocolKind::kBinaryTree: return "BinaryTree-based";
+  }
+  return "unknown";
+}
+
+std::string ProtocolConfig::describe() const {
+  std::string out = str_format("%s pkt=%zu win=%zu", protocol_name(kind), packet_size,
+                               window_size);
+  if (kind == ProtocolKind::kNakPolling) out += str_format(" poll=%zu", poll_interval);
+  if (kind == ProtocolKind::kFlatTree) out += str_format(" H=%zu", tree_height);
+  if (selective_repeat) out += " SR";
+  return out;
+}
+
+std::string validate(const ProtocolConfig& config, std::size_t n_receivers) {
+  if (n_receivers == 0) return "group has no receivers";
+  if (config.packet_size == 0) return "packet_size must be positive";
+  if (config.packet_size + kHeaderBytes > inet::kMaxUdpPayload) {
+    return str_format("packet_size %zu exceeds the UDP maximum payload", config.packet_size);
+  }
+  if (config.window_size == 0) return "window_size must be positive";
+  switch (config.kind) {
+    case ProtocolKind::kNakPolling:
+      if (config.poll_interval == 0) return "poll_interval must be positive";
+      if (config.poll_interval > config.window_size) {
+        return str_format(
+            "poll_interval %zu exceeds window_size %zu: no polled packet would ever "
+            "be outstanding and the sender would stall on a full window",
+            config.poll_interval, config.window_size);
+      }
+      break;
+    case ProtocolKind::kRing:
+      if (config.window_size <= n_receivers) {
+        return str_format(
+            "ring protocol requires window_size > n_receivers (%zu <= %zu): the token "
+            "rotation releases packet X only on the ACK of packet X+N",
+            config.window_size, n_receivers);
+      }
+      break;
+    case ProtocolKind::kFlatTree:
+      if (config.tree_height == 0) return "tree_height must be positive";
+      if (config.tree_height > n_receivers) {
+        return str_format("tree_height %zu exceeds the receiver count %zu",
+                          config.tree_height, n_receivers);
+      }
+      break;
+    case ProtocolKind::kBinaryTree:
+    case ProtocolKind::kAck:
+      break;
+  }
+  if (config.rto <= 0 || config.alloc_rto <= 0) return "timeouts must be positive";
+  if (config.suppress_interval < 0 || config.nak_interval < 0) {
+    return "intervals must be non-negative";
+  }
+  if (config.multicast_nak_suppression && config.nak_suppress_delay <= 0) {
+    return "nak_suppress_delay must be positive when suppression is on";
+  }
+  if (config.peer_repair) {
+    if (!config.multicast_nak_suppression) {
+      return "peer_repair requires multicast_nak_suppression: repairs are triggered "
+             "by overheard group NAKs";
+    }
+    if (!config.selective_repeat) {
+      return "peer_repair requires selective_repeat: peers resupply single packets, "
+             "which cannot refill a Go-Back-N receiver's discarded tail";
+    }
+    if (!config.receiver_driven_timeouts) {
+      return "peer_repair requires receiver_driven_timeouts: with NAKs diverted to "
+             "the group, only a receiver timer can escalate a loss nobody repairs";
+    }
+    if (config.repair_delay <= 0) return "repair_delay must be positive";
+  }
+  if (config.rate_limit_bps < 0) return "rate_limit_bps must be non-negative";
+  return "";
+}
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,140 @@
+// Protocol selection and tuning parameters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/time.h"
+
+namespace rmc::rmcast {
+
+// The four protocol families of the reproduced paper (§3), plus the
+// binary-tree structure of the pre-existing tree protocols (paper
+// Figure 4) that the flat tree is an argument against — kept as a
+// comparison baseline.
+enum class ProtocolKind {
+  kAck,         // every receiver ACKs every packet
+  kNakPolling,  // NAKs on gaps; periodic polled ACKs release buffers
+  kRing,        // rotating token receiver ACKs; NAKs straight to the source
+  kFlatTree,    // ACKs aggregated up N/H chains of height H
+  kBinaryTree,  // ACKs aggregated up a binary tree rooted at receiver 0
+};
+
+// True for the protocols that aggregate acknowledgments through a logical
+// receiver tree (user-level relaying).
+constexpr bool is_tree_protocol(ProtocolKind kind) {
+  return kind == ProtocolKind::kFlatTree || kind == ProtocolKind::kBinaryTree;
+}
+
+struct ProtocolConfig {
+  ProtocolKind kind = ProtocolKind::kAck;
+
+  // Payload bytes per data packet. The UDP datagram is 12 bytes larger
+  // (header); must stay within the UDP maximum.
+  std::size_t packet_size = 8192;
+
+  // Sender window in packets: at most this many unacknowledged packets are
+  // outstanding (window-based flow control, Go-Back-N by default).
+  std::size_t window_size = 20;
+
+  // NAK-polling: every poll_interval-th packet carries the POLL flag and
+  // is acknowledged by all receivers.
+  std::size_t poll_interval = 16;
+
+  // Flat tree: chain height H. 1 degenerates to the ACK-based protocol
+  // (every receiver talks straight to the sender); N gives a single chain.
+  std::size_t tree_height = 1;
+
+  // Sender-driven error control (paper §4): retransmission timeout, and
+  // the suppression interval below which a packet is not retransmitted
+  // again (one retransmission can serve many NAKs). The timeout restarts
+  // on any acknowledgment progress and must exceed the protocol's longest
+  // legitimate ACK silence — for NAK-polling that is a full poll interval
+  // of data, for the ring a full token rotation — so it is deliberately
+  // loose; gap-driven NAKs provide the fast recovery path, the timer only
+  // backstops tail losses.
+  sim::Time rto = sim::milliseconds(100);
+  sim::Time suppress_interval = sim::milliseconds(10);
+  // Retransmission timeout for the buffer-allocation handshake.
+  sim::Time alloc_rto = sim::milliseconds(10);
+  // Receivers rate-limit duplicate NAKs for the same gap to one per this.
+  sim::Time nak_interval = sim::milliseconds(2);
+
+  // Extension (paper §4 discusses the trade-off): selective repeat instead
+  // of Go-Back-N — receivers buffer out-of-order packets and the sender
+  // retransmits only the first missing packet.
+  bool selective_repeat = false;
+
+  // Extension (paper §3 cites Pingali's receiver-side scheme as the
+  // alternative to its sender-side suppression): receivers delay NAKs by a
+  // uniform random backoff and also multicast them to the group; a
+  // receiver overhearing a NAK that covers its own gap suppresses its own.
+  bool multicast_nak_suppression = false;
+  // Upper bound of the random NAK backoff.
+  sim::Time nak_suppress_delay = sim::milliseconds(2);
+
+  // Extension (paper §3: on LANs "sending a packet to one receiver costs
+  // almost the same bandwidth as sending to the whole group" — but
+  // multicast retransmission burns CPU at unintended receivers): answer
+  // NAKs with a unicast retransmission to the complaining receiver only.
+  // Timer-driven retransmissions stay multicast (the sender cannot know
+  // who is missing them).
+  bool unicast_nak_retransmissions = false;
+
+  // Extension (paper §3: "flow control can either be rate-based or
+  // window-based"): cap first-transmission pacing at this rate; 0 leaves
+  // flow control purely window-based.
+  double rate_limit_bps = 0.0;
+
+  // Extension (SRM, Floyd et al. — the paper's reference [7]): receivers
+  // that hold a NAKed packet repair it themselves after a random backoff,
+  // multicasting it to the group; the sender is relieved of most
+  // retransmission work and acts only as the timer-driven backstop.
+  // Requires multicast_nak_suppression (repairs are triggered by
+  // overheard NAKs, and NAKs then go to the group only) and
+  // selective_repeat (peers resupply single packets; a Go-Back-N receiver
+  // that discarded everything behind a gap would need one repair round
+  // per discarded packet — SRM presumes receivers keep out-of-order
+  // data, and so does this option).
+  bool peer_repair = false;
+  // Uniform backoff bound before repairing. Must comfortably exceed the
+  // time a repair takes to become visible to the other holders (~1.5 ms
+  // here), or several holders answer the same NAK.
+  sim::Time repair_delay = sim::milliseconds(6);
+
+  // Extension (paper §3: "retransmission can be either sender-driven,
+  // where the retransmission timer is managed at the sender, or
+  // receiver-driven"): receivers with an incomplete message also arm an
+  // inactivity timer and NAK when the data stream goes silent, instead of
+  // waiting for the sender's (deliberately loose) timeout to notice.
+  bool receiver_driven_timeouts = false;
+  sim::Time receiver_timeout = sim::milliseconds(30);
+
+  // Models the user-space copy from the application buffer into protocol
+  // packets (the dominant large-message overhead in the paper's Figure 9).
+  // Disabling reproduces the paper's "ACK-based without copy" curve, which
+  // the paper notes is not a correct protocol — data handed to send() must
+  // be copied for retransmission to be safe.
+  bool copy_user_data = true;
+  // Cost of that copy in ns/byte (~18 MB/s: a cold two-buffer memcpy plus
+  // per-byte protocol bookkeeping on the 650 MHz testbed machines).
+  // Calibrated jointly with HostParams so that at 50 KB packets the copy
+  // no longer hides inside the SO_SNDBUF drain window — which reproduces
+  // the ~68 Mbps large-packet ceiling the paper measures for both the ACK
+  // and ring protocols. Only meaningful on the simulated backend; on real
+  // sockets the copy is real.
+  double copy_ns_per_byte = 55.0;
+
+  std::string describe() const;
+};
+
+// Validates a configuration against a group size; returns an error message
+// or the empty string if valid. The ring protocol, for example, deadlocks
+// with window_size <= n_receivers (paper §3: the window must exceed the
+// receiver count), so that is rejected here rather than discovered by a
+// hung run.
+std::string validate(const ProtocolConfig& config, std::size_t n_receivers);
+
+const char* protocol_name(ProtocolKind kind);
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,65 @@
+#include "rmcast/group.h"
+
+#include "common/panic.h"
+#include "common/strings.h"
+
+namespace rmc::rmcast {
+
+std::string GroupMembership::validate() const {
+  if (!group.addr.is_multicast()) {
+    return str_format("group address %s is not multicast", group.addr.str().c_str());
+  }
+  if (group.port == 0) return "group port must be set";
+  if (sender_control.port == 0) return "sender control port must be set";
+  if (receiver_control.empty()) return "no receivers";
+  for (std::size_t i = 0; i < receiver_control.size(); ++i) {
+    if (receiver_control[i].port == 0) {
+      return str_format("receiver %zu control port must be set", i);
+    }
+  }
+  return "";
+}
+
+TreePosition tree_position(std::size_t id, std::size_t n, std::size_t height) {
+  RMC_ENSURE(id < n, "node id out of range");
+  RMC_ENSURE(height >= 1 && height <= n, "invalid tree height");
+  TreePosition pos;
+  pos.chain = id / height;
+  pos.depth = id % height;
+  pos.is_head = pos.depth == 0;
+  pos.is_tail = pos.depth == height - 1 || id == n - 1;
+  if (!pos.is_head) pos.predecessor = id - 1;
+  if (!pos.is_tail) pos.successor = id + 1;
+  return pos;
+}
+
+std::vector<std::size_t> tree_chain_heads(std::size_t n, std::size_t height) {
+  std::vector<std::size_t> heads;
+  for (std::size_t id = 0; id < n; id += height) heads.push_back(id);
+  return heads;
+}
+
+std::size_t tree_chain_count(std::size_t n, std::size_t height) {
+  return (n + height - 1) / height;
+}
+
+TreeLinks flat_tree_links(std::size_t id, std::size_t n, std::size_t height) {
+  TreePosition pos = tree_position(id, n, height);
+  TreeLinks links;
+  links.has_parent = !pos.is_head;
+  if (links.has_parent) links.parent = pos.predecessor;
+  if (!pos.is_tail) links.children.push_back(pos.successor);
+  return links;
+}
+
+TreeLinks binary_tree_links(std::size_t id, std::size_t n) {
+  RMC_ENSURE(id < n, "node id out of range");
+  TreeLinks links;
+  links.has_parent = id != 0;
+  if (links.has_parent) links.parent = (id - 1) / 2;
+  if (2 * id + 1 < n) links.children.push_back(2 * id + 1);
+  if (2 * id + 2 < n) links.children.push_back(2 * id + 2);
+  return links;
+}
+
+}  // namespace rmc::rmcast

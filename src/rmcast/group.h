@@ -1,0 +1,70 @@
+// Static multicast group membership and logical receiver structures.
+//
+// The paper (§3) restricts itself to static groups: membership is fixed
+// before communication starts and every node knows the full roster. A
+// GroupMembership names the multicast data address, the sender's control
+// endpoint and one control endpoint per receiver; a receiver's index in
+// that roster is its node id, which drives both the ring token rotation
+// (receiver i acknowledges packets i, i+N, i+2N, ...) and the flat-tree
+// chain layout (receivers [j*H, (j+1)*H) form chain j; position 0 is the
+// chain head that talks to the sender).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rmc::rmcast {
+
+struct GroupMembership {
+  net::Endpoint group;           // multicast address data packets go to
+  net::Endpoint sender_control;  // unicast endpoint of the sender
+  std::vector<net::Endpoint> receiver_control;  // index = node id
+
+  std::size_t n_receivers() const { return receiver_control.size(); }
+
+  // Returns an error message, or empty if the membership is well-formed.
+  std::string validate() const;
+};
+
+// A receiver's place in a flat tree of height `height` over `n` receivers
+// (paper Figure 5). When `height` does not divide `n`, the last chain is
+// short.
+struct TreePosition {
+  std::size_t chain = 0;
+  std::size_t depth = 0;  // 0 = chain head
+  bool is_head = false;
+  bool is_tail = false;
+  // Valid when !is_head / !is_tail respectively.
+  std::size_t predecessor = 0;
+  std::size_t successor = 0;
+};
+
+TreePosition tree_position(std::size_t id, std::size_t n, std::size_t height);
+
+// Node ids of the chain heads — the only receivers that send ACKs to the
+// sender under the tree protocol.
+std::vector<std::size_t> tree_chain_heads(std::size_t n, std::size_t height);
+
+std::size_t tree_chain_count(std::size_t n, std::size_t height);
+
+// A receiver's links in a general aggregation tree: whom it reports to
+// (the sender when !has_parent) and whose reports it aggregates. The flat
+// tree (paper Figure 5) yields chains; the binary tree (paper Figure 4)
+// is the structure of the pre-existing tree protocols the paper's flat
+// tree argues against — kept here as a comparison baseline.
+struct TreeLinks {
+  bool has_parent = false;
+  std::size_t parent = 0;
+  std::vector<std::size_t> children;
+};
+
+TreeLinks flat_tree_links(std::size_t id, std::size_t n, std::size_t height);
+
+// Binary heap layout rooted at receiver 0: children of i are 2i+1, 2i+2.
+TreeLinks binary_tree_links(std::size_t id, std::size_t n);
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,31 @@
+// Protocol event observation.
+//
+// A SenderObserver receives the sender's protocol-level events as they
+// happen — transmissions, acknowledgments, NAKs, timeouts, completion.
+// This is how the bench harness builds per-run traces, and how an
+// application can watch a transfer's health (e.g. alarm on a
+// retransmission storm) without polling stats counters. Callbacks run
+// inline on the protocol's event loop: keep them cheap and never call
+// back into the sender from them.
+#pragma once
+
+#include <cstdint>
+
+namespace rmc::rmcast {
+
+class SenderObserver {
+ public:
+  virtual ~SenderObserver() = default;
+
+  virtual void on_alloc_request(std::uint32_t /*session*/, std::uint32_t /*total*/) {}
+  virtual void on_transmit(std::uint32_t /*session*/, std::uint32_t /*seq*/,
+                           std::uint8_t /*flags*/, bool /*retransmission*/) {}
+  virtual void on_ack(std::uint32_t /*session*/, std::uint16_t /*node*/,
+                      std::uint32_t /*cum*/) {}
+  virtual void on_nak(std::uint32_t /*session*/, std::uint16_t /*node*/,
+                      std::uint32_t /*seq*/) {}
+  virtual void on_timeout(std::uint32_t /*session*/, std::uint32_t /*base*/) {}
+  virtual void on_complete(std::uint32_t /*session*/) {}
+};
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,516 @@
+#include "rmcast/receiver.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/panic.h"
+
+namespace rmc::rmcast {
+
+MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_socket,
+                                     rt::UdpSocket& control_socket,
+                                     GroupMembership membership, std::size_t node_id,
+                                     ProtocolConfig config)
+    : rt_(runtime),
+      data_socket_(data_socket),
+      control_socket_(control_socket),
+      membership_(std::move(membership)),
+      node_id_(node_id),
+      config_(config),
+      rng_(0x9E3779B9u ^ node_id) {
+  std::string group_error = membership_.validate();
+  RMC_ENSURE(group_error.empty(), group_error);
+  std::string config_error = validate(config_, membership_.n_receivers());
+  RMC_ENSURE(config_error.empty(), config_error);
+  RMC_ENSURE(node_id_ < membership_.n_receivers(), "node id out of range");
+
+  is_tree_ = is_tree_protocol(config_.kind);
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    links_ = flat_tree_links(node_id_, membership_.n_receivers(), config_.tree_height);
+  } else if (config_.kind == ProtocolKind::kBinaryTree) {
+    links_ = binary_tree_links(node_id_, membership_.n_receivers());
+  }
+  child_alloc_done_.assign(links_.children.size(), false);
+  child_cums_.assign(links_.children.size(), 0);
+  pending_child_rsp_.assign(links_.children.size(), false);
+  pending_child_cums_.assign(links_.children.size(), 0);
+
+  auto handler = [this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  };
+  data_socket_.set_handler(handler);
+  control_socket_.set_handler(handler);
+}
+
+MulticastReceiver::~MulticastReceiver() {
+  if (nak_timer_ != rt::kInvalidTimerId) rt_.cancel(nak_timer_);
+  disarm_inactivity_timer();
+  for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
+}
+
+net::Endpoint MulticastReceiver::ack_target() const {
+  if (is_tree_ && links_.has_parent) {
+    return membership_.receiver_control[links_.parent];
+  }
+  return membership_.sender_control;
+}
+
+int MulticastReceiver::child_index(std::uint16_t node) const {
+  for (std::size_t i = 0; i < links_.children.size(); ++i) {
+    if (links_.children[i] == node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool MulticastReceiver::all_children_alloc_done() const {
+  return std::all_of(child_alloc_done_.begin(), child_alloc_done_.end(),
+                     [](bool b) { return b; });
+}
+
+void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
+  (void)src;
+  Reader r(payload);
+  auto header = read_header(r);
+  if (!header) return;
+  switch (header->type) {
+    case PacketType::kAllocReq:
+      handle_alloc_request(*header, r);
+      break;
+    case PacketType::kData:
+      handle_data(*header, r.bytes(r.remaining()));
+      break;
+    case PacketType::kAck:
+      handle_chain_ack(*header);
+      break;
+    case PacketType::kAllocRsp:
+      handle_chain_alloc_rsp(*header);
+      break;
+    case PacketType::kNak:
+      handle_foreign_nak(*header);
+      break;
+  }
+}
+
+void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
+  auto req = read_alloc_request(r);
+  if (!req) return;
+  ++stats_.alloc_requests_received;
+
+  if (h.session == session_ && session_active_) {
+    // Duplicate request: the sender missed our (or our subtree's) response.
+    if (!is_tree_ || all_children_alloc_done()) send_alloc_response();
+    return;
+  }
+  if (h.session < session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+
+  // New session: reset per-message state.
+  session_ = h.session;
+  session_active_ = true;
+  alloc_ = *req;
+  buffer_.assign(alloc_.message_bytes, 0);
+  expected_ = 0;
+  delivered_ = false;
+  last_nak_ = -1;
+  if (nak_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(nak_timer_);
+    nak_timer_ = rt::kInvalidTimerId;
+  }
+  reorder_.clear();
+  for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
+  repair_timers_.clear();
+  repair_seen_at_.clear();
+  last_emitted_nak_seq_ = UINT32_MAX;
+  alloc_rsp_sent_ = false;
+  upstream_sent_ = 0;
+  // Apply tree traffic that raced ahead of this request.
+  if (pending_session_ == session_) {
+    child_alloc_done_ = pending_child_rsp_;
+    child_cums_ = pending_child_cums_;
+  } else {
+    std::fill(child_alloc_done_.begin(), child_alloc_done_.end(), false);
+    std::fill(child_cums_.begin(), child_cums_.end(), 0);
+  }
+  pending_session_ = 0;
+  std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
+  std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+
+  if (!is_tree_ || all_children_alloc_done()) send_alloc_response();
+  if (config_.receiver_driven_timeouts) arm_inactivity_timer();
+}
+
+void MulticastReceiver::send_alloc_response() {
+  Header h{PacketType::kAllocRsp, 0, static_cast<std::uint16_t>(node_id_), session_, 0};
+  Buffer packet = make_control_packet(h);
+  ++stats_.alloc_responses_sent;
+  alloc_rsp_sent_ = true;
+  control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
+}
+
+void MulticastReceiver::handle_chain_alloc_rsp(const Header& h) {
+  int child = is_tree_ ? child_index(h.node_id) : -1;
+  if (child < 0) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.relayed_acks_received;
+  if (h.session != session_ || !session_active_) {
+    if (h.session > session_) {
+      if (h.session != pending_session_) {
+        pending_session_ = h.session;
+        std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
+        std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+      }
+      pending_child_rsp_[static_cast<std::size_t>(child)] = true;
+    }
+    return;
+  }
+  const bool was_done = all_children_alloc_done();
+  child_alloc_done_[static_cast<std::size_t>(child)] = true;
+  // Forward once the whole subtree (and we) have allocated; re-forward on
+  // duplicates to heal a lost response upstream.
+  if (all_children_alloc_done() && (!was_done || alloc_rsp_sent_)) send_alloc_response();
+}
+
+void MulticastReceiver::handle_data(const Header& h, BytesView body) {
+  if (!session_active_ || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  if (h.seq >= alloc_.total_packets) {
+    ++stats_.stale_packets;
+    return;
+  }
+  if (config_.receiver_driven_timeouts && !delivered_) arm_inactivity_timer();
+  // Someone (sender or peer) already retransmitted this packet: our own
+  // pending repair of it is redundant.
+  if (config_.peer_repair && (h.flags & kFlagRetrans) != 0) cancel_repair(h.seq);
+
+  if (h.seq == expected_) {
+    const std::uint32_t old_expected = expected_;
+    std::uint8_t consumed = consume_in_order(h.seq, h.flags, body);
+    after_advance(old_expected, consumed);
+  } else if (h.seq > expected_) {
+    ++stats_.gaps_detected;
+    if (config_.selective_repeat && h.seq < expected_ + config_.window_size &&
+        reorder_.size() < config_.window_size) {
+      reorder_.try_emplace(h.seq, h.flags, Buffer(body.begin(), body.end()));
+      std::uint64_t held = 0;
+      for (const auto& [seq, entry] : reorder_) held += entry.second.size();
+      stats_.peak_reorder_bytes = std::max(stats_.peak_reorder_bytes, held);
+    }
+    // Go-Back-N discards the packet; either way, ask for the gap.
+    want_nak();
+  } else {
+    on_duplicate(h);
+  }
+}
+
+std::uint8_t MulticastReceiver::consume_in_order(std::uint32_t seq, std::uint8_t flags,
+                                                 BytesView body) {
+  auto copy_in = [this](std::uint32_t s, BytesView data) {
+    const std::size_t offset = std::size_t{s} * alloc_.packet_bytes;
+    RMC_ENSURE(offset + data.size() <= buffer_.size(), "data packet overflows buffer");
+    std::copy(data.begin(), data.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  };
+
+  std::uint8_t consumed_flags = flags;
+  copy_in(seq, body);
+  ++stats_.data_packets_received;
+  expected_ = seq + 1;
+
+  // Selective repeat: drain buffered successors.
+  for (auto it = reorder_.find(expected_); it != reorder_.end();
+       it = reorder_.find(expected_)) {
+    consumed_flags |= it->second.first;
+    copy_in(it->first, BytesView(it->second.second.data(), it->second.second.size()));
+    ++stats_.data_packets_received;
+    ++expected_;
+    reorder_.erase(it);
+  }
+  return consumed_flags;
+}
+
+void MulticastReceiver::after_advance(std::uint32_t old_expected,
+                                      std::uint8_t consumed_flags) {
+  switch (config_.kind) {
+    case ProtocolKind::kAck:
+      send_ack(expected_);
+      break;
+    case ProtocolKind::kNakPolling:
+      if ((consumed_flags & (kFlagPoll | kFlagLast)) != 0) send_ack(expected_);
+      break;
+    case ProtocolKind::kRing: {
+      bool token_mine = false;
+      const std::size_t n = membership_.n_receivers();
+      for (std::uint32_t k = old_expected; k < expected_; ++k) {
+        if (k % n == node_id_) {
+          token_mine = true;
+          break;
+        }
+      }
+      const bool last_done =
+          (consumed_flags & kFlagLast) != 0 && expected_ == alloc_.total_packets;
+      if (token_mine || last_done) send_ack(expected_);
+      break;
+    }
+    case ProtocolKind::kFlatTree:
+    case ProtocolKind::kBinaryTree:
+      maybe_forward_chain_state(/*resend_allowed=*/false);
+      break;
+  }
+  deliver_if_complete();
+}
+
+void MulticastReceiver::on_duplicate(const Header& h) {
+  ++stats_.duplicates;
+  // A retransmission of something we already hold usually means our (or a
+  // peer's) acknowledgment was lost: re-acknowledge per protocol.
+  switch (config_.kind) {
+    case ProtocolKind::kAck:
+      send_ack(expected_);
+      break;
+    case ProtocolKind::kNakPolling:
+      if ((h.flags & (kFlagPoll | kFlagLast)) != 0) send_ack(expected_);
+      break;
+    case ProtocolKind::kRing:
+      // Re-acknowledge our own token or the LAST packet — and any flagged
+      // retransmission: a retransmitted packet we already hold means some
+      // receiver's ACK was lost, and under selective repeat the sender
+      // resends only that one packet, so the healing re-ACK must come from
+      // every receiver, not just the token owner (whose ACK may not be the
+      // missing one).
+      if (h.seq % membership_.n_receivers() == node_id_ || (h.flags & kFlagLast) != 0 ||
+          (h.flags & kFlagRetrans) != 0) {
+        send_ack(expected_);
+      }
+      break;
+    case ProtocolKind::kFlatTree:
+    case ProtocolKind::kBinaryTree:
+      if (links_.children.empty()) {
+        maybe_forward_chain_state(/*resend_allowed=*/true);
+      }
+      break;
+  }
+}
+
+void MulticastReceiver::handle_chain_ack(const Header& h) {
+  int child = is_tree_ ? child_index(h.node_id) : -1;
+  if (child < 0) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.relayed_acks_received;
+  if (h.session != session_ || !session_active_) {
+    if (h.session > session_) {
+      if (h.session != pending_session_) {
+        pending_session_ = h.session;
+        std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
+        std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+      }
+      auto& pending = pending_child_cums_[static_cast<std::size_t>(child)];
+      pending = std::max(pending, h.seq);
+    }
+    return;
+  }
+  auto& cum = child_cums_[static_cast<std::size_t>(child)];
+  const bool advanced = h.seq > cum;
+  cum = std::max(cum, h.seq);
+  // A non-advancing tree ACK is a child healing a lost ACK; pass the
+  // re-ACK upstream so the repair reaches the sender.
+  maybe_forward_chain_state(/*resend_allowed=*/!advanced);
+}
+
+void MulticastReceiver::maybe_forward_chain_state(bool resend_allowed) {
+  std::uint32_t upstream = expected_;
+  for (std::uint32_t cum : child_cums_) upstream = std::min(upstream, cum);
+  if (upstream > upstream_sent_ ||
+      (resend_allowed && upstream == upstream_sent_ && upstream > 0)) {
+    upstream_sent_ = upstream;
+    send_ack(upstream);
+  }
+}
+
+void MulticastReceiver::send_ack(std::uint32_t cum) {
+  Header h{PacketType::kAck, 0, static_cast<std::uint16_t>(node_id_), session_, cum};
+  Buffer packet = make_control_packet(h);
+  ++stats_.acks_sent;
+  control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
+}
+
+void MulticastReceiver::want_nak() {
+  const sim::Time now = rt_.now();
+  if (last_nak_ >= 0 && now - last_nak_ < config_.nak_interval) {
+    ++stats_.naks_suppressed;
+    return;
+  }
+  if (!config_.multicast_nak_suppression) {
+    last_nak_ = now;
+    emit_nak();
+    return;
+  }
+  // Receiver-side suppression: wait a random backoff; if a peer's NAK for
+  // the same (or an earlier) gap arrives first, ours is cancelled.
+  if (nak_timer_ != rt::kInvalidTimerId) return;  // already backing off
+  const sim::Time delay = static_cast<sim::Time>(
+      rng_.uniform(static_cast<std::uint64_t>(config_.nak_suppress_delay)) + 1);
+  const std::uint32_t gap_at = expected_;
+  nak_timer_ = rt_.schedule_after(delay, [this, gap_at] {
+    nak_timer_ = rt::kInvalidTimerId;
+    if (!session_active_ || delivered_) return;
+    // If the in-order point moved during the backoff, the gap healed (or
+    // is healing) — a NAK now would only provoke spurious retransmission.
+    if (expected_ != gap_at) return;
+    last_nak_ = rt_.now();
+    emit_nak();
+  });
+}
+
+void MulticastReceiver::emit_nak() {
+  Header h{PacketType::kNak, 0, static_cast<std::uint16_t>(node_id_), session_, expected_};
+  Buffer packet = make_control_packet(h);
+  ++stats_.naks_sent;
+  if (config_.peer_repair) {
+    // SRM-style: the NAK goes to the group — whoever holds the packet
+    // repairs it, keeping the sender out of the fast path. If this is a
+    // REPEAT request for the same gap, no peer could repair it (e.g. the
+    // frame died on the sender's own uplink and nobody holds it):
+    // escalate to the sender.
+    control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    if (expected_ == last_emitted_nak_seq_) {
+      control_socket_.send_to(membership_.sender_control,
+                              BytesView(packet.data(), packet.size()));
+    }
+    last_emitted_nak_seq_ = expected_;
+    return;
+  }
+  // Otherwise NAKs go straight to the source (the paper's ring adaptation
+  // for LANs applies to all the protocols here).
+  control_socket_.send_to(membership_.sender_control,
+                          BytesView(packet.data(), packet.size()));
+  if (config_.multicast_nak_suppression) {
+    // Also let the other receivers hear it, so they can suppress theirs.
+    // (The sender does not join the group, hence the unicast copy above.)
+    control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+  }
+}
+
+void MulticastReceiver::handle_foreign_nak(const Header& h) {
+  if (!config_.multicast_nak_suppression || h.session != session_ || !session_active_ ||
+      h.node_id == node_id_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  // The sender's Go-Back-N answer to this NAK will retransmit everything
+  // from h.seq onward; if our own gap starts at or after that, our NAK is
+  // redundant. Under selective repeat only h.seq itself is resent, so
+  // suppression applies only to the identical gap.
+  // SRM-style: if we already hold the packet the peer is missing, offer
+  // to repair it ourselves after a short random backoff.
+  if (config_.peer_repair && h.seq < expected_) schedule_repair(h.seq);
+  const bool covered = config_.selective_repeat ? expected_ == h.seq : expected_ >= h.seq;
+  if (covered) {
+    if (nak_timer_ != rt::kInvalidTimerId) {
+      rt_.cancel(nak_timer_);
+      nak_timer_ = rt::kInvalidTimerId;
+      ++stats_.naks_suppressed;
+    }
+    last_nak_ = rt_.now();
+  }
+}
+
+void MulticastReceiver::deliver_if_complete() {
+  if (delivered_ || expected_ < alloc_.total_packets) return;
+  delivered_ = true;
+  disarm_inactivity_timer();
+  ++stats_.messages_delivered;
+  RMC_DEBUG("receiver %zu: delivered session %u (%zu bytes)", node_id_, session_,
+            buffer_.size());
+  if (handler_) handler_(buffer_, session_);
+}
+
+void MulticastReceiver::arm_inactivity_timer() {
+  disarm_inactivity_timer();
+  inactivity_timer_ = rt_.schedule_after(config_.receiver_timeout, [this] {
+    inactivity_timer_ = rt::kInvalidTimerId;
+    if (!session_active_ || delivered_) return;
+    // The stream went quiet with the message incomplete: ask for the gap
+    // ourselves instead of waiting out the sender's timer.
+    want_nak();
+    arm_inactivity_timer();
+  });
+}
+
+void MulticastReceiver::disarm_inactivity_timer() {
+  if (inactivity_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(inactivity_timer_);
+    inactivity_timer_ = rt::kInvalidTimerId;
+  }
+}
+
+void MulticastReceiver::schedule_repair(std::uint32_t seq) {
+  if (repair_timers_.count(seq) > 0) return;
+  if (repair_timers_.size() >= 16) return;  // bound the repair state
+  // Holdoff: a packet that was just repaired (by us or a peer) is in
+  // flight to whoever NAKed it; further NAKs inside the window are echoes
+  // of the same loss, not new ones. Without this, every re-NAK restarts a
+  // repair round at every holder and the group storms itself.
+  const sim::Time holdoff = 5 * config_.repair_delay;
+  if (auto it = repair_seen_at_.find(seq); it != repair_seen_at_.end()) {
+    if (rt_.now() - it->second < holdoff) {
+      ++stats_.repairs_suppressed;
+      return;
+    }
+  }
+  const sim::Time delay = static_cast<sim::Time>(
+      rng_.uniform(static_cast<std::uint64_t>(config_.repair_delay)) + 1);
+  repair_timers_[seq] = rt_.schedule_after(delay, [this, seq] {
+    repair_timers_.erase(seq);
+    if (!session_active_ || seq >= expected_) return;
+    repair_seen_at_[seq] = rt_.now();
+    emit_repair(seq);
+  });
+}
+
+void MulticastReceiver::cancel_repair(std::uint32_t seq) {
+  // Seeing anyone's retransmission of `seq` starts the holdoff window,
+  // whether or not we had a repair of our own pending.
+  repair_seen_at_[seq] = rt_.now();
+  auto it = repair_timers_.find(seq);
+  if (it == repair_timers_.end()) return;
+  rt_.cancel(it->second);
+  repair_timers_.erase(it);
+  ++stats_.repairs_suppressed;
+}
+
+void MulticastReceiver::emit_repair(std::uint32_t seq) {
+  // Reconstruct the data packet from the assembled message buffer and
+  // multicast it: every receiver missing it is healed at once, and other
+  // would-be repairers cancel on seeing it.
+  const std::size_t offset = std::size_t{seq} * alloc_.packet_bytes;
+  const std::size_t len =
+      std::min<std::size_t>(alloc_.packet_bytes,
+                            buffer_.size() - std::min<std::size_t>(buffer_.size(), offset));
+  std::uint8_t flags = kFlagRetrans;
+  if (seq + 1 == alloc_.total_packets) flags |= kFlagLast;
+  // Reconstruct the deterministic poll flag: a repaired poll packet must
+  // still solicit the acknowledgments the sender's buffer release waits
+  // for, or the repair fixes the receivers while the sender times out.
+  if (config_.kind == ProtocolKind::kNakPolling &&
+      seq % config_.poll_interval == config_.poll_interval - 1) {
+    flags |= kFlagPoll;
+  }
+  Header h{PacketType::kData, flags, static_cast<std::uint16_t>(node_id_), session_, seq};
+  Writer w(kHeaderBytes + len);
+  write_header(w, h);
+  if (len > 0) {
+    w.bytes(BytesView(buffer_.data() + offset, len));
+  }
+  ++stats_.repairs_sent;
+  Buffer packet = w.take();
+  control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+}
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,150 @@
+// Reliable multicast receiver.
+//
+// Mirrors the sender: one class, the acknowledgment policies of the
+// paper's protocol families (§3):
+//
+//   * ACK-based — acknowledge every in-order data packet;
+//   * NAK-based with polling — acknowledge only packets flagged POLL (or
+//     the LAST packet); send NAKs to the sender on sequence gaps;
+//   * ring — acknowledge packet k iff k mod N is this receiver's id, plus
+//     the LAST packet (everyone); ACKs are unicast to the sender and NAKs
+//     go straight to the source, the paper's LAN adaptations;
+//   * trees (flat chains, Figure 5, or the binary baseline, Figure 4) —
+//     relay cumulative ACKs toward the root at user level: a node reports
+//     min(what it holds, what its children reported); the root(s) of the
+//     structure report to the sender.
+//
+// Reception is Go-Back-N by default (out-of-order packets are dropped and
+// NAKed), or selective repeat when configured (out-of-order packets are
+// buffered within the window). With multicast NAK suppression enabled
+// (the receiver-side scheme the paper cites as the alternative to its
+// sender-side suppression), NAKs wait out a random backoff, are multicast
+// to the group as well as unicast to the sender, and are suppressed
+// entirely when another receiver's NAK already covers the gap.
+//
+// Each message is preceded by the buffer-allocation handshake (paper
+// Figure 6): the ALLOC_REQ announces message and packet sizes, the
+// receiver reserves the buffer and confirms — through the tree, for the
+// tree protocols — and only then does data flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "rmcast/config.h"
+#include "rmcast/group.h"
+#include "rmcast/stats.h"
+#include "rmcast/wire.h"
+#include "runtime/runtime.h"
+
+namespace rmc::rmcast {
+
+class MulticastReceiver {
+ public:
+  // Invoked once per completed message with the assembled bytes.
+  using MessageHandler = std::function<void(const Buffer& message, std::uint32_t session)>;
+
+  // `data_socket` must be bound to the group port and joined to the group;
+  // `control_socket` must be bound to membership.receiver_control[node_id].
+  // Both must outlive the receiver; their handlers are installed here.
+  MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_socket,
+                    rt::UdpSocket& control_socket, GroupMembership membership,
+                    std::size_t node_id, ProtocolConfig config);
+  ~MulticastReceiver();
+  MulticastReceiver(const MulticastReceiver&) = delete;
+  MulticastReceiver& operator=(const MulticastReceiver&) = delete;
+
+  void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  std::size_t node_id() const { return node_id_; }
+  const ReceiverStats& stats() const { return stats_; }
+  const ProtocolConfig& config() const { return config_; }
+
+ private:
+  void on_packet(const net::Endpoint& src, BytesView payload);
+  void handle_alloc_request(const Header& h, Reader& r);
+  void handle_data(const Header& h, BytesView body);
+  void handle_chain_ack(const Header& h);        // tree: from a child
+  void handle_chain_alloc_rsp(const Header& h);  // tree: from a child
+  void handle_foreign_nak(const Header& h);      // multicast NAK suppression
+
+  // Copies an in-order packet into the message buffer and advances the
+  // in-order point, draining the reorder buffer under selective repeat.
+  // Returns the flags accumulated over all packets consumed.
+  std::uint8_t consume_in_order(std::uint32_t seq, std::uint8_t flags, BytesView body);
+  void after_advance(std::uint32_t old_expected, std::uint8_t consumed_flags);
+  void on_duplicate(const Header& h);
+  void send_ack(std::uint32_t cum);
+  void want_nak();       // request a NAK, subject to rate limit / backoff
+  void emit_nak();       // actually put the NAK on the wire
+  void send_alloc_response();
+  void maybe_forward_chain_state(bool resend_allowed);
+  void deliver_if_complete();
+  // Receiver-driven error control: (re)arms the inactivity timer while a
+  // message is incomplete; fires a NAK after silence.
+  void arm_inactivity_timer();
+  void disarm_inactivity_timer();
+  // SRM-style peer repair: schedule/cancel the repair of packet `seq`
+  // (which this receiver holds) in response to an overheard NAK.
+  void schedule_repair(std::uint32_t seq);
+  void cancel_repair(std::uint32_t seq);
+  void emit_repair(std::uint32_t seq);
+
+  net::Endpoint ack_target() const;  // sender, or tree parent
+  int child_index(std::uint16_t node) const;
+  bool all_children_alloc_done() const;
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& data_socket_;
+  rt::UdpSocket& control_socket_;
+  GroupMembership membership_;
+  std::size_t node_id_;
+  ProtocolConfig config_;
+  bool is_tree_ = false;
+  TreeLinks links_;
+  Rng rng_;  // NAK backoff randomisation, seeded by node id
+
+  MessageHandler handler_;
+  ReceiverStats stats_;
+
+  // Current session state.
+  std::uint32_t session_ = 0;  // 0 = none yet
+  bool session_active_ = false;
+  AllocRequest alloc_;
+  Buffer buffer_;
+  std::uint32_t expected_ = 0;  // in-order point: holds all seq < expected_
+  bool delivered_ = false;
+  sim::Time last_nak_ = -1;
+  rt::TimerId nak_timer_ = rt::kInvalidTimerId;
+  rt::TimerId inactivity_timer_ = rt::kInvalidTimerId;
+  // Pending peer repairs: seq -> backoff timer; and the holdoff record of
+  // when each packet was last repaired (by us or anyone) so that the
+  // stream of re-NAKs a still-healing receiver emits does not re-trigger
+  // a fresh repair round at every holder.
+  std::map<std::uint32_t, rt::TimerId> repair_timers_;
+  std::map<std::uint32_t, sim::Time> repair_seen_at_;
+  // Last gap we actually NAKed (peer repair): a repeat NAK for the same
+  // gap means no peer repaired it, so it escalates to the sender.
+  std::uint32_t last_emitted_nak_seq_ = UINT32_MAX;
+
+  // Selective repeat reorder buffer: seq -> (flags, payload).
+  std::map<std::uint32_t, std::pair<std::uint8_t, Buffer>> reorder_;
+
+  // Tree chain/aggregation state, indexed like links_.children.
+  std::vector<bool> child_alloc_done_;
+  std::vector<std::uint32_t> child_cums_;
+  bool alloc_rsp_sent_ = false;
+  std::uint32_t upstream_sent_ = 0;
+  // Tree traffic that raced ahead of our ALLOC_REQ (the multicast REQ and
+  // the unicast tree traffic take different paths); held for the newest
+  // future session seen.
+  std::uint32_t pending_session_ = 0;
+  std::vector<bool> pending_child_rsp_;
+  std::vector<std::uint32_t> pending_child_cums_;
+};
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,32 @@
+// Configuration recommendation distilled from the paper's conclusions.
+//
+// The study's end product is advice (§5, §6): which protocol and which
+// knob settings are most efficient for a given transfer on a switched
+// Ethernet LAN. This encodes that advice so applications get a sensible
+// configuration from two numbers:
+//
+//   * messages that fit one packet — the ACK-based, NAK-based and ring
+//     protocols behave identically and beat the trees (user-level ACK
+//     relaying only adds delay), so use the simplest: ACK-based, with the
+//     window of 2 that Figure 10 shows is already optimal;
+//   * large messages — the NAK-based protocol with polling wins
+//     (Table 3): mid-size packets keep the pipeline full, a generous
+//     window absorbs the poll round trip, and the poll interval sits at
+//     80-90% of the window regardless of packet size (Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rmcast/config.h"
+
+namespace rmc::rmcast {
+
+struct Recommendation {
+  ProtocolConfig config;
+  std::string rationale;
+};
+
+Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_receivers);
+
+}  // namespace rmc::rmcast

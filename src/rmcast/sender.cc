@@ -1,0 +1,374 @@
+#include "rmcast/sender.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/panic.h"
+
+namespace rmc::rmcast {
+
+MulticastSender::MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_socket,
+                                 GroupMembership membership, ProtocolConfig config)
+    : rt_(runtime),
+      socket_(control_socket),
+      membership_(std::move(membership)),
+      config_(config) {
+  std::string group_error = membership_.validate();
+  RMC_ENSURE(group_error.empty(), group_error);
+  std::string config_error = validate(config_, membership_.n_receivers());
+  RMC_ENSURE(config_error.empty(), config_error);
+
+  const std::size_t n = membership_.n_receivers();
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    unit_nodes_ = tree_chain_heads(n, config_.tree_height);
+  } else if (config_.kind == ProtocolKind::kBinaryTree) {
+    unit_nodes_ = {0};  // only the tree root reports to the sender
+  } else {
+    unit_nodes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) unit_nodes_[i] = i;
+  }
+  node_to_unit_.assign(n, -1);
+  for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
+    node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
+  }
+
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+MulticastSender::~MulticastSender() {
+  disarm_rto();
+  if (alloc_timer_ != rt::kInvalidTimerId) rt_.cancel(alloc_timer_);
+  if (rate_timer_ != rt::kInvalidTimerId) rt_.cancel(rate_timer_);
+}
+
+int MulticastSender::unit_of_node(std::uint16_t node_id) const {
+  if (node_id >= node_to_unit_.size()) return -1;
+  return node_to_unit_[node_id];
+}
+
+void MulticastSender::send(BytesView message, CompletionHandler on_complete) {
+  RMC_ENSURE(state_ == State::kIdle, "sender is busy");
+  if (config_.copy_user_data) {
+    // The user-space copy of Figure 6/9: the message must be snapshotted
+    // into protocol buffers so retransmissions stay valid even if the
+    // caller reuses its buffer. The modelled cost is charged per packet at
+    // transmit time, where the original implementation's copy happened.
+    message_.assign(message.begin(), message.end());
+    message_view_ = BytesView(message_.data(), message_.size());
+  } else {
+    message_view_ = message;
+  }
+  on_complete_ = std::move(on_complete);
+
+  total_packets_ = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (message_view_.size() + config_.packet_size - 1) /
+                                   config_.packet_size));
+  ++session_;
+  tx_chain_active_ = false;
+  next_tx_allowed_ = 0;
+  if (rate_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(rate_timer_);
+    rate_timer_ = rt::kInvalidTimerId;
+  }
+  state_ = State::kAllocating;
+  alloc_responded_.assign(unit_nodes_.size(), false);
+  alloc_outstanding_ = unit_nodes_.size();
+  send_alloc_request();
+  arm_alloc_timer();
+}
+
+void MulticastSender::send_alloc_request() {
+  Header h{PacketType::kAllocReq, 0, kSenderNodeId, session_, 0};
+  AllocRequest req{message_view_.size(), static_cast<std::uint32_t>(config_.packet_size),
+                   total_packets_};
+  Writer w(kHeaderBytes + kAllocRequestBytes);
+  write_header(w, h);
+  write_alloc_request(w, req);
+  ++stats_.alloc_requests_sent;
+  if (observer_) observer_->on_alloc_request(session_, total_packets_);
+  Buffer packet = w.take();
+  socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+}
+
+void MulticastSender::arm_alloc_timer() {
+  alloc_timer_ = rt_.schedule_after(config_.alloc_rto, [this] { on_alloc_timeout(); });
+}
+
+void MulticastSender::on_alloc_timeout() {
+  alloc_timer_ = rt::kInvalidTimerId;
+  if (state_ != State::kAllocating) return;
+  send_alloc_request();
+  arm_alloc_timer();
+}
+
+void MulticastSender::on_packet(const net::Endpoint& src, BytesView payload) {
+  (void)src;  // identity travels in the header; the cluster is closed
+  Reader r(payload);
+  auto header = read_header(r);
+  if (!header) return;
+  switch (header->type) {
+    case PacketType::kAllocRsp:
+      on_alloc_response(*header);
+      break;
+    case PacketType::kAck:
+      on_ack(*header);
+      break;
+    case PacketType::kNak:
+      on_nak(*header);
+      break;
+    default:
+      ++stats_.stale_packets;
+      break;
+  }
+}
+
+void MulticastSender::on_alloc_response(const Header& h) {
+  if (state_ != State::kAllocating || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.alloc_responses_received;
+  int unit = unit_of_node(h.node_id);
+  if (unit < 0) return;
+  if (alloc_responded_[static_cast<std::size_t>(unit)]) return;
+  alloc_responded_[static_cast<std::size_t>(unit)] = true;
+  if (--alloc_outstanding_ == 0) start_data_phase();
+}
+
+void MulticastSender::start_data_phase() {
+  if (alloc_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(alloc_timer_);
+    alloc_timer_ = rt::kInvalidTimerId;
+  }
+  state_ = State::kSending;
+  window_.reset(total_packets_, config_.window_size);
+  tracker_.reset(unit_nodes_.size());
+  pump();
+  arm_rto();
+}
+
+std::uint8_t MulticastSender::data_flags(std::uint32_t seq, bool retransmission,
+                                         bool force_poll) const {
+  std::uint8_t flags = 0;
+  if (seq + 1 == total_packets_) flags |= kFlagLast;
+  if (retransmission) flags |= kFlagRetrans;
+  if (config_.kind == ProtocolKind::kNakPolling) {
+    if (seq % config_.poll_interval == config_.poll_interval - 1 || force_poll) {
+      flags |= kFlagPoll;
+    }
+  }
+  return flags;
+}
+
+void MulticastSender::pump() {
+  // First transmissions are chained one packet at a time: copy the packet
+  // out of the user buffer (a modelled CPU cost), hand it to the socket,
+  // and only then claim the next sequence number. Claiming the whole
+  // window up front would queue every copy ahead of every send on the host
+  // CPU and stall the wire for the duration of the copies — the original
+  // implementation's send loop interleaves copy and sendto per packet, and
+  // so must this one.
+  stats_.peak_buffered_bytes =
+      std::max<std::uint64_t>(stats_.peak_buffered_bytes,
+                              std::uint64_t{window_.outstanding()} * config_.packet_size);
+  if (tx_chain_active_ || !window_.can_send()) return;
+  if (config_.rate_limit_bps > 0) {
+    const sim::Time now = rt_.now();
+    if (now < next_tx_allowed_) {
+      // Rate-based flow control: resume once the pacing interval elapses.
+      if (rate_timer_ == rt::kInvalidTimerId) {
+        rate_timer_ = rt_.schedule_after(next_tx_allowed_ - now, [this] {
+          rate_timer_ = rt::kInvalidTimerId;
+          if (state_ == State::kSending) pump();
+        });
+      }
+      return;
+    }
+    const std::size_t datagram_bytes = config_.packet_size + kHeaderBytes;
+    next_tx_allowed_ =
+        std::max(now, next_tx_allowed_) +
+        sim::transmission_time(datagram_bytes, config_.rate_limit_bps);
+  }
+  tx_chain_active_ = true;
+  transmit(window_.claim_next(), /*retransmission=*/false, /*force_poll=*/false);
+}
+
+void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool force_poll,
+                               const net::Endpoint* unicast_to) {
+  const std::size_t offset = std::size_t{seq} * config_.packet_size;
+  const std::size_t len =
+      std::min(config_.packet_size,
+               message_view_.size() - std::min(message_view_.size(), offset));
+
+  Header h{PacketType::kData, data_flags(seq, retransmission, force_poll), kSenderNodeId,
+           session_, seq};
+  Writer w(kHeaderBytes + len);
+  write_header(w, h);
+  if (len > 0) w.bytes(message_view_.subspan(offset, len));
+
+  RMC_DEBUG("[%.6f] sender tx: seq=%u flags=%02x", sim::to_seconds(rt_.now()), seq,
+            h.flags);
+  // Unicast repairs do not count as group-wide transmissions for the
+  // suppression bookkeeping.
+  if (unicast_to == nullptr) window_.mark_sent(seq, rt_.now());
+  if (observer_) observer_->on_transmit(session_, seq, h.flags, retransmission);
+
+  if (retransmission) {
+    // Retransmissions resend from the protocol buffer — the user-space
+    // copy happened on first transmission — so no copy cost applies.
+    ++stats_.retransmissions;
+    Buffer packet = w.take();
+    const net::Endpoint& dst = unicast_to != nullptr ? *unicast_to : membership_.group;
+    socket_.send_to(dst, BytesView(packet.data(), packet.size()));
+    return;
+  }
+
+  ++stats_.data_packets_sent;
+  auto finish = [this, packet = w.take()] {
+    socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    tx_chain_active_ = false;
+    if (state_ == State::kSending) pump();
+  };
+  if (config_.copy_user_data) {
+    const auto copy_cost =
+        static_cast<sim::Time>(config_.copy_ns_per_byte * static_cast<double>(len));
+    rt_.run_cost(copy_cost, std::move(finish));
+  } else {
+    finish();
+  }
+}
+
+void MulticastSender::on_ack(const Header& h) {
+  if (state_ != State::kSending || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.acks_received;
+  if (observer_) observer_->on_ack(h.session, h.node_id, h.seq);
+  int unit = unit_of_node(h.node_id);
+  if (unit < 0 || h.seq > total_packets_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  RMC_DEBUG("[%.6f] sender ack: node=%u cum=%u min=%u base=%u next=%u",
+            sim::to_seconds(rt_.now()), h.node_id, h.seq, tracker_.min_cum(),
+            window_.base(), window_.next());
+  // A cumulative count beyond what has ever been transmitted is a
+  // misbehaving peer; honour only the prefix that can be true.
+  std::uint32_t cum = h.seq;
+  if (cum > window_.next()) {
+    ++stats_.stale_packets;
+    cum = window_.next();
+  }
+  if (!tracker_.on_ack(static_cast<std::size_t>(unit), cum)) return;
+  // Any unit advancing is evidence the transfer is live: push the
+  // retransmission timeout out. (Keying the timer on the *minimum* would
+  // misfire under the ring's token rotation, where the minimum necessarily
+  // lags a full rotation behind the newest packet.)
+  arm_rto();
+
+  if (tracker_.min_cum() <= window_.base()) return;
+  window_.release_to(tracker_.min_cum());
+  if (window_.all_released()) {
+    complete();
+    return;
+  }
+  pump();
+}
+
+void MulticastSender::on_nak(const Header& h) {
+  if (state_ != State::kSending || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.naks_received;
+  if (observer_) observer_->on_nak(h.session, h.node_id, h.seq);
+  if (h.seq < window_.base() || h.seq >= window_.next()) return;
+  if (config_.unicast_nak_retransmissions && h.node_id < membership_.n_receivers()) {
+    // Answer only the complaining receiver; the group keeps its bandwidth
+    // and, more importantly on a LAN, its CPUs (paper §3: multicast
+    // retransmission makes every unintended receiver process the packet).
+    const net::Endpoint dst = membership_.receiver_control[h.node_id];
+    retransmit_from(h.seq, /*force_poll=*/false, &dst);
+    return;
+  }
+  retransmit_from(h.seq, /*force_poll=*/false);
+}
+
+void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
+                                      const net::Endpoint* unicast_to) {
+  const std::uint32_t end =
+      config_.selective_repeat ? std::min(from + 1, window_.next()) : window_.next();
+  const sim::Time now = rt_.now();
+  std::uint32_t last_resent = UINT32_MAX;
+  for (std::uint32_t seq = from; seq < end; ++seq) {
+    // Unicast repairs answer one receiver and do not interact with the
+    // multicast suppression bookkeeping (a unicast resend to A must not
+    // mask a later group-wide repair that B needs, and vice versa).
+    if (unicast_to == nullptr) {
+      if (now - window_.last_sent(seq) < config_.suppress_interval) {
+        ++stats_.suppressed_retransmissions;
+        continue;
+      }
+    }
+    // Defer the poll flag to the last packet actually resent so one ACK
+    // round answers the whole batch.
+    transmit(seq, /*retransmission=*/true, /*force_poll=*/false, unicast_to);
+    last_resent = seq;
+  }
+  if (force_poll && config_.kind == ProtocolKind::kNakPolling) {
+    if (last_resent == UINT32_MAX) return;  // everything was suppressed
+    // Resend the final packet of the batch once more with the poll flag if
+    // it did not already carry one.
+    if ((data_flags(last_resent, true, false) & (kFlagPoll | kFlagLast)) == 0) {
+      transmit(last_resent, /*retransmission=*/true, /*force_poll=*/true, unicast_to);
+    }
+  }
+}
+
+void MulticastSender::arm_rto() {
+  disarm_rto();
+  rto_timer_ = rt_.schedule_after(config_.rto, [this] { on_rto(); });
+}
+
+void MulticastSender::disarm_rto() {
+  if (rto_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(rto_timer_);
+    rto_timer_ = rt::kInvalidTimerId;
+  }
+}
+
+void MulticastSender::on_rto() {
+  rto_timer_ = rt::kInvalidTimerId;
+  if (state_ != State::kSending) return;
+  ++stats_.rto_fires;
+  if (observer_) observer_->on_timeout(session_, window_.base());
+  RMC_DEBUG("[%.6f] sender rto: session=%u base=%u next=%u", sim::to_seconds(rt_.now()),
+            session_, window_.base(), window_.next());
+  retransmit_from(window_.base(), /*force_poll=*/true);
+  arm_rto();
+}
+
+void MulticastSender::complete() {
+  disarm_rto();
+  if (rate_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(rate_timer_);
+    rate_timer_ = rt::kInvalidTimerId;
+  }
+  state_ = State::kIdle;
+  ++stats_.messages_sent;
+  if (observer_) observer_->on_complete(session_);
+  message_.clear();
+  message_view_ = {};
+  if (on_complete_) {
+    // Clear before invoking so the handler may immediately start the next
+    // message.
+    CompletionHandler handler = std::move(on_complete_);
+    on_complete_ = nullptr;
+    handler();
+  }
+}
+
+}  // namespace rmc::rmcast

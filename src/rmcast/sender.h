@@ -1,0 +1,131 @@
+// Reliable multicast sender.
+//
+// One class implements the sender side of all four protocol families; the
+// paper's protocols differ on the sender only in three small policies:
+//
+//   * who must acknowledge — every receiver (ACK, NAK-polling, ring) or
+//     the flat-tree chain heads;
+//   * which data packets solicit acknowledgments — all of them (ACK,
+//     tree), every poll_interval-th plus the last (NAK-polling), or the
+//     rotating token plus the last (ring — enforced receiver-side);
+//   * what a retransmission resends — the whole outstanding window
+//     (Go-Back-N) or just the first missing packet (selective repeat).
+//
+// Everything else is shared, exactly as in the reproduced implementation
+// (§4): the buffer-allocation handshake that precedes every message
+// (Figure 6), window-based flow control, sender-driven retransmission
+// timers, and the retransmission suppression that lets one retransmission
+// answer many NAKs.
+//
+// The class is single-message: send() transfers one message reliably to
+// the whole group and invokes the completion handler once every receiver
+// provably holds it. Sequential messages reuse the sender (sessions); for
+// concurrent transfers use several groups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/serial.h"
+#include "rmcast/config.h"
+#include "rmcast/group.h"
+#include "rmcast/observer.h"
+#include "rmcast/stats.h"
+#include "rmcast/window.h"
+#include "rmcast/wire.h"
+#include "runtime/runtime.h"
+
+namespace rmc::rmcast {
+
+class MulticastSender {
+ public:
+  using CompletionHandler = std::function<void()>;
+
+  // `control_socket` must be bound to membership.sender_control and stay
+  // alive as long as the sender; the sender installs its receive handler.
+  MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_socket,
+                  GroupMembership membership, ProtocolConfig config);
+  ~MulticastSender();
+  MulticastSender(const MulticastSender&) = delete;
+  MulticastSender& operator=(const MulticastSender&) = delete;
+
+  // Starts transferring `message` (copied unless config.copy_user_data is
+  // false, in which case the caller must keep it alive — the paper's
+  // deliberately incorrect "without copy" variant). Must be idle.
+  void send(BytesView message, CompletionHandler on_complete);
+
+  bool busy() const { return state_ != State::kIdle; }
+  std::uint32_t session() const { return session_; }
+
+  // Optional protocol-event observer (may be null; not owned). Must
+  // outlive the sender or be cleared first.
+  void set_observer(SenderObserver* observer) { observer_ = observer; }
+  const SenderStats& stats() const { return stats_; }
+  const ProtocolConfig& config() const { return config_; }
+  const GroupMembership& membership() const { return membership_; }
+
+ private:
+  enum class State { kIdle, kAllocating, kSending };
+
+  void on_packet(const net::Endpoint& src, BytesView payload);
+  void on_alloc_response(const Header& h);
+  void on_ack(const Header& h);
+  void on_nak(const Header& h);
+
+  void send_alloc_request();
+  void start_data_phase();
+  void pump();
+  // `unicast_to` overrides the multicast destination for retransmissions
+  // answering a specific receiver's NAK (config.unicast_nak_retransmissions).
+  void transmit(std::uint32_t seq, bool retransmission, bool force_poll,
+                const net::Endpoint* unicast_to = nullptr);
+  // Go-Back-N: resends [from, next) subject to suppression; selective
+  // repeat resends only `from`.
+  void retransmit_from(std::uint32_t from, bool force_poll,
+                       const net::Endpoint* unicast_to = nullptr);
+  void arm_rto();
+  void disarm_rto();
+  void on_rto();
+  void arm_alloc_timer();
+  void on_alloc_timeout();
+  void complete();
+
+  // Maps a wire node id to a tracker unit index, or -1 if that node does
+  // not acknowledge to the sender under this protocol.
+  int unit_of_node(std::uint16_t node_id) const;
+  std::uint8_t data_flags(std::uint32_t seq, bool retransmission, bool force_poll) const;
+
+  rt::Runtime& rt_;
+  rt::UdpSocket& socket_;
+  GroupMembership membership_;
+  ProtocolConfig config_;
+
+  // Node ids that acknowledge directly to the sender.
+  std::vector<std::size_t> unit_nodes_;
+  std::vector<int> node_to_unit_;
+
+  State state_ = State::kIdle;
+  std::uint32_t session_ = 0;
+  Buffer message_;
+  BytesView message_view_;  // what transmit() slices (message_ or caller's)
+  std::uint32_t total_packets_ = 0;
+  SenderWindow window_;
+  CumTracker tracker_;
+  std::vector<bool> alloc_responded_;
+  std::size_t alloc_outstanding_ = 0;
+  // True while a first-transmission copy/send chain occupies the CPU; the
+  // chain claims the next packet itself when it finishes.
+  bool tx_chain_active_ = false;
+  // Rate-based flow control (config.rate_limit_bps): earliest time the
+  // next first transmission may start, and the timer that resumes pumping.
+  sim::Time next_tx_allowed_ = 0;
+  rt::TimerId rate_timer_ = rt::kInvalidTimerId;
+  rt::TimerId rto_timer_ = rt::kInvalidTimerId;
+  rt::TimerId alloc_timer_ = rt::kInvalidTimerId;
+  CompletionHandler on_complete_;
+  SenderObserver* observer_ = nullptr;
+  SenderStats stats_;
+};
+
+}  // namespace rmc::rmcast

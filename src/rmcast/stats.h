@@ -1,0 +1,48 @@
+// Protocol statistics.
+//
+// Beyond debugging, these counters regenerate the paper's Table 2 (control
+// packets and processing per data packet) and the measured-memory column
+// of Table 1, so their semantics are part of the public API.
+#pragma once
+
+#include <cstdint>
+
+namespace rmc::rmcast {
+
+struct SenderStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t data_packets_sent = 0;    // first transmissions
+  std::uint64_t retransmissions = 0;      // additional transmissions
+  std::uint64_t acks_received = 0;
+  std::uint64_t naks_received = 0;
+  std::uint64_t alloc_requests_sent = 0;  // includes retries
+  std::uint64_t alloc_responses_received = 0;
+  std::uint64_t rto_fires = 0;
+  std::uint64_t suppressed_retransmissions = 0;
+  std::uint64_t stale_packets = 0;        // wrong session / state
+  // High-water mark of unacknowledged (buffered) payload bytes.
+  std::uint64_t peak_buffered_bytes = 0;
+};
+
+struct ReceiverStats {
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t data_packets_received = 0;  // accepted in-order (or SR-buffered)
+  std::uint64_t duplicates = 0;             // seq below the in-order point
+  std::uint64_t gaps_detected = 0;          // seq above the in-order point
+  std::uint64_t acks_sent = 0;
+  std::uint64_t naks_sent = 0;
+  std::uint64_t naks_suppressed = 0;        // rate-limited
+  std::uint64_t alloc_requests_received = 0;
+  std::uint64_t alloc_responses_sent = 0;
+  // Tree protocols only: control packets relayed at user level.
+  std::uint64_t relayed_acks_received = 0;
+  // SRM-style peer repair: repairs this receiver multicast, and repairs it
+  // suppressed because someone else (peer or sender) got there first.
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t repairs_suppressed = 0;
+  std::uint64_t stale_packets = 0;
+  // High-water mark of out-of-order payload bytes held (selective repeat).
+  std::uint64_t peak_reorder_bytes = 0;
+};
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,63 @@
+#include "rmcast/window.h"
+
+#include <algorithm>
+
+#include "common/panic.h"
+
+namespace rmc::rmcast {
+
+void CumTracker::reset(std::size_t n_units) {
+  RMC_ENSURE(n_units > 0, "tracker needs at least one unit");
+  cums_.assign(n_units, 0);
+  min_cum_ = 0;
+}
+
+bool CumTracker::on_ack(std::size_t unit, std::uint32_t cum) {
+  RMC_ENSURE(unit < cums_.size(), "unit out of range");
+  if (cum <= cums_[unit]) return false;
+  cums_[unit] = cum;
+  std::uint32_t new_min = *std::min_element(cums_.begin(), cums_.end());
+  RMC_ENSURE(new_min >= min_cum_, "minimum cum went backwards");
+  min_cum_ = new_min;
+  return true;
+}
+
+void SenderWindow::reset(std::uint32_t total_packets, std::size_t window_size) {
+  RMC_ENSURE(window_size > 0, "window must be positive");
+  total_ = total_packets;
+  window_size_ = window_size;
+  base_ = 0;
+  next_ = 0;
+  last_sent_.assign(window_size, -1);
+  tx_count_.assign(window_size, 0);
+}
+
+std::size_t SenderWindow::index(std::uint32_t seq) const {
+  RMC_ENSURE(seq >= base_ && seq < next_, "seq outside the window");
+  return seq % window_size_;
+}
+
+std::uint32_t SenderWindow::claim_next() {
+  RMC_ENSURE(can_send(), "window full or message complete");
+  std::uint32_t seq = next_++;
+  last_sent_[seq % window_size_] = -1;
+  tx_count_[seq % window_size_] = 0;
+  return seq;
+}
+
+void SenderWindow::mark_sent(std::uint32_t seq, sim::Time at) {
+  std::size_t i = index(seq);
+  last_sent_[i] = at;
+  ++tx_count_[i];
+}
+
+sim::Time SenderWindow::last_sent(std::uint32_t seq) const { return last_sent_[index(seq)]; }
+
+std::uint32_t SenderWindow::tx_count(std::uint32_t seq) const { return tx_count_[index(seq)]; }
+
+void SenderWindow::release_to(std::uint32_t cum) {
+  RMC_ENSURE(cum <= next_, "cannot release packets that were never sent");
+  base_ = std::max(base_, cum);
+}
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,77 @@
+// Sender-side sliding window and cumulative acknowledgment tracking.
+//
+// All four protocols share one release rule: a packet may leave the
+// sender's buffer once every *tracked unit* has cumulatively acknowledged
+// it. The protocols differ only in who the units are — every receiver
+// (ACK, NAK-polling, ring) or the chain heads (flat tree) — and in when
+// units emit ACKs. CumTracker maintains the per-unit cumulative counts and
+// their minimum; SenderWindow layers Go-Back-N bookkeeping (base, next,
+// per-packet transmission times for retransmission suppression) on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace rmc::rmcast {
+
+class CumTracker {
+ public:
+  // `n_units` acknowledging parties, all starting at cumulative 0.
+  void reset(std::size_t n_units);
+
+  // Unit reports it holds all packets with seq < cum. Stale (lower) values
+  // are ignored. Returns true if that unit's count advanced (evidence of
+  // transfer progress — what liveness timers should key on); whether the
+  // *minimum* moved is visible via min_cum(). The distinction matters: in
+  // the ring protocol the minimum lags the newest packet by a full token
+  // rotation, and keying retransmission timers on it would fire Go-Back-N
+  // storms into a perfectly healthy transfer.
+  bool on_ack(std::size_t unit, std::uint32_t cum);
+
+  std::uint32_t min_cum() const { return min_cum_; }
+  std::uint32_t unit_cum(std::size_t unit) const { return cums_.at(unit); }
+  std::size_t n_units() const { return cums_.size(); }
+
+ private:
+  std::vector<std::uint32_t> cums_;
+  std::uint32_t min_cum_ = 0;
+};
+
+class SenderWindow {
+ public:
+  void reset(std::uint32_t total_packets, std::size_t window_size);
+
+  std::uint32_t total() const { return total_; }
+  std::uint32_t base() const { return base_; }     // oldest unreleased packet
+  std::uint32_t next() const { return next_; }     // next never-sent packet
+  std::uint32_t outstanding() const { return next_ - base_; }
+
+  bool can_send() const { return next_ < total_ && outstanding() < window_size_; }
+  bool all_released() const { return base_ == total_; }
+
+  // Claims the next sequence number for first transmission.
+  std::uint32_t claim_next();
+
+  // Records a (re)transmission of `seq` at `at`.
+  void mark_sent(std::uint32_t seq, sim::Time at);
+  sim::Time last_sent(std::uint32_t seq) const;
+  std::uint32_t tx_count(std::uint32_t seq) const;
+
+  // Advances base to `cum` (from CumTracker::min_cum).
+  void release_to(std::uint32_t cum);
+
+ private:
+  std::size_t index(std::uint32_t seq) const;
+
+  std::uint32_t total_ = 0;
+  std::size_t window_size_ = 0;
+  std::uint32_t base_ = 0;
+  std::uint32_t next_ = 0;
+  // Ring buffers indexed by seq % window_size.
+  std::vector<sim::Time> last_sent_;
+  std::vector<std::uint32_t> tx_count_;
+};
+
+}  // namespace rmc::rmcast

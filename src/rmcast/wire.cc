@@ -1,0 +1,61 @@
+#include "rmcast/wire.h"
+
+namespace rmc::rmcast {
+
+void write_header(Writer& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u8(h.flags);
+  w.u16(h.node_id);
+  w.u32(h.session);
+  w.u32(h.seq);
+}
+
+std::optional<Header> read_header(Reader& r) {
+  Header h;
+  std::uint8_t type = r.u8();
+  h.flags = r.u8();
+  h.node_id = r.u16();
+  h.session = r.u32();
+  h.seq = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (type < static_cast<std::uint8_t>(PacketType::kData) ||
+      type > static_cast<std::uint8_t>(PacketType::kAllocRsp)) {
+    return std::nullopt;
+  }
+  h.type = static_cast<PacketType>(type);
+  return h;
+}
+
+void write_alloc_request(Writer& w, const AllocRequest& a) {
+  w.u64(a.message_bytes);
+  w.u32(a.packet_bytes);
+  w.u32(a.total_packets);
+}
+
+std::optional<AllocRequest> read_alloc_request(Reader& r) {
+  AllocRequest a;
+  a.message_bytes = r.u64();
+  a.packet_bytes = r.u32();
+  a.total_packets = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return a;
+}
+
+Buffer make_control_packet(const Header& h) {
+  Writer w(kHeaderBytes);
+  write_header(w, h);
+  return w.take();
+}
+
+const char* packet_type_name(PacketType type) {
+  switch (type) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+    case PacketType::kNak: return "NAK";
+    case PacketType::kAllocReq: return "ALLOC_REQ";
+    case PacketType::kAllocRsp: return "ALLOC_RSP";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rmc::rmcast

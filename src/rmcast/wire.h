@@ -1,0 +1,77 @@
+// Wire format of the reliable multicast protocols.
+//
+// The reproduced implementation (paper §4, "Packet Header") rides on UDP
+// and adds a packet type plus a four-byte sequence number; sender identity
+// comes from the UDP/IP header. This port keeps that scheme and adds two
+// fields the original carried implicitly: an explicit node id (receiver
+// rank within the static group — the original derived it from the source
+// address) and a session id distinguishing consecutive messages so that
+// stale control packets from a finished transfer can never corrupt the
+// next one.
+//
+// Header layout (12 bytes, big-endian):
+//   u8  type      u8  flags      u16 node_id
+//   u32 session   u32 seq
+// followed by the type-specific body.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/serial.h"
+
+namespace rmc::rmcast {
+
+enum class PacketType : std::uint8_t {
+  kData = 1,
+  kAck = 2,
+  kNak = 3,
+  kAllocReq = 4,
+  kAllocRsp = 5,
+};
+
+// Flag bits on data packets.
+inline constexpr std::uint8_t kFlagPoll = 0x01;     // NAK-polling: acknowledge me
+inline constexpr std::uint8_t kFlagLast = 0x02;     // final packet of the message
+inline constexpr std::uint8_t kFlagRetrans = 0x04;  // retransmission
+
+// node_id of the sender itself (receivers are 0..N-1).
+inline constexpr std::uint16_t kSenderNodeId = 0xFFFF;
+
+inline constexpr std::size_t kHeaderBytes = 12;
+
+struct Header {
+  PacketType type = PacketType::kData;
+  std::uint8_t flags = 0;
+  std::uint16_t node_id = 0;
+  std::uint32_t session = 0;
+  // kData: packet sequence number.
+  // kAck: cumulative count — "I (and everything I speak for) hold all
+  //       packets with seq < this value".
+  // kNak: first missing sequence number.
+  // kAllocReq / kAllocRsp: 0.
+  std::uint32_t seq = 0;
+};
+
+// Body of an allocation request (paper Figure 6): tells receivers how much
+// buffer to reserve and how the message will be packetized.
+struct AllocRequest {
+  std::uint64_t message_bytes = 0;
+  std::uint32_t packet_bytes = 0;
+  std::uint32_t total_packets = 0;
+};
+
+inline constexpr std::size_t kAllocRequestBytes = 16;
+
+void write_header(Writer& w, const Header& h);
+std::optional<Header> read_header(Reader& r);
+
+void write_alloc_request(Writer& w, const AllocRequest& a);
+std::optional<AllocRequest> read_alloc_request(Reader& r);
+
+// Convenience: serialize a header-only control packet.
+Buffer make_control_packet(const Header& h);
+
+const char* packet_type_name(PacketType type);
+
+}  // namespace rmc::rmcast

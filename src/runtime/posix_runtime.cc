@@ -1,0 +1,227 @@
+#include "runtime/posix_runtime.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include "common/log.h"
+#include "common/panic.h"
+
+namespace rmc::rt {
+
+namespace {
+
+sockaddr_in to_sockaddr(const net::Endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.addr.bits());
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+net::Endpoint from_sockaddr(const sockaddr_in& sa) {
+  return net::Endpoint{net::Ipv4Addr(ntohl(sa.sin_addr.s_addr)), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+class PosixUdpSocket final : public UdpSocket {
+ public:
+  PosixUdpSocket(PosixRuntime* runtime, int fd) : runtime_(runtime), fd_(fd) {
+    runtime_->register_fd(fd_, [this] { drain(); });
+  }
+
+  ~PosixUdpSocket() override {
+    runtime_->unregister_fd(fd_);
+    ::close(fd_);
+  }
+
+  void send_to(const net::Endpoint& dst, BytesView payload) override {
+    sockaddr_in sa = to_sockaddr(dst);
+    ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                         reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+    if (n < 0) {
+      RMC_WARN("sendto(%s) failed: %s", dst.str().c_str(), std::strerror(errno));
+    }
+  }
+
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+
+  net::Endpoint local_endpoint() const override {
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) return {};
+    return from_sockaddr(sa);
+  }
+
+ private:
+  void drain() {
+    std::uint8_t buf[65536];
+    for (;;) {
+      sockaddr_in sa{};
+      socklen_t len = sizeof sa;
+      ssize_t n = ::recvfrom(fd_, buf, sizeof buf, MSG_DONTWAIT,
+                             reinterpret_cast<sockaddr*>(&sa), &len);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        RMC_WARN("recvfrom failed: %s", std::strerror(errno));
+        return;
+      }
+      if (handler_) {
+        handler_(from_sockaddr(sa), BytesView(buf, static_cast<std::size_t>(n)));
+      }
+    }
+  }
+
+  PosixRuntime* runtime_;
+  int fd_;
+  Handler handler_;
+};
+
+PosixRuntime::PosixRuntime() {
+  epoll_fd_ = ::epoll_create1(0);
+  RMC_ENSURE(epoll_fd_ >= 0, "epoll_create1 failed");
+}
+
+PosixRuntime::~PosixRuntime() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+sim::Time PosixRuntime::now() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<sim::Time>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+TimerId PosixRuntime::schedule_after(sim::Time delay, std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  timers_.emplace(id, TimerEntry{now() + delay, std::move(fn)});
+  return id;
+}
+
+void PosixRuntime::cancel(TimerId id) { timers_.erase(id); }
+
+std::unique_ptr<UdpSocket> PosixRuntime::open_socket(const PosixSocketOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    RMC_WARN("socket() failed: %s", std::strerror(errno));
+    return nullptr;
+  }
+  auto fail = [&](const char* what) -> std::unique_ptr<UdpSocket> {
+    RMC_WARN("%s failed: %s", what, std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  };
+
+  if (options.reuse_addr) {
+    int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0) {
+      return fail("SO_REUSEADDR");
+    }
+  }
+  if (options.rcvbuf_bytes > 0) {
+    int bytes = options.rcvbuf_bytes;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes) != 0) {
+      return fail("SO_RCVBUF");
+    }
+  }
+
+  sockaddr_in bind_sa = to_sockaddr({options.bind_addr, options.port});
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&bind_sa), sizeof bind_sa) != 0) {
+    return fail("bind");
+  }
+
+  in_addr mcast_if{};
+  mcast_if.s_addr = htonl(options.multicast_if.bits());
+  for (net::Ipv4Addr group : options.join_groups) {
+    ip_mreq mreq{};
+    mreq.imr_multiaddr.s_addr = htonl(group.bits());
+    mreq.imr_interface = mcast_if;
+    if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) != 0) {
+      return fail("IP_ADD_MEMBERSHIP");
+    }
+  }
+  if (::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &mcast_if, sizeof mcast_if) != 0) {
+    return fail("IP_MULTICAST_IF");
+  }
+  unsigned char loop = options.multicast_loop ? 1 : 0;
+  if (::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop) != 0) {
+    return fail("IP_MULTICAST_LOOP");
+  }
+
+  return std::make_unique<PosixUdpSocket>(this, fd);
+}
+
+void PosixRuntime::register_fd(int fd, std::function<void()> on_readable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  RMC_ENSURE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0, "epoll add failed");
+  fd_handlers_.emplace(fd, std::move(on_readable));
+}
+
+void PosixRuntime::unregister_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_handlers_.erase(fd);
+}
+
+int PosixRuntime::fire_due_timers() {
+  for (;;) {
+    const sim::Time t = now();
+    // Find the earliest deadline (timers_ is keyed by id, not deadline;
+    // the map stays small — a handful of protocol timers).
+    auto earliest = timers_.end();
+    for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+      if (earliest == timers_.end() || it->second.deadline < earliest->second.deadline) {
+        earliest = it;
+      }
+    }
+    if (earliest == timers_.end()) return -1;
+    if (earliest->second.deadline > t) {
+      sim::Time wait_ns = earliest->second.deadline - t;
+      return static_cast<int>(wait_ns / 1'000'000) + 1;
+    }
+    auto fn = std::move(earliest->second.fn);
+    timers_.erase(earliest);
+    fn();
+  }
+}
+
+void PosixRuntime::poll_once(int timeout_ms) {
+  epoll_event events[64];
+  int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    auto it = fd_handlers_.find(events[i].data.fd);
+    if (it != fd_handlers_.end()) it->second();
+  }
+}
+
+void PosixRuntime::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    int timeout_ms = fire_due_timers();
+    if (stopped_) break;
+    poll_once(timeout_ms);
+  }
+}
+
+void PosixRuntime::run_for(sim::Time duration) {
+  stopped_ = false;
+  const sim::Time deadline = now() + duration;
+  while (!stopped_ && now() < deadline) {
+    int timer_ms = fire_due_timers();
+    if (stopped_) break;
+    int budget_ms = static_cast<int>((deadline - now()) / 1'000'000) + 1;
+    int timeout_ms = timer_ms < 0 ? budget_ms : std::min(timer_ms, budget_ms);
+    poll_once(timeout_ms);
+  }
+}
+
+}  // namespace rmc::rt

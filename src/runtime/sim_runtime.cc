@@ -1,0 +1,33 @@
+#include "runtime/sim_runtime.h"
+
+namespace rmc::rt {
+
+namespace {
+
+class SimUdpSocket final : public UdpSocket {
+ public:
+  explicit SimUdpSocket(inet::Socket* socket) : socket_(socket) {}
+
+  void send_to(const net::Endpoint& dst, BytesView payload) override {
+    socket_->send_to(dst, payload);
+  }
+
+  void set_handler(Handler handler) override {
+    socket_->set_handler([handler = std::move(handler)](const inet::Datagram& d) {
+      handler(d.src, BytesView(d.payload.data(), d.payload.size()));
+    });
+  }
+
+  net::Endpoint local_endpoint() const override { return socket_->local_endpoint(); }
+
+ private:
+  inet::Socket* socket_;
+};
+
+}  // namespace
+
+std::unique_ptr<UdpSocket> SimRuntime::wrap(inet::Socket* socket) {
+  return std::make_unique<SimUdpSocket>(socket);
+}
+
+}  // namespace rmc::rt

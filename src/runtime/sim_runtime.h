@@ -1,0 +1,34 @@
+// Simulator-backed Runtime: one instance per simulated host.
+#pragma once
+
+#include <memory>
+
+#include "inet/host.h"
+#include "runtime/runtime.h"
+
+namespace rmc::rt {
+
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(inet::Host& host) : host_(host) {}
+
+  sim::Time now() override { return host_.simulator().now(); }
+  TimerId schedule_after(sim::Time delay, std::function<void()> fn) override {
+    return host_.simulator().schedule_after(delay, std::move(fn));
+  }
+  void cancel(TimerId id) override { host_.simulator().cancel(id); }
+  void run_cost(sim::Time cost, std::function<void()> fn) override {
+    host_.run_on_cpu(cost, std::move(fn));
+  }
+
+  inet::Host& host() { return host_; }
+
+  // Wraps a simulated socket in the backend-neutral interface. The
+  // inet::Socket remains owned by its Host.
+  std::unique_ptr<UdpSocket> wrap(inet::Socket* socket);
+
+ private:
+  inet::Host& host_;
+};
+
+}  // namespace rmc::rt

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include "common/panic.h"
+
+namespace rmc::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  RMC_ENSURE(at >= now_, "event scheduled in the past");
+  EventId id = next_id_++;
+  queue_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already ran or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto c = cancelled_.find(entry.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(entry.id);
+    RMC_ENSURE(it != callbacks_.end(), "live event with no callback");
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = entry.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    if (auto c = cancelled_.find(entry.id); c != cancelled_.end()) {
+      queue_.pop();
+      cancelled_.erase(c);
+      continue;
+    }
+    if (entry.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rmc::sim

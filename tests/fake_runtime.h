@@ -1,0 +1,131 @@
+// Test doubles for the runtime interfaces: a manually advanced clock with
+// recorded timers and a socket that captures outgoing packets and lets
+// tests inject arbitrary incoming ones. These enable protocol unit tests
+// that a full simulated network cannot express cleanly — duplicate floods,
+// stale sessions, reordered chain traffic, malformed bytes — with exact
+// assertions on what the endpoint emits in response.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/panic.h"
+#include "rmcast/group.h"
+#include "rmcast/wire.h"
+#include "runtime/runtime.h"
+
+namespace rmc::test {
+
+class FakeRuntime final : public rt::Runtime {
+ public:
+  sim::Time now() override { return now_; }
+
+  rt::TimerId schedule_after(sim::Time delay, std::function<void()> fn) override {
+    rt::TimerId id = next_id_++;
+    timers_.emplace(id, Timer{now_ + delay, std::move(fn)});
+    return id;
+  }
+
+  void cancel(rt::TimerId id) override { timers_.erase(id); }
+
+  // Costs are irrelevant to unit tests; run immediately.
+  void run_cost(sim::Time /*cost*/, std::function<void()> fn) override { fn(); }
+
+  // Advances the clock, firing due timers in deadline order.
+  void advance(sim::Time delta) {
+    const sim::Time target = now_ + delta;
+    for (;;) {
+      auto due = timers_.end();
+      for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+        if (it->second.deadline <= target &&
+            (due == timers_.end() || it->second.deadline < due->second.deadline)) {
+          due = it;
+        }
+      }
+      if (due == timers_.end()) break;
+      now_ = due->second.deadline;
+      auto fn = std::move(due->second.fn);
+      timers_.erase(due);
+      fn();
+    }
+    now_ = target;
+  }
+
+  std::size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    sim::Time deadline;
+    std::function<void()> fn;
+  };
+  sim::Time now_ = 0;
+  rt::TimerId next_id_ = 1;
+  std::map<rt::TimerId, Timer> timers_;
+};
+
+class FakeSocket final : public rt::UdpSocket {
+ public:
+  explicit FakeSocket(net::Endpoint local) : local_(local) {}
+
+  void send_to(const net::Endpoint& dst, BytesView payload) override {
+    sent_.push_back({dst, Buffer(payload.begin(), payload.end())});
+  }
+
+  void set_handler(Handler handler) override { handler_ = std::move(handler); }
+  net::Endpoint local_endpoint() const override { return local_; }
+
+  // Test-side injection of an incoming datagram.
+  void inject(const net::Endpoint& src, BytesView payload) {
+    RMC_ENSURE(handler_ != nullptr, "no handler installed");
+    handler_(src, payload);
+  }
+  void inject(const net::Endpoint& src, const Buffer& payload) {
+    inject(src, BytesView(payload.data(), payload.size()));
+  }
+
+  struct Sent {
+    net::Endpoint dst;
+    Buffer payload;
+  };
+  const std::vector<Sent>& sent() const { return sent_; }
+  void clear_sent() { sent_.clear(); }
+
+  // Parses packet i as a protocol header (and asserts it parses).
+  rmcast::Header header_of(std::size_t i) const {
+    RMC_ENSURE(i < sent_.size(), "no such sent packet");
+    Reader r(BytesView(sent_[i].payload.data(), sent_[i].payload.size()));
+    auto h = rmcast::read_header(r);
+    RMC_ENSURE(h.has_value(), "sent packet does not parse");
+    return *h;
+  }
+
+  // Headers of everything sent, for terse assertions.
+  std::vector<rmcast::Header> sent_headers() const {
+    std::vector<rmcast::Header> out;
+    for (std::size_t i = 0; i < sent_.size(); ++i) out.push_back(header_of(i));
+    return out;
+  }
+
+ private:
+  net::Endpoint local_;
+  Handler handler_;
+  std::vector<Sent> sent_;
+};
+
+// Canonical membership for unit tests: group 239.0.0.1:5000, sender at
+// 10.0.0.1:5001, receivers at 10.0.0.(i+2):5002.
+inline rmcast::GroupMembership fake_membership(std::size_t n_receivers) {
+  rmcast::GroupMembership m;
+  m.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
+  m.sender_control = {net::Ipv4Addr(10, 0, 0, 1), 5001};
+  for (std::size_t i = 0; i < n_receivers; ++i) {
+    m.receiver_control.push_back(
+        {net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 2)), 5002});
+  }
+  return m;
+}
+
+}  // namespace rmc::test

@@ -1,0 +1,190 @@
+// Paper-shape regression suite: the qualitative claims of each figure and
+// table in the reproduced evaluation, asserted against the simulator. The
+// goal is not absolute milliseconds (the harness is a calibrated model,
+// not the authors' testbed) but the shapes: who wins, what degrades, and
+// where the optima sit. If a calibration change breaks one of these, it
+// broke the reproduction.
+//
+// Every run here is deterministic (fixed seed, no loss), so the
+// assertions can use real margins without flakiness.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace rmc {
+namespace {
+
+double run_proto(rmcast::ProtocolKind kind, std::size_t n, std::uint64_t bytes,
+                 std::size_t pkt, std::size_t window, std::size_t poll = 16,
+                 std::size_t height = 6) {
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = n;
+  spec.message_bytes = bytes;
+  spec.protocol.kind = kind;
+  spec.protocol.packet_size = pkt;
+  spec.protocol.window_size = window;
+  spec.protocol.poll_interval = poll;
+  spec.protocol.tree_height = height;
+  harness::RunResult r = harness::run_multicast(spec);
+  EXPECT_TRUE(r.completed) << r.error;
+  return r.completed ? r.seconds : 1e9;
+}
+
+TEST(Figure8, TcpGrowsLinearlyMulticastStaysFlat) {
+  const std::uint64_t bytes = 426'502;
+  double tcp5 = harness::run_tcp_fanout(5, bytes, 1).seconds;
+  double tcp20 = harness::run_tcp_fanout(20, bytes, 1).seconds;
+  EXPECT_NEAR(tcp20 / tcp5, 4.0, 0.6);
+
+  double mc1 = run_proto(rmcast::ProtocolKind::kAck, 1, bytes, 50'000, 5);
+  double mc30 = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 50'000, 5);
+  EXPECT_LT(mc30 / mc1, 1.35);  // paper: ~6% growth from 1 to 30
+
+  // Multicast beats TCP from a handful of receivers on.
+  double tcp30 = harness::run_tcp_fanout(30, bytes, 1).seconds;
+  EXPECT_LT(mc30, tcp30 / 5.0);
+}
+
+TEST(Figure9, OverheadOrderingUdpThenNoCopyThenFull) {
+  const std::uint64_t bytes = 32'768;
+  double udp = harness::run_raw_udp(30, bytes, 50'000, 1).seconds;
+
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = 30;
+  spec.message_bytes = bytes;
+  spec.protocol.kind = rmcast::ProtocolKind::kAck;
+  spec.protocol.packet_size = 50'000;
+  spec.protocol.window_size = 5;
+  double full = harness::run_multicast(spec).seconds;
+  spec.protocol.copy_user_data = false;
+  double nocopy = harness::run_multicast(spec).seconds;
+
+  EXPECT_LT(udp, nocopy);   // raw UDP has no handshake and no ACKs
+  EXPECT_LT(nocopy, full);  // the user-space copy is real overhead
+}
+
+TEST(Figure10, WindowTwoSufficesAndBigPacketsWin) {
+  const std::uint64_t bytes = 500'000;
+  double w1 = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 6250, 1);
+  double w2 = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 6250, 2);
+  double w5 = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 6250, 5);
+  EXPECT_GT(w1 / w2, 1.1);   // stop-and-wait visibly worse
+  EXPECT_LT(w2 / w5, 1.15);  // beyond 2, little left to gain
+
+  double small = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 1300, 2);
+  double large = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 50'000, 2);
+  EXPECT_GT(small / large, 3.0);  // packet size dominates the ACK protocol
+}
+
+TEST(Figure11, AckScalesForLargeMessagesNotSmall) {
+  double small1 = run_proto(rmcast::ProtocolKind::kAck, 1, 256, 50'000, 5);
+  double small30 = run_proto(rmcast::ProtocolKind::kAck, 30, 256, 50'000, 5);
+  EXPECT_GT(small30 / small1, 2.0);  // ACK processing dominates small messages
+
+  double large1 = run_proto(rmcast::ProtocolKind::kAck, 1, 500'000, 50'000, 5);
+  double large30 = run_proto(rmcast::ProtocolKind::kAck, 30, 500'000, 50'000, 5);
+  EXPECT_LT(large30 / large1, 1.5);  // data transmission dominates large ones
+}
+
+TEST(Figure12, PollIntervalOptimumSitsInTheInterior) {
+  const std::uint64_t bytes = 500'000;
+  double p1 = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 5000, 20, 1);
+  double p12 = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 5000, 20, 12);
+  double p16 = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 5000, 20, 16);
+  double p20 = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 5000, 20, 20);
+  double interior = std::min(p12, p16);
+  EXPECT_GT(p1 / interior, 2.0);    // tiny interval degenerates to ACK behaviour
+  EXPECT_GT(p20 / interior, 1.05);  // interval == window stalls the pipeline
+}
+
+TEST(Figure13, StarvedBuffersHurtNakPolling) {
+  const std::uint64_t bytes = 500'000;
+  // 50 KB of buffer at 8 KB packets is a window of 6; 400 KB gives 50.
+  double starved = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 8000, 6, 5);
+  double ample = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 8000, 50, 42);
+  EXPECT_GT(starved / ample, 1.1);
+}
+
+TEST(Figure14, NakPollingScales) {
+  double t1 = run_proto(rmcast::ProtocolKind::kNakPolling, 1, 500'000, 8000, 25, 21);
+  double t30 = run_proto(rmcast::ProtocolKind::kNakPolling, 30, 500'000, 8000, 25, 21);
+  EXPECT_LT(t30 / t1, 1.25);  // paper: ~5.5% average growth
+}
+
+TEST(Figure15, RingPacketSizeCurve) {
+  const std::uint64_t bytes = 2 * 1024 * 1024;
+  double tiny = run_proto(rmcast::ProtocolKind::kRing, 30, bytes, 1000, 35);
+  double mid = run_proto(rmcast::ProtocolKind::kRing, 30, bytes, 8000, 35);
+  double huge = run_proto(rmcast::ProtocolKind::kRing, 30, bytes, 50'000, 35);
+  // The left side of the paper's U-curve (small packets pay per-packet
+  // overhead) reproduces strongly; the right side (the paper's ~25%
+  // large-packet penalty, an artefact of its exact sendto/copy interleave)
+  // is muted in this model — see EXPERIMENTS.md — so assert only that
+  // growing the packet beyond the sweet spot stops helping.
+  EXPECT_GT(tiny / mid, 1.2);
+  EXPECT_GE(huge, mid);
+}
+
+TEST(Figure17, RingScalesForLargeMessages) {
+  double t1 = run_proto(rmcast::ProtocolKind::kRing, 1, 2 * 1024 * 1024, 8000, 50);
+  double t30 = run_proto(rmcast::ProtocolKind::kRing, 30, 2 * 1024 * 1024, 8000, 50);
+  EXPECT_LT(t30 / t1, 1.15);  // paper: under 1% — allow model slack
+}
+
+TEST(Figure18, FlatTreeBeatsItsDegenerateAckCase) {
+  const std::uint64_t bytes = 500'000;
+  double h1 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 20, 16, 1);
+  double h6 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 20, 16, 6);
+  double h15 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 20, 16, 15);
+  // H=1 is the ACK protocol: implosion-bound at 8 KB, far behind any real
+  // tree. (The paper's mild H=30 upturn for large messages is muted in
+  // this model — its per-hop relay cost is smaller than the testbed's —
+  // but the H=30 penalty for small messages and small windows reproduces;
+  // see Figure19/Figure20 below and EXPERIMENTS.md.)
+  EXPECT_GT(h1 / h6, 1.5);
+  EXPECT_GT(h1 / h15, 1.5);
+}
+
+TEST(Figure19, TallTreesNeedWindowAndBeatAckGivenIt) {
+  const std::uint64_t bytes = 500'000;
+  double h30_w2 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 2, 16, 30);
+  double h30_w12 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 12, 16, 30);
+  EXPECT_GT(h30_w2 / h30_w12, 1.3);  // the chain RTT eats a small window
+
+  double ack = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 8000, 20);
+  double h6 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 20, 16, 6);
+  EXPECT_GT(ack / h6, 1.5);  // with window, trees beat per-receiver ACKs
+}
+
+TEST(Figure20, SmallMessagesPunishTallTrees) {
+  double h1 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, 256, 8192, 20, 16, 1);
+  double h30 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, 256, 8192, 20, 16, 30);
+  EXPECT_GT(h30 / h1, 1.5);  // per-hop user-level relay delay stacks up
+}
+
+TEST(Table3, LargeMessageProtocolOrdering) {
+  const std::uint64_t bytes = 2 * 1024 * 1024;
+  double nak = run_proto(rmcast::ProtocolKind::kNakPolling, 30, bytes, 8000, 50, 43);
+  double ring = run_proto(rmcast::ProtocolKind::kRing, 30, bytes, 8000, 50);
+  double tree6 = run_proto(rmcast::ProtocolKind::kFlatTree, 30, bytes, 8000, 20, 16, 6);
+  double ack8k = run_proto(rmcast::ProtocolKind::kAck, 30, bytes, 8000, 20);
+
+  // NAK >= ring >= tree >= ACK (at a common packet size) — the paper's
+  // §5 ordering. NAK and ring are near-ties in both the paper and here.
+  EXPECT_LE(nak, ring * 1.02);
+  EXPECT_LT(ring, tree6);
+  EXPECT_LT(tree6, ack8k);
+}
+
+TEST(Conclusions, SmallMessageProtocolsTie) {
+  // §6: "For small messages, the ACK-based, NAK-based with polling, and
+  // ring-based protocols have the same behavior and performance."
+  double ack = run_proto(rmcast::ProtocolKind::kAck, 30, 1000, 50'000, 5);
+  double nak = run_proto(rmcast::ProtocolKind::kNakPolling, 30, 1000, 50'000, 5, 4);
+  double ring = run_proto(rmcast::ProtocolKind::kRing, 30, 1000, 50'000, 35);
+  EXPECT_NEAR(nak / ack, 1.0, 0.05);
+  EXPECT_NEAR(ring / ack, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rmc

@@ -1,0 +1,98 @@
+// Shared fixture plumbing for protocol-level tests: a Testbed with one
+// MulticastSender and N MulticastReceivers, delivery recording, and a
+// bounded-time run helper.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/testbed.h"
+#include "rmcast/receiver.h"
+#include "rmcast/sender.h"
+
+namespace rmc::test {
+
+inline Buffer pattern(std::size_t n) {
+  Buffer b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  return b;
+}
+
+class ProtocolHarness {
+ public:
+  ProtocolHarness(std::size_t n_receivers, rmcast::ProtocolConfig config,
+                  inet::ClusterParams cluster_params = {})
+      : bed_(n_receivers, cluster_params), config_(config) {
+    sender_ = std::make_unique<rmcast::MulticastSender>(
+        bed_.sender_runtime(), bed_.sender_socket(), bed_.membership(), config);
+    deliveries_.resize(n_receivers);
+    for (std::size_t i = 0; i < n_receivers; ++i) {
+      receivers_.push_back(std::make_unique<rmcast::MulticastReceiver>(
+          bed_.receiver_runtime(i), bed_.receiver_data_socket(i),
+          bed_.receiver_control_socket(i), bed_.membership(), i, config));
+      receivers_[i]->set_message_handler(
+          [this, i](const Buffer& message, std::uint32_t session) {
+            deliveries_[i].push_back({session, message});
+          });
+    }
+  }
+
+  // Sends and runs until sender completion (or the time limit). Returns
+  // true on completion.
+  bool send_and_run(const Buffer& message,
+                    sim::Time limit = sim::seconds(30.0)) {
+    bool done = false;
+    sender_->send(BytesView(message.data(), message.size()), [&] { done = true; });
+    run_until_done(done, limit);
+    return done;
+  }
+
+  void run_until_done(const bool& done, sim::Time limit) {
+    while (!done && bed_.simulator().now() < limit) {
+      if (!bed_.simulator().step()) break;
+    }
+  }
+
+  struct Delivery {
+    std::uint32_t session;
+    Buffer message;
+  };
+
+  harness::Testbed& bed() { return bed_; }
+  rmcast::MulticastSender& sender() { return *sender_; }
+  rmcast::MulticastReceiver& receiver(std::size_t i) { return *receivers_[i]; }
+  std::size_t n_receivers() const { return receivers_.size(); }
+  const std::vector<Delivery>& deliveries(std::size_t i) const { return deliveries_[i]; }
+
+  // Asserts every receiver delivered exactly the given messages, in order.
+  void expect_all_delivered(const std::vector<Buffer>& messages) {
+    for (std::size_t i = 0; i < receivers_.size(); ++i) {
+      ASSERT_EQ(deliveries_[i].size(), messages.size()) << "receiver " << i;
+      for (std::size_t m = 0; m < messages.size(); ++m) {
+        EXPECT_EQ(deliveries_[i][m].message, messages[m])
+            << "receiver " << i << " message " << m;
+      }
+    }
+  }
+
+ private:
+  harness::Testbed bed_;
+  rmcast::ProtocolConfig config_;
+  std::unique_ptr<rmcast::MulticastSender> sender_;
+  std::vector<std::unique_ptr<rmcast::MulticastReceiver>> receivers_;
+  std::vector<std::vector<Delivery>> deliveries_;
+};
+
+inline rmcast::ProtocolConfig config_for(rmcast::ProtocolKind kind) {
+  rmcast::ProtocolConfig c;
+  c.kind = kind;
+  c.packet_size = 4000;
+  c.window_size = 16;
+  c.poll_interval = 12;
+  c.tree_height = 3;
+  return c;
+}
+
+}  // namespace rmc::test

@@ -1,0 +1,246 @@
+// Behavioural tests of the four protocols on an error-free cluster:
+// delivery correctness, control-packet accounting against the paper's
+// Table 2 formulas, session sequencing, and edge-case message sizes.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.h"
+
+namespace rmc {
+namespace {
+
+using rmcast::ProtocolKind;
+using test::config_for;
+using test::pattern;
+using test::ProtocolHarness;
+
+class EveryProtocolTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, EveryProtocolTest,
+                         ::testing::Values(ProtocolKind::kAck, ProtocolKind::kNakPolling,
+                                           ProtocolKind::kRing, ProtocolKind::kFlatTree),
+                         [](const auto& info) {
+                           return std::string(rmcast::protocol_name(info.param)).substr(0, 3);
+                         });
+
+TEST_P(EveryProtocolTest, DeliversExactPayload) {
+  ProtocolHarness h(6, config_for(GetParam()));
+  Buffer message = pattern(100'000);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+}
+
+TEST_P(EveryProtocolTest, NoRetransmissionsWithoutErrors) {
+  ProtocolHarness h(6, config_for(GetParam()));
+  ASSERT_TRUE(h.send_and_run(pattern(100'000)));
+  EXPECT_EQ(h.sender().stats().retransmissions, 0u);
+  EXPECT_EQ(h.sender().stats().rto_fires, 0u);
+  EXPECT_EQ(h.sender().stats().naks_received, 0u);
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    EXPECT_EQ(h.receiver(i).stats().duplicates, 0u) << "receiver " << i;
+    EXPECT_EQ(h.receiver(i).stats().gaps_detected, 0u) << "receiver " << i;
+  }
+}
+
+TEST_P(EveryProtocolTest, SequentialMessagesUseFreshSessions) {
+  ProtocolHarness h(4, config_for(GetParam()));
+  std::vector<Buffer> messages = {pattern(5000), pattern(60'000), pattern(123)};
+  for (const Buffer& m : messages) ASSERT_TRUE(h.send_and_run(m));
+  h.expect_all_delivered(messages);
+  // Session ids must be distinct and increasing.
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    ASSERT_EQ(h.deliveries(i).size(), 3u);
+    EXPECT_LT(h.deliveries(i)[0].session, h.deliveries(i)[1].session);
+    EXPECT_LT(h.deliveries(i)[1].session, h.deliveries(i)[2].session);
+  }
+  EXPECT_EQ(h.sender().stats().messages_sent, 3u);
+}
+
+TEST_P(EveryProtocolTest, EmptyMessage) {
+  ProtocolHarness h(4, config_for(GetParam()));
+  Buffer empty;
+  ASSERT_TRUE(h.send_and_run(empty));
+  h.expect_all_delivered({empty});
+}
+
+TEST_P(EveryProtocolTest, SingleByteMessage) {
+  ProtocolHarness h(4, config_for(GetParam()));
+  Buffer one = pattern(1);
+  ASSERT_TRUE(h.send_and_run(one));
+  h.expect_all_delivered({one});
+}
+
+TEST_P(EveryProtocolTest, MessageNotMultipleOfPacketSize) {
+  auto config = config_for(GetParam());
+  ProtocolHarness h(4, config);
+  Buffer message = pattern(config.packet_size * 5 + 1);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+}
+
+TEST_P(EveryProtocolTest, MessageSmallerThanOnePacket) {
+  ProtocolHarness h(4, config_for(GetParam()));
+  Buffer message = pattern(37);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+  EXPECT_EQ(h.sender().stats().data_packets_sent, 1u);
+}
+
+TEST_P(EveryProtocolTest, SingleReceiverGroup) {
+  auto config = config_for(GetParam());
+  config.tree_height = 1;
+  ProtocolHarness h(1, config);
+  Buffer message = pattern(50'000);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+}
+
+TEST_P(EveryProtocolTest, PeakBufferBoundedByWindow) {
+  auto config = config_for(GetParam());
+  ProtocolHarness h(6, config);
+  ASSERT_TRUE(h.send_and_run(pattern(400'000)));
+  EXPECT_LE(h.sender().stats().peak_buffered_bytes,
+            std::uint64_t{config.window_size} * config.packet_size);
+  EXPECT_GT(h.sender().stats().peak_buffered_bytes, 0u);
+}
+
+// --- Table 2 control-packet accounting -------------------------------------
+//
+// The paper's Table 2 gives, per data packet: N control packets for the
+// ACK protocol, N/i for NAK-polling with poll interval i, 1 for the ring,
+// and N/H for the flat tree (at the sender). Error-free runs must match.
+
+constexpr std::size_t kReceivers = 8;
+constexpr std::size_t kPackets = 60;  // 60 packets of 4000 B
+
+Buffer table2_message() { return pattern(4000 * kPackets); }
+
+TEST(Table2, AckProtocolOneAckPerReceiverPerPacket) {
+  ProtocolHarness h(kReceivers, config_for(ProtocolKind::kAck));
+  ASSERT_TRUE(h.send_and_run(table2_message()));
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    EXPECT_EQ(h.receiver(i).stats().acks_sent, kPackets) << "receiver " << i;
+  }
+  EXPECT_EQ(h.sender().stats().acks_received, kPackets * kReceivers);
+}
+
+TEST(Table2, NakPollingOneAckPerPollPerReceiver) {
+  auto config = config_for(ProtocolKind::kNakPolling);
+  config.poll_interval = 12;
+  config.window_size = 16;
+  ProtocolHarness h(kReceivers, config);
+  ASSERT_TRUE(h.send_and_run(table2_message()));
+  // Polled packets: seq 11, 23, 35, 47, 59 — the last also carries LAST.
+  const std::uint64_t polls = kPackets / config.poll_interval;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    EXPECT_EQ(h.receiver(i).stats().acks_sent, polls) << "receiver " << i;
+  }
+  EXPECT_EQ(h.sender().stats().acks_received, polls * kReceivers);
+}
+
+TEST(Table2, RingOneAckPerPacketPlusFinalRound) {
+  auto config = config_for(ProtocolKind::kRing);
+  config.window_size = 16;  // > 8 receivers
+  ProtocolHarness h(kReceivers, config);
+  ASSERT_TRUE(h.send_and_run(table2_message()));
+  // Token rotation: receiver r acknowledges packets r, r+N, ... — 60/8
+  // gives 7 or 8 tokens each — plus every receiver acknowledges the LAST
+  // packet (the paper's second ring modification).
+  std::uint64_t total_acks = 0;
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    const auto& stats = h.receiver(i).stats();
+    std::uint64_t tokens = kPackets / kReceivers + (i < kPackets % kReceivers ? 1 : 0);
+    std::uint64_t expected = tokens + (i == (kPackets - 1) % kReceivers ? 0 : 1);
+    EXPECT_EQ(stats.acks_sent, expected) << "receiver " << i;
+    total_acks += stats.acks_sent;
+  }
+  // ~1 ACK per packet plus the final all-receiver round.
+  EXPECT_EQ(total_acks, kPackets + kReceivers - 1);
+}
+
+TEST(Table2, TreeSenderOnlyHearsChainHeads) {
+  auto config = config_for(ProtocolKind::kFlatTree);
+  config.tree_height = 4;  // 8 receivers -> 2 chains
+  ProtocolHarness h(kReceivers, config);
+  ASSERT_TRUE(h.send_and_run(table2_message()));
+  // Heads send to the sender: N/H streams of one cumulative ACK per packet.
+  EXPECT_EQ(h.sender().stats().acks_received, kPackets * (kReceivers / 4));
+  // Interior nodes relay: every non-tail receives its successor's ACKs.
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    auto pos = rmcast::tree_position(i, kReceivers, 4);
+    if (pos.is_tail) {
+      EXPECT_EQ(h.receiver(i).stats().relayed_acks_received, 0u) << i;
+    } else {
+      // One chain ACK relayed per packet, plus the chain ALLOC response.
+      EXPECT_EQ(h.receiver(i).stats().relayed_acks_received, kPackets + 1) << i;
+    }
+  }
+}
+
+TEST(Alloc, EveryReceiverRespondsOncePerMessage) {
+  for (auto kind : {ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing,
+                    ProtocolKind::kFlatTree}) {
+    ProtocolHarness h(6, config_for(kind));
+    ASSERT_TRUE(h.send_and_run(pattern(20'000)));
+    EXPECT_EQ(h.sender().stats().alloc_requests_sent, 1u) << rmcast::protocol_name(kind);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(h.receiver(i).stats().alloc_responses_sent, 1u)
+          << rmcast::protocol_name(kind) << " receiver " << i;
+    }
+  }
+}
+
+TEST(Tree, RaggedChainsStillDeliver) {
+  auto config = config_for(ProtocolKind::kFlatTree);
+  config.tree_height = 3;  // 7 receivers -> chains of 3, 3, 1
+  ProtocolHarness h(7, config);
+  Buffer message = pattern(80'000);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+}
+
+TEST(Tree, SingleChainFullHeight) {
+  auto config = config_for(ProtocolKind::kFlatTree);
+  config.tree_height = 6;
+  ProtocolHarness h(6, config);
+  Buffer message = pattern(80'000);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+  // Only the single head talks to the sender.
+  EXPECT_EQ(h.receiver(0).stats().acks_sent, h.sender().stats().acks_received);
+}
+
+TEST(Snooping, ProtocolsRunUnchangedOnFilteringSwitches) {
+  for (auto kind : {ProtocolKind::kNakPolling, ProtocolKind::kFlatTree}) {
+    inet::ClusterParams cluster;
+    cluster.multicast_snooping = true;
+    ProtocolHarness h(6, config_for(kind), cluster);
+    Buffer message = pattern(100'000);
+    ASSERT_TRUE(h.send_and_run(message)) << rmcast::protocol_name(kind);
+    h.expect_all_delivered({message});
+  }
+}
+
+TEST(Sender, RejectsConcurrentSends) {
+  ProtocolHarness h(2, config_for(ProtocolKind::kAck));
+  Buffer message = pattern(1000);
+  h.sender().send(BytesView(message.data(), message.size()), [] {});
+  EXPECT_TRUE(h.sender().busy());
+  EXPECT_DEATH(h.sender().send(BytesView(message.data(), message.size()), [] {}),
+               "sender is busy");
+}
+
+TEST(Sender, CompletionHandlerMayChainSends) {
+  ProtocolHarness h(3, config_for(ProtocolKind::kAck));
+  Buffer first = pattern(9000);
+  Buffer second = pattern(4000);
+  bool all_done = false;
+  h.sender().send(BytesView(first.data(), first.size()), [&] {
+    h.sender().send(BytesView(second.data(), second.size()), [&] { all_done = true; });
+  });
+  h.run_until_done(all_done, sim::seconds(30.0));
+  ASSERT_TRUE(all_done);
+  h.expect_all_delivered({first, second});
+}
+
+}  // namespace
+}  // namespace rmc

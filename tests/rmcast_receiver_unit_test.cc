@@ -1,0 +1,454 @@
+// Receiver unit tests using fake runtime/sockets: exact per-packet
+// behaviour of the four acknowledgment policies, duplicate and stale
+// handling, NAK rate limiting, selective-repeat reordering, and the
+// flat-tree chain relay — scenarios a live network reproduces only by
+// luck, asserted here deterministically.
+#include <gtest/gtest.h>
+
+#include "fake_runtime.h"
+#include "rmcast/receiver.h"
+
+namespace rmc {
+namespace {
+
+using rmcast::Header;
+using rmcast::PacketType;
+using rmcast::ProtocolConfig;
+using rmcast::ProtocolKind;
+using test::fake_membership;
+using test::FakeRuntime;
+using test::FakeSocket;
+
+constexpr std::size_t kN = 4;  // receivers in the fake group
+
+Buffer data_packet(std::uint32_t session, std::uint32_t seq, std::uint8_t flags,
+                   std::size_t len) {
+  Writer w;
+  rmcast::write_header(w, Header{PacketType::kData, flags, rmcast::kSenderNodeId,
+                                 session, seq});
+  Buffer body(len, static_cast<std::uint8_t>(seq));
+  w.bytes(BytesView(body.data(), body.size()));
+  return w.take();
+}
+
+Buffer alloc_packet(std::uint32_t session, std::uint64_t bytes, std::uint32_t pkt,
+                    std::uint32_t total) {
+  Writer w;
+  rmcast::write_header(w, Header{PacketType::kAllocReq, 0, rmcast::kSenderNodeId,
+                                 session, 0});
+  rmcast::write_alloc_request(w, rmcast::AllocRequest{bytes, pkt, total});
+  return w.take();
+}
+
+class ReceiverUnit {
+ public:
+  ReceiverUnit(ProtocolKind kind, std::size_t node_id, std::size_t height = 2,
+               bool selective_repeat = false)
+      : membership_(fake_membership(kN)),
+        data_socket_(membership_.group),
+        control_socket_(membership_.receiver_control[node_id]) {
+    config_.kind = kind;
+    config_.packet_size = 100;
+    config_.window_size = 8;
+    config_.poll_interval = 3;
+    config_.tree_height = height;
+    config_.selective_repeat = selective_repeat;
+    config_.nak_interval = sim::milliseconds(2);
+    receiver_ = std::make_unique<rmcast::MulticastReceiver>(
+        runtime_, data_socket_, control_socket_, membership_, node_id, config_);
+    receiver_->set_message_handler([this](const Buffer& message, std::uint32_t session) {
+      delivered_.push_back({session, message});
+    });
+  }
+
+  // Starts session `s` with `total` packets of 100 bytes.
+  void start_session(std::uint32_t s, std::uint32_t total) {
+    data_socket_.inject(membership_.sender_control,
+                        alloc_packet(s, std::uint64_t{total} * 100, 100, total));
+  }
+
+  void inject_data(std::uint32_t session, std::uint32_t seq, std::uint8_t flags = 0,
+                   std::size_t len = 100) {
+    data_socket_.inject(membership_.sender_control, data_packet(session, seq, flags, len));
+  }
+
+  // All control packets emitted so far (both sockets share the control
+  // socket for sends).
+  std::vector<Header> control_sent() const { return control_socket_.sent_headers(); }
+  void clear_sent() { control_socket_.clear_sent(); }
+
+  struct Delivery {
+    std::uint32_t session;
+    Buffer message;
+  };
+
+  FakeRuntime runtime_;
+  rmcast::GroupMembership membership_;
+  FakeSocket data_socket_;
+  FakeSocket control_socket_;
+  ProtocolConfig config_;
+  std::unique_ptr<rmcast::MulticastReceiver> receiver_;
+  std::vector<Delivery> delivered_;
+};
+
+TEST(ReceiverAlloc, RespondsToSenderAndAllocates) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 5);
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAllocRsp);
+  EXPECT_EQ(sent[0].session, 1u);
+  EXPECT_EQ(sent[0].node_id, 0);
+  EXPECT_EQ(u.control_socket_.sent()[0].dst, u.membership_.sender_control);
+  EXPECT_EQ(u.receiver_->stats().alloc_requests_received, 1u);
+}
+
+TEST(ReceiverAlloc, DuplicateRequestReAcknowledged) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 5);
+  u.start_session(1, 5);
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].type, PacketType::kAllocRsp);
+  EXPECT_EQ(u.receiver_->stats().alloc_responses_sent, 2u);
+}
+
+TEST(ReceiverAlloc, OlderSessionIgnored) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(5, 3);
+  u.clear_sent();
+  u.start_session(4, 3);  // stale
+  EXPECT_TRUE(u.control_sent().empty());
+  EXPECT_EQ(u.receiver_->stats().stale_packets, 1u);
+}
+
+TEST(ReceiverData, AckPolicyAcknowledgesEveryInOrderPacket) {
+  ReceiverUnit u(ProtocolKind::kAck, 2);
+  u.start_session(1, 3);
+  u.clear_sent();
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    u.inject_data(1, seq, seq == 2 ? rmcast::kFlagLast : 0);
+  }
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sent[i].type, PacketType::kAck);
+    EXPECT_EQ(sent[i].seq, i + 1);  // cumulative count
+    EXPECT_EQ(sent[i].node_id, 2);
+  }
+  ASSERT_EQ(u.delivered_.size(), 1u);
+  EXPECT_EQ(u.delivered_[0].message.size(), 300u);
+}
+
+TEST(ReceiverData, DataBeforeAllocIsStale) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.inject_data(1, 0);
+  EXPECT_TRUE(u.control_sent().empty());
+  EXPECT_EQ(u.receiver_->stats().stale_packets, 1u);
+}
+
+TEST(ReceiverData, WrongSessionDataIgnored) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(2, 3);
+  u.clear_sent();
+  u.inject_data(1, 0);  // previous session
+  u.inject_data(3, 0);  // future session (impossible without alloc)
+  EXPECT_TRUE(u.control_sent().empty());
+  EXPECT_EQ(u.receiver_->stats().stale_packets, 2u);
+}
+
+TEST(ReceiverData, SeqBeyondTotalIgnored) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 3);
+  u.clear_sent();
+  u.inject_data(1, 7);
+  EXPECT_TRUE(u.control_sent().empty());
+  EXPECT_EQ(u.receiver_->stats().stale_packets, 1u);
+}
+
+TEST(ReceiverData, GoBackNDropsOutOfOrderAndNaks) {
+  ReceiverUnit u(ProtocolKind::kAck, 1);
+  u.start_session(1, 4);
+  u.clear_sent();
+  u.inject_data(1, 0);
+  u.inject_data(1, 2);  // gap: 1 missing
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[1].type, PacketType::kNak);
+  EXPECT_EQ(sent[1].seq, 1u);  // first missing
+  EXPECT_EQ(u.control_socket_.sent()[1].dst, u.membership_.sender_control);
+  // Packet 2 was dropped (GBN): retransmitted 1 then 2 must both be
+  // consumed in order.
+  u.clear_sent();
+  u.inject_data(1, 1, rmcast::kFlagRetrans);
+  u.inject_data(1, 2, rmcast::kFlagRetrans);
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].seq, 2u);
+  EXPECT_EQ(sent[1].seq, 3u);
+  EXPECT_EQ(u.receiver_->stats().gaps_detected, 1u);
+}
+
+TEST(ReceiverData, NakRateLimited) {
+  ReceiverUnit u(ProtocolKind::kNakPolling, 0);
+  u.start_session(1, 10);
+  u.clear_sent();
+  u.inject_data(1, 3);  // gap at 0
+  u.inject_data(1, 4);  // still gapped, within the NAK interval
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kNak);
+  EXPECT_EQ(u.receiver_->stats().naks_suppressed, 1u);
+  // After the interval, a fresh gap event emits again.
+  u.runtime_.advance(sim::milliseconds(3));
+  u.inject_data(1, 5);
+  EXPECT_EQ(u.control_sent().size(), 2u);
+}
+
+TEST(ReceiverData, DuplicateReAcknowledgedUnderAckPolicy) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 3);
+  u.inject_data(1, 0);
+  u.clear_sent();
+  u.inject_data(1, 0, rmcast::kFlagRetrans);
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 1u);
+  EXPECT_EQ(u.receiver_->stats().duplicates, 1u);
+}
+
+TEST(ReceiverNakPolling, AcknowledgesOnlyPolledAndLastPackets) {
+  ReceiverUnit u(ProtocolKind::kNakPolling, 0);  // poll interval 3
+  u.start_session(1, 7);
+  u.clear_sent();
+  // seq 2 and 5 carry POLL (i-1 mod i), seq 6 carries LAST.
+  for (std::uint32_t seq = 0; seq < 7; ++seq) {
+    std::uint8_t flags = 0;
+    if (seq % 3 == 2) flags |= rmcast::kFlagPoll;
+    if (seq == 6) flags |= rmcast::kFlagLast;
+    u.inject_data(1, seq, flags);
+  }
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_EQ(sent[0].seq, 3u);
+  EXPECT_EQ(sent[1].seq, 6u);
+  EXPECT_EQ(sent[2].seq, 7u);
+}
+
+TEST(ReceiverNakPolling, DuplicateWithoutPollStaysSilent) {
+  ReceiverUnit u(ProtocolKind::kNakPolling, 0);
+  u.start_session(1, 5);
+  u.inject_data(1, 0);
+  u.inject_data(1, 1);
+  u.clear_sent();
+  u.inject_data(1, 0, rmcast::kFlagRetrans);  // no POLL, no LAST
+  EXPECT_TRUE(u.control_sent().empty());
+  u.inject_data(1, 1, rmcast::kFlagRetrans | rmcast::kFlagPoll);
+  ASSERT_EQ(u.control_sent().size(), 1u);
+  EXPECT_EQ(u.control_sent()[0].seq, 2u);
+}
+
+TEST(ReceiverRing, AcknowledgesOwnTokensOnly) {
+  ReceiverUnit u(ProtocolKind::kRing, 1);  // group of 4: tokens 1, 5, 9...
+  u.start_session(1, 10);
+  u.clear_sent();
+  for (std::uint32_t seq = 0; seq < 9; ++seq) u.inject_data(1, seq);
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].seq, 2u);  // consumed token 1 -> cum 2
+  EXPECT_EQ(sent[1].seq, 6u);  // consumed token 5 -> cum 6
+}
+
+TEST(ReceiverRing, EveryoneAcknowledgesTheLastPacket) {
+  ReceiverUnit u(ProtocolKind::kRing, 2);  // tokens 2, 6
+  u.start_session(1, 4);
+  u.clear_sent();
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    u.inject_data(1, seq, seq == 3 ? rmcast::kFlagLast : 0);
+  }
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].seq, 3u);  // own token 2
+  EXPECT_EQ(sent[1].seq, 4u);  // LAST: all receivers respond
+}
+
+TEST(ReceiverRing, RetransmittedDuplicateHealsLostAck) {
+  ReceiverUnit u(ProtocolKind::kRing, 3);
+  u.start_session(1, 8);
+  for (std::uint32_t seq = 0; seq < 6; ++seq) u.inject_data(1, seq);
+  u.clear_sent();
+  // A retransmission of someone else's token: under selective repeat this
+  // is the only healing prompt the sender can give, so every holder
+  // re-acknowledges.
+  u.inject_data(1, 0, rmcast::kFlagRetrans);
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 6u);
+  // A plain (non-retransmitted) duplicate of a foreign token stays silent.
+  u.clear_sent();
+  u.inject_data(1, 0);
+  EXPECT_TRUE(u.control_sent().empty());
+}
+
+TEST(ReceiverSelectiveRepeat, BuffersOutOfOrderAndDrainsOnFill) {
+  ReceiverUnit u(ProtocolKind::kAck, 0, 2, /*selective_repeat=*/true);
+  u.start_session(1, 5);
+  u.clear_sent();
+  u.inject_data(1, 0);
+  u.inject_data(1, 2);
+  u.inject_data(1, 3);
+  // Buffered 2 and 3; one NAK for the gap at 1 (second gap rate-limited).
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[1].type, PacketType::kNak);
+  EXPECT_EQ(sent[1].seq, 1u);
+  u.clear_sent();
+  u.inject_data(1, 1, rmcast::kFlagRetrans);
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].seq, 4u);  // drained through the buffered packets
+  EXPECT_GT(u.receiver_->stats().peak_reorder_bytes, 0u);
+}
+
+TEST(ReceiverDelivery, ExactlyOnceDespiteDuplicates) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 2);
+  u.inject_data(1, 0);
+  u.inject_data(1, 1, rmcast::kFlagLast);
+  u.inject_data(1, 1, rmcast::kFlagLast | rmcast::kFlagRetrans);
+  ASSERT_EQ(u.delivered_.size(), 1u);
+  EXPECT_EQ(u.delivered_[0].session, 1u);
+  EXPECT_EQ(u.receiver_->stats().messages_delivered, 1u);
+}
+
+TEST(ReceiverRobustness, GarbageAndTruncatedPacketsIgnored) {
+  ReceiverUnit u(ProtocolKind::kAck, 0);
+  u.start_session(1, 3);
+  u.clear_sent();
+  Buffer garbage{0xFF, 0x00, 0x13};
+  u.data_socket_.inject(u.membership_.sender_control, garbage);
+  Buffer empty;
+  u.data_socket_.inject(u.membership_.sender_control, empty);
+  Buffer truncated(rmcast::kHeaderBytes - 3, 1);
+  u.data_socket_.inject(u.membership_.sender_control, truncated);
+  EXPECT_TRUE(u.control_sent().empty());
+  EXPECT_TRUE(u.delivered_.empty());
+}
+
+// --- flat-tree chain behaviour ---------------------------------------------
+
+Buffer chain_ack(std::uint32_t session, std::uint16_t node, std::uint32_t cum) {
+  return rmcast::make_control_packet(
+      Header{PacketType::kAck, 0, node, session, cum});
+}
+
+Buffer chain_alloc_rsp(std::uint32_t session, std::uint16_t node) {
+  return rmcast::make_control_packet(Header{PacketType::kAllocRsp, 0, node, session, 0});
+}
+
+// Group of 4 with height 2: chains {0,1} and {2,3}; node 0 and 2 are
+// heads, 1 and 3 are tails.
+TEST(ReceiverTree, TailAcksEveryPacketToPredecessor) {
+  ReceiverUnit u(ProtocolKind::kFlatTree, 1);
+  u.start_session(1, 3);
+  // Tail responds to alloc immediately, to its predecessor (node 0).
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAllocRsp);
+  EXPECT_EQ(u.control_socket_.sent()[0].dst, u.membership_.receiver_control[0]);
+  u.clear_sent();
+  u.inject_data(1, 0);
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 1u);
+  EXPECT_EQ(u.control_socket_.sent()[0].dst, u.membership_.receiver_control[0]);
+}
+
+TEST(ReceiverTree, HeadWaitsForSuccessorBeforeAcking) {
+  ReceiverUnit u(ProtocolKind::kFlatTree, 0);  // head of chain {0,1}
+  u.start_session(1, 3);
+  // Head must not respond to alloc until the tail's response arrives.
+  EXPECT_TRUE(u.control_sent().empty());
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_alloc_rsp(1, 1));
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAllocRsp);
+  EXPECT_EQ(u.control_socket_.sent()[0].dst, u.membership_.sender_control);
+
+  // Data: holding the packet is necessary but not sufficient.
+  u.clear_sent();
+  u.inject_data(1, 0);
+  EXPECT_TRUE(u.control_sent().empty());
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_ack(1, 1, 1));
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 1u);
+  EXPECT_EQ(u.control_socket_.sent()[0].dst, u.membership_.sender_control);
+}
+
+TEST(ReceiverTree, SuccessorAheadOfSelfIsClamped) {
+  ReceiverUnit u(ProtocolKind::kFlatTree, 0);
+  u.start_session(1, 4);
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_alloc_rsp(1, 1));
+  u.clear_sent();
+  // The successor claims cum 3 but we only hold 1 packet: report min.
+  u.inject_data(1, 0);
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_ack(1, 1, 3));
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].seq, 1u);
+  // Catching up reports the min again.
+  u.clear_sent();
+  u.inject_data(1, 1);
+  u.inject_data(1, 2);
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[1].seq, 3u);
+}
+
+TEST(ReceiverTree, ChainTrafficBeforeAllocIsHeldForTheSession) {
+  // The multicast ALLOC_REQ and the unicast chain traffic race; a head
+  // may hear its tail's response (or even data ACKs) first and must apply
+  // them once its own request arrives.
+  ReceiverUnit u(ProtocolKind::kFlatTree, 0);
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_alloc_rsp(1, 1));
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_ack(1, 1, 1));
+  EXPECT_TRUE(u.control_sent().empty());
+  u.start_session(1, 3);
+  // Alloc response flows immediately (tail already confirmed).
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAllocRsp);
+  // And the buffered chain ACK counts once data arrives.
+  u.clear_sent();
+  u.inject_data(1, 0);
+  sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 1u);
+}
+
+TEST(ReceiverTree, ReAckFromSuccessorPropagatesUpstream) {
+  ReceiverUnit u(ProtocolKind::kFlatTree, 0);
+  u.start_session(1, 2);
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_alloc_rsp(1, 1));
+  u.inject_data(1, 0);
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_ack(1, 1, 1));
+  u.clear_sent();
+  // The tail re-ACKs (it saw a retransmitted duplicate): the head forwards
+  // the repair even though nothing advanced.
+  u.control_socket_.inject(u.membership_.receiver_control[1], chain_ack(1, 1, 1));
+  auto sent = u.control_sent();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].type, PacketType::kAck);
+  EXPECT_EQ(sent[0].seq, 1u);
+}
+
+}  // namespace
+}  // namespace rmc

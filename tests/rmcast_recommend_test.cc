@@ -1,0 +1,71 @@
+// Tests for the configuration recommender: the advice must follow the
+// paper's conclusions and always be valid and functional.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.h"
+#include "rmcast/recommend.h"
+
+namespace rmc::rmcast {
+namespace {
+
+TEST(Recommend, SmallMessagesGetSinglePacketAck) {
+  for (std::uint64_t bytes : {std::uint64_t{1}, std::uint64_t{256}, std::uint64_t{8192},
+                              std::uint64_t{50'000}}) {
+    auto rec = recommend_config(bytes, 30);
+    EXPECT_EQ(rec.config.kind, ProtocolKind::kAck) << bytes;
+    EXPECT_GE(rec.config.packet_size, bytes) << "must fit one packet";
+    EXPECT_EQ(rec.config.window_size, 2u);
+    EXPECT_FALSE(rec.rationale.empty());
+  }
+}
+
+TEST(Recommend, LargeMessagesGetNakPolling) {
+  for (std::uint64_t bytes :
+       {std::uint64_t{100'000}, std::uint64_t{500'000}, std::uint64_t{2'097'152}}) {
+    auto rec = recommend_config(bytes, 30);
+    EXPECT_EQ(rec.config.kind, ProtocolKind::kNakPolling) << bytes;
+    EXPECT_EQ(rec.config.packet_size, 8000u);
+    // Poll interval at 80-90% of the window (Figure 12's optimum).
+    double ratio = static_cast<double>(rec.config.poll_interval) /
+                   static_cast<double>(rec.config.window_size);
+    EXPECT_GE(ratio, 0.75) << bytes;
+    EXPECT_LE(ratio, 0.90) << bytes;
+  }
+}
+
+TEST(Recommend, WindowScalesWithMessageButIsBounded) {
+  auto small = recommend_config(100'000, 10);   // 13 packets
+  auto large = recommend_config(8'000'000, 10);  // 1000 packets
+  EXPECT_LE(small.config.window_size, 13u);
+  EXPECT_GE(small.config.window_size, 8u);
+  EXPECT_EQ(large.config.window_size, 50u);  // capped at the paper's buffer
+}
+
+class RecommendValidity
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(RecommendValidity, AlwaysValidatesForItsGroup) {
+  auto [bytes, receivers] = GetParam();
+  auto rec = recommend_config(bytes, receivers);
+  EXPECT_EQ(validate(rec.config, receivers), "")
+      << bytes << " bytes, " << receivers << " receivers";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecommendValidity,
+    ::testing::Combine(::testing::Values<std::uint64_t>(0, 1, 1000, 50'000, 50'001,
+                                                        500'000, 10'000'000),
+                       ::testing::Values<std::size_t>(1, 2, 16, 30, 100)));
+
+TEST(Recommend, RecommendedConfigActuallyTransfers) {
+  for (std::uint64_t bytes : {std::uint64_t{2000}, std::uint64_t{300'000}}) {
+    auto rec = recommend_config(bytes, 6);
+    test::ProtocolHarness h(6, rec.config);
+    Buffer message = test::pattern(bytes);
+    ASSERT_TRUE(h.send_and_run(message)) << bytes;
+    h.expect_all_delivered({message});
+  }
+}
+
+}  // namespace
+}  // namespace rmc::rmcast

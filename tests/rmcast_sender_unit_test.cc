@@ -1,0 +1,405 @@
+// Sender unit tests using fake runtime/sockets: allocation handshake and
+// retries, window-gated transmission, poll flag placement, retransmission
+// triggers (NAK, timeout) with suppression, Go-Back-N vs selective-repeat
+// scope, tree-unit accounting, and completion semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fake_runtime.h"
+#include "rmcast/sender.h"
+
+namespace rmc {
+namespace {
+
+using rmcast::Header;
+using rmcast::PacketType;
+using rmcast::ProtocolConfig;
+using rmcast::ProtocolKind;
+using test::fake_membership;
+using test::FakeRuntime;
+using test::FakeSocket;
+
+constexpr std::size_t kN = 4;
+
+Buffer ack_packet(std::uint32_t session, std::uint16_t node, std::uint32_t cum) {
+  return rmcast::make_control_packet(Header{PacketType::kAck, 0, node, session, cum});
+}
+
+Buffer nak_packet(std::uint32_t session, std::uint16_t node, std::uint32_t seq) {
+  return rmcast::make_control_packet(Header{PacketType::kNak, 0, node, session, seq});
+}
+
+Buffer rsp_packet(std::uint32_t session, std::uint16_t node) {
+  return rmcast::make_control_packet(Header{PacketType::kAllocRsp, 0, node, session, 0});
+}
+
+class SenderUnit {
+ public:
+  explicit SenderUnit(ProtocolConfig config)
+      : membership_(fake_membership(kN)), socket_(membership_.sender_control) {
+    sender_ = std::make_unique<rmcast::MulticastSender>(runtime_, socket_, membership_,
+                                                        config);
+  }
+
+  // Sends an 8-packet message (config.packet_size bytes each).
+  void send(std::size_t n_packets, std::size_t packet_size) {
+    message_.assign(n_packets * packet_size, 0x5C);
+    sender_->send(BytesView(message_.data(), message_.size()), [this] { ++completions_; });
+  }
+
+  void respond_alloc(std::initializer_list<std::uint16_t> nodes) {
+    for (std::uint16_t node : nodes) {
+      socket_.inject(membership_.receiver_control[node],
+                     rsp_packet(sender_->session(), node));
+    }
+  }
+
+  void ack(std::uint16_t node, std::uint32_t cum) {
+    socket_.inject(membership_.receiver_control[node],
+                   ack_packet(sender_->session(), node, cum));
+  }
+
+  void ack_all(std::uint32_t cum) {
+    for (std::uint16_t node = 0; node < kN; ++node) ack(node, cum);
+  }
+
+  std::vector<Header> data_sent() const {
+    std::vector<Header> out;
+    for (const auto& h : socket_.sent_headers()) {
+      if (h.type == PacketType::kData) out.push_back(h);
+    }
+    return out;
+  }
+
+  FakeRuntime runtime_;
+  rmcast::GroupMembership membership_;
+  FakeSocket socket_;
+  std::unique_ptr<rmcast::MulticastSender> sender_;
+  Buffer message_;
+  int completions_ = 0;
+};
+
+ProtocolConfig base_config(ProtocolKind kind) {
+  ProtocolConfig c;
+  c.kind = kind;
+  c.packet_size = 100;
+  c.window_size = 3;
+  c.poll_interval = 2;
+  c.tree_height = 2;
+  return c;
+}
+
+TEST(SenderAlloc, MulticastsRequestWithMessageGeometry) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(8, 100);
+  ASSERT_EQ(u.socket_.sent().size(), 1u);
+  EXPECT_EQ(u.socket_.sent()[0].dst, u.membership_.group);
+  Header h = u.socket_.header_of(0);
+  EXPECT_EQ(h.type, PacketType::kAllocReq);
+  EXPECT_EQ(h.session, 1u);
+  Reader r(BytesView(u.socket_.sent()[0].payload.data(), u.socket_.sent()[0].payload.size()));
+  (void)rmcast::read_header(r);
+  auto req = rmcast::read_alloc_request(r);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->message_bytes, 800u);
+  EXPECT_EQ(req->packet_bytes, 100u);
+  EXPECT_EQ(req->total_packets, 8u);
+  EXPECT_TRUE(u.sender_->busy());
+}
+
+TEST(SenderAlloc, RetriesUntilEveryoneResponds) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2});  // node 3 silent
+  u.runtime_.advance(u.sender_->config().alloc_rto + 1);
+  // A second ALLOC_REQ went out; still no data.
+  auto headers = u.socket_.sent_headers();
+  EXPECT_EQ(std::count_if(headers.begin(), headers.end(),
+                          [](const Header& h) { return h.type == PacketType::kAllocReq; }),
+            2);
+  EXPECT_TRUE(u.data_sent().empty());
+  u.respond_alloc({3});
+  EXPECT_FALSE(u.data_sent().empty());
+  EXPECT_EQ(u.sender_->stats().alloc_requests_sent, 2u);
+}
+
+TEST(SenderAlloc, DuplicateResponsesCountOnce) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 0, 0, 1, 1});
+  EXPECT_TRUE(u.data_sent().empty());  // nodes 2, 3 still missing
+  u.respond_alloc({2, 3});
+  EXPECT_FALSE(u.data_sent().empty());
+}
+
+TEST(SenderData, WindowGatesTransmission) {
+  SenderUnit u(base_config(ProtocolKind::kAck));  // window 3
+  u.send(8, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  auto data = u.data_sent();
+  ASSERT_EQ(data.size(), 3u);  // window full
+  EXPECT_EQ(data[0].seq, 0u);
+  EXPECT_EQ(data[2].seq, 2u);
+
+  // Everyone acknowledges packet 0: exactly one more slides in.
+  u.ack_all(1);
+  data = u.data_sent();
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data[3].seq, 3u);
+
+  // A partial acknowledgment (3 of 4 receivers) releases nothing.
+  u.ack(0, 2);
+  u.ack(1, 2);
+  u.ack(2, 2);
+  EXPECT_EQ(u.data_sent().size(), 4u);
+  u.ack(3, 2);
+  EXPECT_EQ(u.data_sent().size(), 5u);
+}
+
+TEST(SenderData, PayloadSlicesAreExact) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(2, 100);
+  // Overwrite the caller's buffer AFTER send: the protocol must have
+  // copied (copy_user_data default).
+  std::fill(u.message_.begin(), u.message_.end(), 0x00);
+  u.respond_alloc({0, 1, 2, 3});
+  auto& sent = u.socket_.sent();
+  // sent[0] is the alloc request.
+  ASSERT_GE(sent.size(), 3u);
+  EXPECT_EQ(sent[1].payload.size(), rmcast::kHeaderBytes + 100);
+  EXPECT_EQ(sent[1].payload[rmcast::kHeaderBytes], 0x5C);
+}
+
+TEST(SenderData, LastFlagOnFinalPacket) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(2, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  auto data = u.data_sent();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].flags & rmcast::kFlagLast, 0);
+  EXPECT_NE(data[1].flags & rmcast::kFlagLast, 0);
+}
+
+TEST(SenderData, PollFlagsAtIntervalBoundaries) {
+  SenderUnit u(base_config(ProtocolKind::kNakPolling));  // poll 2, window 3
+  u.send(6, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  u.ack_all(2);
+  u.ack_all(4);
+  u.ack_all(6);
+  auto data = u.data_sent();
+  ASSERT_EQ(data.size(), 6u);
+  for (std::uint32_t seq = 0; seq < 6; ++seq) {
+    bool expect_poll = seq % 2 == 1;
+    EXPECT_EQ((data[seq].flags & rmcast::kFlagPoll) != 0, expect_poll) << "seq " << seq;
+  }
+}
+
+TEST(SenderData, CompletionFiresExactlyOnce) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  u.ack_all(3);
+  EXPECT_EQ(u.completions_, 0);
+  u.ack_all(4);
+  EXPECT_EQ(u.completions_, 1);
+  EXPECT_FALSE(u.sender_->busy());
+  u.ack_all(4);  // stragglers after completion
+  EXPECT_EQ(u.completions_, 1);
+  EXPECT_GT(u.sender_->stats().stale_packets, 0u);
+  EXPECT_EQ(u.runtime_.pending_timers(), 0u);  // everything disarmed
+}
+
+TEST(SenderRetransmit, NakTriggersGoBackN) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(6, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  std::size_t before = u.data_sent().size();  // 3 (window)
+  u.runtime_.advance(u.sender_->config().suppress_interval + 1);
+  u.socket_.inject(u.membership_.receiver_control[2], nak_packet(1, 2, 1));
+  auto data = u.data_sent();
+  // Go-Back-N from 1: packets 1 and 2 retransmitted with the flag.
+  ASSERT_EQ(data.size(), before + 2);
+  EXPECT_EQ(data[before].seq, 1u);
+  EXPECT_NE(data[before].flags & rmcast::kFlagRetrans, 0);
+  EXPECT_EQ(data[before + 1].seq, 2u);
+  EXPECT_EQ(u.sender_->stats().naks_received, 1u);
+  EXPECT_EQ(u.sender_->stats().retransmissions, 2u);
+}
+
+TEST(SenderRetransmit, SelectiveRepeatResendsOnlyTheNakedPacket) {
+  auto config = base_config(ProtocolKind::kAck);
+  config.selective_repeat = true;
+  SenderUnit u(config);
+  u.send(6, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  std::size_t before = u.data_sent().size();
+  u.runtime_.advance(u.sender_->config().suppress_interval + 1);
+  u.socket_.inject(u.membership_.receiver_control[2], nak_packet(1, 2, 1));
+  auto data = u.data_sent();
+  ASSERT_EQ(data.size(), before + 1);
+  EXPECT_EQ(data[before].seq, 1u);
+}
+
+TEST(SenderRetransmit, SuppressionAbsorbsNakBursts) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(6, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  u.runtime_.advance(u.sender_->config().suppress_interval + 1);
+  std::size_t before = u.data_sent().size();
+  // Four receivers NAK the same gap back-to-back: one retransmission burst.
+  for (std::uint16_t node = 0; node < kN; ++node) {
+    u.socket_.inject(u.membership_.receiver_control[node], nak_packet(1, node, 0));
+  }
+  EXPECT_EQ(u.data_sent().size(), before + 3);  // 0,1,2 once, not four times
+  EXPECT_EQ(u.sender_->stats().naks_received, 4u);
+  EXPECT_GT(u.sender_->stats().suppressed_retransmissions, 0u);
+}
+
+TEST(SenderRetransmit, NakOutsideWindowIgnored) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(6, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  u.ack_all(2);  // base now 2
+  u.runtime_.advance(u.sender_->config().suppress_interval + 1);
+  std::size_t before = u.data_sent().size();
+  u.socket_.inject(u.membership_.receiver_control[0], nak_packet(1, 0, 0));  // released
+  u.socket_.inject(u.membership_.receiver_control[0], nak_packet(1, 0, 99));  // bogus
+  EXPECT_EQ(u.data_sent().size(), before);
+}
+
+TEST(SenderRetransmit, TimeoutRetransmitsAndRearms) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  std::size_t before = u.data_sent().size();
+  u.runtime_.advance(u.sender_->config().rto + 1);
+  EXPECT_GT(u.data_sent().size(), before);
+  EXPECT_EQ(u.sender_->stats().rto_fires, 1u);
+  std::size_t after_first = u.data_sent().size();
+  u.runtime_.advance(u.sender_->config().rto + 1);
+  EXPECT_GT(u.data_sent().size(), after_first);
+  EXPECT_EQ(u.sender_->stats().rto_fires, 2u);
+}
+
+TEST(SenderRetransmit, ProgressPushesTimeoutOut) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(8, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  // Keep some receiver's cum advancing just before each deadline: no RTO
+  // may fire even though the minimum lags (the ring protocol's normal
+  // operating mode).
+  const std::uint16_t nodes[] = {0, 1, 2, 3, 0};
+  const std::uint32_t cums[] = {1, 1, 1, 1, 2};
+  for (int i = 0; i < 5; ++i) {
+    u.runtime_.advance(u.sender_->config().rto - sim::milliseconds(1));
+    u.ack(nodes[i], cums[i]);
+  }
+  EXPECT_EQ(u.sender_->stats().rto_fires, 0u);
+}
+
+TEST(SenderRetransmit, ForcedPollAfterTimeoutForNakPolling) {
+  auto config = base_config(ProtocolKind::kNakPolling);
+  config.poll_interval = 3;
+  config.window_size = 3;
+  SenderUnit u(config);
+  u.send(9, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  // Window holds 0,1,2; poll flag naturally on seq 2. Acks for all 3
+  // lost; the timeout batch must still solicit acknowledgment.
+  u.runtime_.advance(u.sender_->config().rto + 1);
+  auto data = u.data_sent();
+  // Find the retransmitted batch and check at least one packet polls.
+  bool any_poll_in_retx = false;
+  for (const Header& h : data) {
+    if ((h.flags & rmcast::kFlagRetrans) != 0 &&
+        (h.flags & (rmcast::kFlagPoll | rmcast::kFlagLast)) != 0) {
+      any_poll_in_retx = true;
+    }
+  }
+  EXPECT_TRUE(any_poll_in_retx);
+}
+
+TEST(SenderTree, OnlyChainHeadsAreUnits) {
+  SenderUnit u(base_config(ProtocolKind::kFlatTree));  // H=2: heads 0 and 2
+  u.send(4, 100);
+  // Tail responses must not start the data phase.
+  u.respond_alloc({1, 3});
+  EXPECT_TRUE(u.data_sent().empty());
+  u.respond_alloc({0, 2});
+  EXPECT_FALSE(u.data_sent().empty());
+
+  // ACKs from tails are ignored; only head cums release.
+  u.ack(1, 4);
+  u.ack(3, 4);
+  EXPECT_EQ(u.completions_, 0);
+  u.ack(0, 3);
+  u.ack(2, 3);  // releases the window; the 4th packet goes out
+  EXPECT_EQ(u.completions_, 0);
+  u.ack(0, 4);
+  u.ack(2, 4);
+  EXPECT_EQ(u.completions_, 1);
+}
+
+TEST(SenderTree, AckBeyondTransmissionHorizonClamped) {
+  SenderUnit u(base_config(ProtocolKind::kFlatTree));  // window 3
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  // Heads claim the whole message although only 3 packets were ever sent:
+  // the sender must honour the believable prefix and carry on, never
+  // complete early or crash.
+  u.ack(0, 4);
+  u.ack(2, 4);
+  EXPECT_EQ(u.completions_, 0);
+  EXPECT_EQ(u.data_sent().size(), 4u);  // the clamped release freed a slot
+  u.ack(0, 4);
+  u.ack(2, 4);
+  EXPECT_EQ(u.completions_, 1);
+}
+
+TEST(SenderStale, WrongSessionControlPacketsCounted) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  std::uint64_t before = u.sender_->stats().stale_packets;
+  u.socket_.inject(u.membership_.receiver_control[0], ack_packet(99, 0, 1));
+  u.socket_.inject(u.membership_.receiver_control[0], nak_packet(99, 0, 1));
+  u.socket_.inject(u.membership_.receiver_control[0], rsp_packet(99, 0));
+  EXPECT_EQ(u.sender_->stats().stale_packets, before + 3);
+}
+
+TEST(SenderStale, AckFromUnknownNodeIgnored) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(4, 100);
+  u.respond_alloc({0, 1, 2, 3});
+  u.socket_.inject(u.membership_.receiver_control[0], ack_packet(1, 999, 4));
+  EXPECT_EQ(u.completions_, 0);
+}
+
+TEST(SenderSessions, IncrementAcrossMessages) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.send(1, 100);
+  EXPECT_EQ(u.sender_->session(), 1u);
+  u.respond_alloc({0, 1, 2, 3});
+  u.ack_all(1);
+  EXPECT_EQ(u.completions_, 1);
+  u.send(1, 100);
+  EXPECT_EQ(u.sender_->session(), 2u);
+}
+
+TEST(SenderEdge, EmptyMessageIsOneEmptyPacket) {
+  SenderUnit u(base_config(ProtocolKind::kAck));
+  u.message_.clear();
+  u.sender_->send(BytesView{}, [&] { ++u.completions_; });
+  u.respond_alloc({0, 1, 2, 3});
+  auto data = u.data_sent();
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_NE(data[0].flags & rmcast::kFlagLast, 0);
+  EXPECT_EQ(u.socket_.sent().back().payload.size(), rmcast::kHeaderBytes);
+  u.ack_all(1);
+  EXPECT_EQ(u.completions_, 1);
+}
+
+}  // namespace
+}  // namespace rmc

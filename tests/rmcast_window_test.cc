@@ -1,0 +1,277 @@
+// Tests for the sender window, cumulative-ACK tracker, flat-tree layout,
+// group membership validation, and protocol-configuration validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rmcast/config.h"
+#include "rmcast/group.h"
+#include "rmcast/window.h"
+
+namespace rmc::rmcast {
+namespace {
+
+TEST(CumTracker, MinIsMinimumAcrossUnits) {
+  CumTracker t;
+  t.reset(3);
+  EXPECT_EQ(t.min_cum(), 0u);
+  EXPECT_TRUE(t.on_ack(0, 5));
+  EXPECT_TRUE(t.on_ack(1, 3));
+  EXPECT_EQ(t.min_cum(), 0u);  // unit 2 still at 0
+  EXPECT_TRUE(t.on_ack(2, 4));
+  EXPECT_EQ(t.min_cum(), 3u);
+  EXPECT_EQ(t.unit_cum(0), 5u);
+}
+
+TEST(CumTracker, StaleAcksIgnored) {
+  CumTracker t;
+  t.reset(2);
+  EXPECT_TRUE(t.on_ack(0, 10));
+  EXPECT_FALSE(t.on_ack(0, 10));  // duplicate
+  EXPECT_FALSE(t.on_ack(0, 4));   // regression
+  EXPECT_EQ(t.unit_cum(0), 10u);
+}
+
+TEST(CumTracker, ReturnsUnitAdvanceNotMinAdvance) {
+  // The ring protocol depends on this distinction: most ACKs advance a
+  // unit without moving the minimum, and those must still report progress.
+  CumTracker t;
+  t.reset(2);
+  EXPECT_TRUE(t.on_ack(0, 1));
+  EXPECT_EQ(t.min_cum(), 0u);
+  EXPECT_TRUE(t.on_ack(0, 2));
+  EXPECT_EQ(t.min_cum(), 0u);
+  EXPECT_TRUE(t.on_ack(1, 1));
+  EXPECT_EQ(t.min_cum(), 1u);
+}
+
+TEST(SenderWindow, ClaimAndReleaseInvariants) {
+  SenderWindow w;
+  w.reset(10, 4);
+  EXPECT_TRUE(w.can_send());
+  EXPECT_EQ(w.claim_next(), 0u);
+  EXPECT_EQ(w.claim_next(), 1u);
+  EXPECT_EQ(w.claim_next(), 2u);
+  EXPECT_EQ(w.claim_next(), 3u);
+  EXPECT_FALSE(w.can_send());  // window full
+  EXPECT_EQ(w.outstanding(), 4u);
+
+  w.release_to(2);
+  EXPECT_EQ(w.base(), 2u);
+  EXPECT_TRUE(w.can_send());
+  EXPECT_EQ(w.claim_next(), 4u);
+  EXPECT_EQ(w.claim_next(), 5u);
+  EXPECT_FALSE(w.can_send());
+}
+
+TEST(SenderWindow, StopsAtTotal) {
+  SenderWindow w;
+  w.reset(3, 10);
+  w.claim_next();
+  w.claim_next();
+  w.claim_next();
+  EXPECT_FALSE(w.can_send());  // all claimed despite window room
+  w.release_to(3);
+  EXPECT_TRUE(w.all_released());
+}
+
+TEST(SenderWindow, ReleaseIsMonotonic) {
+  SenderWindow w;
+  w.reset(10, 5);
+  for (int i = 0; i < 5; ++i) w.claim_next();
+  w.release_to(4);
+  w.release_to(2);  // stale release must not move base backwards
+  EXPECT_EQ(w.base(), 4u);
+}
+
+TEST(SenderWindow, TracksTransmissionsPerPacket) {
+  SenderWindow w;
+  w.reset(10, 4);
+  std::uint32_t seq = w.claim_next();
+  EXPECT_EQ(w.tx_count(seq), 0u);
+  EXPECT_EQ(w.last_sent(seq), -1);
+  w.mark_sent(seq, sim::microseconds(10));
+  w.mark_sent(seq, sim::microseconds(30));
+  EXPECT_EQ(w.tx_count(seq), 2u);
+  EXPECT_EQ(w.last_sent(seq), sim::microseconds(30));
+}
+
+TEST(SenderWindowDeath, SeqOutsideWindowPanics) {
+  SenderWindow w;
+  w.reset(10, 4);
+  w.claim_next();
+  EXPECT_DEATH(w.last_sent(5), "outside the window");
+  w.release_to(1);
+  EXPECT_DEATH(w.mark_sent(0, 0), "outside the window");
+}
+
+// Flat-tree layout properties, swept over group sizes and heights.
+class TreeLayoutTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TreeLayoutTest, PartitionIsConsistent) {
+  auto [n, h] = GetParam();
+  if (h > n) GTEST_SKIP();
+
+  std::set<std::size_t> heads_seen;
+  for (std::size_t id = 0; id < n; ++id) {
+    TreePosition pos = tree_position(id, n, h);
+    EXPECT_EQ(pos.chain, id / h);
+    EXPECT_EQ(pos.depth, id % h);
+    if (pos.is_head) heads_seen.insert(id);
+    // Successor/predecessor are mutual.
+    if (!pos.is_tail) {
+      TreePosition succ = tree_position(pos.successor, n, h);
+      EXPECT_FALSE(succ.is_head);
+      EXPECT_EQ(succ.predecessor, id);
+      EXPECT_EQ(succ.chain, pos.chain);
+    }
+    if (!pos.is_head) {
+      TreePosition pred = tree_position(pos.predecessor, n, h);
+      EXPECT_FALSE(pred.is_tail);
+      EXPECT_EQ(pred.successor, id);
+    }
+    // Every chain has depth < h.
+    EXPECT_LT(pos.depth, h);
+  }
+  auto heads = tree_chain_heads(n, h);
+  EXPECT_EQ(heads.size(), tree_chain_count(n, h));
+  EXPECT_EQ(std::set<std::size_t>(heads.begin(), heads.end()), heads_seen);
+  // ceil(n/h) chains.
+  EXPECT_EQ(tree_chain_count(n, h), (n + h - 1) / h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeLayoutTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 16, 30, 31),
+                       ::testing::Values<std::size_t>(1, 2, 3, 6, 15, 30)));
+
+TEST(TreeLayout, HeightOneIsAllHeads) {
+  for (std::size_t id = 0; id < 5; ++id) {
+    TreePosition pos = tree_position(id, 5, 1);
+    EXPECT_TRUE(pos.is_head);
+    EXPECT_TRUE(pos.is_tail);
+  }
+  EXPECT_EQ(tree_chain_heads(5, 1).size(), 5u);
+}
+
+TEST(TreeLayout, FullHeightIsOneChain) {
+  auto heads = tree_chain_heads(6, 6);
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0], 0u);
+  EXPECT_TRUE(tree_position(5, 6, 6).is_tail);
+  EXPECT_FALSE(tree_position(3, 6, 6).is_tail);
+}
+
+TEST(TreeLayout, RaggedLastChain) {
+  // 7 receivers, height 3: chains {0,1,2}, {3,4,5}, {6}.
+  EXPECT_EQ(tree_chain_count(7, 3), 3u);
+  TreePosition last = tree_position(6, 7, 3);
+  EXPECT_TRUE(last.is_head);
+  EXPECT_TRUE(last.is_tail);  // alone in its chain
+}
+
+GroupMembership valid_membership(std::size_t n) {
+  GroupMembership m;
+  m.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
+  m.sender_control = {net::Ipv4Addr(10, 0, 0, 1), 5001};
+  for (std::size_t i = 0; i < n; ++i) {
+    m.receiver_control.push_back({net::Ipv4Addr(10, 0, 0, static_cast<uint8_t>(i + 2)), 5002});
+  }
+  return m;
+}
+
+TEST(Group, ValidMembershipPasses) {
+  EXPECT_EQ(valid_membership(3).validate(), "");
+}
+
+TEST(Group, RejectsNonMulticastGroup) {
+  GroupMembership m = valid_membership(3);
+  m.group.addr = net::Ipv4Addr(10, 0, 0, 9);
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Group, RejectsMissingPortsAndReceivers) {
+  GroupMembership m = valid_membership(3);
+  m.group.port = 0;
+  EXPECT_NE(m.validate(), "");
+
+  m = valid_membership(3);
+  m.sender_control.port = 0;
+  EXPECT_NE(m.validate(), "");
+
+  m = valid_membership(3);
+  m.receiver_control[1].port = 0;
+  EXPECT_NE(m.validate(), "");
+
+  m = valid_membership(0);
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Config, DefaultsValidateForEachProtocol) {
+  for (auto kind : {ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing,
+                    ProtocolKind::kFlatTree}) {
+    ProtocolConfig c;
+    c.kind = kind;
+    c.window_size = 40;  // ring needs > n
+    EXPECT_EQ(validate(c, 30), "") << protocol_name(kind);
+  }
+}
+
+TEST(Config, RingRequiresWindowBeyondReceivers) {
+  ProtocolConfig c;
+  c.kind = ProtocolKind::kRing;
+  c.window_size = 30;
+  EXPECT_NE(validate(c, 30), "");
+  c.window_size = 31;
+  EXPECT_EQ(validate(c, 30), "");
+}
+
+TEST(Config, PollIntervalBoundedByWindow) {
+  ProtocolConfig c;
+  c.kind = ProtocolKind::kNakPolling;
+  c.window_size = 20;
+  c.poll_interval = 21;
+  EXPECT_NE(validate(c, 30), "");
+  c.poll_interval = 20;
+  EXPECT_EQ(validate(c, 30), "");
+  c.poll_interval = 0;
+  EXPECT_NE(validate(c, 30), "");
+}
+
+TEST(Config, TreeHeightBounds) {
+  ProtocolConfig c;
+  c.kind = ProtocolKind::kFlatTree;
+  c.tree_height = 0;
+  EXPECT_NE(validate(c, 30), "");
+  c.tree_height = 31;
+  EXPECT_NE(validate(c, 30), "");
+  c.tree_height = 30;
+  EXPECT_EQ(validate(c, 30), "");
+}
+
+TEST(Config, PacketSizeBounds) {
+  ProtocolConfig c;
+  c.packet_size = 0;
+  EXPECT_NE(validate(c, 30), "");
+  c.packet_size = 65'507;  // + header would exceed the UDP maximum
+  EXPECT_NE(validate(c, 30), "");
+  c.packet_size = 65'495;
+  EXPECT_EQ(validate(c, 30), "");
+}
+
+TEST(Config, Describe) {
+  ProtocolConfig c;
+  c.kind = ProtocolKind::kNakPolling;
+  c.packet_size = 8000;
+  c.window_size = 50;
+  c.poll_interval = 43;
+  EXPECT_EQ(c.describe(), "NAK-based pkt=8000 win=50 poll=43");
+  c.kind = ProtocolKind::kFlatTree;
+  c.tree_height = 6;
+  c.selective_repeat = true;
+  EXPECT_EQ(c.describe(), "Tree-based pkt=8000 win=50 H=6 SR");
+}
+
+}  // namespace
+}  // namespace rmc::rmcast

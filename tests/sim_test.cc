@@ -1,0 +1,129 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, and clock semantics — properties every higher layer
+// depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace rmc::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(microseconds(3), 3000);
+  EXPECT_EQ(milliseconds(2), 2'000'000);
+  EXPECT_EQ(seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.25)), 2.25);
+}
+
+TEST(Time, TransmissionTime) {
+  // 1250 bytes at 100 Mbps = 100 us.
+  EXPECT_EQ(transmission_time(1250, 100e6), microseconds(100));
+  // Rounds up fractional nanoseconds.
+  EXPECT_EQ(transmission_time(1, 8e9), 1);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsMayScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.schedule_after(1, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(5, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelUnknownOrFiredIsNoop) {
+  Simulator sim;
+  EventId id = sim.schedule_at(1, [] {});
+  sim.run();
+  sim.cancel(id);      // already fired
+  sim.cancel(999999);  // never existed
+  sim.cancel(kInvalidEventId);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<Time> fired;
+  sim.schedule_at(10, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(20, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(30, [&] { fired.push_back(sim.now()); });
+  sim.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, LiveEventsExcludesCancelled) {
+  Simulator sim;
+  EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.live_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.live_events(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorDeath, SchedulingInThePastPanics) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(50, [] {}), "scheduled in the past");
+}
+
+}  // namespace
+}  // namespace rmc::sim

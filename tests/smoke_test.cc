@@ -1,0 +1,55 @@
+// End-to-end smoke: every protocol delivers a message on the Figure-7
+// cluster; the baselines complete. Deeper behaviour is covered by the
+// per-module suites.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace rmc {
+namespace {
+
+harness::MulticastRunSpec spec_for(rmcast::ProtocolKind kind) {
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = 8;
+  spec.message_bytes = 100'000;
+  spec.protocol.kind = kind;
+  spec.protocol.packet_size = 8192;
+  spec.protocol.window_size = 16;
+  spec.protocol.poll_interval = 12;
+  spec.protocol.tree_height = 4;
+  return spec;
+}
+
+TEST(Smoke, AckProtocolDelivers) {
+  auto result = harness::run_multicast(spec_for(rmcast::ProtocolKind::kAck));
+  ASSERT_TRUE(result.completed) << result.error;
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(Smoke, NakPollingProtocolDelivers) {
+  auto result = harness::run_multicast(spec_for(rmcast::ProtocolKind::kNakPolling));
+  ASSERT_TRUE(result.completed) << result.error;
+}
+
+TEST(Smoke, RingProtocolDelivers) {
+  auto result = harness::run_multicast(spec_for(rmcast::ProtocolKind::kRing));
+  ASSERT_TRUE(result.completed) << result.error;
+}
+
+TEST(Smoke, TreeProtocolDelivers) {
+  auto result = harness::run_multicast(spec_for(rmcast::ProtocolKind::kFlatTree));
+  ASSERT_TRUE(result.completed) << result.error;
+}
+
+TEST(Smoke, TcpFanoutCompletes) {
+  auto result = harness::run_tcp_fanout(4, 100'000, 1);
+  ASSERT_TRUE(result.completed) << result.error;
+}
+
+TEST(Smoke, RawUdpCompletes) {
+  auto result = harness::run_raw_udp(4, 100'000, 8192, 1);
+  ASSERT_TRUE(result.completed) << result.error;
+}
+
+}  // namespace
+}  // namespace rmc
