@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ack_implosion.dir/abl_ack_implosion.cc.o"
+  "CMakeFiles/abl_ack_implosion.dir/abl_ack_implosion.cc.o.d"
+  "abl_ack_implosion"
+  "abl_ack_implosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ack_implosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

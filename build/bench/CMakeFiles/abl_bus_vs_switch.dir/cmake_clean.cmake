@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bus_vs_switch.dir/abl_bus_vs_switch.cc.o"
+  "CMakeFiles/abl_bus_vs_switch.dir/abl_bus_vs_switch.cc.o.d"
+  "abl_bus_vs_switch"
+  "abl_bus_vs_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bus_vs_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_bus_vs_switch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gbn_vs_sr.dir/abl_gbn_vs_sr.cc.o"
+  "CMakeFiles/abl_gbn_vs_sr.dir/abl_gbn_vs_sr.cc.o.d"
+  "abl_gbn_vs_sr"
+  "abl_gbn_vs_sr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gbn_vs_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

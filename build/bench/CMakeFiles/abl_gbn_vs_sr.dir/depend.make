@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_gbn_vs_sr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_loss_sweep.dir/abl_loss_sweep.cc.o"
+  "CMakeFiles/abl_loss_sweep.dir/abl_loss_sweep.cc.o.d"
+  "abl_loss_sweep"
+  "abl_loss_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_loss_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

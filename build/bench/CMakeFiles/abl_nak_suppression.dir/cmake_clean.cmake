@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nak_suppression.dir/abl_nak_suppression.cc.o"
+  "CMakeFiles/abl_nak_suppression.dir/abl_nak_suppression.cc.o.d"
+  "abl_nak_suppression"
+  "abl_nak_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nak_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

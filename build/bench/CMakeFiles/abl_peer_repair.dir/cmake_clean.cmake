@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_peer_repair.dir/abl_peer_repair.cc.o"
+  "CMakeFiles/abl_peer_repair.dir/abl_peer_repair.cc.o.d"
+  "abl_peer_repair"
+  "abl_peer_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_peer_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rate_vs_window.dir/abl_rate_vs_window.cc.o"
+  "CMakeFiles/abl_rate_vs_window.dir/abl_rate_vs_window.cc.o.d"
+  "abl_rate_vs_window"
+  "abl_rate_vs_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rate_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_rate_vs_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_repair_unicast.dir/abl_repair_unicast.cc.o"
+  "CMakeFiles/abl_repair_unicast.dir/abl_repair_unicast.cc.o.d"
+  "abl_repair_unicast"
+  "abl_repair_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_repair_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_snooping.dir/abl_snooping.cc.o"
+  "CMakeFiles/abl_snooping.dir/abl_snooping.cc.o.d"
+  "abl_snooping"
+  "abl_snooping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_snooping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_straggler.dir/abl_straggler.cc.o"
+  "CMakeFiles/abl_straggler.dir/abl_straggler.cc.o.d"
+  "abl_straggler"
+  "abl_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_suppression.dir/abl_suppression.cc.o"
+  "CMakeFiles/abl_suppression.dir/abl_suppression.cc.o.d"
+  "abl_suppression"
+  "abl_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

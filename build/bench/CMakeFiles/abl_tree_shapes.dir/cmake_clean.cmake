@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tree_shapes.dir/abl_tree_shapes.cc.o"
+  "CMakeFiles/abl_tree_shapes.dir/abl_tree_shapes.cc.o.d"
+  "abl_tree_shapes"
+  "abl_tree_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tree_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

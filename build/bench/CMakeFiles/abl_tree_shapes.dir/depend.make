@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_tree_shapes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_probe.dir/debug_probe.cc.o"
+  "CMakeFiles/debug_probe.dir/debug_probe.cc.o.d"
+  "debug_probe"
+  "debug_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ack_vs_tcp.dir/fig08_ack_vs_tcp.cc.o"
+  "CMakeFiles/fig08_ack_vs_tcp.dir/fig08_ack_vs_tcp.cc.o.d"
+  "fig08_ack_vs_tcp"
+  "fig08_ack_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ack_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

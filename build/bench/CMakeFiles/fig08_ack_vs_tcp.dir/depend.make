@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_ack_vs_tcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ack_vs_udp.dir/fig09_ack_vs_udp.cc.o"
+  "CMakeFiles/fig09_ack_vs_udp.dir/fig09_ack_vs_udp.cc.o.d"
+  "fig09_ack_vs_udp"
+  "fig09_ack_vs_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ack_vs_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

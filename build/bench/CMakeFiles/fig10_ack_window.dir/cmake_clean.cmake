@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ack_window.dir/fig10_ack_window.cc.o"
+  "CMakeFiles/fig10_ack_window.dir/fig10_ack_window.cc.o.d"
+  "fig10_ack_window"
+  "fig10_ack_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ack_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ack_scalability.dir/fig11_ack_scalability.cc.o"
+  "CMakeFiles/fig11_ack_scalability.dir/fig11_ack_scalability.cc.o.d"
+  "fig11_ack_scalability"
+  "fig11_ack_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ack_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

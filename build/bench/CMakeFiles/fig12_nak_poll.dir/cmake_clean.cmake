@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nak_poll.dir/fig12_nak_poll.cc.o"
+  "CMakeFiles/fig12_nak_poll.dir/fig12_nak_poll.cc.o.d"
+  "fig12_nak_poll"
+  "fig12_nak_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nak_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_nak_poll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nak_buffer.dir/fig13_nak_buffer.cc.o"
+  "CMakeFiles/fig13_nak_buffer.dir/fig13_nak_buffer.cc.o.d"
+  "fig13_nak_buffer"
+  "fig13_nak_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nak_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

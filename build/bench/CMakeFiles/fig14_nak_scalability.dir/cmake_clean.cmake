@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nak_scalability.dir/fig14_nak_scalability.cc.o"
+  "CMakeFiles/fig14_nak_scalability.dir/fig14_nak_scalability.cc.o.d"
+  "fig14_nak_scalability"
+  "fig14_nak_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nak_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

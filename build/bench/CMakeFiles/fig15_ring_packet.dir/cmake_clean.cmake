@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ring_packet.dir/fig15_ring_packet.cc.o"
+  "CMakeFiles/fig15_ring_packet.dir/fig15_ring_packet.cc.o.d"
+  "fig15_ring_packet"
+  "fig15_ring_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ring_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ring_window.dir/fig16_ring_window.cc.o"
+  "CMakeFiles/fig16_ring_window.dir/fig16_ring_window.cc.o.d"
+  "fig16_ring_window"
+  "fig16_ring_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ring_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

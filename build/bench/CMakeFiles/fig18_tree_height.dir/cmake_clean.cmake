@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tree_height.dir/fig18_tree_height.cc.o"
+  "CMakeFiles/fig18_tree_height.dir/fig18_tree_height.cc.o.d"
+  "fig18_tree_height"
+  "fig18_tree_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tree_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_tree_height.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_tree_height.
+# This may be replaced when dependencies are built.

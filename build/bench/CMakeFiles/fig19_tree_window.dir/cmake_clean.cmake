@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_tree_window.dir/fig19_tree_window.cc.o"
+  "CMakeFiles/fig19_tree_window.dir/fig19_tree_window.cc.o.d"
+  "fig19_tree_window"
+  "fig19_tree_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_tree_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

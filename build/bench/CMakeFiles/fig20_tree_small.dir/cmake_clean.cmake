@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_tree_small.dir/fig20_tree_small.cc.o"
+  "CMakeFiles/fig20_tree_small.dir/fig20_tree_small.cc.o.d"
+  "fig20_tree_small"
+  "fig20_tree_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_tree_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

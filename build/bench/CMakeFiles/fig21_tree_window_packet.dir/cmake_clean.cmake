@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_tree_window_packet.dir/fig21_tree_window_packet.cc.o"
+  "CMakeFiles/fig21_tree_window_packet.dir/fig21_tree_window_packet.cc.o.d"
+  "fig21_tree_window_packet"
+  "fig21_tree_window_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_tree_window_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_tree_window_packet.
+# This may be replaced when dependencies are built.

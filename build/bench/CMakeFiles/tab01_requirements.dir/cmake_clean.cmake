@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_requirements.dir/tab01_requirements.cc.o"
+  "CMakeFiles/tab01_requirements.dir/tab01_requirements.cc.o.d"
+  "tab01_requirements"
+  "tab01_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

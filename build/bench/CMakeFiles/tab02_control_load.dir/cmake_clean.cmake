@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_control_load.dir/tab02_control_load.cc.o"
+  "CMakeFiles/tab02_control_load.dir/tab02_control_load.cc.o.d"
+  "tab02_control_load"
+  "tab02_control_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_control_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_throughput.dir/tab03_throughput.cc.o"
+  "CMakeFiles/tab03_throughput.dir/tab03_throughput.cc.o.d"
+  "tab03_throughput"
+  "tab03_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

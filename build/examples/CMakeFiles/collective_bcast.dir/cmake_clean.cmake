@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_bcast.dir/collective_bcast.cpp.o"
+  "CMakeFiles/collective_bcast.dir/collective_bcast.cpp.o.d"
+  "collective_bcast"
+  "collective_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for collective_bcast.
+# This may be replaced when dependencies are built.

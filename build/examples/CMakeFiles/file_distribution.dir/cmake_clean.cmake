@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_distribution.dir/file_distribution.cpp.o"
+  "CMakeFiles/file_distribution.dir/file_distribution.cpp.o.d"
+  "file_distribution"
+  "file_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

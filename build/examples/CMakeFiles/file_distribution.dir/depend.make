@@ -1,0 +1,2 @@
+# Empty dependencies file for file_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_allreduce.dir/iterative_allreduce.cpp.o"
+  "CMakeFiles/iterative_allreduce.dir/iterative_allreduce.cpp.o.d"
+  "iterative_allreduce"
+  "iterative_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

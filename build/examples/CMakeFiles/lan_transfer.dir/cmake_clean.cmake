@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_transfer.dir/lan_transfer.cpp.o"
+  "CMakeFiles/lan_transfer.dir/lan_transfer.cpp.o.d"
+  "lan_transfer"
+  "lan_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

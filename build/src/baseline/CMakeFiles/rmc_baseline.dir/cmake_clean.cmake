@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_baseline.dir/raw_udp.cc.o"
+  "CMakeFiles/rmc_baseline.dir/raw_udp.cc.o.d"
+  "CMakeFiles/rmc_baseline.dir/sim_tcp.cc.o"
+  "CMakeFiles/rmc_baseline.dir/sim_tcp.cc.o.d"
+  "librmc_baseline.a"
+  "librmc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

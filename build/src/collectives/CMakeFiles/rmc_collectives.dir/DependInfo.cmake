@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/allgather.cc" "src/collectives/CMakeFiles/rmc_collectives.dir/allgather.cc.o" "gcc" "src/collectives/CMakeFiles/rmc_collectives.dir/allgather.cc.o.d"
+  "/root/repo/src/collectives/allreduce.cc" "src/collectives/CMakeFiles/rmc_collectives.dir/allreduce.cc.o" "gcc" "src/collectives/CMakeFiles/rmc_collectives.dir/allreduce.cc.o.d"
+  "/root/repo/src/collectives/broadcast.cc" "src/collectives/CMakeFiles/rmc_collectives.dir/broadcast.cc.o" "gcc" "src/collectives/CMakeFiles/rmc_collectives.dir/broadcast.cc.o.d"
+  "/root/repo/src/collectives/scatter.cc" "src/collectives/CMakeFiles/rmc_collectives.dir/scatter.cc.o" "gcc" "src/collectives/CMakeFiles/rmc_collectives.dir/scatter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmcast/CMakeFiles/rmc_rmcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/rmc_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_collectives.dir/allgather.cc.o"
+  "CMakeFiles/rmc_collectives.dir/allgather.cc.o.d"
+  "CMakeFiles/rmc_collectives.dir/allreduce.cc.o"
+  "CMakeFiles/rmc_collectives.dir/allreduce.cc.o.d"
+  "CMakeFiles/rmc_collectives.dir/broadcast.cc.o"
+  "CMakeFiles/rmc_collectives.dir/broadcast.cc.o.d"
+  "CMakeFiles/rmc_collectives.dir/scatter.cc.o"
+  "CMakeFiles/rmc_collectives.dir/scatter.cc.o.d"
+  "librmc_collectives.a"
+  "librmc_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_common.dir/flags.cc.o"
+  "CMakeFiles/rmc_common.dir/flags.cc.o.d"
+  "CMakeFiles/rmc_common.dir/log.cc.o"
+  "CMakeFiles/rmc_common.dir/log.cc.o.d"
+  "CMakeFiles/rmc_common.dir/panic.cc.o"
+  "CMakeFiles/rmc_common.dir/panic.cc.o.d"
+  "CMakeFiles/rmc_common.dir/serial.cc.o"
+  "CMakeFiles/rmc_common.dir/serial.cc.o.d"
+  "CMakeFiles/rmc_common.dir/stats.cc.o"
+  "CMakeFiles/rmc_common.dir/stats.cc.o.d"
+  "CMakeFiles/rmc_common.dir/strings.cc.o"
+  "CMakeFiles/rmc_common.dir/strings.cc.o.d"
+  "librmc_common.a"
+  "librmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

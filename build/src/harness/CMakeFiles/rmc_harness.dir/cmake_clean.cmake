@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_harness.dir/experiment.cc.o"
+  "CMakeFiles/rmc_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/rmc_harness.dir/table.cc.o"
+  "CMakeFiles/rmc_harness.dir/table.cc.o.d"
+  "CMakeFiles/rmc_harness.dir/testbed.cc.o"
+  "CMakeFiles/rmc_harness.dir/testbed.cc.o.d"
+  "CMakeFiles/rmc_harness.dir/trace.cc.o"
+  "CMakeFiles/rmc_harness.dir/trace.cc.o.d"
+  "librmc_harness.a"
+  "librmc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

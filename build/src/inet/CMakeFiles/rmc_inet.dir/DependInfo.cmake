@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/cluster.cc" "src/inet/CMakeFiles/rmc_inet.dir/cluster.cc.o" "gcc" "src/inet/CMakeFiles/rmc_inet.dir/cluster.cc.o.d"
+  "/root/repo/src/inet/host.cc" "src/inet/CMakeFiles/rmc_inet.dir/host.cc.o" "gcc" "src/inet/CMakeFiles/rmc_inet.dir/host.cc.o.d"
+  "/root/repo/src/inet/ip.cc" "src/inet/CMakeFiles/rmc_inet.dir/ip.cc.o" "gcc" "src/inet/CMakeFiles/rmc_inet.dir/ip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_inet.dir/cluster.cc.o"
+  "CMakeFiles/rmc_inet.dir/cluster.cc.o.d"
+  "CMakeFiles/rmc_inet.dir/host.cc.o"
+  "CMakeFiles/rmc_inet.dir/host.cc.o.d"
+  "CMakeFiles/rmc_inet.dir/ip.cc.o"
+  "CMakeFiles/rmc_inet.dir/ip.cc.o.d"
+  "librmc_inet.a"
+  "librmc_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

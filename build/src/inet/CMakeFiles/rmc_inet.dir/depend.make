@@ -1,0 +1,2 @@
+# Empty dependencies file for rmc_inet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet_switch.cc" "src/net/CMakeFiles/rmc_net.dir/ethernet_switch.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/ethernet_switch.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/rmc_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/rmc_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/mac.cc" "src/net/CMakeFiles/rmc_net.dir/mac.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/mac.cc.o.d"
+  "/root/repo/src/net/shared_bus.cc" "src/net/CMakeFiles/rmc_net.dir/shared_bus.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/shared_bus.cc.o.d"
+  "/root/repo/src/net/tx_port.cc" "src/net/CMakeFiles/rmc_net.dir/tx_port.cc.o" "gcc" "src/net/CMakeFiles/rmc_net.dir/tx_port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

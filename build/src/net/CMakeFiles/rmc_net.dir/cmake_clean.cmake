@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_net.dir/ethernet_switch.cc.o"
+  "CMakeFiles/rmc_net.dir/ethernet_switch.cc.o.d"
+  "CMakeFiles/rmc_net.dir/frame.cc.o"
+  "CMakeFiles/rmc_net.dir/frame.cc.o.d"
+  "CMakeFiles/rmc_net.dir/ipv4.cc.o"
+  "CMakeFiles/rmc_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/rmc_net.dir/mac.cc.o"
+  "CMakeFiles/rmc_net.dir/mac.cc.o.d"
+  "CMakeFiles/rmc_net.dir/shared_bus.cc.o"
+  "CMakeFiles/rmc_net.dir/shared_bus.cc.o.d"
+  "CMakeFiles/rmc_net.dir/tx_port.cc.o"
+  "CMakeFiles/rmc_net.dir/tx_port.cc.o.d"
+  "librmc_net.a"
+  "librmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmcast/config.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/config.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/config.cc.o.d"
+  "/root/repo/src/rmcast/group.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/group.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/group.cc.o.d"
+  "/root/repo/src/rmcast/receiver.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/receiver.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/receiver.cc.o.d"
+  "/root/repo/src/rmcast/recommend.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/recommend.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/recommend.cc.o.d"
+  "/root/repo/src/rmcast/sender.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/sender.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/sender.cc.o.d"
+  "/root/repo/src/rmcast/window.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/window.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/window.cc.o.d"
+  "/root/repo/src/rmcast/wire.cc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/wire.cc.o" "gcc" "src/rmcast/CMakeFiles/rmc_rmcast.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/rmc_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_rmcast.dir/config.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/config.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/group.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/group.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/receiver.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/receiver.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/recommend.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/recommend.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/sender.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/sender.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/window.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/window.cc.o.d"
+  "CMakeFiles/rmc_rmcast.dir/wire.cc.o"
+  "CMakeFiles/rmc_rmcast.dir/wire.cc.o.d"
+  "librmc_rmcast.a"
+  "librmc_rmcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_rmcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_runtime.dir/posix_runtime.cc.o"
+  "CMakeFiles/rmc_runtime.dir/posix_runtime.cc.o.d"
+  "CMakeFiles/rmc_runtime.dir/sim_runtime.cc.o"
+  "CMakeFiles/rmc_runtime.dir/sim_runtime.cc.o.d"
+  "librmc_runtime.a"
+  "librmc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

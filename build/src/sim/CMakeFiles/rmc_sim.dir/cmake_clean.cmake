@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmc_sim.dir/simulator.cc.o"
+  "CMakeFiles/rmc_sim.dir/simulator.cc.o.d"
+  "librmc_sim.a"
+  "librmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

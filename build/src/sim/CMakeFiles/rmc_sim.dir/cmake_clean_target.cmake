@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmc_sim.a"
+)

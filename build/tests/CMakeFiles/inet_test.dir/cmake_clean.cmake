@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inet_test.dir/inet_test.cc.o"
+  "CMakeFiles/inet_test.dir/inet_test.cc.o.d"
+  "inet_test"
+  "inet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_group_test.dir/multi_group_test.cc.o"
+  "CMakeFiles/multi_group_test.dir/multi_group_test.cc.o.d"
+  "multi_group_test"
+  "multi_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

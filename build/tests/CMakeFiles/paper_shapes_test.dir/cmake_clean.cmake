@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_shapes_test.dir/paper_shapes_test.cc.o"
+  "CMakeFiles/paper_shapes_test.dir/paper_shapes_test.cc.o.d"
+  "paper_shapes_test"
+  "paper_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

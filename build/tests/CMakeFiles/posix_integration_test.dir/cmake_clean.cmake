@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_integration_test.dir/posix_integration_test.cc.o"
+  "CMakeFiles/posix_integration_test.dir/posix_integration_test.cc.o.d"
+  "posix_integration_test"
+  "posix_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_extensions_test.dir/rmcast_extensions_test.cc.o"
+  "CMakeFiles/rmcast_extensions_test.dir/rmcast_extensions_test.cc.o.d"
+  "rmcast_extensions_test"
+  "rmcast_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

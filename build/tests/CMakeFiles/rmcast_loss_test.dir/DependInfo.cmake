@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rmcast_loss_test.cc" "tests/CMakeFiles/rmcast_loss_test.dir/rmcast_loss_test.cc.o" "gcc" "tests/CMakeFiles/rmcast_loss_test.dir/rmcast_loss_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rmc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmcast/CMakeFiles/rmc_rmcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rmc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/rmc_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

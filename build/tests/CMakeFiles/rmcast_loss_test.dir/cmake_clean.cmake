@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_loss_test.dir/rmcast_loss_test.cc.o"
+  "CMakeFiles/rmcast_loss_test.dir/rmcast_loss_test.cc.o.d"
+  "rmcast_loss_test"
+  "rmcast_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_protocol_test.dir/rmcast_protocol_test.cc.o"
+  "CMakeFiles/rmcast_protocol_test.dir/rmcast_protocol_test.cc.o.d"
+  "rmcast_protocol_test"
+  "rmcast_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

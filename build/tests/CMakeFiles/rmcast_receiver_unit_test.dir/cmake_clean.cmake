@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_receiver_unit_test.dir/rmcast_receiver_unit_test.cc.o"
+  "CMakeFiles/rmcast_receiver_unit_test.dir/rmcast_receiver_unit_test.cc.o.d"
+  "rmcast_receiver_unit_test"
+  "rmcast_receiver_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_receiver_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

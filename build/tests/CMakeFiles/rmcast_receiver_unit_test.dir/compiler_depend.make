@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rmcast_receiver_unit_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_recommend_test.dir/rmcast_recommend_test.cc.o"
+  "CMakeFiles/rmcast_recommend_test.dir/rmcast_recommend_test.cc.o.d"
+  "rmcast_recommend_test"
+  "rmcast_recommend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_recommend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_sender_unit_test.dir/rmcast_sender_unit_test.cc.o"
+  "CMakeFiles/rmcast_sender_unit_test.dir/rmcast_sender_unit_test.cc.o.d"
+  "rmcast_sender_unit_test"
+  "rmcast_sender_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_sender_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_window_test.dir/rmcast_window_test.cc.o"
+  "CMakeFiles/rmcast_window_test.dir/rmcast_window_test.cc.o.d"
+  "rmcast_window_test"
+  "rmcast_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_wire_test.dir/rmcast_wire_test.cc.o"
+  "CMakeFiles/rmcast_wire_test.dir/rmcast_wire_test.cc.o.d"
+  "rmcast_wire_test"
+  "rmcast_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_test.dir/smoke_test.cc.o"
+  "CMakeFiles/smoke_test.dir/smoke_test.cc.o.d"
+  "smoke_test"
+  "smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
