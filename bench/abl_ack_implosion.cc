@@ -24,7 +24,7 @@ int run(int argc, char** argv) {
     spec.protocol.packet_size = 8000;
     spec.protocol.window_size = 20;
     spec.seed = options.seed;
-    harness::RunResult r = harness::run_multicast(spec);
+    harness::RunResult r = bench::run_instrumented(spec, options);
     if (!r.completed) {
       table.add_row({str_format("%zu", n), "FAILED", "-", "-", "-"});
       continue;

@@ -32,7 +32,7 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = rate;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = harness::run_multicast(spec);
+      harness::RunResult r = bench::run_instrumented(spec, options);
       seconds[sr] = r.completed ? r.seconds : -1.0;
       retx[sr] = r.sender.retransmissions;
     }

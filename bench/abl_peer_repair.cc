@@ -30,7 +30,7 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = loss;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = harness::run_multicast(spec);
+      harness::RunResult r = bench::run_instrumented(spec, options);
       std::uint64_t repairs = 0;
       for (const auto& rs : r.receivers) repairs += rs.repairs_sent;
       table.add_row({mode == 1 ? "peer repair (SRM-style)" : "sender repair (paper)",

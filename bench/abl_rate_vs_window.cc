@@ -28,7 +28,7 @@ int run(int argc, char** argv) {
     spec.protocol.rate_limit_bps = rate_bps;
     spec.seed = options.seed;
     spec.time_limit = sim::seconds(300.0);
-    harness::RunResult r = harness::run_multicast(spec);
+    harness::RunResult r = bench::run_instrumented(spec, options);
     table.add_row({label, r.completed ? str_format("%.6f", r.seconds) : "FAILED",
                    r.completed ? str_format("%.1fMbps", r.throughput_bps() / 1e6) : "-",
                    str_format("%llu", (unsigned long long)r.rcvbuf_drops)});

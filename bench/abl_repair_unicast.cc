@@ -24,7 +24,7 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = loss;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = harness::run_multicast(spec);
+      harness::RunResult r = bench::run_instrumented(spec, options);
       std::uint64_t dups = 0;
       for (const auto& rs : r.receivers) dups += rs.duplicates;
       table.add_row({unicast ? "unicast" : "multicast", str_format("%.3f", loss),

@@ -43,7 +43,7 @@ int run(int argc, char** argv) {
       spec.cluster.straggler_cpu_factor = factor;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = harness::run_multicast(spec);
+      harness::RunResult r = bench::run_instrumented(spec, options);
       row.push_back(r.completed ? str_format("%.6f", r.seconds) : "FAILED");
     }
     table.add_row(std::move(row));

@@ -29,7 +29,7 @@ int run(int argc, char** argv) {
     spec.cluster.link.frame_error_rate = 0.01;
     spec.seed = options.seed;
     spec.time_limit = sim::seconds(300.0);
-    harness::RunResult r = harness::run_multicast(spec);
+    harness::RunResult r = bench::run_instrumented(spec, options);
     table.add_row({str_format("%.0f", sim::to_seconds(interval) * 1e3),
                    r.completed ? str_format("%.6f", r.seconds) : "FAILED",
                    str_format("%llu", (unsigned long long)r.sender.retransmissions),

@@ -2,16 +2,21 @@
 //
 // Every binary runs argument-free and prints the paper's rows as an
 // aligned table. Optional flags:
-//   --csv       CSV instead of the aligned table
-//   --trials=N  measurement repetitions per point (default 3, as in §5)
-//   --quick     1 trial and a reduced sweep, for fast iteration
-//   --seed=N    base seed
+//   --csv               CSV instead of the aligned table
+//   --trials=N          measurement repetitions per point (default 3, as in §5)
+//   --quick             1 trial and a reduced sweep, for fast iteration
+//   --seed=N            base seed
+//   --metrics-out=FILE  write a JSON metrics snapshot (counters, gauges,
+//                       latency histograms — see docs/OBSERVABILITY.md)
+//                       accumulated over every simulated run to FILE at exit
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
@@ -23,20 +28,74 @@ struct BenchOptions {
   bool quick = false;
   int trials = 3;
   std::uint64_t seed = 1;
+  std::string metrics_out;  // empty = no snapshot
 };
 
+// Process-wide metrics registry the bench run accumulates into when
+// --metrics-out is given. One registry per binary: histograms aggregate
+// the whole sweep's distribution, counters sum over every run, gauges
+// keep sweep-wide high-water marks.
+inline metrics::Registry& bench_metrics() {
+  static metrics::Registry registry;
+  return registry;
+}
+
+namespace detail {
+
+inline std::string& metrics_out_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_metrics_snapshot() {
+  const std::string& path = metrics_out_path();
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write metrics snapshot to %s\n", path.c_str());
+    return;
+  }
+  bench_metrics().write_json(out);
+  std::fclose(out);
+}
+
+}  // namespace detail
+
+// Arms the at-exit JSON snapshot of bench_metrics(). parse_options calls
+// this for --metrics-out; binaries with bespoke flag sets call it directly.
+inline void enable_metrics_snapshot(const std::string& path) {
+  if (path.empty()) return;
+  // Construct the registry (and the path string) before registering the
+  // handler: atexit runs in reverse registration order, so anything the
+  // handler touches must already exist here or it is destroyed first.
+  (void)bench_metrics();
+  detail::metrics_out_path() = path;
+  // Written at exit so every code path (including early returns) still
+  // produces a parseable snapshot.
+  std::atexit(detail::write_metrics_snapshot);
+}
+
 inline BenchOptions parse_options(int argc, char** argv) {
-  Flags flags = Flags::parse(argc, argv,
-                             {{"csv", "emit CSV instead of an aligned table"},
-                              {"quick", "single trial, reduced sweep"},
-                              {"trials", "trials per point (default 3)"},
-                              {"seed", "base seed (default 1)"}});
+  Flags flags = Flags::parse(
+      argc, argv,
+      {{"csv", "emit CSV instead of an aligned table"},
+       {"quick", "single trial, reduced sweep"},
+       {"trials", "trials per point (default 3)"},
+       {"seed", "base seed (default 1)"},
+       {"metrics-out", "write a JSON metrics snapshot to FILE at exit"}});
   BenchOptions options;
   options.csv = flags.has("csv");
   options.quick = flags.has("quick");
   options.trials = static_cast<int>(flags.get_int("trials", options.quick ? 1 : 3));
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.metrics_out = flags.get("metrics-out", "");
+  enable_metrics_snapshot(options.metrics_out);
   return options;
+}
+
+// True when this process is accumulating metrics (--metrics-out given).
+inline bool metrics_enabled(const BenchOptions& options) {
+  return !options.metrics_out.empty();
 }
 
 inline void emit(const harness::Table& table, const BenchOptions& options,
@@ -50,13 +109,22 @@ inline void emit(const harness::Table& table, const BenchOptions& options,
   std::printf("\n");
 }
 
+// run_multicast with the bench registry attached when metrics are on.
+// Binaries that call run_multicast directly should go through this so
+// their runs land in the --metrics-out snapshot.
+inline harness::RunResult run_instrumented(harness::MulticastRunSpec spec,
+                                           const BenchOptions& options) {
+  if (metrics_enabled(options)) spec.metrics = &bench_metrics();
+  return harness::run_multicast(spec);
+}
+
 // Mean communication time over the configured trials; negative on failure.
 inline double measure(const harness::MulticastRunSpec& base, const BenchOptions& options) {
   return harness::mean_seconds(
       [&](std::uint64_t seed) {
         harness::MulticastRunSpec spec = base;
         spec.seed = seed;
-        return harness::run_multicast(spec);
+        return run_instrumented(spec, options);
       },
       options.trials, options.seed);
 }

@@ -22,7 +22,12 @@ int run(int argc, char** argv) {
                               {"loss", "frame error rate"},
                               {"sr", "selective repeat"},
                               {"mnak", "multicast nak suppression"},
-                              {"peer", "peer repair"}});
+                              {"peer", "peer repair"},
+                              {"quick", "accepted for smoke-test uniformity (single run anyway)"},
+                              {"metrics-out", "write a JSON metrics snapshot to FILE at exit"}});
+  bench::BenchOptions options;
+  options.metrics_out = flags.get("metrics-out", "");
+  bench::enable_metrics_snapshot(options.metrics_out);
   harness::MulticastRunSpec spec;
   spec.n_receivers = static_cast<std::size_t>(flags.get_int("n", 30));
   spec.message_bytes = static_cast<std::uint64_t>(flags.get_int("bytes", 2 * 1024 * 1024));
@@ -47,7 +52,7 @@ int run(int argc, char** argv) {
   spec.cluster.link.frame_error_rate = flags.get_double("loss", 0.0);
   spec.time_limit = sim::seconds(5.0);
 
-  harness::RunResult r = harness::run_multicast(spec);
+  harness::RunResult r = bench::run_instrumented(spec, options);
   std::printf("completed=%d seconds=%.6f (%s) error='%s'\n", r.completed, r.seconds,
               str_format("%.1fMbps", r.throughput_bps() / 1e6).c_str(), r.error.c_str());
   const auto& s = r.sender;

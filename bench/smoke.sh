@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with --quick --metrics-out and checks that
+# each one exits cleanly and writes a parseable JSON metrics snapshot.
+#
+# Usage: bench/smoke.sh [BUILD_DIR]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "no such directory: $BENCH_DIR (build first: cmake --preset default && cmake --build --preset default)" >&2
+  exit 2
+fi
+
+PYTHON="$(command -v python3 || true)"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+pass=0
+fail=0
+for bin in "$BENCH_DIR"/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    micro_core) continue ;;  # Google-benchmark harness: no --metrics-out
+    *.*) continue ;;         # skip non-binaries (CMake leftovers)
+  esac
+
+  snapshot="$TMP_DIR/$name.json"
+  if ! "$bin" --quick "--metrics-out=$snapshot" > "$TMP_DIR/$name.out" 2>&1; then
+    echo "FAIL $name: non-zero exit"
+    sed 's/^/  | /' "$TMP_DIR/$name.out" | tail -5
+    fail=$((fail + 1))
+    continue
+  fi
+  if [ ! -s "$snapshot" ]; then
+    echo "FAIL $name: metrics snapshot missing or empty"
+    fail=$((fail + 1))
+    continue
+  fi
+  if [ -n "$PYTHON" ] && ! "$PYTHON" -m json.tool "$snapshot" > /dev/null 2>&1; then
+    echo "FAIL $name: metrics snapshot is not valid JSON"
+    fail=$((fail + 1))
+    continue
+  fi
+  echo "ok   $name"
+  pass=$((pass + 1))
+done
+
+echo "smoke: $pass passed, $fail failed"
+[ "$fail" -eq 0 ]

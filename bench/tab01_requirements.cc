@@ -59,7 +59,7 @@ int run(int argc, char** argv) {
     spec.message_bytes = 2 * 1024 * 1024;
     spec.protocol = row.config;
     spec.seed = options.seed;
-    harness::RunResult result = harness::run_multicast(spec);
+    harness::RunResult result = bench::run_instrumented(spec, options);
     std::string peak = result.completed
                            ? format_bytes(result.sender.peak_buffered_bytes)
                            : "FAILED";

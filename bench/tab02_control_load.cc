@@ -69,7 +69,7 @@ int run(int argc, char** argv) {
     spec.message_bytes = 500'000;
     spec.protocol = row.config;
     spec.seed = options.seed;
-    harness::RunResult r = harness::run_multicast(spec);
+    harness::RunResult r = bench::run_instrumented(spec, options);
     if (!r.completed) {
       table.add_row({row.label, str_format("%.2f", row.analytic_sender), "FAILED", "-",
                      "-"});

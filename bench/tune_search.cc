@@ -39,7 +39,7 @@ int run(int argc, char** argv) {
       spec.message_bytes = message;
       spec.protocol = config;
       spec.seed = options.seed;
-      harness::RunResult r = harness::run_multicast(spec);
+      harness::RunResult r = bench::run_instrumented(spec, options);
       ++evaluated;
       if (r.completed && r.seconds < best.seconds) {
         best.seconds = r.seconds;

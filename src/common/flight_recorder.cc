@@ -1,0 +1,64 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+
+namespace rmc {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  ring_.resize(std::max<std::size_t>(1, capacity));
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  ring_.assign(std::max<std::size_t>(1, capacity), Event{});
+  next_ = 0;
+  total_ = 0;
+}
+
+void FlightRecorder::record(std::int64_t t_ns, const char* category, const char* name,
+                            std::uint32_t node, std::uint64_t a, std::uint64_t b) {
+  if (!enabled_) return;
+  ring_[next_] = Event{t_ns, category, name, node, a, b};
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+  std::vector<Event> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  // Oldest event: slot next_ when the ring has wrapped, slot 0 otherwise.
+  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::FILE* out) const {
+  for (const Event& e : snapshot()) {
+    std::fprintf(out,
+                 "{\"t\": %lld, \"cat\": \"%s\", \"ev\": \"%s\", \"node\": %u, "
+                 "\"a\": %llu, \"b\": %llu}\n",
+                 static_cast<long long>(e.t_ns), e.category, e.name, e.node,
+                 static_cast<unsigned long long>(e.a),
+                 static_cast<unsigned long long>(e.b));
+  }
+}
+
+void FlightRecorder::clear() {
+  std::fill(ring_.begin(), ring_.end(), Event{});
+  next_ = 0;
+  total_ = 0;
+}
+
+FlightRecorder& flight_recorder() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+}  // namespace rmc

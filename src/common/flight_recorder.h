@@ -1,0 +1,72 @@
+// Flight recorder: a bounded ring buffer of trace events, dumped as JSONL
+// when something goes fatally wrong.
+//
+// Counters say *how much*; the flight recorder says *what just happened*.
+// Protocol and network code append events unconditionally — an append is a
+// handful of stores into a preallocated ring, negligible next to the
+// discrete-event machinery — and `rmc::panic` dumps the tail to stderr so
+// every ENSURE failure comes with the event context that led to it
+// (SRM's retrospective makes exactly this point: suppression and repair
+// bugs are invisible without event-level history).
+//
+// Category and name must be string literals (or otherwise outlive the
+// recorder): events store the pointers, never copies.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace rmc {
+
+class FlightRecorder {
+ public:
+  struct Event {
+    std::int64_t t_ns = 0;           // caller's clock (simulated or wall)
+    const char* category = "";       // tier: "sender", "receiver", "net", ...
+    const char* name = "";           // event: "tx", "ack", "queue_drop", ...
+    std::uint32_t node = 0;          // originating node id, when meaningful
+    std::uint64_t a = 0;             // event-specific operands
+    std::uint64_t b = 0;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(std::int64_t t_ns, const char* category, const char* name,
+              std::uint32_t node = 0, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  // Resizing clears the ring (events do not survive a capacity change).
+  void set_capacity(std::size_t capacity);
+
+  std::size_t capacity() const { return ring_.size(); }
+  // Events currently held (≤ capacity).
+  std::size_t size() const;
+  // Events ever recorded, including overwritten ones.
+  std::uint64_t total_recorded() const { return total_; }
+
+  // Held events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  // One JSON object per line:
+  //   {"t": <ns>, "cat": "...", "ev": "...", "node": n, "a": ..., "b": ...}
+  void dump_jsonl(std::FILE* out) const;
+
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;     // ring slot the next event lands in
+  std::uint64_t total_ = 0;  // lifetime event count
+  bool enabled_ = true;
+};
+
+// Process-global recorder: what protocol/network code appends to and what
+// panic() dumps. Tests may clear() or set_enabled(false) around noisy
+// sections.
+FlightRecorder& flight_recorder();
+
+}  // namespace rmc

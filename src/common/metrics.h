@@ -1,0 +1,129 @@
+// Named-metrics registry: counters, gauges, and fixed-bucket latency
+// histograms with a JSON snapshot.
+//
+// The paper's claims are distributional — ACK implosion (Fig. 11), NAK
+// scalability (Fig. 14) and per-packet control load (Table 2) are about
+// *where* time and packets go — so flat end-of-run counters are not
+// enough. A Registry gives every tier (protocol, network model, bench
+// harness) one place to publish named measurements, and one JSON snapshot
+// (`--metrics-out` on every bench binary) that downstream tooling can
+// diff across runs.
+//
+// Everything here is single-threaded, like the simulator it instruments.
+// Metric names are dotted lowercase paths ("sender.ack_rtt_us",
+// "net.switch0.port3.queue_hwm_frames"); the units ride in the suffix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace rmc::metrics {
+
+// Monotonic event count. Saturating, like rmc::Counter (which it wraps).
+class CounterMetric {
+ public:
+  void inc(std::uint64_t by = 1) { counter_.inc(by); }
+  std::uint64_t value() const { return counter_.value; }
+
+ private:
+  Counter counter_;
+};
+
+// Last-written (or high-water) instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  // High-water update: keeps the maximum ever set. Used for queue-depth
+  // peaks that must survive accumulation across trials.
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram for latency-like quantities, in microseconds.
+//
+// Buckets are geometric: bucket i covers [bound(i-1), bound(i)) with
+// bound(i) = kFirstBoundUs * 2^(i/2), spanning ~0.1 us to ~300 s over 64
+// buckets — a LAN's whole dynamic range at ~±19% bound error. Exact
+// count/mean/min/max come from the embedded RunningStat; p50/p95/p99 are
+// bucket-interpolated estimates, which is what fixed memory buys.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kFirstBoundUs = 0.1;
+
+  void record(double value_us);
+  void record_seconds(double s) { record(s * 1e6); }
+
+  std::size_t count() const { return stat_.count(); }
+  double mean_us() const { return stat_.mean(); }
+  double min_us() const { return stat_.min(); }
+  double max_us() const { return stat_.max(); }
+
+  // Estimated percentile, p in [0, 100]. Interpolates within the bucket
+  // containing the rank and clamps to the exact observed min/max.
+  double percentile_us(double p) const;
+  double p50_us() const { return percentile_us(50.0); }
+  double p95_us() const { return percentile_us(95.0); }
+  double p99_us() const { return percentile_us(99.0); }
+
+  // Upper bound of bucket i in microseconds; the last bucket absorbs
+  // everything beyond the penultimate bound.
+  static double bucket_bound_us(std::size_t i);
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
+
+ private:
+  RunningStat stat_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+// Name -> metric maps with create-on-first-use lookup and a JSON export.
+class Registry {
+ public:
+  CounterMetric& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Read-only lookups; null when the metric was never touched.
+  const CounterMetric* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const LatencyHistogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear();
+
+  // Snapshot as one JSON object:
+  //   {"counters": {name: value, ...},
+  //    "gauges": {name: value, ...},
+  //    "histograms": {name: {"count": n, "min_us": ..., "max_us": ...,
+  //                          "mean_us": ..., "p50_us": ..., "p95_us": ...,
+  //                          "p99_us": ..., "buckets": [...]}, ...}}
+  // Bucket arrays are elided when empty. Output is valid JSON even when
+  // the registry is empty.
+  void write_json(std::FILE* out) const;
+  std::string to_json() const;
+
+  const std::map<std::string, CounterMetric>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LatencyHistogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, CounterMetric> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace rmc::metrics

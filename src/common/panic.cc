@@ -3,10 +3,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/flight_recorder.h"
+
 namespace rmc {
 
 void panic(const char* file, int line, const std::string& message) {
   std::fprintf(stderr, "[rmc panic] %s:%d: %s\n", file, line, message.c_str());
+  // Post-mortem context: the last protocol/network events before the
+  // invariant broke, as JSONL for machine consumption.
+  FlightRecorder& recorder = flight_recorder();
+  if (recorder.total_recorded() > 0) {
+    std::fprintf(stderr,
+                 "[rmc panic] flight recorder: last %zu of %llu events follow\n",
+                 recorder.size(),
+                 static_cast<unsigned long long>(recorder.total_recorded()));
+    recorder.dump_jsonl(stderr);
+  }
   std::fflush(stderr);
   std::abort();
 }

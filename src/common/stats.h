@@ -44,10 +44,14 @@ class Samples {
   std::vector<double> values_;
 };
 
-// Saturating event counter used by protocol statistics.
+// Saturating event counter used by protocol statistics: once the count
+// reaches UINT64_MAX it sticks there instead of wrapping, so a pegged
+// counter reads as "a lot", never as a small number again.
 struct Counter {
   std::uint64_t value = 0;
-  void inc(std::uint64_t by = 1) { value += by; }
+  void inc(std::uint64_t by = 1) {
+    value = by > UINT64_MAX - value ? UINT64_MAX : value + by;
+  }
 };
 
 }  // namespace rmc

@@ -47,6 +47,93 @@ void run_to(sim::Simulator& simulator, const bool& done, sim::Time limit) {
   }
 }
 
+// Publishes one run's protocol counters and network-tier state into the
+// registry. Counters add per-run values (the Testbed is fresh each run, so
+// every value is a delta); gauges keep the high-water mark across runs.
+// The metric names are part of the observability contract — see
+// docs/OBSERVABILITY.md before renaming anything.
+void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
+                        metrics::Registry& m) {
+  m.counter("harness.runs").inc();
+  if (done) m.counter("harness.runs_completed").inc();
+
+  const rmcast::SenderStats& s = result.sender;
+  m.counter("sender.data_packets_sent").inc(s.data_packets_sent);
+  m.counter("sender.retransmissions").inc(s.retransmissions);
+  m.counter("sender.acks_received").inc(s.acks_received);
+  m.counter("sender.naks_received").inc(s.naks_received);
+  m.counter("sender.rto_fires").inc(s.rto_fires);
+  m.counter("sender.suppressed_retransmissions").inc(s.suppressed_retransmissions);
+  m.counter("sender.window_stalls").inc(s.window_stalls);
+  m.gauge("sender.peak_buffered_bytes").set_max(static_cast<double>(s.peak_buffered_bytes));
+
+  std::uint64_t delivered = 0, acks = 0, naks = 0, naks_suppressed = 0;
+  std::uint64_t repairs = 0, repairs_suppressed = 0, duplicates = 0, gaps = 0;
+  for (const rmcast::ReceiverStats& r : result.receivers) {
+    delivered += r.messages_delivered;
+    acks += r.acks_sent;
+    naks += r.naks_sent;
+    naks_suppressed += r.naks_suppressed;
+    repairs += r.repairs_sent;
+    repairs_suppressed += r.repairs_suppressed;
+    duplicates += r.duplicates;
+    gaps += r.gaps_detected;
+  }
+  m.counter("receiver.messages_delivered").inc(delivered);
+  m.counter("receiver.acks_sent").inc(acks);
+  m.counter("receiver.naks_sent").inc(naks);
+  m.counter("receiver.naks_suppressed").inc(naks_suppressed);
+  m.counter("receiver.repairs_sent").inc(repairs);
+  m.counter("receiver.repairs_suppressed").inc(repairs_suppressed);
+  m.counter("receiver.duplicates").inc(duplicates);
+  m.counter("receiver.gaps_detected").inc(gaps);
+
+  m.counter("net.rcvbuf_drops").inc(result.rcvbuf_drops);
+  m.counter("net.link_drops").inc(result.link_drops);
+
+  inet::Cluster& cluster = bed.cluster();
+  const auto& switches = cluster.switches();
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    const net::EthernetSwitch& sw = *switches[i];
+    m.counter(str_format("net.switch%zu.frames_forwarded", i))
+        .inc(sw.stats().frames_forwarded);
+    m.counter(str_format("net.switch%zu.frames_flooded", i)).inc(sw.stats().frames_flooded);
+    for (std::size_t p = 0; p < sw.n_ports(); ++p) {
+      const net::TxPort::Stats& ps = sw.port_tx(p).stats();
+      const std::string prefix = str_format("net.switch%zu.port%zu.", i, p);
+      m.gauge(prefix + "queue_hwm_frames")
+          .set_max(static_cast<double>(ps.peak_queue_frames));
+      m.counter(prefix + "enqueues").inc(ps.frames_enqueued);
+      m.counter(prefix + "queue_drops").inc(ps.queue_drops);
+      m.counter(prefix + "error_drops").inc(ps.error_drops);
+      m.gauge(prefix + "busy_seconds").set_max(sim::to_seconds(ps.busy_time));
+    }
+  }
+
+  if (const net::TxPort* nic = cluster.host_nic(0)) {
+    m.gauge("net.sender_nic.queue_hwm_frames")
+        .set_max(static_cast<double>(nic->stats().peak_queue_frames));
+    m.counter("net.sender_nic.enqueues").inc(nic->stats().frames_enqueued);
+    m.counter("net.sender_nic.queue_drops").inc(nic->stats().queue_drops);
+    m.gauge("net.sender_nic.busy_seconds").set_max(sim::to_seconds(nic->stats().busy_time));
+  }
+
+  if (const net::SharedBus* bus = cluster.bus()) {
+    m.counter("net.bus.frames_delivered").inc(bus->stats().frames_delivered);
+    m.counter("net.bus.frames_enqueued").inc(bus->stats().frames_enqueued);
+    m.counter("net.bus.collisions").inc(bus->stats().collisions);
+    m.counter("net.bus.queue_drops").inc(bus->stats().queue_drops);
+    m.counter("net.bus.excessive_collision_drops")
+        .inc(bus->stats().excessive_collision_drops);
+    m.gauge("net.bus.busy_seconds").set_max(sim::to_seconds(bus->stats().busy_time));
+    std::size_t hwm = 0;
+    for (std::size_t id = 0; id < cluster.size(); ++id) {
+      hwm = std::max(hwm, bus->station_queue_hwm(id));
+    }
+    m.gauge("net.bus.station_queue_hwm_frames").set_max(static_cast<double>(hwm));
+  }
+}
+
 }  // namespace
 
 double RunResult::throughput_bps() const {
@@ -82,6 +169,7 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
 
   rmcast::MulticastSender sender(bed.sender_runtime(), bed.sender_socket(),
                                  bed.membership(), spec.protocol);
+  if (spec.metrics != nullptr) sender.set_metrics(spec.metrics);
 
   std::vector<std::unique_ptr<rmcast::MulticastReceiver>> receivers;
   std::vector<bool> delivered_ok(spec.n_receivers, false);
@@ -90,6 +178,7 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
     receivers.push_back(std::make_unique<rmcast::MulticastReceiver>(
         bed.receiver_runtime(i), bed.receiver_data_socket(i),
         bed.receiver_control_socket(i), bed.membership(), i, spec.protocol));
+    if (spec.metrics != nullptr) receivers[i]->set_metrics(spec.metrics);
     receivers[i]->set_message_handler(
         [&, i](const Buffer& received, std::uint32_t /*session*/) {
           delivered_ok[i] = !spec.verify_payload || received == message;
@@ -112,6 +201,15 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
   result.sender_cpu_busy_seconds = sim::to_seconds(bed.cluster().host(0).stats().cpu_busy);
   if (const net::TxPort* nic = bed.cluster().host_nic(0)) {
     result.sender_nic_busy_seconds = sim::to_seconds(nic->stats().busy_time);
+  }
+  if (spec.metrics != nullptr) {
+    // Export even for failed runs: a timeout's counters show where the
+    // packets went (or stopped going).
+    export_run_metrics(bed, result, done, *spec.metrics);
+    if (done) {
+      spec.metrics->histogram("harness.run_time_us")
+          .record_seconds(sim::to_seconds(completed_at));
+    }
   }
 
   if (!done) {

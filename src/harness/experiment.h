@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "inet/cluster.h"
 #include "rmcast/config.h"
 #include "rmcast/stats.h"
@@ -30,6 +31,13 @@ struct MulticastRunSpec {
   sim::Time time_limit = sim::seconds(120.0);
   // Verify every receiver got a byte-exact copy (leave on; cheap).
   bool verify_payload = true;
+  // Optional metrics sink (not owned; must outlive the run). When set,
+  // the run publishes protocol histograms (delivery latency, ACK RTT),
+  // mirrored protocol counters, and network-tier gauges/counters (switch
+  // port queue high-water marks, drops, link-busy time) into it —
+  // accumulating across runs, so one registry can absorb a whole sweep.
+  // See docs/OBSERVABILITY.md for the metric names.
+  metrics::Registry* metrics = nullptr;
 };
 
 struct RunResult {

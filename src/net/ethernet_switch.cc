@@ -1,5 +1,7 @@
 #include "net/ethernet_switch.h"
 
+#include <algorithm>
+
 #include "common/panic.h"
 
 namespace rmc::net {
@@ -31,8 +33,10 @@ void EthernetSwitch::handle_frame(std::size_t ingress_port, const Frame& frame) 
       if (it->second != ingress_port) {
         ++stats_.frames_forwarded;
         enqueue(it->second, frame);
+      } else {
+        // Destination is behind the ingress port: filter (drop) the frame.
+        ++stats_.frames_filtered;
       }
-      // Destination is behind the ingress port: filter (drop) the frame.
       return;
     }
   } else if (params_.multicast_snooping && !frame.dst.is_broadcast()) {
@@ -65,6 +69,14 @@ void EthernetSwitch::unregister_group_port(MacAddr group, std::size_t port) {
   RMC_ENSURE(pit != it->second.end(), "unregister for unknown port");
   if (--pit->second == 0) it->second.erase(pit);
   if (it->second.empty()) group_ports_.erase(it);
+}
+
+std::size_t EthernetSwitch::max_port_queue_hwm() const {
+  std::size_t hwm = 0;
+  for (const auto& port : ports_) {
+    hwm = std::max(hwm, port->stats().peak_queue_frames);
+  }
+  return hwm;
 }
 
 void EthernetSwitch::enqueue(std::size_t egress_port, const Frame& frame) {

@@ -58,8 +58,13 @@ class EthernetSwitch {
     std::uint64_t frames_forwarded = 0;
     std::uint64_t frames_flooded = 0;
     std::uint64_t frames_snoop_forwarded = 0;  // multicast sent to members only
+    std::uint64_t frames_filtered = 0;  // unicast dst behind the ingress port
   };
   const Stats& stats() const { return stats_; }
+
+  // Deepest any egress queue has been, in frames — the switch-level
+  // congestion signal the per-port TxPort stats aggregate to.
+  std::size_t max_port_queue_hwm() const;
 
  private:
   void enqueue(std::size_t egress_port, const Frame& frame);

@@ -24,6 +24,10 @@ void SharedBus::set_dequeue_hook(std::size_t id, std::function<void(std::size_t)
   stations_.at(id).dequeue_hook = std::move(hook);
 }
 
+std::size_t SharedBus::station_queue_hwm(std::size_t id) const {
+  return stations_.at(id).queue_hwm;
+}
+
 void SharedBus::send(std::size_t id, Frame frame) {
   RMC_ENSURE(id < stations_.size(), "unknown bus station");
   Station& station = stations_[id];
@@ -34,6 +38,8 @@ void SharedBus::send(std::size_t id, Frame frame) {
   }
   station.queued_wire_bytes += frame.wire_bytes();
   station.queue.push_back(std::move(frame));
+  ++stats_.frames_enqueued;
+  station.queue_hwm = std::max(station.queue_hwm, station.queue.size());
   // If the station is already transmitting or waiting out a backoff, the
   // frame just queues behind; otherwise start an attempt now.
   if (!station.backoff_pending && station.queue.size() == 1) attempt(id);
@@ -141,6 +147,7 @@ void SharedBus::complete(std::size_t id) {
                          [id](const ActiveTx& t) { return t.station == id; });
   RMC_ENSURE(it != active_.end(), "completion for unknown transmission");
   RMC_ENSURE(!it->collided, "completion for collided transmission");
+  const sim::Time serialization = it->end - it->start;
   active_.erase(it);
 
   Station& station = stations_[id];
@@ -151,6 +158,7 @@ void SharedBus::complete(std::size_t id) {
   if (station.dequeue_hook) station.dequeue_hook(frame.wire_bytes());
   station.attempts = 0;
   ++stats_.frames_delivered;
+  stats_.busy_time += serialization;
 
   for (std::size_t s = 0; s < stations_.size(); ++s) {
     if (s != id && stations_[s].deliver) stations_[s].deliver(frame);

@@ -57,11 +57,18 @@ class SharedBus {
   std::size_t station_backlog_bytes(std::size_t id) const;
   void set_dequeue_hook(std::size_t id, std::function<void(std::size_t)> hook);
 
+  // High-water mark of station `id`'s transmit queue, in frames.
+  std::size_t station_queue_hwm(std::size_t id) const;
+
   struct Stats {
     std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_enqueued = 0;  // accepted into a station queue
     std::uint64_t collisions = 0;
     std::uint64_t excessive_collision_drops = 0;
     std::uint64_t queue_drops = 0;
+    // Serialization time of successfully delivered frames — how long the
+    // medium carried useful signal (collisions and jams excluded).
+    sim::Time busy_time = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -70,6 +77,7 @@ class SharedBus {
     FrameSink deliver;
     std::deque<Frame> queue;
     std::size_t queued_wire_bytes = 0;
+    std::size_t queue_hwm = 0;  // deepest the queue has ever been
     std::function<void(std::size_t)> dequeue_hook;
     int attempts = 0;
     bool backoff_pending = false;  // an attempt is already scheduled

@@ -1,5 +1,7 @@
 #include "net/tx_port.h"
 
+#include <algorithm>
+
 #include "common/panic.h"
 
 namespace rmc::net {
@@ -19,6 +21,8 @@ void TxPort::send(Frame frame) {
   }
   queued_wire_bytes_ += frame.wire_bytes();
   queue_.push_back(std::move(frame));
+  ++stats_.frames_enqueued;
+  stats_.peak_queue_frames = std::max(stats_.peak_queue_frames, queue_length());
   if (!transmitting_) start_next();
 }
 

@@ -37,9 +37,13 @@ class TxPort {
   struct Stats {
     std::uint64_t frames_sent = 0;
     std::uint64_t bytes_sent = 0;  // wire bytes, incl. framing overhead
+    std::uint64_t frames_enqueued = 0;  // accepted into the queue
     std::uint64_t queue_drops = 0;
     std::uint64_t error_drops = 0;
-    sim::Time busy_time = 0;  // total serialization time
+    // High-water mark of queue depth (queued + transmitting), in frames —
+    // how close the port came to drop-tail loss even when nothing dropped.
+    std::size_t peak_queue_frames = 0;
+    sim::Time busy_time = 0;  // total serialization time (link-busy time)
   };
 
   // `rng` may be null when frame_error_rate == 0.

@@ -1,12 +1,14 @@
 // Protocol event observation.
 //
 // A SenderObserver receives the sender's protocol-level events as they
-// happen — transmissions, acknowledgments, NAKs, timeouts, completion.
-// This is how the bench harness builds per-run traces, and how an
-// application can watch a transfer's health (e.g. alarm on a
+// happen — transmissions, acknowledgments, NAKs, timeouts, completion —
+// and a ReceiverObserver mirrors it on the receiving side: data arrival,
+// acknowledgments and NAKs sent, suppression decisions, peer repairs, and
+// delivery. This is how the bench harness builds per-run traces, and how
+// an application can watch a transfer's health (e.g. alarm on a
 // retransmission storm) without polling stats counters. Callbacks run
 // inline on the protocol's event loop: keep them cheap and never call
-// back into the sender from them.
+// back into the sender/receiver from them.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +28,43 @@ class SenderObserver {
                       std::uint32_t /*seq*/) {}
   virtual void on_timeout(std::uint32_t /*session*/, std::uint32_t /*base*/) {}
   virtual void on_complete(std::uint32_t /*session*/) {}
+
+  // The window filled with nothing left to transmit: the sender is now
+  // blocked on acknowledgments (the flow-control stall the paper's window
+  // sweeps measure). Fired once per stall, on the transition.
+  virtual void on_window_stall(std::uint32_t /*session*/, std::uint32_t /*base*/) {}
+  // Sender-side suppression: a requested retransmission of `seq` was
+  // withheld because one went out within suppress_interval.
+  virtual void on_retransmit_suppressed(std::uint32_t /*session*/,
+                                        std::uint32_t /*seq*/) {}
+};
+
+// Why a receiver withheld a NAK it wanted to send.
+enum class NakSuppressReason : std::uint8_t {
+  kRateLimited,   // within nak_interval of the previous NAK
+  kPeerCovered,   // a peer's multicast NAK already covers the gap
+};
+
+class ReceiverObserver {
+ public:
+  virtual ~ReceiverObserver() = default;
+
+  // An accepted data packet (in-order, buffered out-of-order, or a
+  // counted duplicate — `duplicate` distinguishes the latter).
+  virtual void on_data(std::uint32_t /*session*/, std::uint32_t /*seq*/,
+                       std::uint8_t /*flags*/, bool /*duplicate*/) {}
+  virtual void on_ack_sent(std::uint32_t /*session*/, std::uint32_t /*cum*/) {}
+  virtual void on_nak_sent(std::uint32_t /*session*/, std::uint32_t /*seq*/) {}
+  // Suppression decision: the receiver wanted to NAK `seq` but held it.
+  virtual void on_nak_suppressed(std::uint32_t /*session*/, std::uint32_t /*seq*/,
+                                 NakSuppressReason /*reason*/) {}
+  // SRM-style peer repair: this receiver multicast a repair of `seq`, or
+  // suppressed one because someone else got there first.
+  virtual void on_repair_sent(std::uint32_t /*session*/, std::uint32_t /*seq*/) {}
+  virtual void on_repair_suppressed(std::uint32_t /*session*/,
+                                    std::uint32_t /*seq*/) {}
+  // The assembled message was handed to the application.
+  virtual void on_deliver(std::uint32_t /*session*/, std::uint64_t /*bytes*/) {}
 };
 
 }  // namespace rmc::rmcast

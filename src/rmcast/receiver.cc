@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
 
@@ -109,6 +110,7 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
   // New session: reset per-message state.
   session_ = h.session;
   session_active_ = true;
+  session_started_ = rt_.now();
   alloc_ = *req;
   buffer_.assign(alloc_.message_bytes, 0);
   expected_ = 0;
@@ -189,10 +191,12 @@ void MulticastReceiver::handle_data(const Header& h, BytesView body) {
   if (config_.peer_repair && (h.flags & kFlagRetrans) != 0) cancel_repair(h.seq);
 
   if (h.seq == expected_) {
+    if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/false);
     const std::uint32_t old_expected = expected_;
     std::uint8_t consumed = consume_in_order(h.seq, h.flags, body);
     after_advance(old_expected, consumed);
   } else if (h.seq > expected_) {
+    if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/false);
     ++stats_.gaps_detected;
     if (config_.selective_repeat && h.seq < expected_ + config_.window_size &&
         reorder_.size() < config_.window_size) {
@@ -266,6 +270,7 @@ void MulticastReceiver::after_advance(std::uint32_t old_expected,
 
 void MulticastReceiver::on_duplicate(const Header& h) {
   ++stats_.duplicates;
+  if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/true);
   // A retransmission of something we already hold usually means our (or a
   // peer's) acknowledgment was lost: re-acknowledge per protocol.
   switch (config_.kind) {
@@ -337,6 +342,7 @@ void MulticastReceiver::send_ack(std::uint32_t cum) {
   Header h{PacketType::kAck, 0, static_cast<std::uint16_t>(node_id_), session_, cum};
   Buffer packet = make_control_packet(h);
   ++stats_.acks_sent;
+  if (observer_) observer_->on_ack_sent(session_, cum);
   control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
 }
 
@@ -344,6 +350,9 @@ void MulticastReceiver::want_nak() {
   const sim::Time now = rt_.now();
   if (last_nak_ >= 0 && now - last_nak_ < config_.nak_interval) {
     ++stats_.naks_suppressed;
+    if (observer_) {
+      observer_->on_nak_suppressed(session_, expected_, NakSuppressReason::kRateLimited);
+    }
     return;
   }
   if (!config_.multicast_nak_suppression) {
@@ -372,6 +381,9 @@ void MulticastReceiver::emit_nak() {
   Header h{PacketType::kNak, 0, static_cast<std::uint16_t>(node_id_), session_, expected_};
   Buffer packet = make_control_packet(h);
   ++stats_.naks_sent;
+  if (observer_) observer_->on_nak_sent(session_, expected_);
+  flight_recorder().record(rt_.now(), "receiver", "nak",
+                           static_cast<std::uint32_t>(node_id_), expected_);
   if (config_.peer_repair) {
     // SRM-style: the NAK goes to the group — whoever holds the packet
     // repairs it, keeping the sender out of the fast path. If this is a
@@ -416,6 +428,10 @@ void MulticastReceiver::handle_foreign_nak(const Header& h) {
       rt_.cancel(nak_timer_);
       nak_timer_ = rt::kInvalidTimerId;
       ++stats_.naks_suppressed;
+      if (observer_) {
+        observer_->on_nak_suppressed(session_, expected_,
+                                     NakSuppressReason::kPeerCovered);
+      }
     }
     last_nak_ = rt_.now();
   }
@@ -426,6 +442,13 @@ void MulticastReceiver::deliver_if_complete() {
   delivered_ = true;
   disarm_inactivity_timer();
   ++stats_.messages_delivered;
+  if (delivery_latency_ != nullptr) {
+    delivery_latency_->record_seconds(sim::to_seconds(rt_.now() - session_started_));
+  }
+  if (observer_) observer_->on_deliver(session_, buffer_.size());
+  flight_recorder().record(rt_.now(), "receiver", "deliver",
+                           static_cast<std::uint32_t>(node_id_), session_,
+                           buffer_.size());
   RMC_DEBUG("receiver %zu: delivered session %u (%zu bytes)", node_id_, session_,
             buffer_.size());
   if (handler_) handler_(buffer_, session_);
@@ -461,6 +484,7 @@ void MulticastReceiver::schedule_repair(std::uint32_t seq) {
   if (auto it = repair_seen_at_.find(seq); it != repair_seen_at_.end()) {
     if (rt_.now() - it->second < holdoff) {
       ++stats_.repairs_suppressed;
+      if (observer_) observer_->on_repair_suppressed(session_, seq);
       return;
     }
   }
@@ -483,6 +507,7 @@ void MulticastReceiver::cancel_repair(std::uint32_t seq) {
   rt_.cancel(it->second);
   repair_timers_.erase(it);
   ++stats_.repairs_suppressed;
+  if (observer_) observer_->on_repair_suppressed(session_, seq);
 }
 
 void MulticastReceiver::emit_repair(std::uint32_t seq) {
@@ -509,6 +534,9 @@ void MulticastReceiver::emit_repair(std::uint32_t seq) {
     w.bytes(BytesView(buffer_.data() + offset, len));
   }
   ++stats_.repairs_sent;
+  if (observer_) observer_->on_repair_sent(session_, seq);
+  flight_recorder().record(rt_.now(), "receiver", "repair",
+                           static_cast<std::uint32_t>(node_id_), seq);
   Buffer packet = w.take();
   control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
 }

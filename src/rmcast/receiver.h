@@ -33,10 +33,12 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/serial.h"
 #include "rmcast/config.h"
 #include "rmcast/group.h"
+#include "rmcast/observer.h"
 #include "rmcast/stats.h"
 #include "rmcast/wire.h"
 #include "runtime/runtime.h"
@@ -59,6 +61,18 @@ class MulticastReceiver {
   MulticastReceiver& operator=(const MulticastReceiver&) = delete;
 
   void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  // Optional protocol-event observer (may be null; not owned). Must
+  // outlive the receiver or be cleared first.
+  void set_observer(ReceiverObserver* observer) { observer_ = observer; }
+  // Optional metrics sink (may be null; not owned; must outlive the
+  // receiver). Publishes the delivery-latency distribution as the
+  // "receiver.delivery_latency_us" histogram: one sample per delivered
+  // message, from acceptance of the session's ALLOC_REQ to delivery.
+  void set_metrics(metrics::Registry* metrics) {
+    delivery_latency_ =
+        metrics != nullptr ? &metrics->histogram("receiver.delivery_latency_us") : nullptr;
+  }
 
   std::size_t node_id() const { return node_id_; }
   const ReceiverStats& stats() const { return stats_; }
@@ -109,11 +123,14 @@ class MulticastReceiver {
   Rng rng_;  // NAK backoff randomisation, seeded by node id
 
   MessageHandler handler_;
+  ReceiverObserver* observer_ = nullptr;
+  metrics::LatencyHistogram* delivery_latency_ = nullptr;
   ReceiverStats stats_;
 
   // Current session state.
   std::uint32_t session_ = 0;  // 0 = none yet
   bool session_active_ = false;
+  sim::Time session_started_ = 0;  // when this session's ALLOC_REQ was accepted
   AllocRequest alloc_;
   Buffer buffer_;
   std::uint32_t expected_ = 0;  // in-order point: holds all seq < expected_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
 
@@ -88,6 +89,8 @@ void MulticastSender::send_alloc_request() {
   write_alloc_request(w, req);
   ++stats_.alloc_requests_sent;
   if (observer_) observer_->on_alloc_request(session_, total_packets_);
+  flight_recorder().record(rt_.now(), "sender", "alloc_req", kSenderNodeId, session_,
+                           total_packets_);
   Buffer packet = w.take();
   socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
 }
@@ -143,6 +146,7 @@ void MulticastSender::start_data_phase() {
     alloc_timer_ = rt::kInvalidTimerId;
   }
   state_ = State::kSending;
+  window_stalled_ = false;
   window_.reset(total_packets_, config_.window_size);
   tracker_.reset(unit_nodes_.size());
   pump();
@@ -173,7 +177,21 @@ void MulticastSender::pump() {
   stats_.peak_buffered_bytes =
       std::max<std::uint64_t>(stats_.peak_buffered_bytes,
                               std::uint64_t{window_.outstanding()} * config_.packet_size);
-  if (tx_chain_active_ || !window_.can_send()) return;
+  if (tx_chain_active_) return;
+  if (!window_.can_send()) {
+    // A full window with unsent packets remaining is a flow-control stall:
+    // the sender is now blocked on acknowledgments. Report only the
+    // transition — pump() runs on every ACK while stalled.
+    if (!window_stalled_ && window_.next() < window_.total()) {
+      window_stalled_ = true;
+      ++stats_.window_stalls;
+      if (observer_) observer_->on_window_stall(session_, window_.base());
+      flight_recorder().record(rt_.now(), "sender", "window_stall", kSenderNodeId,
+                               session_, window_.base());
+    }
+    return;
+  }
+  window_stalled_ = false;
   if (config_.rate_limit_bps > 0) {
     const sim::Time now = rt_.now();
     if (now < next_tx_allowed_) {
@@ -214,6 +232,8 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
   // suppression bookkeeping.
   if (unicast_to == nullptr) window_.mark_sent(seq, rt_.now());
   if (observer_) observer_->on_transmit(session_, seq, h.flags, retransmission);
+  flight_recorder().record(rt_.now(), "sender", retransmission ? "retx" : "tx",
+                           kSenderNodeId, seq, h.flags);
 
   if (retransmission) {
     // Retransmissions resend from the protocol buffer — the user-space
@@ -263,6 +283,14 @@ void MulticastSender::on_ack(const Header& h) {
     cum = window_.next();
   }
   if (!tracker_.on_ack(static_cast<std::size_t>(unit), cum)) return;
+  flight_recorder().record(rt_.now(), "sender", "ack", h.node_id, cum);
+  // ACK round-trip sample: from the newest acknowledged packet's last
+  // transmission to now. Must be taken before release_to() slides the
+  // window past cum.
+  if (ack_rtt_ != nullptr && cum > window_.base()) {
+    const sim::Time sent_at = window_.last_sent(cum - 1);
+    if (sent_at >= 0) ack_rtt_->record_seconds(sim::to_seconds(rt_.now() - sent_at));
+  }
   // Any unit advancing is evidence the transfer is live: push the
   // retransmission timeout out. (Keying the timer on the *minimum* would
   // misfire under the ring's token rotation, where the minimum necessarily
@@ -285,6 +313,7 @@ void MulticastSender::on_nak(const Header& h) {
   }
   ++stats_.naks_received;
   if (observer_) observer_->on_nak(h.session, h.node_id, h.seq);
+  flight_recorder().record(rt_.now(), "sender", "nak", h.node_id, h.seq);
   if (h.seq < window_.base() || h.seq >= window_.next()) return;
   if (config_.unicast_nak_retransmissions && h.node_id < membership_.n_receivers()) {
     // Answer only the complaining receiver; the group keeps its bandwidth
@@ -310,6 +339,7 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
     if (unicast_to == nullptr) {
       if (now - window_.last_sent(seq) < config_.suppress_interval) {
         ++stats_.suppressed_retransmissions;
+        if (observer_) observer_->on_retransmit_suppressed(session_, seq);
         continue;
       }
     }
@@ -345,6 +375,8 @@ void MulticastSender::on_rto() {
   if (state_ != State::kSending) return;
   ++stats_.rto_fires;
   if (observer_) observer_->on_timeout(session_, window_.base());
+  flight_recorder().record(rt_.now(), "sender", "rto", kSenderNodeId, session_,
+                           window_.base());
   RMC_DEBUG("[%.6f] sender rto: session=%u base=%u next=%u", sim::to_seconds(rt_.now()),
             session_, window_.base(), window_.next());
   retransmit_from(window_.base(), /*force_poll=*/true);
@@ -360,6 +392,7 @@ void MulticastSender::complete() {
   state_ = State::kIdle;
   ++stats_.messages_sent;
   if (observer_) observer_->on_complete(session_);
+  flight_recorder().record(rt_.now(), "sender", "complete", kSenderNodeId, session_);
   message_.clear();
   message_view_ = {};
   if (on_complete_) {

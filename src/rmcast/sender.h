@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/serial.h"
 #include "rmcast/config.h"
 #include "rmcast/group.h"
@@ -61,6 +62,14 @@ class MulticastSender {
   // Optional protocol-event observer (may be null; not owned). Must
   // outlive the sender or be cleared first.
   void set_observer(SenderObserver* observer) { observer_ = observer; }
+  // Optional metrics sink (may be null; not owned; must outlive the
+  // sender). Publishes the ACK round-trip distribution as the
+  // "sender.ack_rtt_us" histogram: one sample per acknowledgment that
+  // advances a unit's cumulative count, measured from the newest
+  // acknowledged packet's last transmission.
+  void set_metrics(metrics::Registry* metrics) {
+    ack_rtt_ = metrics != nullptr ? &metrics->histogram("sender.ack_rtt_us") : nullptr;
+  }
   const SenderStats& stats() const { return stats_; }
   const ProtocolConfig& config() const { return config_; }
   const GroupMembership& membership() const { return membership_; }
@@ -125,6 +134,10 @@ class MulticastSender {
   rt::TimerId alloc_timer_ = rt::kInvalidTimerId;
   CompletionHandler on_complete_;
   SenderObserver* observer_ = nullptr;
+  metrics::LatencyHistogram* ack_rtt_ = nullptr;
+  // True while the window is full with nothing in flight to send, so the
+  // stall observer hook fires once per stall, not once per pump().
+  bool window_stalled_ = false;
   SenderStats stats_;
 };
 

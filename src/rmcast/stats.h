@@ -19,6 +19,8 @@ struct SenderStats {
   std::uint64_t alloc_responses_received = 0;
   std::uint64_t rto_fires = 0;
   std::uint64_t suppressed_retransmissions = 0;
+  // Transitions into a full-window stall (blocked on acknowledgments).
+  std::uint64_t window_stalls = 0;
   std::uint64_t stale_packets = 0;        // wrong session / state
   // High-water mark of unacknowledged (buffered) payload bytes.
   std::uint64_t peak_buffered_bytes = 0;

@@ -155,6 +155,29 @@ TEST(Samples, SingleValue) {
   EXPECT_DOUBLE_EQ(s.percentile(37.0), 3.5);
 }
 
+TEST(Counter, SaturatesAtMax) {
+  Counter c;
+  c.inc();
+  EXPECT_EQ(c.value, 1u);
+  c.inc(5);
+  EXPECT_EQ(c.value, 6u);
+
+  c.value = UINT64_MAX - 1;
+  c.inc();
+  EXPECT_EQ(c.value, UINT64_MAX);
+  c.inc();  // pegged: sticks at the ceiling instead of wrapping to 0
+  EXPECT_EQ(c.value, UINT64_MAX);
+  c.inc(12345);
+  EXPECT_EQ(c.value, UINT64_MAX);
+
+  Counter big;
+  big.inc(UINT64_MAX);
+  EXPECT_EQ(big.value, UINT64_MAX);
+  big.value = 10;
+  big.inc(UINT64_MAX - 5);  // overflowing increment also saturates
+  EXPECT_EQ(big.value, UINT64_MAX);
+}
+
 TEST(Strings, FormatBytes) {
   EXPECT_EQ(format_bytes(500), "500B");
   EXPECT_EQ(format_bytes(1536), "1.5KB");

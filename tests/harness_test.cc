@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
@@ -236,6 +239,55 @@ TEST(Trace, RetransmissionsVisibleUnderLoss) {
   EXPECT_EQ(trace.count(TraceRecorder::Kind::kRetransmit),
             sender.stats().retransmissions);
   EXPECT_EQ(trace.count(TraceRecorder::Kind::kNak), sender.stats().naks_received);
+}
+
+TEST(Trace, KindNameRoundTrip) {
+  using Kind = TraceRecorder::Kind;
+  const std::pair<Kind, const char*> expected[] = {
+      {Kind::kAllocRequest, "alloc_request"}, {Kind::kTransmit, "transmit"},
+      {Kind::kRetransmit, "retransmit"},      {Kind::kAck, "ack"},
+      {Kind::kNak, "nak"},                    {Kind::kTimeout, "timeout"},
+      {Kind::kComplete, "complete"}};
+  std::set<std::string> names;
+  for (const auto& [kind, name] : expected) {
+    EXPECT_STREQ(TraceRecorder::kind_name(kind), name);
+    names.insert(name);
+  }
+  // Names are distinct, so the CSV kind column identifies the event.
+  EXPECT_EQ(names.size(), sizeof(expected) / sizeof(expected[0]));
+}
+
+TEST(Trace, WriteCsvRowFormat) {
+  Testbed bed(1, {});
+  TraceRecorder trace(bed.sender_runtime());
+  trace.on_transmit(7, 3, 2, false);
+  trace.on_transmit(7, 3, 2, true);
+  trace.on_ack(7, 1, 4);
+
+  using Kind = TraceRecorder::Kind;
+  EXPECT_EQ(trace.count(Kind::kTransmit), 1u);
+  EXPECT_EQ(trace.count(Kind::kRetransmit), 1u);
+  EXPECT_EQ(trace.count(Kind::kAck), 1u);
+  EXPECT_EQ(trace.count(Kind::kNak), 0u);
+
+  char* data = nullptr;
+  std::size_t size = 0;
+  FILE* mem = open_memstream(&data, &size);
+  trace.write_csv(mem);
+  std::fclose(mem);
+  std::string csv(data, size);
+  free(data);
+  // Header plus one row per event, fields in declared order; the clock
+  // has not advanced, so every timestamp is zero.
+  EXPECT_EQ(csv,
+            "seconds,kind,session,a,b\n"
+            "0.000000000,transmit,7,3,2\n"
+            "0.000000000,retransmit,7,3,2\n"
+            "0.000000000,ack,7,1,4\n");
+
+  trace.clear();
+  EXPECT_EQ(trace.count(Kind::kTransmit), 0u);
+  EXPECT_TRUE(trace.events().empty());
 }
 
 }  // namespace

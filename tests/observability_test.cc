@@ -1,0 +1,195 @@
+// Acceptance tests for the observability layer: a real multicast run with
+// a metrics registry attached must produce protocol histograms whose
+// totals agree with the existing SenderStats/ReceiverStats counters,
+// network-tier gauges for the switch port queues, and a JSON snapshot
+// with the documented schema.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "common/metrics.h"
+#include "harness/experiment.h"
+
+namespace rmc::harness {
+namespace {
+
+MulticastRunSpec small_ack_spec() {
+  MulticastRunSpec spec;
+  spec.n_receivers = 6;
+  spec.message_bytes = 120'000;
+  spec.protocol.kind = rmcast::ProtocolKind::kAck;
+  spec.protocol.packet_size = 8000;
+  spec.protocol.window_size = 8;
+  return spec;
+}
+
+TEST(Observability, HistogramTotalsMatchProtocolCounters) {
+  metrics::Registry registry;
+  MulticastRunSpec spec = small_ack_spec();
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+
+  // Delivery latency: one sample per delivered message, so the histogram
+  // count must equal the receivers' delivered total exactly.
+  std::uint64_t delivered = 0;
+  for (const auto& rs : r.receivers) delivered += rs.messages_delivered;
+  EXPECT_EQ(delivered, spec.n_receivers);
+  const metrics::LatencyHistogram* latency =
+      registry.find_histogram("receiver.delivery_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), delivered);
+  EXPECT_GT(latency->min_us(), 0.0);
+  EXPECT_LE(latency->p50_us(), latency->p99_us());
+  // Delivery happens before the sender learns of completion.
+  EXPECT_LE(latency->max_us(), r.seconds * 1e6 + 1.0);
+
+  // ACK RTT: sampled only for ACKs that advance the window, so the count
+  // is positive but never exceeds the ACKs the sender received.
+  const metrics::LatencyHistogram* ack_rtt =
+      registry.find_histogram("sender.ack_rtt_us");
+  ASSERT_NE(ack_rtt, nullptr);
+  EXPECT_GT(ack_rtt->count(), 0u);
+  EXPECT_LE(ack_rtt->count(), r.sender.acks_received);
+  EXPECT_GT(ack_rtt->min_us(), 0.0);
+
+  // Mirrored counters agree with the stats structs.
+  ASSERT_NE(registry.find_counter("sender.data_packets_sent"), nullptr);
+  EXPECT_EQ(registry.find_counter("sender.data_packets_sent")->value(),
+            r.sender.data_packets_sent);
+  EXPECT_EQ(registry.find_counter("sender.acks_received")->value(),
+            r.sender.acks_received);
+  EXPECT_EQ(registry.find_counter("receiver.messages_delivered")->value(), delivered);
+  EXPECT_EQ(registry.find_counter("receiver.acks_sent")->value(),
+            r.total_acks_sent());
+  EXPECT_EQ(registry.find_counter("harness.runs")->value(), 1u);
+  EXPECT_EQ(registry.find_counter("harness.runs_completed")->value(), 1u);
+  const metrics::LatencyHistogram* run_time =
+      registry.find_histogram("harness.run_time_us");
+  ASSERT_NE(run_time, nullptr);
+  EXPECT_EQ(run_time->count(), 1u);
+}
+
+TEST(Observability, SwitchPortQueueHighWaterMarksPresent) {
+  metrics::Registry registry;
+  MulticastRunSpec spec = small_ack_spec();
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+
+  // Default wiring is the paper's two-switch testbed: both switches must
+  // publish per-port queue high-water marks, and at least one port saw
+  // traffic (the multicast data itself).
+  std::size_t hwm_gauges = 0;
+  double max_hwm = 0.0;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (name.rfind("net.switch", 0) == 0 &&
+        name.find(".queue_hwm_frames") != std::string::npos) {
+      ++hwm_gauges;
+      max_hwm = std::max(max_hwm, gauge.value());
+    }
+  }
+  EXPECT_GT(hwm_gauges, 0u);
+  EXPECT_GE(max_hwm, 1.0);
+  EXPECT_NE(registry.find_counter("net.switch0.frames_flooded"), nullptr);
+  ASSERT_NE(registry.find_gauge("net.sender_nic.queue_hwm_frames"), nullptr);
+  EXPECT_GE(registry.find_gauge("net.sender_nic.queue_hwm_frames")->value(), 1.0);
+  EXPECT_GT(registry.find_gauge("net.sender_nic.busy_seconds")->value(), 0.0);
+}
+
+TEST(Observability, RegistryAccumulatesAcrossRuns) {
+  metrics::Registry registry;
+  MulticastRunSpec spec = small_ack_spec();
+  spec.metrics = &registry;
+  RunResult first = run_multicast(spec);
+  ASSERT_TRUE(first.completed) << first.error;
+  const std::uint64_t after_one =
+      registry.find_counter("sender.data_packets_sent")->value();
+
+  spec.seed = 2;
+  RunResult second = run_multicast(spec);
+  ASSERT_TRUE(second.completed) << second.error;
+  EXPECT_EQ(registry.find_counter("sender.data_packets_sent")->value(),
+            after_one + second.sender.data_packets_sent);
+  EXPECT_EQ(registry.find_counter("harness.runs")->value(), 2u);
+  EXPECT_EQ(registry.find_histogram("receiver.delivery_latency_us")->count(),
+            2 * spec.n_receivers);
+}
+
+TEST(Observability, NakRunPublishesNakCounters) {
+  metrics::Registry registry;
+  MulticastRunSpec spec;
+  spec.n_receivers = 4;
+  spec.message_bytes = 200'000;
+  spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+  spec.protocol.packet_size = 4000;
+  spec.protocol.window_size = 10;
+  spec.protocol.poll_interval = 8;
+  spec.cluster.link.frame_error_rate = 0.03;
+  spec.seed = 5;
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+
+  EXPECT_EQ(registry.find_counter("sender.naks_received")->value(),
+            r.sender.naks_received);
+  EXPECT_EQ(registry.find_counter("sender.retransmissions")->value(),
+            r.sender.retransmissions);
+  EXPECT_GT(r.sender.retransmissions, 0u);
+  EXPECT_EQ(registry.find_counter("receiver.naks_sent")->value(),
+            r.total_naks_sent());
+  // Loss drops frames at the link tier, and that shows up in the metrics.
+  EXPECT_EQ(registry.find_counter("net.link_drops")->value(), r.link_drops);
+  EXPECT_GT(r.link_drops, 0u);
+}
+
+TEST(Observability, JsonSnapshotHasDocumentedSchema) {
+  metrics::Registry registry;
+  MulticastRunSpec spec = small_ack_spec();
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+
+  const std::string json = registry.to_json();
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"",
+        "\"receiver.delivery_latency_us\"", "\"sender.ack_rtt_us\"",
+        "\"sender.data_packets_sent\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
+        "\"count\"", "\"buckets\"", "queue_hwm_frames"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Balanced braces/brackets — cheap structural sanity for the snapshot
+  // (full parse validation lives in bench/smoke.sh).
+  std::ptrdiff_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Observability, WindowStallsCountedWhenWindowIsTight) {
+  metrics::Registry registry;
+  MulticastRunSpec spec;
+  spec.n_receivers = 4;
+  spec.message_bytes = 400'000;
+  spec.protocol.kind = rmcast::ProtocolKind::kAck;
+  spec.protocol.packet_size = 4000;
+  spec.protocol.window_size = 2;  // 100 packets through a 2-packet window
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+  EXPECT_GT(r.sender.window_stalls, 0u);
+  EXPECT_EQ(registry.find_counter("sender.window_stalls")->value(),
+            r.sender.window_stalls);
+}
+
+}  // namespace
+}  // namespace rmc::harness
