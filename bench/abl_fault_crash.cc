@@ -1,0 +1,87 @@
+// Ablation: graceful degradation under a receiver crash, across every
+// protocol family. The paper assumes fault-free receivers (§3), under
+// which a single crashed receiver stalls every one of its protocols
+// forever. With sender-side failure detection enabled
+// (max_retransmit_rounds > 0) the sender evicts the corpse and finishes
+// serving the survivors; this sweep measures what that rescue costs: total
+// communication time with and without a mid-transfer crash, the detection
+// and restructuring overhead (evictions, RTO backoffs, SUSPECT reports),
+// and how it differs between the flat-structure protocols (the sender
+// notices directly) and the trees (the in-tree child monitor must name
+// the corpse first).
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+struct Proto {
+  const char* label;
+  rmcast::ProtocolKind kind;
+};
+
+harness::MulticastRunSpec base_spec(rmcast::ProtocolKind kind) {
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = 15;
+  spec.message_bytes = 500'000;
+  spec.protocol.kind = kind;
+  spec.protocol.packet_size = 8000;
+  spec.protocol.window_size = 40;
+  spec.protocol.poll_interval = 32;
+  spec.protocol.tree_height = 5;
+  spec.protocol.max_retransmit_rounds = 3;
+  spec.protocol.rto = sim::milliseconds(20);
+  spec.protocol.max_rto = sim::milliseconds(100);
+  spec.time_limit = sim::seconds(120.0);
+  return spec;
+}
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  std::vector<Proto> protos = {{"ACK", rmcast::ProtocolKind::kAck},
+                               {"NAK", rmcast::ProtocolKind::kNakPolling},
+                               {"Ring", rmcast::ProtocolKind::kRing},
+                               {"Tree5", rmcast::ProtocolKind::kFlatTree},
+                               {"BinTree", rmcast::ProtocolKind::kBinaryTree}};
+  if (options.quick) protos = {{"ACK", rmcast::ProtocolKind::kAck},
+                               {"Tree5", rmcast::ProtocolKind::kFlatTree}};
+
+  // Crash receiver 7 (mid-roster: interior in the height-5 chain layout
+  // and in the binary heap) a few milliseconds into the data phase.
+  constexpr std::size_t kVictim = 7;
+
+  harness::Table table({"protocol", "fault_free_s", "crash_s", "evicted", "delivered",
+                        "rto_backoffs", "suspects"});
+  for (const Proto& proto : protos) {
+    harness::MulticastRunSpec clean = base_spec(proto.kind);
+    clean.seed = options.seed;
+    harness::RunResult clean_result = bench::run_instrumented(clean, options);
+
+    harness::MulticastRunSpec crashed = base_spec(proto.kind);
+    crashed.seed = options.seed;
+    crashed.faults.crash(kVictim, sim::milliseconds(5));
+    harness::RunResult crash_result = bench::run_instrumented(crashed, options);
+
+    table.add_row(
+        {proto.label,
+         bench::seconds_cell(clean_result.completed ? clean_result.seconds : -1.0),
+         bench::seconds_cell(crash_result.completed ? crash_result.seconds : -1.0),
+         str_format("%llu", (unsigned long long)crash_result.sender.receivers_evicted),
+         str_format("%zu/%zu",
+                    crash_result.outcome.receivers.size() -
+                        crash_result.outcome.n_evicted(),
+                    crash_result.outcome.receivers.size()),
+         str_format("%llu", (unsigned long long)crash_result.sender.rto_backoffs),
+         str_format("%llu",
+                    (unsigned long long)crash_result.sender.suspect_reports_received)});
+  }
+  bench::emit(table, options,
+              "Ablation: receiver crash mid-transfer, eviction enabled (500KB, "
+              "15 receivers, crash node 7 at t=5ms)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

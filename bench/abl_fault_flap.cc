@@ -1,0 +1,60 @@
+// Ablation: a flapping access link versus the failure detector. A link
+// that goes up and down is the awkward middle ground between loss (heals
+// through retransmission) and a crash (should be evicted): flap slowly
+// enough and the receiver looks dead for whole detection windows at a
+// time. This sweep drives one receiver's link through increasingly long
+// flap periods and reports whether the transfer completes, whether the
+// detector held its fire (evictions should stay at zero while the link
+// keeps coming back), and what the flapping costs in time and
+// retransmissions.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  // Down/up half-periods. The detector's budget is max_retransmit_rounds
+  // RTO-backed-off rounds of silence; the longest flap here approaches it.
+  std::vector<sim::Time> periods = {sim::milliseconds(1), sim::milliseconds(5),
+                                    sim::milliseconds(20), sim::milliseconds(50)};
+  if (options.quick) periods = {sim::milliseconds(5)};
+
+  harness::Table table(
+      {"flap_period_ms", "seconds", "evicted", "retransmissions", "fault_drops"});
+  for (sim::Time period : periods) {
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = 15;
+    spec.message_bytes = 500'000;
+    spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+    spec.protocol.packet_size = 8000;
+    spec.protocol.window_size = 40;
+    spec.protocol.poll_interval = 32;
+    spec.protocol.max_retransmit_rounds = 3;
+    spec.protocol.rto = sim::milliseconds(40);
+    spec.protocol.max_rto = sim::milliseconds(200);
+    spec.time_limit = sim::seconds(120.0);
+    spec.seed = options.seed;
+    // Receiver 3's link flaps for the transfer's natural duration
+    // (~60-70ms fault-free), then stays up so the run can always finish.
+    spec.faults.flap_link(3, sim::milliseconds(2), sim::milliseconds(80), period);
+
+    harness::RunResult result = bench::run_instrumented(spec, options);
+    table.add_row(
+        {str_format("%.0f", sim::to_seconds(period) * 1e3),
+         bench::seconds_cell(result.completed ? result.seconds : -1.0),
+         str_format("%llu", (unsigned long long)result.sender.receivers_evicted),
+         str_format("%llu", (unsigned long long)result.sender.retransmissions),
+         str_format("%llu", (unsigned long long)result.fault_drops)});
+  }
+  bench::emit(table, options,
+              "Ablation: flapping access link at receiver 3 (500KB, 15 receivers, "
+              "NAK-polling, eviction armed)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -77,7 +77,8 @@ Outcome run_once(bool snooping, std::uint64_t seed) {
     message[i] = static_cast<std::uint8_t>(i);
   }
   bool done = false;
-  sender.send(BytesView(message.data(), message.size()), [&] { done = true; });
+  sender.send(BytesView(message.data(), message.size()),
+              [&](const rmcast::SendOutcome&) { done = true; });
   while (!done && cluster.simulator().now() < sim::seconds(60.0)) {
     if (!cluster.simulator().step()) break;
   }

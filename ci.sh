@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local CI: the tier-1 test suite and the bench smoke run, under the
+# release build and both sanitizer presets.
+#
+# Usage: ./ci.sh [preset...]   (default: default asan tsan)
+set -eu
+
+cd "$(dirname "$0")"
+PRESETS=("${@:-default}")
+if [ "$#" -eq 0 ]; then
+  PRESETS=(default asan tsan)
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for preset in "${PRESETS[@]}"; do
+  case "$preset" in
+    default) build_dir=build ;;
+    *) build_dir="build-$preset" ;;
+  esac
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] bench smoke ==="
+  bench/smoke.sh "$build_dir"
+done
+
+echo "ci: all presets passed (${PRESETS[*]})"

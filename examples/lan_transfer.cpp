@@ -1,19 +1,17 @@
 // Reliable multicast over REAL sockets: the same protocol code the
 // simulator benchmarks, running on genuine UDP/IP multicast through the
 // PosixRuntime backend. This demo keeps everything in one process on the
-// loopback interface so it runs anywhere; point `multicast_if` (and the
-// membership addresses) at a NIC and spread the endpoints across machines
-// for an actual LAN deployment.
+// loopback interface via the PosixSession facade so it runs anywhere;
+// point the multicast interface (and the membership addresses) at a NIC
+// and spread the endpoints across machines — using the low-level
+// PosixRuntime + MulticastSender/Receiver constructors, one role per
+// process — for an actual LAN deployment.
 //
 //   ./build/examples/lan_transfer
 #include <cstdio>
-#include <memory>
-#include <vector>
 
 #include "common/strings.h"
-#include "rmcast/receiver.h"
-#include "rmcast/sender.h"
-#include "runtime/posix_runtime.h"
+#include "rmcast/session.h"
 
 int main() {
   using namespace rmc;
@@ -34,48 +32,19 @@ int main() {
   config.packet_size = 8192;
   config.window_size = 8;  // > receivers, as the ring requires
 
-  rt::PosixRuntime runtime;
-
-  rt::PosixSocketOptions sender_options;
-  sender_options.bind_addr = net::Ipv4Addr(127, 0, 0, 1);
-  sender_options.port = membership.sender_control.port;
-  auto sender_socket = runtime.open_socket(sender_options);
-  if (!sender_socket) {
+  rmcast::PosixSession session(membership, config);
+  if (!session.ok()) {
     std::fprintf(stderr, "sockets unavailable; cannot run the live demo\n");
     return 1;
   }
-  rmcast::MulticastSender sender(runtime, *sender_socket, membership, config);
 
-  std::vector<std::unique_ptr<rt::UdpSocket>> sockets;
-  std::vector<std::unique_ptr<rmcast::MulticastReceiver>> receivers;
   std::size_t delivered = 0;
-  for (std::size_t i = 0; i < kReceivers; ++i) {
-    rt::PosixSocketOptions data_options;
-    data_options.port = membership.group.port;
-    data_options.reuse_addr = true;  // all receivers share the group port
-    data_options.join_groups = {membership.group.addr};
-    auto data = runtime.open_socket(data_options);
-
-    rt::PosixSocketOptions control_options;
-    control_options.bind_addr = net::Ipv4Addr(127, 0, 0, 1);
-    control_options.port = membership.receiver_control[i].port;
-    auto control = runtime.open_socket(control_options);
-    if (!data || !control) {
-      std::fprintf(stderr, "failed to open receiver sockets\n");
-      return 1;
-    }
-
-    receivers.push_back(std::make_unique<rmcast::MulticastReceiver>(
-        runtime, *data, *control, membership, i, config));
-    receivers[i]->set_message_handler(
-        [&delivered, i](const Buffer& message, std::uint32_t) {
-          std::printf("  receiver %zu: %s received intact\n", i,
-                      format_bytes(message.size()).c_str());
-          ++delivered;
-        });
-    sockets.push_back(std::move(data));
-    sockets.push_back(std::move(control));
-  }
+  session.set_message_handler(
+      [&delivered](std::size_t node, const Buffer& message, std::uint32_t) {
+        std::printf("  receiver %zu: %s received intact\n", node,
+                    format_bytes(message.size()).c_str());
+        ++delivered;
+      });
 
   Buffer payload(512 * 1024);
   for (std::size_t i = 0; i < payload.size(); ++i) {
@@ -86,25 +55,22 @@ int main() {
               format_bytes(payload.size()).c_str(), kReceivers,
               membership.group.str().c_str());
 
-  bool done = false;
-  sim::Time t0 = runtime.now();
-  sender.send(BytesView(payload.data(), payload.size()), [&] {
-    done = true;
-    runtime.stop();
-  });
-  runtime.run_for(sim::seconds(10.0));
+  sim::Time t0 = session.runtime().now();
+  auto outcome = session.send_and_wait(BytesView(payload.data(), payload.size()),
+                                       sim::seconds(10.0));
 
-  if (!done || delivered != kReceivers) {
+  if (!outcome.has_value() || !outcome->all_delivered() || delivered != kReceivers) {
     std::fprintf(stderr, "transfer incomplete (%zu/%zu receivers)\n", delivered,
                  kReceivers);
     return 1;
   }
-  double seconds = sim::to_seconds(runtime.now() - t0);
+  double seconds = sim::to_seconds(session.runtime().now() - t0);
+  const auto& stats = session.sender().stats();
   std::printf("done in %s (%s), %llu data packets, %llu acks, %llu retransmissions\n",
               format_seconds(seconds).c_str(),
               format_rate(payload.size() * 8.0 / seconds).c_str(),
-              (unsigned long long)sender.stats().data_packets_sent,
-              (unsigned long long)sender.stats().acks_received,
-              (unsigned long long)sender.stats().retransmissions);
+              (unsigned long long)stats.data_packets_sent,
+              (unsigned long long)stats.acks_received,
+              (unsigned long long)stats.retransmissions);
   return 0;
 }

@@ -1,65 +1,60 @@
 // Quickstart: reliable multicast on a simulated Ethernet cluster.
 //
 // Builds the paper's testbed (1 sender + 8 receivers behind Ethernet
-// switches), sends one message with the NAK-based protocol, and prints
-// what every receiver got and what it cost. Everything below the Testbed
-// line also works on real sockets via rmc::rt::PosixRuntime — see
-// examples/lan_transfer.cpp.
+// switches) through the Session facade, sends one message with the
+// NAK-based protocol, and prints what every receiver got and what it
+// cost. The same protocol code also runs on real sockets via
+// rmc::rmcast::PosixSession — see examples/lan_transfer.cpp. For
+// experiments that need to reach into individual tiers (hosts, switches,
+// sockets), the low-level harness::Testbed + MulticastSender/Receiver
+// constructors remain available.
 //
 //   ./build/examples/quickstart
 #include <cstdio>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/strings.h"
-#include "harness/testbed.h"
-#include "rmcast/receiver.h"
-#include "rmcast/sender.h"
+#include "rmcast/session.h"
 
 int main() {
-  constexpr std::size_t kReceivers = 8;
-
-  // A fully wired simulated cluster: hosts, switches, sockets.
-  rmc::harness::Testbed bed(kReceivers);
-
   // Pick a protocol. Try kAck, kRing, or kFlatTree (set tree_height).
-  rmc::rmcast::ProtocolConfig config;
-  config.kind = rmc::rmcast::ProtocolKind::kNakPolling;
-  config.packet_size = 8192;
-  config.window_size = 16;
-  config.poll_interval = 12;
+  rmc::rmcast::SessionParams params;
+  params.n_receivers = 8;
+  params.protocol.kind = rmc::rmcast::ProtocolKind::kNakPolling;
+  params.protocol.packet_size = 8192;
+  params.protocol.window_size = 16;
+  params.protocol.poll_interval = 12;
 
-  rmc::rmcast::MulticastSender sender(bed.sender_runtime(), bed.sender_socket(),
-                                      bed.membership(), config);
+  // To watch graceful degradation instead, enable eviction and crash a
+  // receiver mid-transfer:
+  //   params.protocol.max_retransmit_rounds = 3;
+  //   params.faults.crash(/*receiver=*/5, rmc::sim::milliseconds(5));
 
-  std::vector<std::unique_ptr<rmc::rmcast::MulticastReceiver>> receivers;
-  for (std::size_t i = 0; i < kReceivers; ++i) {
-    receivers.push_back(std::make_unique<rmc::rmcast::MulticastReceiver>(
-        bed.receiver_runtime(i), bed.receiver_data_socket(i),
-        bed.receiver_control_socket(i), bed.membership(), i, config));
-    receivers[i]->set_message_handler(
-        [i](const rmc::Buffer& message, std::uint32_t session) {
-          std::printf("receiver %zu got session %u: \"%.*s\" (%zu bytes)\n", i, session,
-                      static_cast<int>(std::min<std::size_t>(message.size(), 40)),
-                      reinterpret_cast<const char*>(message.data()), message.size());
-        });
-  }
+  rmc::rmcast::Session session(params);
+  session.set_message_handler(
+      [](std::size_t node, const rmc::Buffer& message, std::uint32_t session_id) {
+        std::printf("receiver %zu got session %u: \"%.*s\" (%zu bytes)\n", node,
+                    session_id, static_cast<int>(std::min<std::size_t>(message.size(), 40)),
+                    reinterpret_cast<const char*>(message.data()), message.size());
+      });
 
   const std::string text = "hello, cluster! reliable multicast over (simulated) UDP";
-  bool done = false;
-  sender.send(rmc::BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
-                             text.size()),
-              [&] { done = true; });
+  auto outcome = session.send_and_wait(rmc::BytesView(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 
-  while (!done && bed.simulator().step()) {
+  if (!outcome.has_value()) {
+    std::fprintf(stderr, "transfer timed out\n");
+    return 1;
   }
 
-  std::printf("\nsender completed at t=%s\n",
-              rmc::format_seconds(rmc::sim::to_seconds(bed.simulator().now())).c_str());
+  std::printf("\nsender completed at t=%s (%zu/%zu receivers delivered)\n",
+              rmc::format_seconds(rmc::sim::to_seconds(session.simulator().now())).c_str(),
+              outcome->receivers.size() - outcome->n_evicted(),
+              outcome->receivers.size());
+  const auto& stats = session.sender().stats();
   std::printf("data packets: %llu, acks processed: %llu, retransmissions: %llu\n",
-              (unsigned long long)sender.stats().data_packets_sent,
-              (unsigned long long)sender.stats().acks_received,
-              (unsigned long long)sender.stats().retransmissions);
-  return done ? 0 : 1;
+              (unsigned long long)stats.data_packets_sent,
+              (unsigned long long)stats.acks_received,
+              (unsigned long long)stats.retransmissions);
+  return outcome->all_delivered() ? 0 : 1;
 }

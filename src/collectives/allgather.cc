@@ -43,10 +43,11 @@ bool AllgatherNode::have_all_before(std::size_t rank) const {
 void AllgatherNode::maybe_start_own_round() {
   if (started_own_ || !have_all_before(rank_)) return;
   started_own_ = true;
-  sender_.send(BytesView(my_chunk_.data(), my_chunk_.size()), [this] {
-    own_done_ = true;
-    maybe_complete();
-  });
+  sender_.send(BytesView(my_chunk_.data(), my_chunk_.size()),
+               [this](const rmcast::SendOutcome&) {
+                 own_done_ = true;
+                 maybe_complete();
+               });
 }
 
 void AllgatherNode::on_chunk(std::size_t from_rank, const Buffer& data) {

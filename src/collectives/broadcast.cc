@@ -3,7 +3,8 @@
 namespace rmc::collectives {
 
 void Broadcaster::broadcast(BytesView data, CompletionHandler on_complete) {
-  sender_.send(data, [this, on_complete = std::move(on_complete)] {
+  sender_.send(data, [this, on_complete = std::move(on_complete)](
+                         const rmcast::SendOutcome&) {
     ++completed_;
     if (on_complete) on_complete();
   });

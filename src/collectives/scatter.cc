@@ -30,7 +30,10 @@ std::optional<Buffer> scatter_extract(BytesView packed, std::size_t rank) {
 void Scatterer::scatter(const std::vector<Buffer>& chunks,
                         CompletionHandler on_complete) {
   packed_ = scatter_pack(chunks);
-  sender_.send(BytesView(packed_.data(), packed_.size()), std::move(on_complete));
+  sender_.send(BytesView(packed_.data(), packed_.size()),
+               [on_complete = std::move(on_complete)](const rmcast::SendOutcome&) {
+                 if (on_complete) on_complete();
+               });
 }
 
 }  // namespace rmc::collectives

@@ -17,7 +17,9 @@
 #include "common/metrics.h"
 #include "inet/cluster.h"
 #include "rmcast/config.h"
+#include "rmcast/report.h"
 #include "rmcast/stats.h"
+#include "sim/fault.h"
 
 namespace rmc::harness {
 
@@ -29,7 +31,11 @@ struct MulticastRunSpec {
   inet::ClusterParams cluster;  // n_hosts is derived from n_receivers
   // Abort the run if the simulated clock passes this limit.
   sim::Time time_limit = sim::seconds(120.0);
+  // Scripted faults (receiver crashes, pauses, link flaps), applied to
+  // the testbed before traffic starts. Targets are receiver node ids.
+  sim::FaultPlan faults;
   // Verify every receiver got a byte-exact copy (leave on; cheap).
+  // Receivers the SendOutcome marks evicted are exempt.
   bool verify_payload = true;
   // Optional metrics sink (not owned; must outlive the run). When set,
   // the run publishes protocol histograms (delivery latency, ACK RTT),
@@ -48,8 +54,14 @@ struct RunResult {
 
   rmcast::SenderStats sender;
   std::vector<rmcast::ReceiverStats> receivers;
+  // Per-receiver delivery report from the sender's completion callback
+  // (empty receivers vector when the run timed out before completing).
+  rmcast::SendOutcome outcome;
   std::uint64_t rcvbuf_drops = 0;
   std::uint64_t link_drops = 0;  // queue + frame-error drops, all ports
+  // Injected-fault losses, all ports: frames dropped by a downed link or
+  // the Gilbert–Elliott burst channel.
+  std::uint64_t fault_drops = 0;
   // Utilization of the sender host over the run — the two candidate
   // bottlenecks of every experiment in the paper.
   double sender_cpu_busy_seconds = 0.0;

@@ -53,7 +53,61 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)), rng_(params
   }
 }
 
+net::EthernetSwitch& Cluster::switch_of_host(std::size_t i, std::size_t* port) {
+  RMC_ENSURE(!switches_.empty(), "no switches in this wiring");
+  const bool on_a = i < n_switch_a_;
+  *port = on_a ? i : i - n_switch_a_;
+  return on_a ? *switches_[0] : *switches_[1];
+}
+
+void Cluster::set_host_down(std::size_t i, bool down) {
+  hosts_.at(i)->set_down(down);
+}
+
+void Cluster::set_host_link_up(std::size_t i, bool up) {
+  if (switches_.empty()) {
+    // Shared bus: no per-host cable to cut; the nearest model is the
+    // station going silent and deaf.
+    set_host_down(i, !up);
+    return;
+  }
+  nics_.at(i)->set_link_up(up);
+  std::size_t port = 0;
+  net::EthernetSwitch& sw = switch_of_host(i, &port);
+  sw.set_port_link_up(port, up);
+}
+
+bool Cluster::host_link_up(std::size_t i) const {
+  if (switches_.empty()) return !hosts_.at(i)->is_down();
+  return nics_.at(i)->link_up();
+}
+
+void Cluster::apply_fault_plan(const sim::FaultPlan& plan, std::size_t host_offset) {
+  for (const sim::FaultEvent& event : plan.events) {
+    const std::size_t host = event.target + host_offset;
+    RMC_ENSURE(host < hosts_.size(), "fault plan targets a host outside the cluster");
+    sim_.schedule_at(event.at, [this, kind = event.kind, host] {
+      switch (kind) {
+        case sim::FaultKind::kCrash:
+        case sim::FaultKind::kPause:
+          set_host_down(host, true);
+          break;
+        case sim::FaultKind::kResume:
+          set_host_down(host, false);
+          break;
+        case sim::FaultKind::kLinkDown:
+          set_host_link_up(host, false);
+          break;
+        case sim::FaultKind::kLinkUp:
+          set_host_link_up(host, true);
+          break;
+      }
+    });
+  }
+}
+
 void Cluster::build_switched(std::size_t n_switch_a) {
+  n_switch_a_ = n_switch_a;
   const std::size_t n = hosts_.size();
   const std::size_t n_switch_b = n - n_switch_a;
   net::SwitchParams sw_params{params_.link, params_.switch_forwarding_latency,

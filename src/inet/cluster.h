@@ -20,6 +20,7 @@
 #include "inet/host.h"
 #include "net/ethernet_switch.h"
 #include "net/shared_bus.h"
+#include "sim/fault.h"
 
 namespace rmc::inet {
 
@@ -76,13 +77,29 @@ class Cluster {
 
   const ClusterParams& params() const { return params_; }
 
+  // Fault injection. set_host_down models a crashed/paused process on host
+  // i; set_host_link_up flips host i's access link (its NIC transmit port
+  // and the switch egress port facing it). On the shared bus there is no
+  // per-host cable to cut, so a link fault degrades to host-down.
+  void set_host_down(std::size_t i, bool down);
+  void set_host_link_up(std::size_t i, bool up);
+  bool host_link_up(std::size_t i) const;
+
+  // Schedules every event of `plan` on the simulator. Plan targets are
+  // receiver node ids; `host_offset` maps them to hosts (the Testbed
+  // convention: sender on host 0, receiver i on host i + 1).
+  void apply_fault_plan(const sim::FaultPlan& plan, std::size_t host_offset = 1);
+
  private:
   void build_switched(std::size_t n_switch_a);
   void build_bus();
+  // Switch and port facing host i (switched wirings).
+  net::EthernetSwitch& switch_of_host(std::size_t i, std::size_t* port);
 
   ClusterParams params_;
   sim::Simulator sim_;
   Rng rng_;
+  std::size_t n_switch_a_ = 0;  // hosts on switch A (switched wirings)
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::TxPort>> nics_;  // host-side transmit ports
   std::vector<std::unique_ptr<net::EthernetSwitch>> switches_;

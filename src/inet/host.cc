@@ -140,6 +140,12 @@ void Host::send_datagram(Socket& socket, const net::Endpoint& dst, Buffer payloa
 
   const std::uint16_t ident = next_ident_++;
   enqueue_cpu(CpuTask{cost, [this, datagram = std::move(datagram), ident] {
+    if (down_) {
+      // The process died (or was paused) before this send took effect:
+      // nothing reaches the wire.
+      ++stats_.frames_suppressed_down;
+      return;
+    }
     if (datagram.dst.addr == addr_) {
       // Local delivery: no NIC involved.
       deliver(datagram, fragment_count(datagram.payload.size()));
@@ -167,6 +173,10 @@ bool Host::accepts_mac(net::MacAddr dst) const {
 }
 
 void Host::handle_frame(const net::Frame& frame) {
+  if (down_) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
   if (!accepts_mac(frame.dst)) {
     ++stats_.frames_filtered;
     return;

@@ -86,6 +86,8 @@ class Host {
     std::uint64_t frames_filtered = 0;  // MAC filter rejected
     std::uint64_t frames_out = 0;
     std::uint64_t datagrams_no_socket = 0;
+    std::uint64_t frames_dropped_down = 0;  // ingress while the host was down
+    std::uint64_t frames_suppressed_down = 0;  // egress while the host was down
     sim::Time cpu_busy = 0;
   };
 
@@ -95,6 +97,15 @@ class Host {
   Host& operator=(const Host&) = delete;
 
   Socket* open_socket();
+
+  // Fault injection: a "down" host drops every ingress frame and emits
+  // nothing (crash or paused process). Already-queued CPU work still runs
+  // — a dead process's timers are gone, but the model's timers belong to
+  // the runtime above — its output is simply discarded at the wire, which
+  // is indistinguishable from silence to every peer. Resuming (set_down
+  // false) models a paused process being rescheduled.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
 
   // Wiring: frames the host transmits go to `sink` (a switch ingress or a
   // bus station); frame_input() is what the peer delivers into.
@@ -183,6 +194,7 @@ class Host {
   sim::Time cpu_horizon_ = 0;
   std::uint16_t next_ident_ = 1;
   std::uint16_t next_ephemeral_ = 49152;
+  bool down_ = false;
   Stats stats_;
 };
 

@@ -14,6 +14,18 @@ EthernetSwitch::EthernetSwitch(sim::Simulator& simulator, std::size_t n_ports,
   for (std::size_t i = 0; i < n_ports; ++i) {
     ports_.push_back(std::make_unique<TxPort>(sim_, params_.port, rng));
   }
+  port_up_.assign(n_ports, true);
+}
+
+void EthernetSwitch::set_port_link_up(std::size_t port, bool up) {
+  RMC_ENSURE(port < ports_.size(), "switch port out of range");
+  port_up_[port] = up;
+  ports_[port]->set_link_up(up);
+}
+
+bool EthernetSwitch::port_link_up(std::size_t port) const {
+  RMC_ENSURE(port < ports_.size(), "switch port out of range");
+  return port_up_[port];
 }
 
 FrameSink EthernetSwitch::attach(std::size_t port, FrameSink deliver) {
@@ -24,6 +36,10 @@ FrameSink EthernetSwitch::attach(std::size_t port, FrameSink deliver) {
 
 void EthernetSwitch::handle_frame(std::size_t ingress_port, const Frame& frame) {
   RMC_ENSURE(ingress_port < ports_.size(), "ingress port out of range");
+  if (!port_up_[ingress_port]) {
+    ++stats_.frames_link_down;
+    return;
+  }
   // Learn the station behind the ingress port. Group addresses are never
   // valid sources, so no check is needed before learning.
   fdb_[frame.src] = ingress_port;

@@ -46,6 +46,12 @@ class EthernetSwitch {
   // Ingress entry point (what attach() returns, exposed for tests).
   void handle_frame(std::size_t ingress_port, const Frame& frame);
 
+  // Carrier control for fault injection: a downed port drops its egress
+  // frames (via the port's TxPort) and ignores ingress frames, as a switch
+  // that lost carrier on that port would.
+  void set_port_link_up(std::size_t port, bool up);
+  bool port_link_up(std::size_t port) const;
+
   // Snooping registration (stands in for observed IGMP reports/leaves):
   // reference-counted per (group MAC, port). No-ops unless
   // multicast_snooping is enabled.
@@ -59,6 +65,7 @@ class EthernetSwitch {
     std::uint64_t frames_flooded = 0;
     std::uint64_t frames_snoop_forwarded = 0;  // multicast sent to members only
     std::uint64_t frames_filtered = 0;  // unicast dst behind the ingress port
+    std::uint64_t frames_link_down = 0;  // ingress on a downed port
   };
   const Stats& stats() const { return stats_; }
 
@@ -72,6 +79,7 @@ class EthernetSwitch {
   sim::Simulator& sim_;
   SwitchParams params_;
   std::vector<std::unique_ptr<TxPort>> ports_;
+  std::vector<bool> port_up_;
   std::unordered_map<MacAddr, std::size_t> fdb_;  // forwarding database
   // group MAC -> port -> registration count.
   std::unordered_map<MacAddr, std::unordered_map<std::size_t, int>> group_ports_;

@@ -7,13 +7,19 @@
 namespace rmc::net {
 
 TxPort::TxPort(sim::Simulator& simulator, LinkParams params, Rng* rng)
-    : sim_(simulator), params_(params), rng_(rng) {
+    : sim_(simulator), params_(params), rng_(rng), burst_(params.faults.burst) {
   RMC_ENSURE(params_.rate_bps > 0, "link rate must be positive");
-  RMC_ENSURE(params_.frame_error_rate == 0.0 || rng_ != nullptr,
-             "frame errors require an Rng");
+  RMC_ENSURE((params_.frame_error_rate == 0.0 && !params_.faults.any()) ||
+                 rng_ != nullptr,
+             "frame errors and link faults require an Rng");
 }
 
 void TxPort::send(Frame frame) {
+  if (!link_up_) {
+    ++stats_.link_down_drops;
+    if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
+    return;
+  }
   if (transmitting_ && queue_.size() >= params_.queue_frames) {
     ++stats_.queue_drops;
     if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
@@ -44,19 +50,44 @@ void TxPort::start_next() {
 
   const bool corrupted = params_.frame_error_rate > 0.0 && rng_ != nullptr &&
                          rng_->chance(params_.frame_error_rate);
-  if (corrupted) {
+  const bool burst_lost =
+      params_.faults.burst.enabled() && rng_ != nullptr && burst_.drop(*rng_);
+  if (!link_up_) {
+    // The carrier dropped while this frame was queued: it serializes into
+    // a dead wire.
+    ++stats_.link_down_drops;
+  } else if (corrupted) {
     ++stats_.error_drops;
+  } else if (burst_lost) {
+    ++stats_.burst_drops;
   } else {
     // Store-and-forward: the frame is delivered once fully serialized plus
-    // the wire propagation delay.
-    sim_.schedule_after(tx_time + params_.propagation,
-                        [this, frame = std::move(frame)] {
-                          if (sink_) sink_(frame);
-                        });
+    // the wire propagation delay. Injected reordering holds the delivery
+    // back so a later frame overtakes it; injected duplication delivers a
+    // second copy one propagation later (a duplicated frame on a real LAN
+    // arrives back-to-back).
+    sim::Time delay = tx_time + params_.propagation;
+    if (params_.faults.reorder_rate > 0.0 && rng_ != nullptr &&
+        rng_->chance(params_.faults.reorder_rate)) {
+      ++stats_.reordered_frames;
+      delay += params_.faults.reorder_delay;
+    }
+    if (params_.faults.duplicate_rate > 0.0 && rng_ != nullptr &&
+        rng_->chance(params_.faults.duplicate_rate)) {
+      ++stats_.duplicated_frames;
+      deliver_after(delay + params_.propagation, frame);
+    }
+    deliver_after(delay, std::move(frame));
   }
   // The transmitter is busy for the serialization time regardless of
   // whether the frame survives the wire.
   sim_.schedule_after(tx_time, [this] { start_next(); });
+}
+
+void TxPort::deliver_after(sim::Time delay, Frame frame) {
+  sim_.schedule_after(delay, [this, frame = std::move(frame)] {
+    if (sink_) sink_(frame);
+  });
 }
 
 }  // namespace rmc::net

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "net/frame.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace rmc::net {
@@ -27,6 +28,9 @@ struct LinkParams {
   sim::Time propagation = sim::nanoseconds(500);  // ~100 m of cable
   std::size_t queue_frames = 512;                // drop-tail transmit queue
   double frame_error_rate = 0.0;                 // per-frame corruption probability
+  // Injected impairments beyond uniform corruption: Gilbert–Elliott burst
+  // loss, duplication, reordering. Default off.
+  sim::LinkFaults faults;
 };
 
 // Invoked when a frame fully arrives at the receiving device.
@@ -40,6 +44,11 @@ class TxPort {
     std::uint64_t frames_enqueued = 0;  // accepted into the queue
     std::uint64_t queue_drops = 0;
     std::uint64_t error_drops = 0;
+    // Fault-injection accounting (LinkFaults / set_link_up).
+    std::uint64_t burst_drops = 0;       // Gilbert–Elliott losses
+    std::uint64_t duplicated_frames = 0;
+    std::uint64_t reordered_frames = 0;
+    std::uint64_t link_down_drops = 0;
     // High-water mark of queue depth (queued + transmitting), in frames —
     // how close the port came to drop-tail loss even when nothing dropped.
     std::size_t peak_queue_frames = 0;
@@ -66,6 +75,12 @@ class TxPort {
   // Enqueues a frame for transmission; drops it if the queue is full.
   void send(Frame frame);
 
+  // Carrier control for fault injection: while the link is down every
+  // frame entering or surfacing from the queue is dropped (the queue keeps
+  // draining — a downed cable loses frames, it does not preserve them).
+  void set_link_up(bool up) { link_up_ = up; }
+  bool link_up() const { return link_up_; }
+
   std::size_t queue_length() const { return queue_.size() + (transmitting_ ? 1 : 0); }
   // Wire bytes waiting in the queue (excluding the frame on the wire).
   std::size_t queued_wire_bytes() const { return queued_wire_bytes_; }
@@ -75,6 +90,7 @@ class TxPort {
 
  private:
   void start_next();
+  void deliver_after(sim::Time delay, Frame frame);
 
   sim::Simulator& sim_;
   LinkParams params_;
@@ -84,6 +100,8 @@ class TxPort {
   std::deque<Frame> queue_;
   std::size_t queued_wire_bytes_ = 0;
   bool transmitting_ = false;
+  bool link_up_ = true;
+  sim::GilbertElliottModel burst_;
   Stats stats_;
 };
 

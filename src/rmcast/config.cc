@@ -23,6 +23,9 @@ std::string ProtocolConfig::describe() const {
   if (kind == ProtocolKind::kNakPolling) out += str_format(" poll=%zu", poll_interval);
   if (kind == ProtocolKind::kFlatTree) out += str_format(" H=%zu", tree_height);
   if (selective_repeat) out += " SR";
+  if (max_retransmit_rounds > 0) {
+    out += str_format(" evict@%zu", max_retransmit_rounds);
+  }
   return out;
 }
 
@@ -85,6 +88,14 @@ std::string validate(const ProtocolConfig& config, std::size_t n_receivers) {
     if (config.repair_delay <= 0) return "repair_delay must be positive";
   }
   if (config.rate_limit_bps < 0) return "rate_limit_bps must be non-negative";
+  if (config.max_retransmit_rounds > 0) {
+    if (config.rto_backoff_factor < 1.0) {
+      return "rto_backoff_factor must be >= 1.0 when eviction is enabled";
+    }
+    if (config.max_rto < config.rto) {
+      return "max_rto must be >= rto when eviction is enabled";
+    }
+  }
   return "";
 }
 

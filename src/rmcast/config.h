@@ -55,6 +55,21 @@ struct ProtocolConfig {
   // backstops tail losses.
   sim::Time rto = sim::milliseconds(100);
   sim::Time suppress_interval = sim::milliseconds(10);
+
+  // Graceful degradation (sender-side failure detection). The paper
+  // assumes fault-free receivers, so a crashed receiver stalls the window
+  // forever; with max_retransmit_rounds > 0 the sender counts consecutive
+  // retransmission timeouts during which a tracked unit's cumulative count
+  // made no progress while others did not release it, backs its RTO off
+  // exponentially (rto * rto_backoff_factor^k, capped at max_rto), and
+  // after max_retransmit_rounds such rounds EVICTS the unresponsive
+  // receiver from the acknowledgment roster: survivors re-form the ring /
+  // tree structure, the window drains over the live set, and send()
+  // completes with a per-receiver DeliveryReport instead of hanging.
+  // 0 keeps the paper's fault-free semantics (wait forever).
+  std::size_t max_retransmit_rounds = 0;
+  double rto_backoff_factor = 2.0;
+  sim::Time max_rto = sim::seconds(2);
   // Retransmission timeout for the buffer-allocation handshake.
   sim::Time alloc_rto = sim::milliseconds(10);
   // Receivers rate-limit duplicate NAKs for the same gap to one per this.

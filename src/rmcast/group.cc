@@ -1,5 +1,8 @@
 #include "rmcast/group.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/panic.h"
 #include "common/strings.h"
 
@@ -12,9 +15,22 @@ std::string GroupMembership::validate() const {
   if (group.port == 0) return "group port must be set";
   if (sender_control.port == 0) return "sender control port must be set";
   if (receiver_control.empty()) return "no receivers";
+  std::unordered_map<net::Endpoint, std::size_t> seen;
   for (std::size_t i = 0; i < receiver_control.size(); ++i) {
     if (receiver_control[i].port == 0) {
       return str_format("receiver %zu control port must be set", i);
+    }
+    // Control endpoints are how peers are told apart on the wire: a
+    // duplicate (or a clash with the sender) would deliver one node's
+    // control traffic to another and silently corrupt the protocol.
+    if (receiver_control[i] == sender_control) {
+      return str_format("receiver %zu control endpoint %s collides with the sender's",
+                        i, receiver_control[i].str().c_str());
+    }
+    auto [it, inserted] = seen.emplace(receiver_control[i], i);
+    if (!inserted) {
+      return str_format("receivers %zu and %zu share control endpoint %s", it->second,
+                        i, receiver_control[i].str().c_str());
     }
   }
   return "";
@@ -60,6 +76,51 @@ TreeLinks binary_tree_links(std::size_t id, std::size_t n) {
   if (2 * id + 1 < n) links.children.push_back(2 * id + 1);
   if (2 * id + 2 < n) links.children.push_back(2 * id + 2);
   return links;
+}
+
+std::size_t live_rank(const std::vector<std::size_t>& live, std::size_t id) {
+  auto it = std::lower_bound(live.begin(), live.end(), id);
+  RMC_ENSURE(it != live.end() && *it == id, "node is not in the live set");
+  return static_cast<std::size_t>(it - live.begin());
+}
+
+namespace {
+
+// Chain height clamped to what the live set can still fill.
+std::size_t effective_height(std::size_t n_live, std::size_t height) {
+  return std::max<std::size_t>(1, std::min(height, n_live));
+}
+
+// Maps a rank-space TreeLinks back to node-id space.
+TreeLinks map_links(TreeLinks rank_links, const std::vector<std::size_t>& live) {
+  TreeLinks links;
+  links.has_parent = rank_links.has_parent;
+  if (links.has_parent) links.parent = live[rank_links.parent];
+  for (std::size_t child : rank_links.children) links.children.push_back(live[child]);
+  return links;
+}
+
+}  // namespace
+
+std::vector<std::size_t> tree_chain_heads_live(const std::vector<std::size_t>& live,
+                                               std::size_t height) {
+  RMC_ENSURE(!live.empty(), "live set is empty");
+  std::vector<std::size_t> heads;
+  const std::size_t h = effective_height(live.size(), height);
+  for (std::size_t rank = 0; rank < live.size(); rank += h) {
+    heads.push_back(live[rank]);
+  }
+  return heads;
+}
+
+TreeLinks flat_tree_links_live(std::size_t id, const std::vector<std::size_t>& live,
+                               std::size_t height) {
+  const std::size_t h = effective_height(live.size(), height);
+  return map_links(flat_tree_links(live_rank(live, id), live.size(), h), live);
+}
+
+TreeLinks binary_tree_links_live(std::size_t id, const std::vector<std::size_t>& live) {
+  return map_links(binary_tree_links(live_rank(live, id), live.size()), live);
 }
 
 }  // namespace rmc::rmcast

@@ -67,4 +67,23 @@ TreeLinks flat_tree_links(std::size_t id, std::size_t n, std::size_t height);
 // Binary heap layout rooted at receiver 0: children of i are 2i+1, 2i+2.
 TreeLinks binary_tree_links(std::size_t id, std::size_t n);
 
+// Live-set variants, used after eviction removes receivers from the
+// structure. `live` is the sorted list of surviving node ids; the layout
+// is computed over *ranks* in that list and mapped back to node ids, so
+// evicting a node splices the chain around it: its successor is promoted
+// into its position (a dead head's successor becomes the new head and
+// reports to the sender) and its predecessor re-points at the successor.
+// When the live set shrinks below `height`, the chain height clamps to the
+// live count. Every survivor computes the same layout from the same evict
+// notices, so no agreement protocol is needed.
+std::size_t live_rank(const std::vector<std::size_t>& live, std::size_t id);
+
+std::vector<std::size_t> tree_chain_heads_live(const std::vector<std::size_t>& live,
+                                               std::size_t height);
+
+TreeLinks flat_tree_links_live(std::size_t id, const std::vector<std::size_t>& live,
+                               std::size_t height);
+
+TreeLinks binary_tree_links_live(std::size_t id, const std::vector<std::size_t>& live);
+
 }  // namespace rmc::rmcast

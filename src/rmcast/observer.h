@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "sim/time.h"
+
 namespace rmc::rmcast {
 
 class SenderObserver {
@@ -37,6 +39,13 @@ class SenderObserver {
   // withheld because one went out within suppress_interval.
   virtual void on_retransmit_suppressed(std::uint32_t /*session*/,
                                         std::uint32_t /*seq*/) {}
+  // Graceful degradation: `node` was evicted from the acknowledgment
+  // roster after making no progress past `cum` for max_retransmit_rounds.
+  virtual void on_receiver_evicted(std::uint32_t /*session*/, std::uint16_t /*node*/,
+                                   std::uint32_t /*cum*/) {}
+  // The retransmission timeout was backed off to `rto` after a round with
+  // no acknowledgment progress.
+  virtual void on_rto_backoff(std::uint32_t /*session*/, sim::Time /*rto*/) {}
 };
 
 // Why a receiver withheld a NAK it wanted to send.
@@ -65,6 +74,11 @@ class ReceiverObserver {
                                     std::uint32_t /*seq*/) {}
   // The assembled message was handed to the application.
   virtual void on_deliver(std::uint32_t /*session*/, std::uint64_t /*bytes*/) {}
+  // Graceful degradation: the sender announced `node`'s eviction.
+  // `self` is true when this receiver is the one evicted (it goes
+  // passive); otherwise survivors may re-form their ring/tree structure.
+  virtual void on_eviction(std::uint32_t /*session*/, std::uint16_t /*node*/,
+                           bool /*self*/) {}
 };
 
 }  // namespace rmc::rmcast

@@ -26,15 +26,15 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
   RMC_ENSURE(node_id_ < membership_.n_receivers(), "node id out of range");
 
   is_tree_ = is_tree_protocol(config_.kind);
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    links_ = flat_tree_links(node_id_, membership_.n_receivers(), config_.tree_height);
-  } else if (config_.kind == ProtocolKind::kBinaryTree) {
-    links_ = binary_tree_links(node_id_, membership_.n_receivers());
-  }
-  child_alloc_done_.assign(links_.children.size(), false);
-  child_cums_.assign(links_.children.size(), 0);
-  pending_child_rsp_.assign(links_.children.size(), false);
-  pending_child_cums_.assign(links_.children.size(), 0);
+  const std::size_t n = membership_.n_receivers();
+  peer_alloc_done_.assign(n, false);
+  peer_cum_.assign(n, 0);
+  pending_rsp_.assign(n, false);
+  pending_cum_.assign(n, 0);
+  monitor_cum_snapshot_.assign(n, 0);
+  monitor_alloc_snapshot_.assign(n, false);
+  peer_stall_rounds_.assign(n, 0);
+  reset_full_structure();
 
   auto handler = [this](const net::Endpoint& src, BytesView payload) {
     on_packet(src, payload);
@@ -46,7 +46,31 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
 MulticastReceiver::~MulticastReceiver() {
   if (nak_timer_ != rt::kInvalidTimerId) rt_.cancel(nak_timer_);
   disarm_inactivity_timer();
+  disarm_child_monitor();
   for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
+}
+
+void MulticastReceiver::reset_full_structure() {
+  alive_.assign(membership_.n_receivers(), true);
+  rebuild_live();
+  evicted_self_ = false;
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    links_ = flat_tree_links(node_id_, membership_.n_receivers(), config_.tree_height);
+  } else if (config_.kind == ProtocolKind::kBinaryTree) {
+    links_ = binary_tree_links(node_id_, membership_.n_receivers());
+  }
+}
+
+void MulticastReceiver::rebuild_live() {
+  live_.clear();
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) live_.push_back(i);
+  }
+}
+
+bool MulticastReceiver::ring_token_mine(std::uint32_t k) const {
+  if (live_.empty()) return false;
+  return live_[k % live_.size()] == node_id_;
 }
 
 net::Endpoint MulticastReceiver::ack_target() const {
@@ -64,8 +88,8 @@ int MulticastReceiver::child_index(std::uint16_t node) const {
 }
 
 bool MulticastReceiver::all_children_alloc_done() const {
-  return std::all_of(child_alloc_done_.begin(), child_alloc_done_.end(),
-                     [](bool b) { return b; });
+  return std::all_of(links_.children.begin(), links_.children.end(),
+                     [this](std::size_t child) { return peer_alloc_done_[child]; });
 }
 
 void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
@@ -73,6 +97,11 @@ void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
   Reader r(payload);
   auto header = read_header(r);
   if (!header) return;
+  // An evicted receiver is out of the session: it must not acknowledge,
+  // NAK or relay anything — survivors have restructured around it, and a
+  // late ACK from it would corrupt the re-formed aggregation. It wakes up
+  // again at the next session's ALLOC_REQ.
+  if (evicted_self_ && header->session == session_) return;
   switch (header->type) {
     case PacketType::kAllocReq:
       handle_alloc_request(*header, r);
@@ -88,6 +117,12 @@ void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
       break;
     case PacketType::kNak:
       handle_foreign_nak(*header);
+      break;
+    case PacketType::kEvict:
+      handle_evict(*header);
+      break;
+    case PacketType::kSuspect:
+      ++stats_.stale_packets;  // sender-bound; not for receivers
       break;
   }
 }
@@ -127,20 +162,28 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
   last_emitted_nak_seq_ = UINT32_MAX;
   alloc_rsp_sent_ = false;
   upstream_sent_ = 0;
+  // A new session starts from the full roster and structure again, even
+  // after evictions (a previously evicted — e.g. paused-and-resumed —
+  // receiver rejoins here).
+  reset_full_structure();
+  std::fill(peer_stall_rounds_.begin(), peer_stall_rounds_.end(), 0);
+  std::fill(monitor_cum_snapshot_.begin(), monitor_cum_snapshot_.end(), 0);
+  std::fill(monitor_alloc_snapshot_.begin(), monitor_alloc_snapshot_.end(), false);
   // Apply tree traffic that raced ahead of this request.
   if (pending_session_ == session_) {
-    child_alloc_done_ = pending_child_rsp_;
-    child_cums_ = pending_child_cums_;
+    peer_alloc_done_ = pending_rsp_;
+    peer_cum_ = pending_cum_;
   } else {
-    std::fill(child_alloc_done_.begin(), child_alloc_done_.end(), false);
-    std::fill(child_cums_.begin(), child_cums_.end(), 0);
+    std::fill(peer_alloc_done_.begin(), peer_alloc_done_.end(), false);
+    std::fill(peer_cum_.begin(), peer_cum_.end(), 0);
   }
   pending_session_ = 0;
-  std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
-  std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+  std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
+  std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
 
   if (!is_tree_ || all_children_alloc_done()) send_alloc_response();
   if (config_.receiver_driven_timeouts) arm_inactivity_timer();
+  if (eviction_enabled() && is_tree_ && !links_.children.empty()) arm_child_monitor();
 }
 
 void MulticastReceiver::send_alloc_response() {
@@ -162,15 +205,15 @@ void MulticastReceiver::handle_chain_alloc_rsp(const Header& h) {
     if (h.session > session_) {
       if (h.session != pending_session_) {
         pending_session_ = h.session;
-        std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
-        std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+        std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
+        std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
       }
-      pending_child_rsp_[static_cast<std::size_t>(child)] = true;
+      pending_rsp_[h.node_id] = true;
     }
     return;
   }
   const bool was_done = all_children_alloc_done();
-  child_alloc_done_[static_cast<std::size_t>(child)] = true;
+  peer_alloc_done_[h.node_id] = true;
   // Forward once the whole subtree (and we) have allocated; re-forward on
   // duplicates to heal a lost response upstream.
   if (all_children_alloc_done() && (!was_done || alloc_rsp_sent_)) send_alloc_response();
@@ -248,9 +291,8 @@ void MulticastReceiver::after_advance(std::uint32_t old_expected,
       break;
     case ProtocolKind::kRing: {
       bool token_mine = false;
-      const std::size_t n = membership_.n_receivers();
       for (std::uint32_t k = old_expected; k < expected_; ++k) {
-        if (k % n == node_id_) {
+        if (ring_token_mine(k)) {
           token_mine = true;
           break;
         }
@@ -287,7 +329,7 @@ void MulticastReceiver::on_duplicate(const Header& h) {
       // resends only that one packet, so the healing re-ACK must come from
       // every receiver, not just the token owner (whose ACK may not be the
       // missing one).
-      if (h.seq % membership_.n_receivers() == node_id_ || (h.flags & kFlagLast) != 0 ||
+      if (ring_token_mine(h.seq) || (h.flags & kFlagLast) != 0 ||
           (h.flags & kFlagRetrans) != 0) {
         send_ack(expected_);
       }
@@ -312,15 +354,15 @@ void MulticastReceiver::handle_chain_ack(const Header& h) {
     if (h.session > session_) {
       if (h.session != pending_session_) {
         pending_session_ = h.session;
-        std::fill(pending_child_rsp_.begin(), pending_child_rsp_.end(), false);
-        std::fill(pending_child_cums_.begin(), pending_child_cums_.end(), 0);
+        std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
+        std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
       }
-      auto& pending = pending_child_cums_[static_cast<std::size_t>(child)];
+      auto& pending = pending_cum_[h.node_id];
       pending = std::max(pending, h.seq);
     }
     return;
   }
-  auto& cum = child_cums_[static_cast<std::size_t>(child)];
+  auto& cum = peer_cum_[h.node_id];
   const bool advanced = h.seq > cum;
   cum = std::max(cum, h.seq);
   // A non-advancing tree ACK is a child healing a lost ACK; pass the
@@ -330,7 +372,9 @@ void MulticastReceiver::handle_chain_ack(const Header& h) {
 
 void MulticastReceiver::maybe_forward_chain_state(bool resend_allowed) {
   std::uint32_t upstream = expected_;
-  for (std::uint32_t cum : child_cums_) upstream = std::min(upstream, cum);
+  for (std::size_t child : links_.children) {
+    upstream = std::min(upstream, peer_cum_[child]);
+  }
   if (upstream > upstream_sent_ ||
       (resend_allowed && upstream == upstream_sent_ && upstream > 0)) {
     upstream_sent_ = upstream;
@@ -539,6 +583,153 @@ void MulticastReceiver::emit_repair(std::uint32_t seq) {
                            static_cast<std::uint32_t>(node_id_), seq);
   Buffer packet = w.take();
   control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+}
+
+void MulticastReceiver::handle_evict(const Header& h) {
+  if (!eviction_enabled() || !session_active_ || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  const std::size_t node = h.seq;
+  if (node >= alive_.size() || !alive_[node]) return;  // duplicate notice
+  ++stats_.evict_notices_received;
+  alive_[node] = false;
+  rebuild_live();
+  flight_recorder().record(rt_.now(), "receiver", "evict_notice",
+                           static_cast<std::uint32_t>(node_id_), session_,
+                           static_cast<std::uint32_t>(node));
+  if (node == node_id_) {
+    // That's us. Go passive: cancel every timer and stop talking — the
+    // survivors have already restructured around this node, and any late
+    // ACK or NAK from it would corrupt their re-formed aggregation.
+    evicted_self_ = true;
+    if (observer_) observer_->on_eviction(session_, h.node_id, /*self=*/true);
+    disarm_inactivity_timer();
+    disarm_child_monitor();
+    if (nak_timer_ != rt::kInvalidTimerId) {
+      rt_.cancel(nak_timer_);
+      nak_timer_ = rt::kInvalidTimerId;
+    }
+    for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
+    repair_timers_.clear();
+    return;
+  }
+  if (observer_) {
+    observer_->on_eviction(session_, static_cast<std::uint16_t>(node), /*self=*/false);
+  }
+  if (is_tree_) {
+    rebuild_tree_links();
+    ++stats_.structure_reforms;
+  } else if (config_.kind == ProtocolKind::kRing) {
+    // The token rule consults live_ directly; nothing else to re-form.
+    ++stats_.structure_reforms;
+  }
+}
+
+void MulticastReceiver::rebuild_tree_links() {
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    links_ = flat_tree_links_live(node_id_, live_, config_.tree_height);
+  } else {
+    links_ = binary_tree_links_live(node_id_, live_);
+  }
+  // The parent may be new (a splice re-points us at the dead node's
+  // predecessor, or promotes us to report to the sender): it has no record
+  // of what we reported before, so start the upstream watermark over and
+  // push our current aggregate at it. Missing state heals the same way as
+  // lost ACKs — Go-Back-N retransmissions make leaves re-acknowledge, and
+  // the re-ACKs cascade up the re-formed chain.
+  upstream_sent_ = 0;
+  // A splice changes who is accountable for what: give every child a fresh
+  // stall budget against the re-formed structure.
+  peer_stall_rounds_.assign(peer_stall_rounds_.size(), 0);
+  if (all_children_alloc_done()) {
+    send_alloc_response();
+  }
+  maybe_forward_chain_state(/*resend_allowed=*/true);
+  if (eviction_enabled() && !links_.children.empty() &&
+      child_monitor_timer_ == rt::kInvalidTimerId) {
+    arm_child_monitor();
+  }
+}
+
+void MulticastReceiver::arm_child_monitor() {
+  disarm_child_monitor();
+  child_monitor_timer_ = rt_.schedule_after(config_.rto, [this] {
+    child_monitor_timer_ = rt::kInvalidTimerId;
+    on_child_monitor();
+  });
+}
+
+void MulticastReceiver::disarm_child_monitor() {
+  if (child_monitor_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(child_monitor_timer_);
+    child_monitor_timer_ = rt::kInvalidTimerId;
+  }
+}
+
+void MulticastReceiver::on_child_monitor() {
+  if (!session_active_ || evicted_self_ || links_.children.empty()) return;
+  // Stop ticking once the whole subtree has everything — nothing below us
+  // can stall a finished transfer (and an idle simulation must drain).
+  bool subtree_done = delivered_;
+  for (std::size_t child : links_.children) {
+    if (peer_cum_[child] < alloc_.total_packets) subtree_done = false;
+  }
+  if (subtree_done) return;
+  for (std::size_t child : links_.children) {
+    const bool changed = peer_cum_[child] != monitor_cum_snapshot_[child] ||
+                         peer_alloc_done_[child] != monitor_alloc_snapshot_[child];
+    // A child is only suspect while it is the one holding us back: before
+    // its allocation confirmation, or while its cumulative count trails
+    // what we already hold (if it matches us, the stall is upstream).
+    const bool blocking = !peer_alloc_done_[child] || peer_cum_[child] < expected_;
+    if (changed) {
+      peer_stall_rounds_[child] = 0;
+    } else if (blocking) {
+      ++peer_stall_rounds_[child];
+    }
+    monitor_cum_snapshot_[child] = peer_cum_[child];
+    monitor_alloc_snapshot_[child] = peer_alloc_done_[child];
+    if (peer_stall_rounds_[child] >= child_suspect_threshold(child)) {
+      // Repeat every tick until the sender's EVICT notice arrives and the
+      // splice removes the child from links_.
+      send_suspect(child);
+    }
+  }
+  arm_child_monitor();
+}
+
+std::size_t MulticastReceiver::subtree_height(std::size_t node) const {
+  TreeLinks links = config_.kind == ProtocolKind::kFlatTree
+                        ? flat_tree_links_live(node, live_, config_.tree_height)
+                        : binary_tree_links_live(node, live_);
+  std::size_t height = 0;
+  for (std::size_t child : links.children) {
+    height = std::max(height, 1 + subtree_height(child));
+  }
+  return height;
+}
+
+std::size_t MulticastReceiver::child_suspect_threshold(std::size_t child) const {
+  // A leaf's silence is definitive; a subtree root's stall may be
+  // secondhand (its own child died). Waiting one extra stall budget per
+  // level below the child lets the parent closest to the failure name it
+  // first — otherwise every ancestor up the path (and the sender) would
+  // reach its threshold on the same tick and evict live interior nodes
+  // along with the dead one.
+  return config_.max_retransmit_rounds * (1 + subtree_height(child));
+}
+
+void MulticastReceiver::send_suspect(std::size_t child) {
+  Header h{PacketType::kSuspect, 0, static_cast<std::uint16_t>(node_id_), session_,
+           static_cast<std::uint32_t>(child)};
+  Buffer packet = make_control_packet(h);
+  ++stats_.suspects_sent;
+  flight_recorder().record(rt_.now(), "receiver", "suspect",
+                           static_cast<std::uint32_t>(node_id_), session_,
+                           static_cast<std::uint32_t>(child));
+  control_socket_.send_to(membership_.sender_control,
+                          BytesView(packet.data(), packet.size()));
 }
 
 }  // namespace rmc::rmcast

@@ -78,6 +78,15 @@ class MulticastReceiver {
   const ReceiverStats& stats() const { return stats_; }
   const ProtocolConfig& config() const { return config_; }
 
+  // Graceful degradation: true once the sender announced this node's own
+  // eviction (the receiver goes passive for the rest of the session).
+  bool evicted_self() const { return evicted_self_; }
+  // Current tree links — re-formed over the live set as evict notices
+  // arrive; reset to the full-roster structure on each new session.
+  const TreeLinks& links() const { return links_; }
+  // Sorted node ids this receiver currently believes alive.
+  const std::vector<std::size_t>& live() const { return live_; }
+
  private:
   void on_packet(const net::Endpoint& src, BytesView payload);
   void handle_alloc_request(const Header& h, Reader& r);
@@ -85,6 +94,7 @@ class MulticastReceiver {
   void handle_chain_ack(const Header& h);        // tree: from a child
   void handle_chain_alloc_rsp(const Header& h);  // tree: from a child
   void handle_foreign_nak(const Header& h);      // multicast NAK suppression
+  void handle_evict(const Header& h);            // sender evicted a node
 
   // Copies an in-order packet into the message buffer and advances the
   // in-order point, draining the reorder buffer under selective repeat.
@@ -111,6 +121,28 @@ class MulticastReceiver {
   net::Endpoint ack_target() const;  // sender, or tree parent
   int child_index(std::uint16_t node) const;
   bool all_children_alloc_done() const;
+
+  // Graceful degradation.
+  bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
+  // Ring token ownership of packet k over the current live set: the token
+  // rotates over live ranks, so survivors absorb an evicted node's slots.
+  // Identical to k % N == node_id while nobody is evicted.
+  bool ring_token_mine(std::uint32_t k) const;
+  void rebuild_live();
+  void reset_full_structure();   // links/alive for a fresh session
+  void rebuild_tree_links();     // splice chains over the live set
+  // Tree parents watch their children's progress and report a child that
+  // stalls for max_retransmit_rounds monitor ticks to the sender (SUSPECT)
+  // — the sender only sees the heads, never the interior nodes.
+  void arm_child_monitor();
+  void disarm_child_monitor();
+  void on_child_monitor();
+  // Aggregation levels below `node` in the current live structure.
+  std::size_t subtree_height(std::size_t node) const;
+  // Stall rounds before `child` is reported: scaled by its subtree height
+  // so the parent nearest a failure names it before any ancestor fires.
+  std::size_t child_suspect_threshold(std::size_t child) const;
+  void send_suspect(std::size_t child);
 
   rt::Runtime& rt_;
   rt::UdpSocket& data_socket_;
@@ -151,17 +183,29 @@ class MulticastReceiver {
   // Selective repeat reorder buffer: seq -> (flags, payload).
   std::map<std::uint32_t, std::pair<std::uint8_t, Buffer>> reorder_;
 
-  // Tree chain/aggregation state, indexed like links_.children.
-  std::vector<bool> child_alloc_done_;
-  std::vector<std::uint32_t> child_cums_;
+  // Tree chain/aggregation state, indexed by node id (not child slot) so
+  // that re-forming links_ after an eviction keeps what surviving children
+  // already reported.
+  std::vector<bool> peer_alloc_done_;
+  std::vector<std::uint32_t> peer_cum_;
   bool alloc_rsp_sent_ = false;
   std::uint32_t upstream_sent_ = 0;
   // Tree traffic that raced ahead of our ALLOC_REQ (the multicast REQ and
   // the unicast tree traffic take different paths); held for the newest
-  // future session seen.
+  // future session seen. Indexed by node id.
   std::uint32_t pending_session_ = 0;
-  std::vector<bool> pending_child_rsp_;
-  std::vector<std::uint32_t> pending_child_cums_;
+  std::vector<bool> pending_rsp_;
+  std::vector<std::uint32_t> pending_cum_;
+
+  // Graceful-degradation state, reset per session.
+  std::vector<bool> alive_;         // indexed by node id
+  std::vector<std::size_t> live_;   // sorted ids where alive_
+  bool evicted_self_ = false;
+  // Child-stall bookkeeping for the monitor tick, indexed by node id.
+  std::vector<std::uint32_t> monitor_cum_snapshot_;
+  std::vector<bool> monitor_alloc_snapshot_;
+  std::vector<std::uint32_t> peer_stall_rounds_;
+  rt::TimerId child_monitor_timer_ = rt::kInvalidTimerId;
 };
 
 }  // namespace rmc::rmcast

@@ -1,0 +1,85 @@
+// Per-send delivery reporting.
+//
+// The paper assumes fault-free receivers, so its protocols complete a send
+// only when *every* receiver has acknowledged everything. With graceful
+// degradation enabled (ProtocolConfig::max_retransmit_rounds > 0) a send
+// can instead complete after evicting unresponsive receivers, and the
+// completion callback needs to say what actually happened: which receivers
+// the transfer is known to have reached, which were given up on, and how
+// far each of those got. SendOutcome carries that — one DeliveryReport per
+// roster slot, indexed by node id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace rmc::rmcast {
+
+enum class DeliveryStatus : std::uint8_t {
+  // The receiver (or the unit aggregating for it) cumulatively
+  // acknowledged the whole message.
+  kDelivered,
+  // The receiver stopped acknowledging and was evicted from the roster
+  // after max_retransmit_rounds of no progress; delivery beyond
+  // acked_packets is unknown.
+  kEvicted,
+};
+
+inline const char* delivery_status_name(DeliveryStatus status) {
+  switch (status) {
+    case DeliveryStatus::kDelivered: return "delivered";
+    case DeliveryStatus::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+struct DeliveryReport {
+  DeliveryStatus status = DeliveryStatus::kDelivered;
+  // Highest cumulative acknowledgment attributable to this receiver: the
+  // message prefix it provably holds. For tree protocols this is the
+  // aggregate its unit reported while the receiver was live, a lower
+  // bound on what it received.
+  std::uint32_t acked_packets = 0;
+
+  bool delivered() const { return status == DeliveryStatus::kDelivered; }
+};
+
+struct SendOutcome {
+  std::uint32_t session = 0;
+  std::uint64_t message_bytes = 0;
+  std::uint32_t total_packets = 0;
+  // Wall time from send() to completion, in the runtime's clock.
+  sim::Time elapsed = 0;
+  // Retransmission-timeout fires during this send (degradation pressure).
+  std::uint64_t retransmit_rounds = 0;
+  // Indexed by node id; size == n_receivers.
+  std::vector<DeliveryReport> receivers;
+
+  bool all_delivered() const {
+    for (const DeliveryReport& r : receivers) {
+      if (!r.delivered()) return false;
+    }
+    return true;
+  }
+
+  std::size_t n_evicted() const {
+    std::size_t n = 0;
+    for (const DeliveryReport& r : receivers) {
+      if (!r.delivered()) ++n;
+    }
+    return n;
+  }
+
+  std::vector<std::size_t> evicted() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < receivers.size(); ++i) {
+      if (!receivers[i].delivered()) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+}  // namespace rmc::rmcast

@@ -19,6 +19,14 @@ MulticastSender::MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_so
   std::string config_error = validate(config_, membership_.n_receivers());
   RMC_ENSURE(config_error.empty(), config_error);
 
+  build_initial_units();
+
+  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
+    on_packet(src, payload);
+  });
+}
+
+void MulticastSender::build_initial_units() {
   const std::size_t n = membership_.n_receivers();
   if (config_.kind == ProtocolKind::kFlatTree) {
     unit_nodes_ = tree_chain_heads(n, config_.tree_height);
@@ -32,10 +40,6 @@ MulticastSender::MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_so
   for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
     node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
   }
-
-  socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
-    on_packet(src, payload);
-  });
 }
 
 MulticastSender::~MulticastSender() {
@@ -74,7 +78,19 @@ void MulticastSender::send(BytesView message, CompletionHandler on_complete) {
     rate_timer_ = rt::kInvalidTimerId;
   }
   state_ = State::kAllocating;
-  alloc_responded_.assign(unit_nodes_.size(), false);
+  // A previous send may have evicted receivers and shrunk the roster;
+  // every send starts from the full structure again.
+  build_initial_units();
+  const std::size_t n = membership_.n_receivers();
+  node_alloc_responded_.assign(n, false);
+  evicted_.assign(n, false);
+  node_cum_.assign(n, 0);
+  node_cum_snapshot_.assign(n, 0);
+  node_stall_rounds_.assign(n, 0);
+  current_rto_ = config_.rto;
+  rto_rounds_ = 0;
+  alloc_rounds_ = 0;
+  send_started_ = rt_.now();
   alloc_outstanding_ = unit_nodes_.size();
   send_alloc_request();
   arm_alloc_timer();
@@ -102,6 +118,29 @@ void MulticastSender::arm_alloc_timer() {
 void MulticastSender::on_alloc_timeout() {
   alloc_timer_ = rt::kInvalidTimerId;
   if (state_ != State::kAllocating) return;
+  if (eviction_enabled()) {
+    ++alloc_rounds_;
+    announce_evictions();
+    // The handshake retries on alloc_rto, a much shorter period than the
+    // data-phase RTO rounds the eviction threshold is specified in;
+    // convert so a dead receiver gets the same grace in wall time (and a
+    // tree parent's SUSPECT path the same head start) as mid-transfer.
+    const std::size_t evict_after = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               (static_cast<double>(unit_evict_threshold()) * config_.rto) /
+               static_cast<double>(config_.alloc_rto)));
+    if (alloc_rounds_ >= evict_after) {
+      alloc_rounds_ = 0;  // promoted replacements get a full grace period
+      std::vector<std::size_t> dead;
+      for (std::size_t node : unit_nodes_) {
+        if (!node_alloc_responded_[node] && !evicted_[node]) dead.push_back(node);
+      }
+      for (std::size_t node : dead) {
+        evict(node);
+        if (state_ != State::kAllocating) return;
+      }
+    }
+  }
   send_alloc_request();
   arm_alloc_timer();
 }
@@ -121,6 +160,9 @@ void MulticastSender::on_packet(const net::Endpoint& src, BytesView payload) {
     case PacketType::kNak:
       on_nak(*header);
       break;
+    case PacketType::kSuspect:
+      on_suspect(*header);
+      break;
     default:
       ++stats_.stale_packets;
       break;
@@ -133,11 +175,19 @@ void MulticastSender::on_alloc_response(const Header& h) {
     return;
   }
   ++stats_.alloc_responses_received;
-  int unit = unit_of_node(h.node_id);
-  if (unit < 0) return;
-  if (alloc_responded_[static_cast<std::size_t>(unit)]) return;
-  alloc_responded_[static_cast<std::size_t>(unit)] = true;
-  if (--alloc_outstanding_ == 0) start_data_phase();
+  if (h.node_id >= node_alloc_responded_.size()) return;
+  if (node_alloc_responded_[h.node_id]) return;
+  node_alloc_responded_[h.node_id] = true;
+  if (unit_of_node(h.node_id) < 0) return;
+  recompute_alloc_outstanding();
+  if (alloc_outstanding_ == 0) start_data_phase();
+}
+
+void MulticastSender::recompute_alloc_outstanding() {
+  alloc_outstanding_ = 0;
+  for (std::size_t node : unit_nodes_) {
+    if (!node_alloc_responded_[node]) ++alloc_outstanding_;
+  }
 }
 
 void MulticastSender::start_data_phase() {
@@ -282,7 +332,10 @@ void MulticastSender::on_ack(const Header& h) {
     ++stats_.stale_packets;
     cum = window_.next();
   }
+  node_cum_[h.node_id] = std::max(node_cum_[h.node_id], cum);
   if (!tracker_.on_ack(static_cast<std::size_t>(unit), cum)) return;
+  // Progress: any exponential RTO backoff resets to the configured base.
+  current_rto_ = config_.rto;
   flight_recorder().record(rt_.now(), "sender", "ack", h.node_id, cum);
   // ACK round-trip sample: from the newest acknowledged packet's last
   // transmission to now. Must be taken before release_to() slides the
@@ -360,7 +413,8 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
 
 void MulticastSender::arm_rto() {
   disarm_rto();
-  rto_timer_ = rt_.schedule_after(config_.rto, [this] { on_rto(); });
+  rto_timer_ = rt_.schedule_after(current_rto_ > 0 ? current_rto_ : config_.rto,
+                                  [this] { on_rto(); });
 }
 
 void MulticastSender::disarm_rto() {
@@ -374,20 +428,190 @@ void MulticastSender::on_rto() {
   rto_timer_ = rt::kInvalidTimerId;
   if (state_ != State::kSending) return;
   ++stats_.rto_fires;
+  ++rto_rounds_;
   if (observer_) observer_->on_timeout(session_, window_.base());
   flight_recorder().record(rt_.now(), "sender", "rto", kSenderNodeId, session_,
                            window_.base());
   RMC_DEBUG("[%.6f] sender rto: session=%u base=%u next=%u", sim::to_seconds(rt_.now()),
             session_, window_.base(), window_.next());
+  if (eviction_enabled()) {
+    // The timer re-arms on any unit's progress, so a fire means a full
+    // current_rto_ of silence from every tracked unit: a no-progress round.
+    // Back the timeout off exponentially (the peer — or the network — is
+    // not keeping up with the current pace) and charge a stall round to
+    // every unit still short of what has been transmitted.
+    if (current_rto_ < config_.max_rto) {
+      current_rto_ = std::min<sim::Time>(
+          static_cast<sim::Time>(static_cast<double>(current_rto_) *
+                                 config_.rto_backoff_factor),
+          config_.max_rto);
+      ++stats_.rto_backoffs;
+      if (observer_) observer_->on_rto_backoff(session_, current_rto_);
+    }
+    std::vector<std::size_t> dead;
+    for (std::size_t node : unit_nodes_) {
+      if (node_cum_[node] > node_cum_snapshot_[node]) {
+        node_stall_rounds_[node] = 0;  // advanced since the previous fire
+      } else if (node_cum_[node] < window_.next()) {
+        ++node_stall_rounds_[node];
+      }
+      node_cum_snapshot_[node] = node_cum_[node];
+      if (node_stall_rounds_[node] >= unit_evict_threshold()) dead.push_back(node);
+    }
+    for (std::size_t node : dead) {
+      evict(node);
+      if (state_ != State::kSending) return;
+    }
+    announce_evictions();
+  }
   retransmit_from(window_.base(), /*force_poll=*/true);
   arm_rto();
 }
 
+std::size_t MulticastSender::unit_evict_threshold() const {
+  if (!is_tree_protocol(config_.kind)) return config_.max_retransmit_rounds;
+  // A tree unit's stall can be secondhand: a node `levels` hops below it
+  // died, and each parent on the path waits one stall budget per level
+  // below the child before naming it (see the receiver's child monitor).
+  // The sender is the detector of last resort, so it waits out the whole
+  // in-tree SUSPECT cascade plus one budget of margin — evicting a unit
+  // directly means giving up on its entire live subtree's acknowledgments,
+  // only correct when the head/root itself is the corpse.
+  std::size_t n_live = 0;
+  for (std::size_t i = 0; i < evicted_.size(); ++i) {
+    if (!evicted_[i]) ++n_live;
+  }
+  n_live = std::max<std::size_t>(n_live, 1);
+  std::size_t levels = 0;
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    levels = std::max<std::size_t>(1, std::min(config_.tree_height, n_live)) - 1;
+  } else {
+    for (std::size_t full = 1; full < n_live; full = 2 * full + 1) ++levels;
+  }
+  return config_.max_retransmit_rounds * (levels + 2);
+}
+
+void MulticastSender::send_evict_notice(std::size_t node) {
+  Header h{PacketType::kEvict, 0, kSenderNodeId, session_,
+           static_cast<std::uint32_t>(node)};
+  Buffer packet = make_control_packet(h);
+  socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+}
+
+void MulticastSender::announce_evictions() {
+  // Evict notices ride the lossy multicast channel; re-announcing every
+  // timeout round heals receivers that missed the original, the same way
+  // Go-Back-N retransmission heals lost data.
+  for (std::size_t node = 0; node < evicted_.size(); ++node) {
+    if (evicted_[node]) send_evict_notice(node);
+  }
+}
+
+void MulticastSender::evict(std::size_t node) {
+  if (node >= evicted_.size() || evicted_[node]) return;
+  evicted_[node] = true;
+  ++stats_.receivers_evicted;
+  if (observer_) {
+    observer_->on_receiver_evicted(session_, static_cast<std::uint16_t>(node),
+                                   node_cum_[node]);
+  }
+  flight_recorder().record(rt_.now(), "sender", "evict",
+                           static_cast<std::uint16_t>(node), session_, node_cum_[node]);
+  RMC_DEBUG("[%.6f] sender evict: node=%zu cum=%u", sim::to_seconds(rt_.now()), node,
+            node_cum_[node]);
+  send_evict_notice(node);
+  rebuild_units();
+}
+
+void MulticastSender::rebuild_units() {
+  const std::size_t n = membership_.n_receivers();
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!evicted_[i]) live.push_back(i);
+  }
+  if (live.empty()) {
+    // Nobody left to acknowledge anything: report and stop.
+    complete();
+    return;
+  }
+  if (config_.kind == ProtocolKind::kFlatTree) {
+    unit_nodes_ = tree_chain_heads_live(live, config_.tree_height);
+  } else if (config_.kind == ProtocolKind::kBinaryTree) {
+    unit_nodes_ = {live.front()};  // lowest live id is the promoted root
+  } else {
+    unit_nodes_ = live;
+  }
+  node_to_unit_.assign(n, -1);
+  for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
+    node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
+  }
+  // The structure changed under the surviving units (a promoted head has
+  // to rebuild its chain's aggregate from scratch): restart their grace
+  // period rather than evicting them on bookkeeping inherited from the old
+  // layout.
+  for (std::size_t node : unit_nodes_) node_stall_rounds_[node] = 0;
+
+  if (state_ == State::kSending) {
+    // Seed the re-formed tracker from what each surviving unit last
+    // reported. The minimum may drop (a promoted flat-tree head reports
+    // its own, smaller aggregate) — release_to is monotonic, so already
+    // released packets stay released — or rise past the window base, in
+    // which case the transfer resumes (or completes) right here.
+    std::vector<std::uint32_t> cums;
+    cums.reserve(unit_nodes_.size());
+    for (std::size_t node : unit_nodes_) cums.push_back(node_cum_[node]);
+    tracker_.reset_with(std::move(cums));
+    window_.release_to(tracker_.min_cum());
+    if (window_.all_released()) {
+      complete();
+      return;
+    }
+    pump();
+  } else if (state_ == State::kAllocating) {
+    recompute_alloc_outstanding();
+    if (alloc_outstanding_ == 0) start_data_phase();
+  }
+}
+
+void MulticastSender::on_suspect(const Header& h) {
+  // SUSPECT is a tree parent telling the sender its child (h.seq) has
+  // stopped responding — the sender cannot see interior nodes stall, only
+  // the heads that aggregate for them.
+  if (!eviction_enabled() || !is_tree_protocol(config_.kind) ||
+      state_ == State::kIdle || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.suspect_reports_received;
+  const std::size_t node = h.seq;
+  if (node >= evicted_.size() || evicted_[node]) return;
+  flight_recorder().record(rt_.now(), "sender", "suspect", h.node_id, session_, h.seq);
+  evict(node);
+}
+
 void MulticastSender::complete() {
   disarm_rto();
+  if (alloc_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(alloc_timer_);
+    alloc_timer_ = rt::kInvalidTimerId;
+  }
   if (rate_timer_ != rt::kInvalidTimerId) {
     rt_.cancel(rate_timer_);
     rate_timer_ = rt::kInvalidTimerId;
+  }
+  SendOutcome outcome;
+  outcome.session = session_;
+  outcome.message_bytes = message_view_.size();
+  outcome.total_packets = total_packets_;
+  outcome.elapsed = rt_.now() - send_started_;
+  outcome.retransmit_rounds = rto_rounds_;
+  outcome.receivers.resize(membership_.n_receivers());
+  for (std::size_t i = 0; i < outcome.receivers.size(); ++i) {
+    if (i < evicted_.size() && evicted_[i]) {
+      outcome.receivers[i] = {DeliveryStatus::kEvicted, node_cum_[i]};
+    } else {
+      outcome.receivers[i] = {DeliveryStatus::kDelivered, total_packets_};
+    }
   }
   state_ = State::kIdle;
   ++stats_.messages_sent;
@@ -400,7 +624,7 @@ void MulticastSender::complete() {
     // message.
     CompletionHandler handler = std::move(on_complete_);
     on_complete_ = nullptr;
-    handler();
+    handler(outcome);
   }
 }
 

@@ -19,8 +19,12 @@
 //
 // The class is single-message: send() transfers one message reliably to
 // the whole group and invokes the completion handler once every receiver
-// provably holds it. Sequential messages reuse the sender (sessions); for
-// concurrent transfers use several groups.
+// provably holds it — or, with graceful degradation enabled
+// (config.max_retransmit_rounds > 0), once every receiver has either
+// acknowledged everything or been evicted for making no progress; the
+// SendOutcome handed to the handler reports which. Sequential messages
+// reuse the sender (sessions); for concurrent transfers use several
+// groups.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,7 @@
 #include "rmcast/config.h"
 #include "rmcast/group.h"
 #include "rmcast/observer.h"
+#include "rmcast/report.h"
 #include "rmcast/stats.h"
 #include "rmcast/window.h"
 #include "rmcast/wire.h"
@@ -41,7 +46,10 @@ namespace rmc::rmcast {
 
 class MulticastSender {
  public:
-  using CompletionHandler = std::function<void()>;
+  // Invoked exactly once per send() with the per-receiver delivery
+  // report. Without graceful degradation the outcome always reads
+  // all-delivered — the send would not have completed otherwise.
+  using CompletionHandler = std::function<void(const SendOutcome&)>;
 
   // `control_socket` must be bound to membership.sender_control and stay
   // alive as long as the sender; the sender installs its receive handler.
@@ -58,6 +66,20 @@ class MulticastSender {
 
   bool busy() const { return state_ != State::kIdle; }
   std::uint32_t session() const { return session_; }
+
+  // The node ids currently acknowledging directly to the sender — all
+  // receivers (ACK, NAK-polling, ring), the flat-tree chain heads, or the
+  // binary-tree root. Shrinks/re-forms as receivers are evicted; reset to
+  // the full roster's structure on each send().
+  const std::vector<std::size_t>& unit_nodes() const { return unit_nodes_; }
+  bool is_evicted(std::size_t node) const { return evicted_.at(node); }
+  std::size_t n_evicted() const {
+    std::size_t n = 0;
+    for (bool e : evicted_) n += e ? 1 : 0;
+    return n;
+  }
+  // Current (possibly backed-off) retransmission timeout.
+  sim::Time current_rto() const { return current_rto_; }
 
   // Optional protocol-event observer (may be null; not owned). Must
   // outlive the sender or be cleared first.
@@ -81,6 +103,7 @@ class MulticastSender {
   void on_alloc_response(const Header& h);
   void on_ack(const Header& h);
   void on_nak(const Header& h);
+  void on_suspect(const Header& h);
 
   void send_alloc_request();
   void start_data_phase();
@@ -99,6 +122,20 @@ class MulticastSender {
   void arm_alloc_timer();
   void on_alloc_timeout();
   void complete();
+
+  // Graceful degradation (config_.max_retransmit_rounds > 0).
+  bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
+  // Consecutive no-progress RTO rounds before a tracked unit is evicted;
+  // doubled for tree protocols so the in-tree SUSPECT path — which names
+  // the actual dead node rather than the chain head aggregating for it —
+  // gets the first shot.
+  std::size_t unit_evict_threshold() const;
+  void build_initial_units();
+  void rebuild_units();
+  void evict(std::size_t node);
+  void send_evict_notice(std::size_t node);
+  void announce_evictions();
+  void recompute_alloc_outstanding();
 
   // Maps a wire node id to a tracker unit index, or -1 if that node does
   // not acknowledge to the sender under this protocol.
@@ -121,8 +158,24 @@ class MulticastSender {
   std::uint32_t total_packets_ = 0;
   SenderWindow window_;
   CumTracker tracker_;
-  std::vector<bool> alloc_responded_;
+  std::vector<bool> node_alloc_responded_;  // indexed by node id
   std::size_t alloc_outstanding_ = 0;
+
+  // Graceful-degradation state, all indexed by node id and reset per send.
+  std::vector<bool> evicted_;
+  // Highest cumulative acknowledgment each node ever reported this send —
+  // survives roster rebuilds (unit indices do not) and seeds both the
+  // re-formed tracker and the final DeliveryReports.
+  std::vector<std::uint32_t> node_cum_;
+  // Stall bookkeeping: cum as of the previous RTO fire, and how many
+  // consecutive fires the node spent short of window_.next() without
+  // advancing.
+  std::vector<std::uint32_t> node_cum_snapshot_;
+  std::vector<std::uint32_t> node_stall_rounds_;
+  sim::Time current_rto_ = 0;       // backed-off per no-progress round
+  std::uint64_t rto_rounds_ = 0;    // RTO fires this send (for the outcome)
+  std::size_t alloc_rounds_ = 0;    // alloc retries this send
+  sim::Time send_started_ = 0;
   // True while a first-transmission copy/send chain occupies the CPU; the
   // chain claims the next packet itself when it finishes.
   bool tx_chain_active_ = false;

@@ -1,0 +1,148 @@
+#include "rmcast/session.h"
+
+#include "common/panic.h"
+
+namespace rmc::rmcast {
+
+namespace {
+
+inet::ClusterParams with_n_hosts(inet::ClusterParams params, std::size_t n_hosts) {
+  params.n_hosts = n_hosts;
+  return params;
+}
+
+}  // namespace
+
+Session::Session(SessionParams params)
+    : params_(std::move(params)),
+      cluster_(std::make_unique<inet::Cluster>(
+          with_n_hosts(params_.cluster, params_.n_receivers + 1))) {
+  RMC_ENSURE(params_.n_receivers > 0, "session needs at least one receiver");
+
+  membership_.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
+  membership_.sender_control = {inet::Cluster::host_addr(0), 5001};
+  for (std::size_t i = 0; i < params_.n_receivers; ++i) {
+    membership_.receiver_control.push_back({inet::Cluster::host_addr(i + 1), 5002});
+  }
+
+  for (std::size_t h = 0; h < params_.n_receivers + 1; ++h) {
+    runtimes_.push_back(std::make_unique<rt::SimRuntime>(cluster_->host(h)));
+  }
+
+  inet::Socket* sender_raw = cluster_->host(0).open_socket();
+  sender_raw->bind(membership_.sender_control.port);
+  sockets_.push_back(runtimes_[0]->wrap(sender_raw));
+  sender_ = std::make_unique<MulticastSender>(*runtimes_[0], *sockets_.back(),
+                                              membership_, params_.protocol);
+  if (params_.metrics != nullptr) sender_->set_metrics(params_.metrics);
+
+  for (std::size_t i = 0; i < params_.n_receivers; ++i) {
+    inet::Host& host = cluster_->host(i + 1);
+    inet::Socket* data_raw = host.open_socket();
+    data_raw->bind(membership_.group.port);
+    data_raw->join(membership_.group.addr);
+    sockets_.push_back(runtimes_[i + 1]->wrap(data_raw));
+    rt::UdpSocket& data = *sockets_.back();
+
+    inet::Socket* control_raw = host.open_socket();
+    control_raw->bind(membership_.receiver_control[i].port);
+    sockets_.push_back(runtimes_[i + 1]->wrap(control_raw));
+    rt::UdpSocket& control = *sockets_.back();
+
+    receivers_.push_back(std::make_unique<MulticastReceiver>(
+        *runtimes_[i + 1], data, control, membership_, i, params_.protocol));
+    if (params_.metrics != nullptr) receivers_[i]->set_metrics(params_.metrics);
+    receivers_[i]->set_message_handler(
+        [this, i](const Buffer& message, std::uint32_t session) {
+          if (handler_) handler_(i, message, session);
+        });
+  }
+
+  // Schedule the scripted faults before any traffic exists; host 0 is the
+  // sender, so receiver node i maps to host i + 1.
+  if (!params_.faults.empty()) {
+    cluster_->apply_fault_plan(params_.faults);
+  }
+}
+
+Session::~Session() = default;
+
+void Session::send(BytesView message, MulticastSender::CompletionHandler on_complete) {
+  sender_->send(message, std::move(on_complete));
+}
+
+std::optional<SendOutcome> Session::send_and_wait(BytesView message, sim::Time limit) {
+  std::optional<SendOutcome> outcome;
+  send(message, [&outcome](const SendOutcome& o) { outcome = o; });
+  sim::Simulator& simulator = cluster_->simulator();
+  while (!outcome.has_value() && simulator.now() < limit) {
+    if (!simulator.step()) break;
+  }
+  return outcome;
+}
+
+PosixSession::PosixSession(GroupMembership membership, ProtocolConfig protocol,
+                           net::Ipv4Addr multicast_if)
+    : membership_(std::move(membership)) {
+  rt::PosixSocketOptions sender_options;
+  sender_options.bind_addr = membership_.sender_control.addr;
+  sender_options.port = membership_.sender_control.port;
+  sender_options.multicast_if = multicast_if;
+  auto sender_socket = runtime_.open_socket(sender_options);
+  if (!sender_socket) return;
+  sockets_.push_back(std::move(sender_socket));
+  sender_ = std::make_unique<MulticastSender>(runtime_, *sockets_.back(), membership_,
+                                              protocol);
+
+  for (std::size_t i = 0; i < membership_.n_receivers(); ++i) {
+    rt::PosixSocketOptions data_options;
+    data_options.port = membership_.group.port;
+    data_options.reuse_addr = true;  // all receivers share the group port
+    data_options.join_groups = {membership_.group.addr};
+    data_options.multicast_if = multicast_if;
+    auto data = runtime_.open_socket(data_options);
+
+    rt::PosixSocketOptions control_options;
+    control_options.bind_addr = membership_.receiver_control[i].addr;
+    control_options.port = membership_.receiver_control[i].port;
+    control_options.multicast_if = multicast_if;
+    auto control = runtime_.open_socket(control_options);
+    if (!data || !control) {
+      sender_.reset();
+      return;
+    }
+    rt::UdpSocket& data_ref = *data;
+    rt::UdpSocket& control_ref = *control;
+    sockets_.push_back(std::move(data));
+    sockets_.push_back(std::move(control));
+
+    receivers_.push_back(std::make_unique<MulticastReceiver>(
+        runtime_, data_ref, control_ref, membership_, i, protocol));
+    receivers_[i]->set_message_handler(
+        [this, i](const Buffer& message, std::uint32_t session) {
+          if (handler_) handler_(i, message, session);
+        });
+  }
+  ok_ = true;
+}
+
+PosixSession::~PosixSession() = default;
+
+void PosixSession::send(BytesView message,
+                        MulticastSender::CompletionHandler on_complete) {
+  RMC_ENSURE(ok_, "posix session failed to open its sockets");
+  sender_->send(message, std::move(on_complete));
+}
+
+std::optional<SendOutcome> PosixSession::send_and_wait(BytesView message,
+                                                       sim::Time limit) {
+  std::optional<SendOutcome> outcome;
+  send(message, [this, &outcome](const SendOutcome& o) {
+    outcome = o;
+    runtime_.stop();
+  });
+  runtime_.run_for(limit);
+  return outcome;
+}
+
+}  // namespace rmc::rmcast

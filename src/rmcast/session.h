@@ -1,0 +1,137 @@
+// Session: one-call wiring for a reliable multicast transfer.
+//
+// The low-level API — Cluster/Testbed, runtimes, sockets, MulticastSender
+// and one MulticastReceiver per node — stays available for experiments
+// that need to reach into any tier, but most callers want "a sender, N
+// receivers, send this buffer, tell me what happened". Session does
+// exactly that on the simulated backend (it owns the cluster, the
+// per-host runtimes and every socket), and PosixSession does the same
+// over real UDP multicast sockets in a single process.
+//
+// Faults are first-class: SessionParams carries a sim::FaultPlan that is
+// applied to the cluster before the transfer, so "send 1 MB while
+// receiver 3 crashes at t=50ms" is three lines. The outcome of a send is
+// a SendOutcome (per-receiver DeliveryReports), not a bare bool.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "inet/cluster.h"
+#include "rmcast/config.h"
+#include "rmcast/group.h"
+#include "rmcast/receiver.h"
+#include "rmcast/report.h"
+#include "rmcast/sender.h"
+#include "runtime/posix_runtime.h"
+#include "runtime/sim_runtime.h"
+#include "sim/fault.h"
+
+namespace rmc::rmcast {
+
+struct SessionParams {
+  std::size_t n_receivers = 8;
+  ProtocolConfig protocol;
+  // Cluster topology/link parameters; n_hosts is overridden to
+  // n_receivers + 1 (host 0 is the sender).
+  inet::ClusterParams cluster;
+  // Scripted faults, applied against receiver node ids before traffic
+  // starts (receiver i lives on host i + 1; the plan's host_offset
+  // handles the mapping).
+  sim::FaultPlan faults;
+  // Optional metrics sink wired into the sender and every receiver; not
+  // owned, must outlive the Session.
+  metrics::Registry* metrics = nullptr;
+};
+
+class Session {
+ public:
+  // Delivery callback: `node` is the receiver that completed `message`.
+  using MessageHandler =
+      std::function<void(std::size_t node, const Buffer& message, std::uint32_t session)>;
+
+  explicit Session(SessionParams params);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  // Asynchronous send: the caller drives simulator() and the completion
+  // handler fires from within a step.
+  void send(BytesView message, MulticastSender::CompletionHandler on_complete);
+
+  // Sends and steps the simulator until the transfer completes or the
+  // simulated clock passes `limit`; nullopt on timeout. This is the
+  // one-liner: the returned SendOutcome says per receiver whether the
+  // message arrived or the receiver was evicted.
+  std::optional<SendOutcome> send_and_wait(BytesView message,
+                                           sim::Time limit = sim::seconds(120.0));
+
+  std::size_t n_receivers() const { return params_.n_receivers; }
+  const GroupMembership& membership() const { return membership_; }
+  MulticastSender& sender() { return *sender_; }
+  MulticastReceiver& receiver(std::size_t i) { return *receivers_.at(i); }
+  inet::Cluster& cluster() { return *cluster_; }
+  sim::Simulator& simulator() { return cluster_->simulator(); }
+
+ private:
+  SessionParams params_;
+  std::unique_ptr<inet::Cluster> cluster_;
+  GroupMembership membership_;
+  std::vector<std::unique_ptr<rt::SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<rt::UdpSocket>> sockets_;
+  std::unique_ptr<MulticastSender> sender_;
+  std::vector<std::unique_ptr<MulticastReceiver>> receivers_;
+  MessageHandler handler_;
+};
+
+// The same facade over real UDP multicast sockets: sender and all
+// receivers in one process (the loopback demo shape; spread membership
+// endpoints across machines and run one role per process for a real
+// deployment — the low-level constructors accept any subset).
+class PosixSession {
+ public:
+  using MessageHandler = Session::MessageHandler;
+
+  // `multicast_if` is the interface used for multicast (loopback by
+  // default so single-machine demos work anywhere).
+  PosixSession(GroupMembership membership, ProtocolConfig protocol,
+               net::Ipv4Addr multicast_if = net::Ipv4Addr(127, 0, 0, 1));
+  PosixSession(const PosixSession&) = delete;
+  PosixSession& operator=(const PosixSession&) = delete;
+  ~PosixSession();
+
+  // False when the OS refused the sockets (e.g. a sandbox); every other
+  // method requires ok().
+  bool ok() const { return ok_; }
+
+  void set_message_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  void send(BytesView message, MulticastSender::CompletionHandler on_complete);
+
+  // Sends and runs the event loop until completion or `limit` of wall
+  // time; nullopt on timeout.
+  std::optional<SendOutcome> send_and_wait(BytesView message,
+                                           sim::Time limit = sim::seconds(10.0));
+
+  std::size_t n_receivers() const { return membership_.n_receivers(); }
+  const GroupMembership& membership() const { return membership_; }
+  MulticastSender& sender() { return *sender_; }
+  MulticastReceiver& receiver(std::size_t i) { return *receivers_.at(i); }
+  rt::PosixRuntime& runtime() { return runtime_; }
+
+ private:
+  GroupMembership membership_;
+  rt::PosixRuntime runtime_;
+  bool ok_ = false;
+  std::vector<std::unique_ptr<rt::UdpSocket>> sockets_;
+  std::unique_ptr<MulticastSender> sender_;
+  std::vector<std::unique_ptr<MulticastReceiver>> receivers_;
+  MessageHandler handler_;
+};
+
+}  // namespace rmc::rmcast

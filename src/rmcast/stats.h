@@ -24,6 +24,12 @@ struct SenderStats {
   std::uint64_t stale_packets = 0;        // wrong session / state
   // High-water mark of unacknowledged (buffered) payload bytes.
   std::uint64_t peak_buffered_bytes = 0;
+  // Graceful degradation (max_retransmit_rounds > 0): receivers evicted
+  // from the acknowledgment roster, exponential RTO backoff steps taken,
+  // and SUSPECT reports received from tree parents about stalled children.
+  std::uint64_t receivers_evicted = 0;
+  std::uint64_t rto_backoffs = 0;
+  std::uint64_t suspect_reports_received = 0;
 };
 
 struct ReceiverStats {
@@ -45,6 +51,12 @@ struct ReceiverStats {
   std::uint64_t stale_packets = 0;
   // High-water mark of out-of-order payload bytes held (selective repeat).
   std::uint64_t peak_reorder_bytes = 0;
+  // Graceful degradation: EVICT notices accepted from the sender, SUSPECT
+  // reports this node sent about its own stalled children (tree parents
+  // only), and ring/tree structure re-formations performed.
+  std::uint64_t evict_notices_received = 0;
+  std::uint64_t suspects_sent = 0;
+  std::uint64_t structure_reforms = 0;
 };
 
 }  // namespace rmc::rmcast

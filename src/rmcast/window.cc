@@ -12,6 +12,12 @@ void CumTracker::reset(std::size_t n_units) {
   min_cum_ = 0;
 }
 
+void CumTracker::reset_with(std::vector<std::uint32_t> cums) {
+  RMC_ENSURE(!cums.empty(), "tracker needs at least one unit");
+  cums_ = std::move(cums);
+  min_cum_ = *std::min_element(cums_.begin(), cums_.end());
+}
+
 bool CumTracker::on_ack(std::size_t unit, std::uint32_t cum) {
   RMC_ENSURE(unit < cums_.size(), "unit out of range");
   if (cum <= cums_[unit]) return false;

@@ -21,6 +21,14 @@ class CumTracker {
   // `n_units` acknowledging parties, all starting at cumulative 0.
   void reset(std::size_t n_units);
 
+  // Re-forms the tracker over a new unit set with known starting counts —
+  // used when eviction rebuilds the roster mid-transfer. Unlike on_ack,
+  // the minimum may legitimately *drop* here: a promoted flat-tree chain
+  // head starts reporting its own (smaller) aggregate where its dead
+  // predecessor's stood. SenderWindow::release_to is monotonic, so a
+  // lower minimum never un-releases packets.
+  void reset_with(std::vector<std::uint32_t> cums);
+
   // Unit reports it holds all packets with seq < cum. Stale (lower) values
   // are ignored. Returns true if that unit's count advanced (evidence of
   // transfer progress — what liveness timers should key on); whether the

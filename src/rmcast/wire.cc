@@ -19,7 +19,7 @@ std::optional<Header> read_header(Reader& r) {
   h.seq = r.u32();
   if (!r.ok()) return std::nullopt;
   if (type < static_cast<std::uint8_t>(PacketType::kData) ||
-      type > static_cast<std::uint8_t>(PacketType::kAllocRsp)) {
+      type > static_cast<std::uint8_t>(PacketType::kSuspect)) {
     return std::nullopt;
   }
   h.type = static_cast<PacketType>(type);
@@ -54,6 +54,8 @@ const char* packet_type_name(PacketType type) {
     case PacketType::kNak: return "NAK";
     case PacketType::kAllocReq: return "ALLOC_REQ";
     case PacketType::kAllocRsp: return "ALLOC_RSP";
+    case PacketType::kEvict: return "EVICT";
+    case PacketType::kSuspect: return "SUSPECT";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,13 @@ enum class PacketType : std::uint8_t {
   kNak = 3,
   kAllocReq = 4,
   kAllocRsp = 5,
+  // Graceful degradation (sender-side failure detection):
+  // kEvict — multicast by the sender; seq carries the node id removed from
+  //   the acknowledgment roster, so survivors re-form their structures.
+  // kSuspect — unicast to the sender by a tree parent; seq carries the
+  //   child node id whose acknowledgments have stalled.
+  kEvict = 6,
+  kSuspect = 7,
 };
 
 // Flag bits on data packets.
@@ -50,6 +57,7 @@ struct Header {
   //       packets with seq < this value".
   // kNak: first missing sequence number.
   // kAllocReq / kAllocRsp: 0.
+  // kEvict / kSuspect: the node id being evicted / suspected.
   std::uint32_t seq = 0;
 };
 

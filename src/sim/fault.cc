@@ -1,0 +1,74 @@
+#include "sim/fault.h"
+
+#include "common/panic.h"
+
+namespace rmc::sim {
+
+double GilbertElliottParams::stationary_loss() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return loss_good;
+  const double p_bad = p_good_to_bad / denom;
+  return (1.0 - p_bad) * loss_good + p_bad * loss_bad;
+}
+
+bool GilbertElliottModel::drop(Rng& rng) {
+  if (bad_) {
+    if (rng.chance(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.chance(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng.chance(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kPause: return "pause";
+    case FaultKind::kResume: return "resume";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::crash(std::size_t receiver, Time at) {
+  events.push_back({at, FaultKind::kCrash, receiver});
+  return *this;
+}
+
+FaultPlan& FaultPlan::pause(std::size_t receiver, Time at) {
+  events.push_back({at, FaultKind::kPause, receiver});
+  return *this;
+}
+
+FaultPlan& FaultPlan::resume(std::size_t receiver, Time at) {
+  events.push_back({at, FaultKind::kResume, receiver});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(std::size_t receiver, Time at) {
+  events.push_back({at, FaultKind::kLinkDown, receiver});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(std::size_t receiver, Time at) {
+  events.push_back({at, FaultKind::kLinkUp, receiver});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap_link(std::size_t receiver, Time from, Time until,
+                                Time period) {
+  RMC_ENSURE(period > 0, "flap period must be positive");
+  bool down = true;
+  for (Time t = from; t < until; t += period) {
+    events.push_back({t, down ? FaultKind::kLinkDown : FaultKind::kLinkUp, receiver});
+    down = !down;
+  }
+  if (!down) {
+    // The loop left the link down: recover it at the end of the window.
+    events.push_back({until, FaultKind::kLinkUp, receiver});
+  }
+  return *this;
+}
+
+}  // namespace rmc::sim

@@ -171,7 +171,8 @@ TEST(Trace, RecordsOrderedProtocolEvents) {
 
   Buffer message(20'000, 0x33);  // 3 packets
   bool done = false;
-  sender.send(BytesView(message.data(), message.size()), [&] { done = true; });
+  sender.send(BytesView(message.data(), message.size()),
+              [&](const rmcast::SendOutcome&) { done = true; });
   while (!done && bed.simulator().step()) {
   }
   ASSERT_TRUE(done);
@@ -230,7 +231,8 @@ TEST(Trace, RetransmissionsVisibleUnderLoss) {
 
   Buffer message(200'000, 0x44);
   bool done = false;
-  sender.send(BytesView(message.data(), message.size()), [&] { done = true; });
+  sender.send(BytesView(message.data(), message.size()),
+              [&](const rmcast::SendOutcome&) { done = true; });
   while (!done && bed.simulator().now() < sim::seconds(60.0)) {
     if (!bed.simulator().step()) break;
   }

@@ -100,9 +100,9 @@ TEST_F(TwoGroupFixture, ConcurrentTransfersStayIsolated) {
 
   int done = 0;
   groups_[0]->sender->send(BytesView(message_a.data(), message_a.size()),
-                           [&] { ++done; });
+                           [&](const rmcast::SendOutcome&) { ++done; });
   groups_[1]->sender->send(BytesView(message_b.data(), message_b.size()),
-                           [&] { ++done; });
+                           [&](const rmcast::SendOutcome&) { ++done; });
   while (done < 2 && cluster_.simulator().now() < sim::seconds(30.0)) {
     if (!cluster_.simulator().step()) break;
   }
@@ -125,7 +125,7 @@ TEST_F(TwoGroupFixture, ConcurrentTransfersShareTheWireGracefully) {
 
   bool solo_done = false;
   groups_[0]->sender->send(BytesView(message.data(), message.size()),
-                           [&] { solo_done = true; });
+                           [&](const rmcast::SendOutcome&) { solo_done = true; });
   while (!solo_done && cluster_.simulator().step()) {
   }
   ASSERT_TRUE(solo_done);
@@ -133,8 +133,10 @@ TEST_F(TwoGroupFixture, ConcurrentTransfersShareTheWireGracefully) {
 
   sim::Time start = cluster_.simulator().now();
   int done = 0;
-  groups_[0]->sender->send(BytesView(message.data(), message.size()), [&] { ++done; });
-  groups_[1]->sender->send(BytesView(message.data(), message.size()), [&] { ++done; });
+  groups_[0]->sender->send(BytesView(message.data(), message.size()),
+                           [&](const rmcast::SendOutcome&) { ++done; });
+  groups_[1]->sender->send(BytesView(message.data(), message.size()),
+                           [&](const rmcast::SendOutcome&) { ++done; });
   while (done < 2 && cluster_.simulator().now() < sim::seconds(30.0)) {
     if (!cluster_.simulator().step()) break;
   }

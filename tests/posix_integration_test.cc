@@ -72,10 +72,11 @@ class LoopbackGroup {
 
   bool transfer(const Buffer& message, sim::Time wall_limit = sim::seconds(10.0)) {
     bool done = false;
-    sender_->send(BytesView(message.data(), message.size()), [&] {
-      done = true;
-      runtime_.stop();
-    });
+    sender_->send(BytesView(message.data(), message.size()),
+                  [&](const rmcast::SendOutcome&) {
+                    done = true;
+                    runtime_.stop();
+                  });
     runtime_.run_for(wall_limit);
     return done;
   }

@@ -44,7 +44,8 @@ class ProtocolHarness {
   bool send_and_run(const Buffer& message,
                     sim::Time limit = sim::seconds(30.0)) {
     bool done = false;
-    sender_->send(BytesView(message.data(), message.size()), [&] { done = true; });
+    sender_->send(BytesView(message.data(), message.size()),
+                  [&](const rmcast::SendOutcome&) { done = true; });
     run_until_done(done, limit);
     return done;
   }

@@ -281,7 +281,8 @@ TEST(UnicastRepair, SenderAnswersTheNakerOnly) {
   rmcast::MulticastSender sender(runtime, socket, m, config);
 
   Buffer message(400, 0x42);
-  sender.send(BytesView(message.data(), message.size()), [] {});
+  sender.send(BytesView(message.data(), message.size()),
+              [](const rmcast::SendOutcome&) {});
   for (std::uint16_t node = 0; node < 4; ++node) {
     socket.inject(m.receiver_control[node],
                   rmcast::make_control_packet(
@@ -572,7 +573,8 @@ TEST(RateControl, PacesFirstTransmissions) {
   rmcast::MulticastSender sender(runtime, socket, m, config);
 
   Buffer message(4000, 0x11);
-  sender.send(BytesView(message.data(), message.size()), [] {});
+  sender.send(BytesView(message.data(), message.size()),
+              [](const rmcast::SendOutcome&) {});
   for (std::uint16_t node = 0; node < 2; ++node) {
     socket.inject(m.receiver_control[node],
                   rmcast::make_control_packet(

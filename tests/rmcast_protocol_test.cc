@@ -223,9 +223,11 @@ TEST(Snooping, ProtocolsRunUnchangedOnFilteringSwitches) {
 TEST(Sender, RejectsConcurrentSends) {
   ProtocolHarness h(2, config_for(ProtocolKind::kAck));
   Buffer message = pattern(1000);
-  h.sender().send(BytesView(message.data(), message.size()), [] {});
+  h.sender().send(BytesView(message.data(), message.size()),
+                  [](const rmcast::SendOutcome&) {});
   EXPECT_TRUE(h.sender().busy());
-  EXPECT_DEATH(h.sender().send(BytesView(message.data(), message.size()), [] {}),
+  EXPECT_DEATH(h.sender().send(BytesView(message.data(), message.size()),
+                               [](const rmcast::SendOutcome&) {}),
                "sender is busy");
 }
 
@@ -234,9 +236,11 @@ TEST(Sender, CompletionHandlerMayChainSends) {
   Buffer first = pattern(9000);
   Buffer second = pattern(4000);
   bool all_done = false;
-  h.sender().send(BytesView(first.data(), first.size()), [&] {
-    h.sender().send(BytesView(second.data(), second.size()), [&] { all_done = true; });
-  });
+  h.sender().send(BytesView(first.data(), first.size()),
+                  [&](const rmcast::SendOutcome&) {
+                    h.sender().send(BytesView(second.data(), second.size()),
+                                    [&](const rmcast::SendOutcome&) { all_done = true; });
+                  });
   h.run_until_done(all_done, sim::seconds(30.0));
   ASSERT_TRUE(all_done);
   h.expect_all_delivered({first, second});

@@ -45,7 +45,11 @@ class SenderUnit {
   // Sends an 8-packet message (config.packet_size bytes each).
   void send(std::size_t n_packets, std::size_t packet_size) {
     message_.assign(n_packets * packet_size, 0x5C);
-    sender_->send(BytesView(message_.data(), message_.size()), [this] { ++completions_; });
+    sender_->send(BytesView(message_.data(), message_.size()),
+                  [this](const rmcast::SendOutcome& o) {
+                    ++completions_;
+                    last_outcome_ = o;
+                  });
   }
 
   void respond_alloc(std::initializer_list<std::uint16_t> nodes) {
@@ -78,6 +82,7 @@ class SenderUnit {
   std::unique_ptr<rmcast::MulticastSender> sender_;
   Buffer message_;
   int completions_ = 0;
+  rmcast::SendOutcome last_outcome_;
 };
 
 ProtocolConfig base_config(ProtocolKind kind) {
@@ -391,7 +396,7 @@ TEST(SenderSessions, IncrementAcrossMessages) {
 TEST(SenderEdge, EmptyMessageIsOneEmptyPacket) {
   SenderUnit u(base_config(ProtocolKind::kAck));
   u.message_.clear();
-  u.sender_->send(BytesView{}, [&] { ++u.completions_; });
+  u.sender_->send(BytesView{}, [&](const rmcast::SendOutcome&) { ++u.completions_; });
   u.respond_alloc({0, 1, 2, 3});
   auto data = u.data_sent();
   ASSERT_EQ(data.size(), 1u);

@@ -171,6 +171,109 @@ TEST(TreeLayout, RaggedLastChain) {
   EXPECT_TRUE(last.is_tail);  // alone in its chain
 }
 
+TEST(CumTracker, ResetWithSeedsPerUnitCums) {
+  CumTracker t;
+  t.reset(3);
+  t.on_ack(0, 8);
+  t.on_ack(1, 8);
+  t.on_ack(2, 8);
+  // Roster shrinks to two units part-way through a message; the survivors'
+  // counts carry over.
+  t.reset_with({8, 5});
+  EXPECT_EQ(t.n_units(), 2u);
+  EXPECT_EQ(t.unit_cum(0), 8u);
+  EXPECT_EQ(t.unit_cum(1), 5u);
+  EXPECT_EQ(t.min_cum(), 5u);  // min may drop below the pre-rebuild min
+  EXPECT_TRUE(t.on_ack(1, 9));
+  EXPECT_EQ(t.min_cum(), 8u);
+}
+
+// Live-set layout: evicting a node splices the chain around it, and every
+// structure function agrees when fed the same live list.
+TEST(TreeLayout, LiveSpliceInteriorNode) {
+  // 6 receivers, height 3: chains {0,1,2}, {3,4,5}. Evict 4.
+  std::vector<std::size_t> live = {0, 1, 2, 3, 5};
+  EXPECT_EQ(tree_chain_heads_live(live, 3), (std::vector<std::size_t>{0, 3}));
+  // 5 is promoted into 4's slot: its parent is now 3.
+  TreeLinks l5 = flat_tree_links_live(5, live, 3);
+  EXPECT_TRUE(l5.has_parent);
+  EXPECT_EQ(l5.parent, 3u);
+  EXPECT_TRUE(l5.children.empty());
+  TreeLinks l3 = flat_tree_links_live(3, live, 3);
+  EXPECT_FALSE(l3.has_parent);
+  EXPECT_EQ(l3.children, (std::vector<std::size_t>{5}));
+}
+
+TEST(TreeLayout, LiveSplicePromotesHeadSuccessor) {
+  // Evict head 3: successor 4 becomes the head of the second chain.
+  std::vector<std::size_t> live = {0, 1, 2, 4, 5};
+  EXPECT_EQ(tree_chain_heads_live(live, 3), (std::vector<std::size_t>{0, 4}));
+  TreeLinks l4 = flat_tree_links_live(4, live, 3);
+  EXPECT_FALSE(l4.has_parent);  // reports straight to the sender now
+  EXPECT_EQ(l4.children, (std::vector<std::size_t>{5}));
+  EXPECT_EQ(flat_tree_links_live(5, live, 3).parent, 4u);
+}
+
+TEST(TreeLayout, LiveSpliceTailDies) {
+  // Evict tail 2: the first chain just shortens; the second is renumbered
+  // over ranks, so 3 absorbs rank 2 and chain two starts at 4.
+  std::vector<std::size_t> live = {0, 1, 3, 4, 5};
+  EXPECT_EQ(tree_chain_heads_live(live, 3), (std::vector<std::size_t>{0, 4}));
+  EXPECT_EQ(flat_tree_links_live(3, live, 3).parent, 1u);
+}
+
+TEST(TreeLayout, LiveSpliceWholeChainDies) {
+  // Both members of what remains of chain two die: one chain left.
+  std::vector<std::size_t> live = {0, 1, 2};
+  EXPECT_EQ(tree_chain_heads_live(live, 3), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(flat_tree_links_live(2, live, 3).parent, 1u);
+}
+
+TEST(TreeLayout, LiveHeightClampsToSurvivors) {
+  // Fewer survivors than the configured height: one chain over them all.
+  std::vector<std::size_t> live = {1, 4};
+  EXPECT_EQ(tree_chain_heads_live(live, 3), (std::vector<std::size_t>{1}));
+  TreeLinks l4 = binary_tree_links_live(4, live);
+  EXPECT_TRUE(l4.has_parent);
+  EXPECT_EQ(l4.parent, 1u);
+}
+
+TEST(TreeLayout, LiveFullRosterMatchesStaticLayout) {
+  const std::size_t n = 7, h = 3;
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  EXPECT_EQ(tree_chain_heads_live(all, h), tree_chain_heads(n, h));
+  for (std::size_t id = 0; id < n; ++id) {
+    TreeLinks a = flat_tree_links_live(id, all, h);
+    TreeLinks b = flat_tree_links(id, n, h);
+    EXPECT_EQ(a.has_parent, b.has_parent);
+    if (a.has_parent) EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.children, b.children);
+    TreeLinks ba = binary_tree_links_live(id, all);
+    TreeLinks bb = binary_tree_links(id, n);
+    EXPECT_EQ(ba.has_parent, bb.has_parent);
+    if (ba.has_parent) EXPECT_EQ(ba.parent, bb.parent);
+    EXPECT_EQ(ba.children, bb.children);
+  }
+}
+
+TEST(TreeLayout, BinaryLiveReindexesHeap) {
+  // Evict 1 from a 6-node heap: ranks {0,2,3,4,5}; children of the root
+  // are the nodes at ranks 1 and 2.
+  std::vector<std::size_t> live = {0, 2, 3, 4, 5};
+  TreeLinks root = binary_tree_links_live(0, live);
+  EXPECT_FALSE(root.has_parent);
+  EXPECT_EQ(root.children, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(binary_tree_links_live(4, live).parent, 2u);
+}
+
+TEST(TreeLayout, LiveRank) {
+  std::vector<std::size_t> live = {0, 2, 5};
+  EXPECT_EQ(live_rank(live, 0), 0u);
+  EXPECT_EQ(live_rank(live, 2), 1u);
+  EXPECT_EQ(live_rank(live, 5), 2u);
+}
+
 GroupMembership valid_membership(std::size_t n) {
   GroupMembership m;
   m.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
@@ -206,6 +309,32 @@ TEST(Group, RejectsMissingPortsAndReceivers) {
 
   m = valid_membership(0);
   EXPECT_NE(m.validate(), "");
+}
+
+TEST(Group, RejectsDuplicateReceiverEndpoints) {
+  GroupMembership m = valid_membership(4);
+  m.receiver_control[3] = m.receiver_control[1];
+  std::string error = m.validate();
+  EXPECT_NE(error, "");
+  // Names both colliding slots so the roster typo is findable.
+  EXPECT_NE(error.find("1"), std::string::npos);
+  EXPECT_NE(error.find("3"), std::string::npos);
+}
+
+TEST(Group, RejectsReceiverCollidingWithSender) {
+  GroupMembership m = valid_membership(3);
+  m.receiver_control[2] = m.sender_control;
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(Group, DistinctPortsOnOneAddressAreFine) {
+  // Same host running several receivers on different ports is legal.
+  GroupMembership m = valid_membership(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    m.receiver_control[i] = {net::Ipv4Addr(10, 0, 0, 9),
+                             static_cast<std::uint16_t>(6000 + i)};
+  }
+  EXPECT_EQ(m.validate(), "");
 }
 
 TEST(Config, DefaultsValidateForEachProtocol) {

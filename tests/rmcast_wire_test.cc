@@ -12,7 +12,7 @@ namespace rmc::rmcast {
 namespace {
 
 TEST(Wire, HeaderRoundTripsEveryTypeAndFlag) {
-  for (std::uint8_t type = 1; type <= 5; ++type) {
+  for (std::uint8_t type = 1; type <= 7; ++type) {
     for (std::uint8_t flags : {0x00, 0x01, 0x02, 0x04, 0x07}) {
       Header in{static_cast<PacketType>(type), flags, 12345, 0xDEADBEEF, 0xCAFEF00D};
       Writer w;
@@ -42,7 +42,7 @@ TEST(Wire, TruncatedHeaderRejected) {
 }
 
 TEST(Wire, UnknownTypeRejected) {
-  for (std::uint8_t bad : {0, 6, 17, 255}) {
+  for (std::uint8_t bad : {0, 8, 17, 255}) {
     Buffer bytes(kHeaderBytes, 0);
     bytes[0] = bad;
     Reader r(BytesView(bytes.data(), bytes.size()));
@@ -86,6 +86,8 @@ TEST(Wire, TypeNames) {
   EXPECT_STREQ(packet_type_name(PacketType::kData), "DATA");
   EXPECT_STREQ(packet_type_name(PacketType::kNak), "NAK");
   EXPECT_STREQ(packet_type_name(PacketType::kAllocReq), "ALLOC_REQ");
+  EXPECT_STREQ(packet_type_name(PacketType::kEvict), "EVICT");
+  EXPECT_STREQ(packet_type_name(PacketType::kSuspect), "SUSPECT");
 }
 
 // Fuzz-style property: random byte strings must either parse into a
