@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "inet/ip.h"
+#include "rmcast/engine/registry.h"
 #include "rmcast/window.h"
 #include "rmcast/wire.h"
 #include "sim/simulator.h"
@@ -83,6 +84,42 @@ void BM_WindowCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowCycle);
+
+// The same window/tracker cycle, but asking the per-packet policy question
+// (the flag bits for each claimed sequence number) through the engine
+// layer's virtual interface — the shape of the sender's hot path after the
+// engine refactor, where BM_WindowCycle is the direct-call shape from
+// before it. bench/smoke.sh diffs the two: if engine dispatch ever costs
+// more than 5% of the hot-path cycle, the gate fails.
+void BM_EngineWindowCycle(benchmark::State& state) {
+  const rmcast::SenderEngine* engine = rmcast::ProtocolRegistry::instance()
+                                           .entry(rmcast::ProtocolKind::kNakPolling)
+                                           .sender_engine();
+  rmcast::ProtocolConfig config;
+  config.kind = rmcast::ProtocolKind::kNakPolling;
+  config.poll_interval = 12;
+  std::uint32_t flag_sink = 0;
+  for (auto _ : state) {
+    rmcast::SenderWindow w;
+    w.reset(256, 32);
+    rmcast::CumTracker t;
+    t.reset(30);
+    std::uint32_t released = 0;
+    while (!w.all_released()) {
+      while (w.can_send()) {
+        std::uint32_t seq = w.claim_next();
+        flag_sink += engine->data_flags(seq, /*force_poll=*/false, config);
+        w.mark_sent(seq, seq);
+      }
+      ++released;
+      for (std::size_t unit = 0; unit < 30; ++unit) t.on_ack(unit, released);
+      w.release_to(t.min_cum());
+    }
+    benchmark::DoNotOptimize(w.base());
+    benchmark::DoNotOptimize(flag_sink);
+  }
+}
+BENCHMARK(BM_EngineWindowCycle);
 
 }  // namespace
 }  // namespace rmc

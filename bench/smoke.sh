@@ -48,5 +48,69 @@ for bin in "$BENCH_DIR"/*; do
   pass=$((pass + 1))
 done
 
+# Engine-dispatch regression gate: the refactored sender hot path asks its
+# per-packet policy through a virtual engine interface. Diff the engine
+# variant of the window-cycle microbenchmark against the direct-call one
+# (the pre-refactor shape) and fail if dispatch costs more than 5%. The
+# comparison is self-relative — both variants run in this same process on
+# this same machine — so it is robust to absolute machine speed.
+MICRO="$BENCH_DIR/micro_core"
+if [ -x "$MICRO" ] && [ -n "$PYTHON" ]; then
+  gate_json="$TMP_DIR/micro_core_window.json"
+  report_json="$BUILD_DIR/BENCH_engine_refactor.json"
+  if "$MICRO" "--benchmark_filter=^BM_(Engine)?WindowCycle\$" \
+       --benchmark_repetitions=5 --benchmark_format=json \
+       > "$gate_json" 2> "$TMP_DIR/micro_core.err"; then
+    if "$PYTHON" - "$gate_json" "$report_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+# Best-of-repetitions per benchmark family: the minimum is the least noisy
+# estimate of the true cost.
+best = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    family = b["name"].split("/")[0]
+    t = b["cpu_time"]
+    if family not in best or t < best[family]:
+        best[family] = t
+direct = best.get("BM_WindowCycle")
+engine = best.get("BM_EngineWindowCycle")
+if direct is None or engine is None:
+    print("engine-gate: benchmarks missing from micro_core output", file=sys.stderr)
+    sys.exit(1)
+ratio = engine / direct
+report = {
+    "benchmark": "window_cycle",
+    "direct_cpu_time_ns": direct,
+    "engine_cpu_time_ns": engine,
+    "engine_over_direct": round(ratio, 4),
+    "threshold": 1.05,
+    "pass": ratio <= 1.05,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"engine-gate: engine/direct = {ratio:.3f} (threshold 1.05)")
+sys.exit(0 if ratio <= 1.05 else 1)
+EOF
+    then
+      echo "ok   micro_core engine-dispatch gate ($report_json)"
+      pass=$((pass + 1))
+    else
+      echo "FAIL micro_core: engine dispatch regressed >5% vs direct calls"
+      fail=$((fail + 1))
+    fi
+  else
+    echo "FAIL micro_core: benchmark run failed"
+    sed 's/^/  | /' "$TMP_DIR/micro_core.err" | tail -5
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip micro_core engine-dispatch gate (binary or python3 missing)"
+fi
+
 echo "smoke: $pass passed, $fail failed"
 [ "$fail" -eq 0 ]

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "rmcast/engine/registry.h"
 
 namespace rmc {
 namespace {
@@ -52,6 +53,9 @@ int run(int argc, char** argv) {
   };
 
   auto grid = [&](rmcast::ProtocolKind kind) {
+    // The kind-specific knob axes live with the engines: each registry
+    // entry expands a (packet, window) point into its own grid points.
+    const rmcast::EngineEntry& entry = rmcast::ProtocolRegistry::instance().entry(kind);
     std::vector<rmcast::ProtocolConfig> out;
     for (std::size_t pkt : packets) {
       for (std::size_t win : windows) {
@@ -59,23 +63,7 @@ int run(int argc, char** argv) {
         c.kind = kind;
         c.packet_size = pkt;
         c.window_size = win;
-        switch (kind) {
-          case rmcast::ProtocolKind::kNakPolling:
-            for (int pct : {50, 85}) {
-              c.poll_interval = std::max<std::size_t>(1, win * pct / 100);
-              out.push_back(c);
-            }
-            break;
-          case rmcast::ProtocolKind::kFlatTree:
-            for (std::size_t h : {std::size_t{3}, std::size_t{6}, std::size_t{15}}) {
-              c.tree_height = h;
-              out.push_back(c);
-            }
-            break;
-          default:
-            out.push_back(c);
-            break;
-        }
+        entry.tuning_variants(c, out);
       }
     }
     return out;

@@ -27,4 +27,20 @@ for preset in "${PRESETS[@]}"; do
   bench/smoke.sh "$build_dir"
 done
 
+# Static analysis over the protocol core (.clang-tidy: modernize + bugprone
+# + performance). Gated on the tool being installed — some build images
+# ship only the compiler — and on the default preset's compile database.
+echo "=== clang-tidy (src/rmcast) ==="
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [ -f build/compile_commands.json ]; then
+    find src/rmcast -name '*.cc' -print0 \
+      | xargs -0 -P "$JOBS" -n 1 clang-tidy -p build --quiet
+    echo "clang-tidy: clean"
+  else
+    echo "clang-tidy: skipped (build/compile_commands.json missing; configure the default preset first)"
+  fi
+else
+  echo "clang-tidy: skipped (not installed)"
+fi
+
 echo "ci: all presets passed (${PRESETS[*]})"

@@ -2,26 +2,19 @@
 
 #include "common/strings.h"
 #include "inet/ip.h"
+#include "rmcast/engine/registry.h"
 #include "rmcast/wire.h"
 
 namespace rmc::rmcast {
 
 const char* protocol_name(ProtocolKind kind) {
-  switch (kind) {
-    case ProtocolKind::kAck: return "ACK-based";
-    case ProtocolKind::kNakPolling: return "NAK-based";
-    case ProtocolKind::kRing: return "Ring-based";
-    case ProtocolKind::kFlatTree: return "Tree-based";
-    case ProtocolKind::kBinaryTree: return "BinaryTree-based";
-  }
-  return "unknown";
+  return ProtocolRegistry::instance().entry(kind).display_name;
 }
 
 std::string ProtocolConfig::describe() const {
   std::string out = str_format("%s pkt=%zu win=%zu", protocol_name(kind), packet_size,
                                window_size);
-  if (kind == ProtocolKind::kNakPolling) out += str_format(" poll=%zu", poll_interval);
-  if (kind == ProtocolKind::kFlatTree) out += str_format(" H=%zu", tree_height);
+  out += ProtocolRegistry::instance().entry(kind).describe_knobs(*this);
   if (selective_repeat) out += " SR";
   if (max_retransmit_rounds > 0) {
     out += str_format(" evict@%zu", max_retransmit_rounds);
@@ -36,35 +29,11 @@ std::string validate(const ProtocolConfig& config, std::size_t n_receivers) {
     return str_format("packet_size %zu exceeds the UDP maximum payload", config.packet_size);
   }
   if (config.window_size == 0) return "window_size must be positive";
-  switch (config.kind) {
-    case ProtocolKind::kNakPolling:
-      if (config.poll_interval == 0) return "poll_interval must be positive";
-      if (config.poll_interval > config.window_size) {
-        return str_format(
-            "poll_interval %zu exceeds window_size %zu: no polled packet would ever "
-            "be outstanding and the sender would stall on a full window",
-            config.poll_interval, config.window_size);
-      }
-      break;
-    case ProtocolKind::kRing:
-      if (config.window_size <= n_receivers) {
-        return str_format(
-            "ring protocol requires window_size > n_receivers (%zu <= %zu): the token "
-            "rotation releases packet X only on the ACK of packet X+N",
-            config.window_size, n_receivers);
-      }
-      break;
-    case ProtocolKind::kFlatTree:
-      if (config.tree_height == 0) return "tree_height must be positive";
-      if (config.tree_height > n_receivers) {
-        return str_format("tree_height %zu exceeds the receiver count %zu",
-                          config.tree_height, n_receivers);
-      }
-      break;
-    case ProtocolKind::kBinaryTree:
-    case ProtocolKind::kAck:
-      break;
-  }
+  // Kind-specific knobs, between the window and timer checks so error
+  // precedence is stable across protocols.
+  std::string kind_error =
+      ProtocolRegistry::instance().entry(config.kind).validate(config, n_receivers);
+  if (!kind_error.empty()) return kind_error;
   if (config.rto <= 0 || config.alloc_rto <= 0) return "timeouts must be positive";
   if (config.suppress_interval < 0 || config.nak_interval < 0) {
     return "intervals must be non-negative";

@@ -1,0 +1,58 @@
+// ACK-based protocol engine (paper §3.1): every receiver acknowledges
+// every in-order data packet straight to the sender.
+#include "rmcast/engine/common.h"
+#include "rmcast/engine/engines.h"
+
+namespace rmc::rmcast {
+
+namespace {
+
+class AckSenderEngine final : public FlatSenderEngine {};
+
+class AckReceiverEngine final : public ReceiverEngine {
+ public:
+  // In-order advance and duplicate alike: (re-)acknowledge the in-order
+  // point. A duplicate means our ACK was lost; the re-ACK heals it.
+  void on_data_event(ReceiverOps& ops, const DataEvent&) const override {
+    ops.send_cum_ack();
+  }
+};
+
+std::string validate_ack(const ProtocolConfig&, std::size_t) { return ""; }
+
+std::string describe_ack(const ProtocolConfig&) { return ""; }
+
+void tune_ack(ProtocolConfig& config, std::uint64_t, std::size_t) {
+  // One-packet messages: a window of 2 already saturates the tiny LAN
+  // round trip (Figure 10).
+  config.packet_size = tuning::kSmallMessagePacket;
+  config.window_size = 2;
+}
+
+void grid_ack(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
+  out.push_back(base);
+}
+
+}  // namespace
+
+EngineEntry ack_engine_entry() {
+  EngineEntry entry;
+  entry.kind = ProtocolKind::kAck;
+  entry.id = "ack";
+  entry.display_name = "ACK-based";
+  entry.sender_engine = [] {
+    static const AckSenderEngine engine;
+    return static_cast<const SenderEngine*>(&engine);
+  };
+  entry.receiver_engine = [] {
+    static const AckReceiverEngine engine;
+    return static_cast<const ReceiverEngine*>(&engine);
+  };
+  entry.validate = validate_ack;
+  entry.describe_knobs = describe_ack;
+  entry.apply_recommended_tuning = tune_ack;
+  entry.tuning_variants = grid_ack;
+  return entry;
+}
+
+}  // namespace rmc::rmcast

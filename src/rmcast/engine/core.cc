@@ -1,0 +1,117 @@
+#include "rmcast/engine/core.h"
+
+#include <algorithm>
+
+namespace rmc::rmcast {
+
+ProtocolCore::ProtocolCore(const SenderEngine& engine, const ProtocolConfig& config)
+    : engine_(engine), config_(config) {}
+
+void ProtocolCore::reset_units(std::size_t n) {
+  unit_nodes_ = engine_.initial_units(n, config_);
+  rebuild_node_to_unit(n);
+}
+
+bool ProtocolCore::rebuild_units() {
+  const std::size_t n = node_to_unit_.size();
+  std::vector<std::size_t> live = live_nodes();
+  if (live.empty()) return false;
+  unit_nodes_ = engine_.live_units(live, config_);
+  rebuild_node_to_unit(n);
+  // The structure changed under the surviving units (a promoted head has
+  // to rebuild its chain's aggregate from scratch): restart their grace
+  // period rather than evicting them on bookkeeping inherited from the
+  // old layout.
+  for (std::size_t node : unit_nodes_) node_stall_rounds[node] = 0;
+  return true;
+}
+
+void ProtocolCore::rebuild_node_to_unit(std::size_t n) {
+  node_to_unit_.assign(n, -1);
+  for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
+    node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
+  }
+}
+
+int ProtocolCore::unit_of_node(std::uint16_t node_id) const {
+  if (node_id >= node_to_unit_.size()) return -1;
+  return node_to_unit_[node_id];
+}
+
+bool ProtocolCore::mark_evicted(std::size_t node) {
+  if (node >= evicted.size() || evicted[node]) return false;
+  evicted[node] = true;
+  ++stats.receivers_evicted;
+  return true;
+}
+
+std::size_t ProtocolCore::n_evicted() const {
+  std::size_t n = 0;
+  for (bool e : evicted) n += e ? 1 : 0;
+  return n;
+}
+
+std::size_t ProtocolCore::n_live() const {
+  return std::max<std::size_t>(evicted.size() - n_evicted(), 1);
+}
+
+std::vector<std::size_t> ProtocolCore::live_nodes() const {
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < evicted.size(); ++i) {
+    if (!evicted[i]) live.push_back(i);
+  }
+  return live;
+}
+
+std::size_t ProtocolCore::unit_evict_threshold() const {
+  return engine_.evict_threshold(n_live(), config_);
+}
+
+std::vector<std::size_t> ProtocolCore::charge_stall_rounds(
+    std::uint32_t transmitted_next) {
+  std::vector<std::size_t> dead;
+  for (std::size_t node : unit_nodes_) {
+    if (node_cum[node] > node_cum_snapshot[node]) {
+      node_stall_rounds[node] = 0;  // advanced since the previous fire
+    } else if (node_cum[node] < transmitted_next) {
+      ++node_stall_rounds[node];
+    }
+    node_cum_snapshot[node] = node_cum[node];
+    if (node_stall_rounds[node] >= unit_evict_threshold()) dead.push_back(node);
+  }
+  return dead;
+}
+
+bool ProtocolCore::backoff_rto() {
+  if (current_rto >= config_.max_rto) return false;
+  current_rto = std::min<sim::Time>(
+      static_cast<sim::Time>(static_cast<double>(current_rto) *
+                             config_.rto_backoff_factor),
+      config_.max_rto);
+  ++stats.rto_backoffs;
+  return true;
+}
+
+void ProtocolCore::recompute_alloc_outstanding() {
+  alloc_outstanding = 0;
+  for (std::size_t node : unit_nodes_) {
+    if (!node_alloc_responded[node]) ++alloc_outstanding;
+  }
+}
+
+void ProtocolCore::begin_send(std::size_t n) {
+  // A previous send may have evicted receivers and shrunk the roster;
+  // every send starts from the full structure again.
+  reset_units(n);
+  node_alloc_responded.assign(n, false);
+  evicted.assign(n, false);
+  node_cum.assign(n, 0);
+  node_cum_snapshot.assign(n, 0);
+  node_stall_rounds.assign(n, 0);
+  current_rto = config_.rto;
+  rto_rounds = 0;
+  alloc_rounds = 0;
+  alloc_outstanding = unit_nodes_.size();
+}
+
+}  // namespace rmc::rmcast

@@ -1,0 +1,18 @@
+// The concrete engine entries, one per protocol kind. Each lives in its
+// own translation unit (ack_engine.cc, nak_engine.cc, ring_engine.cc,
+// flat_tree_engine.cc, binary_tree_engine.cc); registry.cc assembles the
+// table from these. A sixth protocol adds a file exporting its own
+// *_engine_entry() and one line in registry.cc.
+#pragma once
+
+#include "rmcast/engine/registry.h"
+
+namespace rmc::rmcast {
+
+EngineEntry ack_engine_entry();
+EngineEntry nak_polling_engine_entry();
+EngineEntry ring_engine_entry();
+EngineEntry flat_tree_engine_entry();
+EngineEntry binary_tree_engine_entry();
+
+}  // namespace rmc::rmcast

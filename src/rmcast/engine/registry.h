@@ -1,0 +1,71 @@
+// ProtocolRegistry: the one table mapping a ProtocolKind to everything
+// kind-specific — engine factories, display name, per-kind configuration
+// validation, describe() knobs, the paper's recommended tuning, and the
+// parameter-space probe grid. Every dispatch that used to be a
+// `switch (kind)` scattered across config.cc, recommend.cc and the bench
+// helpers now goes through here, so adding a protocol is one engine file
+// plus one entry in registry.cc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rmcast/config.h"
+#include "rmcast/engine/engine.h"
+
+namespace rmc::rmcast {
+
+struct EngineEntry {
+  ProtocolKind kind = ProtocolKind::kAck;
+  // Short stable identifier ("ack", "nak", "ring", "tree", "btree") for
+  // command lines and logs.
+  const char* id = "";
+  // Human-readable protocol name ("ACK-based"), as printed by the paper
+  // tables.
+  const char* display_name = "";
+
+  // Engines are stateless; the registry hands out shared singletons.
+  const SenderEngine* (*sender_engine)() = nullptr;
+  const ReceiverEngine* (*receiver_engine)() = nullptr;
+
+  // Per-kind arm of validate(): returns an error message or "" if the
+  // kind-specific knobs are consistent for a group of `n_receivers`.
+  std::string (*validate)(const ProtocolConfig& config, std::size_t n_receivers) = nullptr;
+
+  // Per-kind knob suffix of ProtocolConfig::describe() (" poll=12",
+  // " H=6", or "").
+  std::string (*describe_knobs)(const ProtocolConfig& config) = nullptr;
+
+  // The paper's sweet-spot tuning for this kind: sets packet size, window
+  // and kind-specific knobs for a `message_bytes` transfer to
+  // `n_receivers`. recommend_config() routes through this so advice can
+  // never drift out of sync with the registered kinds.
+  void (*apply_recommended_tuning)(ProtocolConfig& config, std::uint64_t message_bytes,
+                                   std::size_t n_receivers) = nullptr;
+
+  // Parameter-space probe (the paper's Table 3 methodology): expand a base
+  // configuration — kind, packet size and window already set — into the
+  // kind-specific grid points.
+  void (*tuning_variants)(const ProtocolConfig& base,
+                          std::vector<ProtocolConfig>& out) = nullptr;
+};
+
+class ProtocolRegistry {
+ public:
+  // The process-wide registry of all protocol kinds, in enum order.
+  static const ProtocolRegistry& instance();
+
+  const EngineEntry& entry(ProtocolKind kind) const;
+  // nullptr when no entry carries that id.
+  const EngineEntry* find(std::string_view id) const;
+  const std::vector<EngineEntry>& entries() const { return entries_; }
+
+ private:
+  ProtocolRegistry();
+  std::vector<EngineEntry> entries_;
+};
+
+}  // namespace rmc::rmcast

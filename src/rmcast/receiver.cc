@@ -5,6 +5,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
+#include "rmcast/engine/registry.h"
 
 namespace rmc::rmcast {
 
@@ -18,6 +19,7 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
       membership_(std::move(membership)),
       node_id_(node_id),
       config_(config),
+      engine_(ProtocolRegistry::instance().entry(config_.kind).receiver_engine()),
       rng_(0x9E3779B9u ^ node_id) {
   std::string group_error = membership_.validate();
   RMC_ENSURE(group_error.empty(), group_error);
@@ -25,7 +27,7 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
   RMC_ENSURE(config_error.empty(), config_error);
   RMC_ENSURE(node_id_ < membership_.n_receivers(), "node id out of range");
 
-  is_tree_ = is_tree_protocol(config_.kind);
+  is_tree_ = engine_->is_tree();
   const std::size_t n = membership_.n_receivers();
   peer_alloc_done_.assign(n, false);
   peer_cum_.assign(n, 0);
@@ -54,10 +56,8 @@ void MulticastReceiver::reset_full_structure() {
   alive_.assign(membership_.n_receivers(), true);
   rebuild_live();
   evicted_self_ = false;
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    links_ = flat_tree_links(node_id_, membership_.n_receivers(), config_.tree_height);
-  } else if (config_.kind == ProtocolKind::kBinaryTree) {
-    links_ = binary_tree_links(node_id_, membership_.n_receivers());
+  if (is_tree_) {
+    links_ = engine_->full_links(node_id_, membership_.n_receivers(), config_);
   }
 }
 
@@ -66,11 +66,6 @@ void MulticastReceiver::rebuild_live() {
   for (std::size_t i = 0; i < alive_.size(); ++i) {
     if (alive_[i]) live_.push_back(i);
   }
-}
-
-bool MulticastReceiver::ring_token_mine(std::uint32_t k) const {
-  if (live_.empty()) return false;
-  return live_[k % live_.size()] == node_id_;
 }
 
 net::Endpoint MulticastReceiver::ack_target() const {
@@ -282,31 +277,10 @@ std::uint8_t MulticastReceiver::consume_in_order(std::uint32_t seq, std::uint8_t
 
 void MulticastReceiver::after_advance(std::uint32_t old_expected,
                                       std::uint8_t consumed_flags) {
-  switch (config_.kind) {
-    case ProtocolKind::kAck:
-      send_ack(expected_);
-      break;
-    case ProtocolKind::kNakPolling:
-      if ((consumed_flags & (kFlagPoll | kFlagLast)) != 0) send_ack(expected_);
-      break;
-    case ProtocolKind::kRing: {
-      bool token_mine = false;
-      for (std::uint32_t k = old_expected; k < expected_; ++k) {
-        if (ring_token_mine(k)) {
-          token_mine = true;
-          break;
-        }
-      }
-      const bool last_done =
-          (consumed_flags & kFlagLast) != 0 && expected_ == alloc_.total_packets;
-      if (token_mine || last_done) send_ack(expected_);
-      break;
-    }
-    case ProtocolKind::kFlatTree:
-    case ProtocolKind::kBinaryTree:
-      maybe_forward_chain_state(/*resend_allowed=*/false);
-      break;
-  }
+  DataEvent event;
+  event.flags = consumed_flags;
+  event.old_expected = old_expected;
+  engine_->on_data_event(*this, event);
   deliver_if_complete();
 }
 
@@ -314,33 +288,13 @@ void MulticastReceiver::on_duplicate(const Header& h) {
   ++stats_.duplicates;
   if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/true);
   // A retransmission of something we already hold usually means our (or a
-  // peer's) acknowledgment was lost: re-acknowledge per protocol.
-  switch (config_.kind) {
-    case ProtocolKind::kAck:
-      send_ack(expected_);
-      break;
-    case ProtocolKind::kNakPolling:
-      if ((h.flags & (kFlagPoll | kFlagLast)) != 0) send_ack(expected_);
-      break;
-    case ProtocolKind::kRing:
-      // Re-acknowledge our own token or the LAST packet — and any flagged
-      // retransmission: a retransmitted packet we already hold means some
-      // receiver's ACK was lost, and under selective repeat the sender
-      // resends only that one packet, so the healing re-ACK must come from
-      // every receiver, not just the token owner (whose ACK may not be the
-      // missing one).
-      if (ring_token_mine(h.seq) || (h.flags & kFlagLast) != 0 ||
-          (h.flags & kFlagRetrans) != 0) {
-        send_ack(expected_);
-      }
-      break;
-    case ProtocolKind::kFlatTree:
-    case ProtocolKind::kBinaryTree:
-      if (links_.children.empty()) {
-        maybe_forward_chain_state(/*resend_allowed=*/true);
-      }
-      break;
-  }
+  // peer's) acknowledgment was lost: re-acknowledge per the engine's
+  // policy.
+  DataEvent event;
+  event.duplicate = true;
+  event.flags = h.flags;
+  event.seq = h.seq;
+  engine_->on_data_event(*this, event);
 }
 
 void MulticastReceiver::handle_chain_ack(const Header& h) {
@@ -564,13 +518,11 @@ void MulticastReceiver::emit_repair(std::uint32_t seq) {
                             buffer_.size() - std::min<std::size_t>(buffer_.size(), offset));
   std::uint8_t flags = kFlagRetrans;
   if (seq + 1 == alloc_.total_packets) flags |= kFlagLast;
-  // Reconstruct the deterministic poll flag: a repaired poll packet must
-  // still solicit the acknowledgments the sender's buffer release waits
-  // for, or the repair fixes the receivers while the sender times out.
-  if (config_.kind == ProtocolKind::kNakPolling &&
-      seq % config_.poll_interval == config_.poll_interval - 1) {
-    flags |= kFlagPoll;
-  }
+  // Reconstruct the deterministic protocol flags (NAK-polling's POLL bit):
+  // a repaired poll packet must still solicit the acknowledgments the
+  // sender's buffer release waits for, or the repair fixes the receivers
+  // while the sender times out.
+  flags |= engine_->repair_flags(seq, config_);
   Header h{PacketType::kData, flags, static_cast<std::uint16_t>(node_id_), session_, seq};
   Writer w(kHeaderBytes + len);
   write_header(w, h);
@@ -620,18 +572,14 @@ void MulticastReceiver::handle_evict(const Header& h) {
   if (is_tree_) {
     rebuild_tree_links();
     ++stats_.structure_reforms;
-  } else if (config_.kind == ProtocolKind::kRing) {
-    // The token rule consults live_ directly; nothing else to re-form.
+  } else if (engine_->reforms_on_evict()) {
+    // The ring's token rule consults live_ directly; nothing to rebuild.
     ++stats_.structure_reforms;
   }
 }
 
 void MulticastReceiver::rebuild_tree_links() {
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    links_ = flat_tree_links_live(node_id_, live_, config_.tree_height);
-  } else {
-    links_ = binary_tree_links_live(node_id_, live_);
-  }
+  links_ = engine_->live_links(node_id_, live_, config_);
   // The parent may be new (a splice re-points us at the dead node's
   // predecessor, or promotes us to report to the sender): it has no record
   // of what we reported before, so start the upstream watermark over and
@@ -700,9 +648,7 @@ void MulticastReceiver::on_child_monitor() {
 }
 
 std::size_t MulticastReceiver::subtree_height(std::size_t node) const {
-  TreeLinks links = config_.kind == ProtocolKind::kFlatTree
-                        ? flat_tree_links_live(node, live_, config_.tree_height)
-                        : binary_tree_links_live(node, live_);
+  TreeLinks links = engine_->live_links(node, live_, config_);
   std::size_t height = 0;
   for (std::size_t child : links.children) {
     height = std::max(height, 1 + subtree_height(child));

@@ -1,7 +1,8 @@
-// Reliable multicast receiver.
+// Reliable multicast receiver — the protocol shell.
 //
-// Mirrors the sender: one class, the acknowledgment policies of the
-// paper's protocol families (§3):
+// Mirrors the sender: one class drives the receive side of every protocol
+// family, and the per-kind acknowledgment policy lives in a ReceiverEngine
+// looked up in the ProtocolRegistry by config.kind (paper §3):
 //
 //   * ACK-based — acknowledge every in-order data packet;
 //   * NAK-based with polling — acknowledge only packets flagged POLL (or
@@ -14,6 +15,14 @@
 //     min(what it holds, what its children reported); the root(s) of the
 //     structure report to the sender.
 //
+// The engine answers the per-packet acknowledgment decision (one
+// on_data_event call covering in-order advances and duplicates), supplies
+// the aggregation links, and reconstructs protocol flags on peer repairs;
+// the shell owns everything the policies share — Go-Back-N/selective
+// repeat reception, NAK pacing and suppression, the buffer-allocation
+// handshake (paper Figure 6), graceful-degradation bookkeeping, and the
+// tree child monitor.
+//
 // Reception is Go-Back-N by default (out-of-order packets are dropped and
 // NAKed), or selective repeat when configured (out-of-order packets are
 // buffered within the window). With multicast NAK suppression enabled
@@ -21,11 +30,6 @@
 // sender-side suppression), NAKs wait out a random backoff, are multicast
 // to the group as well as unicast to the sender, and are suppressed
 // entirely when another receiver's NAK already covers the gap.
-//
-// Each message is preceded by the buffer-allocation handshake (paper
-// Figure 6): the ALLOC_REQ announces message and packet sizes, the
-// receiver reserves the buffer and confirms — through the tree, for the
-// tree protocols — and only then does data flow.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,7 @@
 #include "common/rng.h"
 #include "common/serial.h"
 #include "rmcast/config.h"
+#include "rmcast/engine/engine.h"
 #include "rmcast/group.h"
 #include "rmcast/observer.h"
 #include "rmcast/stats.h"
@@ -45,7 +50,7 @@
 
 namespace rmc::rmcast {
 
-class MulticastReceiver {
+class MulticastReceiver : private ReceiverOps {
  public:
   // Invoked once per completed message with the assembled bytes.
   using MessageHandler = std::function<void(const Buffer& message, std::uint32_t session)>;
@@ -74,20 +79,28 @@ class MulticastReceiver {
         metrics != nullptr ? &metrics->histogram("receiver.delivery_latency_us") : nullptr;
   }
 
-  std::size_t node_id() const { return node_id_; }
+  std::size_t node_id() const override { return node_id_; }
   const ReceiverStats& stats() const { return stats_; }
-  const ProtocolConfig& config() const { return config_; }
+  const ProtocolConfig& config() const override { return config_; }
 
   // Graceful degradation: true once the sender announced this node's own
   // eviction (the receiver goes passive for the rest of the session).
   bool evicted_self() const { return evicted_self_; }
   // Current tree links — re-formed over the live set as evict notices
   // arrive; reset to the full-roster structure on each new session.
-  const TreeLinks& links() const { return links_; }
+  const TreeLinks& links() const override { return links_; }
   // Sorted node ids this receiver currently believes alive.
-  const std::vector<std::size_t>& live() const { return live_; }
+  const std::vector<std::size_t>& live() const override { return live_; }
 
  private:
+  // Remaining ReceiverOps surface (the engine's view of this receiver).
+  std::uint32_t expected() const override { return expected_; }
+  std::uint32_t total_packets() const override { return alloc_.total_packets; }
+  void send_cum_ack() override { send_ack(expected_); }
+  void forward_chain_state(bool resend_allowed) override {
+    maybe_forward_chain_state(resend_allowed);
+  }
+
   void on_packet(const net::Endpoint& src, BytesView payload);
   void handle_alloc_request(const Header& h, Reader& r);
   void handle_data(const Header& h, BytesView body);
@@ -124,10 +137,6 @@ class MulticastReceiver {
 
   // Graceful degradation.
   bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
-  // Ring token ownership of packet k over the current live set: the token
-  // rotates over live ranks, so survivors absorb an evicted node's slots.
-  // Identical to k % N == node_id while nobody is evicted.
-  bool ring_token_mine(std::uint32_t k) const;
   void rebuild_live();
   void reset_full_structure();   // links/alive for a fresh session
   void rebuild_tree_links();     // splice chains over the live set
@@ -150,6 +159,8 @@ class MulticastReceiver {
   GroupMembership membership_;
   std::size_t node_id_;
   ProtocolConfig config_;
+  // Per-protocol acknowledgment policy (registry-owned singleton).
+  const ReceiverEngine* engine_;
   bool is_tree_ = false;
   TreeLinks links_;
   Rng rng_;  // NAK backoff randomisation, seeded by node id

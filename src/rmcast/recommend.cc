@@ -1,58 +1,45 @@
 #include "rmcast/recommend.h"
 
-#include <algorithm>
-
 #include "common/panic.h"
 #include "common/strings.h"
-#include "rmcast/wire.h"
+#include "rmcast/engine/common.h"
+#include "rmcast/engine/registry.h"
 
 namespace rmc::rmcast {
-
-namespace {
-
-// The paper's sweet spots on 100 Mbps switched Ethernet.
-constexpr std::size_t kSmallMessagePacket = 50'000;  // one datagram up to here
-constexpr std::size_t kLargeMessagePacket = 8'000;   // pipeline-friendly
-constexpr std::size_t kLargeMessageBuffer = 400'000;  // window x packet (Table 3)
-constexpr std::size_t kMinWindow = 8;
-constexpr std::size_t kMaxWindow = 50;
-
-}  // namespace
 
 Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_receivers) {
   RMC_ENSURE(n_receivers > 0, "group must have receivers");
   Recommendation rec;
 
-  if (message_bytes <= kSmallMessagePacket) {
+  // Protocol selection is the cross-kind decision (paper §6); the chosen
+  // kind's knob values come from its registry entry, so the advice can
+  // never drift from the engine actually run.
+  if (message_bytes <= tuning::kSmallMessagePacket) {
     rec.config.kind = ProtocolKind::kAck;
-    rec.config.packet_size = kSmallMessagePacket;
-    rec.config.window_size = 2;
+    ProtocolRegistry::instance()
+        .entry(rec.config.kind)
+        .apply_recommended_tuning(rec.config, message_bytes, n_receivers);
     rec.rationale = str_format(
         "%s fits one %s packet: the ACK-based, NAK-based and ring protocols behave "
         "identically here and all beat the trees (user-level relaying only adds "
         "delay), so the simplest wins; a window of 2 already saturates the tiny LAN "
         "round trip (Figure 10).",
-        format_bytes(message_bytes).c_str(), format_bytes(kSmallMessagePacket).c_str());
+        format_bytes(message_bytes).c_str(),
+        format_bytes(rec.config.packet_size).c_str());
     return rec;
   }
 
   rec.config.kind = ProtocolKind::kNakPolling;
-  rec.config.packet_size = kLargeMessagePacket;
-  const std::size_t packets_in_message = static_cast<std::size_t>(
-      (message_bytes + kLargeMessagePacket - 1) / kLargeMessagePacket);
-  rec.config.window_size =
-      std::clamp(std::min(packets_in_message, kLargeMessageBuffer / kLargeMessagePacket),
-                 kMinWindow, kMaxWindow);
-  // 80-90% of the window, the optimum of Figure 12 across packet sizes.
-  rec.config.poll_interval =
-      std::max<std::size_t>(1, rec.config.window_size * 85 / 100);
+  ProtocolRegistry::instance()
+      .entry(rec.config.kind)
+      .apply_recommended_tuning(rec.config, message_bytes, n_receivers);
   rec.rationale = str_format(
       "%s to %zu receivers: the NAK-based protocol with polling achieves the highest "
       "large-message throughput (Table 3); %s packets keep the pipeline full, a "
       "window of %zu absorbs the poll round trip, and polling at ~85%% of the window "
       "is the Figure 12 optimum.",
       format_bytes(message_bytes).c_str(), n_receivers,
-      format_bytes(kLargeMessagePacket).c_str(), rec.config.window_size);
+      format_bytes(rec.config.packet_size).c_str(), rec.config.window_size);
   return rec;
 }
 

@@ -5,6 +5,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
+#include "rmcast/engine/registry.h"
 
 namespace rmc::rmcast {
 
@@ -13,44 +14,25 @@ MulticastSender::MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_so
     : rt_(runtime),
       socket_(control_socket),
       membership_(std::move(membership)),
-      config_(config) {
+      config_(config),
+      engine_(ProtocolRegistry::instance().entry(config_.kind).sender_engine()),
+      core_(*engine_, config_) {
   std::string group_error = membership_.validate();
   RMC_ENSURE(group_error.empty(), group_error);
   std::string config_error = validate(config_, membership_.n_receivers());
   RMC_ENSURE(config_error.empty(), config_error);
 
-  build_initial_units();
+  core_.reset_units(membership_.n_receivers());
 
   socket_.set_handler([this](const net::Endpoint& src, BytesView payload) {
     on_packet(src, payload);
   });
 }
 
-void MulticastSender::build_initial_units() {
-  const std::size_t n = membership_.n_receivers();
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    unit_nodes_ = tree_chain_heads(n, config_.tree_height);
-  } else if (config_.kind == ProtocolKind::kBinaryTree) {
-    unit_nodes_ = {0};  // only the tree root reports to the sender
-  } else {
-    unit_nodes_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) unit_nodes_[i] = i;
-  }
-  node_to_unit_.assign(n, -1);
-  for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
-    node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
-  }
-}
-
 MulticastSender::~MulticastSender() {
   disarm_rto();
   if (alloc_timer_ != rt::kInvalidTimerId) rt_.cancel(alloc_timer_);
   if (rate_timer_ != rt::kInvalidTimerId) rt_.cancel(rate_timer_);
-}
-
-int MulticastSender::unit_of_node(std::uint16_t node_id) const {
-  if (node_id >= node_to_unit_.size()) return -1;
-  return node_to_unit_[node_id];
 }
 
 void MulticastSender::send(BytesView message, CompletionHandler on_complete) {
@@ -78,20 +60,8 @@ void MulticastSender::send(BytesView message, CompletionHandler on_complete) {
     rate_timer_ = rt::kInvalidTimerId;
   }
   state_ = State::kAllocating;
-  // A previous send may have evicted receivers and shrunk the roster;
-  // every send starts from the full structure again.
-  build_initial_units();
-  const std::size_t n = membership_.n_receivers();
-  node_alloc_responded_.assign(n, false);
-  evicted_.assign(n, false);
-  node_cum_.assign(n, 0);
-  node_cum_snapshot_.assign(n, 0);
-  node_stall_rounds_.assign(n, 0);
-  current_rto_ = config_.rto;
-  rto_rounds_ = 0;
-  alloc_rounds_ = 0;
+  core_.begin_send(membership_.n_receivers());
   send_started_ = rt_.now();
-  alloc_outstanding_ = unit_nodes_.size();
   send_alloc_request();
   arm_alloc_timer();
 }
@@ -103,8 +73,8 @@ void MulticastSender::send_alloc_request() {
   Writer w(kHeaderBytes + kAllocRequestBytes);
   write_header(w, h);
   write_alloc_request(w, req);
-  ++stats_.alloc_requests_sent;
-  if (observer_) observer_->on_alloc_request(session_, total_packets_);
+  ++core_.stats.alloc_requests_sent;
+  if (core_.observer) core_.observer->on_alloc_request(session_, total_packets_);
   flight_recorder().record(rt_.now(), "sender", "alloc_req", kSenderNodeId, session_,
                            total_packets_);
   Buffer packet = w.take();
@@ -118,8 +88,8 @@ void MulticastSender::arm_alloc_timer() {
 void MulticastSender::on_alloc_timeout() {
   alloc_timer_ = rt::kInvalidTimerId;
   if (state_ != State::kAllocating) return;
-  if (eviction_enabled()) {
-    ++alloc_rounds_;
+  if (core_.eviction_enabled()) {
+    ++core_.alloc_rounds;
     announce_evictions();
     // The handshake retries on alloc_rto, a much shorter period than the
     // data-phase RTO rounds the eviction threshold is specified in;
@@ -127,13 +97,15 @@ void MulticastSender::on_alloc_timeout() {
     // tree parent's SUSPECT path the same head start) as mid-transfer.
     const std::size_t evict_after = std::max<std::size_t>(
         1, static_cast<std::size_t>(
-               (static_cast<double>(unit_evict_threshold()) * config_.rto) /
+               (static_cast<double>(core_.unit_evict_threshold()) * config_.rto) /
                static_cast<double>(config_.alloc_rto)));
-    if (alloc_rounds_ >= evict_after) {
-      alloc_rounds_ = 0;  // promoted replacements get a full grace period
+    if (core_.alloc_rounds >= evict_after) {
+      core_.alloc_rounds = 0;  // promoted replacements get a full grace period
       std::vector<std::size_t> dead;
-      for (std::size_t node : unit_nodes_) {
-        if (!node_alloc_responded_[node] && !evicted_[node]) dead.push_back(node);
+      for (std::size_t node : core_.unit_nodes()) {
+        if (!core_.node_alloc_responded[node] && !core_.evicted[node]) {
+          dead.push_back(node);
+        }
       }
       for (std::size_t node : dead) {
         evict(node);
@@ -164,30 +136,23 @@ void MulticastSender::on_packet(const net::Endpoint& src, BytesView payload) {
       on_suspect(*header);
       break;
     default:
-      ++stats_.stale_packets;
+      ++core_.stats.stale_packets;
       break;
   }
 }
 
 void MulticastSender::on_alloc_response(const Header& h) {
   if (state_ != State::kAllocating || h.session != session_) {
-    ++stats_.stale_packets;
+    ++core_.stats.stale_packets;
     return;
   }
-  ++stats_.alloc_responses_received;
-  if (h.node_id >= node_alloc_responded_.size()) return;
-  if (node_alloc_responded_[h.node_id]) return;
-  node_alloc_responded_[h.node_id] = true;
-  if (unit_of_node(h.node_id) < 0) return;
-  recompute_alloc_outstanding();
-  if (alloc_outstanding_ == 0) start_data_phase();
-}
-
-void MulticastSender::recompute_alloc_outstanding() {
-  alloc_outstanding_ = 0;
-  for (std::size_t node : unit_nodes_) {
-    if (!node_alloc_responded_[node]) ++alloc_outstanding_;
-  }
+  ++core_.stats.alloc_responses_received;
+  if (h.node_id >= core_.node_alloc_responded.size()) return;
+  if (core_.node_alloc_responded[h.node_id]) return;
+  core_.node_alloc_responded[h.node_id] = true;
+  if (core_.unit_of_node(h.node_id) < 0) return;
+  core_.recompute_alloc_outstanding();
+  if (core_.alloc_outstanding == 0) start_data_phase();
 }
 
 void MulticastSender::start_data_phase() {
@@ -197,22 +162,17 @@ void MulticastSender::start_data_phase() {
   }
   state_ = State::kSending;
   window_stalled_ = false;
-  window_.reset(total_packets_, config_.window_size);
-  tracker_.reset(unit_nodes_.size());
+  core_.window.reset(total_packets_, config_.window_size);
+  core_.tracker.reset(core_.unit_nodes().size());
   pump();
   arm_rto();
 }
 
 std::uint8_t MulticastSender::data_flags(std::uint32_t seq, bool retransmission,
                                          bool force_poll) const {
-  std::uint8_t flags = 0;
+  std::uint8_t flags = engine_->data_flags(seq, force_poll, config_);
   if (seq + 1 == total_packets_) flags |= kFlagLast;
   if (retransmission) flags |= kFlagRetrans;
-  if (config_.kind == ProtocolKind::kNakPolling) {
-    if (seq % config_.poll_interval == config_.poll_interval - 1 || force_poll) {
-      flags |= kFlagPoll;
-    }
-  }
   return flags;
 }
 
@@ -224,20 +184,20 @@ void MulticastSender::pump() {
   // CPU and stall the wire for the duration of the copies — the original
   // implementation's send loop interleaves copy and sendto per packet, and
   // so must this one.
-  stats_.peak_buffered_bytes =
-      std::max<std::uint64_t>(stats_.peak_buffered_bytes,
-                              std::uint64_t{window_.outstanding()} * config_.packet_size);
+  core_.stats.peak_buffered_bytes = std::max<std::uint64_t>(
+      core_.stats.peak_buffered_bytes,
+      std::uint64_t{core_.window.outstanding()} * config_.packet_size);
   if (tx_chain_active_) return;
-  if (!window_.can_send()) {
+  if (!core_.window.can_send()) {
     // A full window with unsent packets remaining is a flow-control stall:
     // the sender is now blocked on acknowledgments. Report only the
     // transition — pump() runs on every ACK while stalled.
-    if (!window_stalled_ && window_.next() < window_.total()) {
+    if (!window_stalled_ && core_.window.next() < core_.window.total()) {
       window_stalled_ = true;
-      ++stats_.window_stalls;
-      if (observer_) observer_->on_window_stall(session_, window_.base());
+      ++core_.stats.window_stalls;
+      if (core_.observer) core_.observer->on_window_stall(session_, core_.window.base());
       flight_recorder().record(rt_.now(), "sender", "window_stall", kSenderNodeId,
-                               session_, window_.base());
+                               session_, core_.window.base());
     }
     return;
   }
@@ -260,7 +220,7 @@ void MulticastSender::pump() {
         sim::transmission_time(datagram_bytes, config_.rate_limit_bps);
   }
   tx_chain_active_ = true;
-  transmit(window_.claim_next(), /*retransmission=*/false, /*force_poll=*/false);
+  transmit(core_.window.claim_next(), /*retransmission=*/false, /*force_poll=*/false);
 }
 
 void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool force_poll,
@@ -280,22 +240,22 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
             h.flags);
   // Unicast repairs do not count as group-wide transmissions for the
   // suppression bookkeeping.
-  if (unicast_to == nullptr) window_.mark_sent(seq, rt_.now());
-  if (observer_) observer_->on_transmit(session_, seq, h.flags, retransmission);
+  if (unicast_to == nullptr) core_.window.mark_sent(seq, rt_.now());
+  if (core_.observer) core_.observer->on_transmit(session_, seq, h.flags, retransmission);
   flight_recorder().record(rt_.now(), "sender", retransmission ? "retx" : "tx",
                            kSenderNodeId, seq, h.flags);
 
   if (retransmission) {
     // Retransmissions resend from the protocol buffer — the user-space
     // copy happened on first transmission — so no copy cost applies.
-    ++stats_.retransmissions;
+    ++core_.stats.retransmissions;
     Buffer packet = w.take();
     const net::Endpoint& dst = unicast_to != nullptr ? *unicast_to : membership_.group;
     socket_.send_to(dst, BytesView(packet.data(), packet.size()));
     return;
   }
 
-  ++stats_.data_packets_sent;
+  ++core_.stats.data_packets_sent;
   auto finish = [this, packet = w.take()] {
     socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
     tx_chain_active_ = false;
@@ -312,37 +272,39 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
 
 void MulticastSender::on_ack(const Header& h) {
   if (state_ != State::kSending || h.session != session_) {
-    ++stats_.stale_packets;
+    ++core_.stats.stale_packets;
     return;
   }
-  ++stats_.acks_received;
-  if (observer_) observer_->on_ack(h.session, h.node_id, h.seq);
-  int unit = unit_of_node(h.node_id);
+  ++core_.stats.acks_received;
+  if (core_.observer) core_.observer->on_ack(h.session, h.node_id, h.seq);
+  int unit = core_.unit_of_node(h.node_id);
   if (unit < 0 || h.seq > total_packets_) {
-    ++stats_.stale_packets;
+    ++core_.stats.stale_packets;
     return;
   }
   RMC_DEBUG("[%.6f] sender ack: node=%u cum=%u min=%u base=%u next=%u",
-            sim::to_seconds(rt_.now()), h.node_id, h.seq, tracker_.min_cum(),
-            window_.base(), window_.next());
+            sim::to_seconds(rt_.now()), h.node_id, h.seq, core_.tracker.min_cum(),
+            core_.window.base(), core_.window.next());
   // A cumulative count beyond what has ever been transmitted is a
   // misbehaving peer; honour only the prefix that can be true.
   std::uint32_t cum = h.seq;
-  if (cum > window_.next()) {
-    ++stats_.stale_packets;
-    cum = window_.next();
+  if (cum > core_.window.next()) {
+    ++core_.stats.stale_packets;
+    cum = core_.window.next();
   }
-  node_cum_[h.node_id] = std::max(node_cum_[h.node_id], cum);
-  if (!tracker_.on_ack(static_cast<std::size_t>(unit), cum)) return;
+  core_.node_cum[h.node_id] = std::max(core_.node_cum[h.node_id], cum);
+  if (!core_.tracker.on_ack(static_cast<std::size_t>(unit), cum)) return;
   // Progress: any exponential RTO backoff resets to the configured base.
-  current_rto_ = config_.rto;
+  core_.current_rto = config_.rto;
   flight_recorder().record(rt_.now(), "sender", "ack", h.node_id, cum);
   // ACK round-trip sample: from the newest acknowledged packet's last
   // transmission to now. Must be taken before release_to() slides the
   // window past cum.
-  if (ack_rtt_ != nullptr && cum > window_.base()) {
-    const sim::Time sent_at = window_.last_sent(cum - 1);
-    if (sent_at >= 0) ack_rtt_->record_seconds(sim::to_seconds(rt_.now() - sent_at));
+  if (core_.ack_rtt != nullptr && cum > core_.window.base()) {
+    const sim::Time sent_at = core_.window.last_sent(cum - 1);
+    if (sent_at >= 0) {
+      core_.ack_rtt->record_seconds(sim::to_seconds(rt_.now() - sent_at));
+    }
   }
   // Any unit advancing is evidence the transfer is live: push the
   // retransmission timeout out. (Keying the timer on the *minimum* would
@@ -350,9 +312,9 @@ void MulticastSender::on_ack(const Header& h) {
   // lags a full rotation behind the newest packet.)
   arm_rto();
 
-  if (tracker_.min_cum() <= window_.base()) return;
-  window_.release_to(tracker_.min_cum());
-  if (window_.all_released()) {
+  if (core_.tracker.min_cum() <= core_.window.base()) return;
+  core_.window.release_to(core_.tracker.min_cum());
+  if (core_.window.all_released()) {
     complete();
     return;
   }
@@ -361,13 +323,13 @@ void MulticastSender::on_ack(const Header& h) {
 
 void MulticastSender::on_nak(const Header& h) {
   if (state_ != State::kSending || h.session != session_) {
-    ++stats_.stale_packets;
+    ++core_.stats.stale_packets;
     return;
   }
-  ++stats_.naks_received;
-  if (observer_) observer_->on_nak(h.session, h.node_id, h.seq);
+  ++core_.stats.naks_received;
+  if (core_.observer) core_.observer->on_nak(h.session, h.node_id, h.seq);
   flight_recorder().record(rt_.now(), "sender", "nak", h.node_id, h.seq);
-  if (h.seq < window_.base() || h.seq >= window_.next()) return;
+  if (h.seq < core_.window.base() || h.seq >= core_.window.next()) return;
   if (config_.unicast_nak_retransmissions && h.node_id < membership_.n_receivers()) {
     // Answer only the complaining receiver; the group keeps its bandwidth
     // and, more importantly on a LAN, its CPUs (paper §3: multicast
@@ -381,8 +343,9 @@ void MulticastSender::on_nak(const Header& h) {
 
 void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
                                       const net::Endpoint* unicast_to) {
-  const std::uint32_t end =
-      config_.selective_repeat ? std::min(from + 1, window_.next()) : window_.next();
+  const std::uint32_t end = config_.selective_repeat
+                                ? std::min(from + 1, core_.window.next())
+                                : core_.window.next();
   const sim::Time now = rt_.now();
   std::uint32_t last_resent = UINT32_MAX;
   for (std::uint32_t seq = from; seq < end; ++seq) {
@@ -390,9 +353,9 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
     // multicast suppression bookkeeping (a unicast resend to A must not
     // mask a later group-wide repair that B needs, and vice versa).
     if (unicast_to == nullptr) {
-      if (now - window_.last_sent(seq) < config_.suppress_interval) {
-        ++stats_.suppressed_retransmissions;
-        if (observer_) observer_->on_retransmit_suppressed(session_, seq);
+      if (now - core_.window.last_sent(seq) < config_.suppress_interval) {
+        ++core_.stats.suppressed_retransmissions;
+        if (core_.observer) core_.observer->on_retransmit_suppressed(session_, seq);
         continue;
       }
     }
@@ -401,7 +364,7 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
     transmit(seq, /*retransmission=*/true, /*force_poll=*/false, unicast_to);
     last_resent = seq;
   }
-  if (force_poll && config_.kind == ProtocolKind::kNakPolling) {
+  if (force_poll && engine_->needs_forced_poll()) {
     if (last_resent == UINT32_MAX) return;  // everything was suppressed
     // Resend the final packet of the batch once more with the poll flag if
     // it did not already carry one.
@@ -413,8 +376,8 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
 
 void MulticastSender::arm_rto() {
   disarm_rto();
-  rto_timer_ = rt_.schedule_after(current_rto_ > 0 ? current_rto_ : config_.rto,
-                                  [this] { on_rto(); });
+  rto_timer_ = rt_.schedule_after(
+      core_.current_rto > 0 ? core_.current_rto : config_.rto, [this] { on_rto(); });
 }
 
 void MulticastSender::disarm_rto() {
@@ -427,68 +390,31 @@ void MulticastSender::disarm_rto() {
 void MulticastSender::on_rto() {
   rto_timer_ = rt::kInvalidTimerId;
   if (state_ != State::kSending) return;
-  ++stats_.rto_fires;
-  ++rto_rounds_;
-  if (observer_) observer_->on_timeout(session_, window_.base());
+  ++core_.stats.rto_fires;
+  ++core_.rto_rounds;
+  if (core_.observer) core_.observer->on_timeout(session_, core_.window.base());
   flight_recorder().record(rt_.now(), "sender", "rto", kSenderNodeId, session_,
-                           window_.base());
+                           core_.window.base());
   RMC_DEBUG("[%.6f] sender rto: session=%u base=%u next=%u", sim::to_seconds(rt_.now()),
-            session_, window_.base(), window_.next());
-  if (eviction_enabled()) {
+            session_, core_.window.base(), core_.window.next());
+  if (core_.eviction_enabled()) {
     // The timer re-arms on any unit's progress, so a fire means a full
-    // current_rto_ of silence from every tracked unit: a no-progress round.
+    // current_rto of silence from every tracked unit: a no-progress round.
     // Back the timeout off exponentially (the peer — or the network — is
     // not keeping up with the current pace) and charge a stall round to
     // every unit still short of what has been transmitted.
-    if (current_rto_ < config_.max_rto) {
-      current_rto_ = std::min<sim::Time>(
-          static_cast<sim::Time>(static_cast<double>(current_rto_) *
-                                 config_.rto_backoff_factor),
-          config_.max_rto);
-      ++stats_.rto_backoffs;
-      if (observer_) observer_->on_rto_backoff(session_, current_rto_);
+    if (core_.backoff_rto() && core_.observer) {
+      core_.observer->on_rto_backoff(session_, core_.current_rto);
     }
-    std::vector<std::size_t> dead;
-    for (std::size_t node : unit_nodes_) {
-      if (node_cum_[node] > node_cum_snapshot_[node]) {
-        node_stall_rounds_[node] = 0;  // advanced since the previous fire
-      } else if (node_cum_[node] < window_.next()) {
-        ++node_stall_rounds_[node];
-      }
-      node_cum_snapshot_[node] = node_cum_[node];
-      if (node_stall_rounds_[node] >= unit_evict_threshold()) dead.push_back(node);
-    }
+    std::vector<std::size_t> dead = core_.charge_stall_rounds(core_.window.next());
     for (std::size_t node : dead) {
       evict(node);
       if (state_ != State::kSending) return;
     }
     announce_evictions();
   }
-  retransmit_from(window_.base(), /*force_poll=*/true);
+  retransmit_from(core_.window.base(), /*force_poll=*/true);
   arm_rto();
-}
-
-std::size_t MulticastSender::unit_evict_threshold() const {
-  if (!is_tree_protocol(config_.kind)) return config_.max_retransmit_rounds;
-  // A tree unit's stall can be secondhand: a node `levels` hops below it
-  // died, and each parent on the path waits one stall budget per level
-  // below the child before naming it (see the receiver's child monitor).
-  // The sender is the detector of last resort, so it waits out the whole
-  // in-tree SUSPECT cascade plus one budget of margin — evicting a unit
-  // directly means giving up on its entire live subtree's acknowledgments,
-  // only correct when the head/root itself is the corpse.
-  std::size_t n_live = 0;
-  for (std::size_t i = 0; i < evicted_.size(); ++i) {
-    if (!evicted_[i]) ++n_live;
-  }
-  n_live = std::max<std::size_t>(n_live, 1);
-  std::size_t levels = 0;
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    levels = std::max<std::size_t>(1, std::min(config_.tree_height, n_live)) - 1;
-  } else {
-    for (std::size_t full = 1; full < n_live; full = 2 * full + 1) ++levels;
-  }
-  return config_.max_retransmit_rounds * (levels + 2);
 }
 
 void MulticastSender::send_evict_notice(std::size_t node) {
@@ -502,55 +428,32 @@ void MulticastSender::announce_evictions() {
   // Evict notices ride the lossy multicast channel; re-announcing every
   // timeout round heals receivers that missed the original, the same way
   // Go-Back-N retransmission heals lost data.
-  for (std::size_t node = 0; node < evicted_.size(); ++node) {
-    if (evicted_[node]) send_evict_notice(node);
+  for (std::size_t node = 0; node < core_.evicted.size(); ++node) {
+    if (core_.evicted[node]) send_evict_notice(node);
   }
 }
 
 void MulticastSender::evict(std::size_t node) {
-  if (node >= evicted_.size() || evicted_[node]) return;
-  evicted_[node] = true;
-  ++stats_.receivers_evicted;
-  if (observer_) {
-    observer_->on_receiver_evicted(session_, static_cast<std::uint16_t>(node),
-                                   node_cum_[node]);
+  if (!core_.mark_evicted(node)) return;
+  if (core_.observer) {
+    core_.observer->on_receiver_evicted(session_, static_cast<std::uint16_t>(node),
+                                        core_.node_cum[node]);
   }
   flight_recorder().record(rt_.now(), "sender", "evict",
-                           static_cast<std::uint16_t>(node), session_, node_cum_[node]);
+                           static_cast<std::uint16_t>(node), session_,
+                           core_.node_cum[node]);
   RMC_DEBUG("[%.6f] sender evict: node=%zu cum=%u", sim::to_seconds(rt_.now()), node,
-            node_cum_[node]);
+            core_.node_cum[node]);
   send_evict_notice(node);
   rebuild_units();
 }
 
 void MulticastSender::rebuild_units() {
-  const std::size_t n = membership_.n_receivers();
-  std::vector<std::size_t> live;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!evicted_[i]) live.push_back(i);
-  }
-  if (live.empty()) {
+  if (!core_.rebuild_units()) {
     // Nobody left to acknowledge anything: report and stop.
     complete();
     return;
   }
-  if (config_.kind == ProtocolKind::kFlatTree) {
-    unit_nodes_ = tree_chain_heads_live(live, config_.tree_height);
-  } else if (config_.kind == ProtocolKind::kBinaryTree) {
-    unit_nodes_ = {live.front()};  // lowest live id is the promoted root
-  } else {
-    unit_nodes_ = live;
-  }
-  node_to_unit_.assign(n, -1);
-  for (std::size_t u = 0; u < unit_nodes_.size(); ++u) {
-    node_to_unit_[unit_nodes_[u]] = static_cast<int>(u);
-  }
-  // The structure changed under the surviving units (a promoted head has
-  // to rebuild its chain's aggregate from scratch): restart their grace
-  // period rather than evicting them on bookkeeping inherited from the old
-  // layout.
-  for (std::size_t node : unit_nodes_) node_stall_rounds_[node] = 0;
-
   if (state_ == State::kSending) {
     // Seed the re-formed tracker from what each surviving unit last
     // reported. The minimum may drop (a promoted flat-tree head reports
@@ -558,18 +461,18 @@ void MulticastSender::rebuild_units() {
     // released packets stay released — or rise past the window base, in
     // which case the transfer resumes (or completes) right here.
     std::vector<std::uint32_t> cums;
-    cums.reserve(unit_nodes_.size());
-    for (std::size_t node : unit_nodes_) cums.push_back(node_cum_[node]);
-    tracker_.reset_with(std::move(cums));
-    window_.release_to(tracker_.min_cum());
-    if (window_.all_released()) {
+    cums.reserve(core_.unit_nodes().size());
+    for (std::size_t node : core_.unit_nodes()) cums.push_back(core_.node_cum[node]);
+    core_.tracker.reset_with(std::move(cums));
+    core_.window.release_to(core_.tracker.min_cum());
+    if (core_.window.all_released()) {
       complete();
       return;
     }
     pump();
   } else if (state_ == State::kAllocating) {
-    recompute_alloc_outstanding();
-    if (alloc_outstanding_ == 0) start_data_phase();
+    core_.recompute_alloc_outstanding();
+    if (core_.alloc_outstanding == 0) start_data_phase();
   }
 }
 
@@ -577,14 +480,14 @@ void MulticastSender::on_suspect(const Header& h) {
   // SUSPECT is a tree parent telling the sender its child (h.seq) has
   // stopped responding — the sender cannot see interior nodes stall, only
   // the heads that aggregate for them.
-  if (!eviction_enabled() || !is_tree_protocol(config_.kind) ||
+  if (!core_.eviction_enabled() || !engine_->accepts_suspects() ||
       state_ == State::kIdle || h.session != session_) {
-    ++stats_.stale_packets;
+    ++core_.stats.stale_packets;
     return;
   }
-  ++stats_.suspect_reports_received;
+  ++core_.stats.suspect_reports_received;
   const std::size_t node = h.seq;
-  if (node >= evicted_.size() || evicted_[node]) return;
+  if (node >= core_.evicted.size() || core_.evicted[node]) return;
   flight_recorder().record(rt_.now(), "sender", "suspect", h.node_id, session_, h.seq);
   evict(node);
 }
@@ -604,18 +507,18 @@ void MulticastSender::complete() {
   outcome.message_bytes = message_view_.size();
   outcome.total_packets = total_packets_;
   outcome.elapsed = rt_.now() - send_started_;
-  outcome.retransmit_rounds = rto_rounds_;
+  outcome.retransmit_rounds = core_.rto_rounds;
   outcome.receivers.resize(membership_.n_receivers());
   for (std::size_t i = 0; i < outcome.receivers.size(); ++i) {
-    if (i < evicted_.size() && evicted_[i]) {
-      outcome.receivers[i] = {DeliveryStatus::kEvicted, node_cum_[i]};
+    if (i < core_.evicted.size() && core_.evicted[i]) {
+      outcome.receivers[i] = {DeliveryStatus::kEvicted, core_.node_cum[i]};
     } else {
       outcome.receivers[i] = {DeliveryStatus::kDelivered, total_packets_};
     }
   }
   state_ = State::kIdle;
-  ++stats_.messages_sent;
-  if (observer_) observer_->on_complete(session_);
+  ++core_.stats.messages_sent;
+  if (core_.observer) core_.observer->on_complete(session_);
   flight_recorder().record(rt_.now(), "sender", "complete", kSenderNodeId, session_);
   message_.clear();
   message_view_ = {};

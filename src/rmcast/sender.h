@@ -1,21 +1,16 @@
-// Reliable multicast sender.
+// Reliable multicast sender — the protocol shell.
 //
-// One class implements the sender side of all four protocol families; the
-// paper's protocols differ on the sender only in three small policies:
-//
-//   * who must acknowledge — every receiver (ACK, NAK-polling, ring) or
-//     the flat-tree chain heads;
-//   * which data packets solicit acknowledgments — all of them (ACK,
-//     tree), every poll_interval-th plus the last (NAK-polling), or the
-//     rotating token plus the last (ring — enforced receiver-side);
-//   * what a retransmission resends — the whole outstanding window
-//     (Go-Back-N) or just the first missing packet (selective repeat).
-//
-// Everything else is shared, exactly as in the reproduced implementation
-// (§4): the buffer-allocation handshake that precedes every message
-// (Figure 6), window-based flow control, sender-driven retransmission
-// timers, and the retransmission suppression that lets one retransmission
-// answer many NAKs.
+// One class drives the sender side of every protocol family, but the
+// per-kind policy lives elsewhere: a SenderEngine (looked up in the
+// ProtocolRegistry by config.kind) answers who must acknowledge, which
+// data packets solicit acknowledgments, and how long a stalled unit's
+// grace period is; a ProtocolCore owns the machinery the paper's §4
+// calls common — the acknowledgment roster, window-based flow control,
+// the buffer-allocation handshake (Figure 6), sender-driven
+// retransmission timers with backoff/eviction, and the retransmission
+// suppression that lets one retransmission answer many NAKs. What stays
+// here is the shell: wire parsing, sockets, timers, and the transmit
+// pipeline (user-space copy modelling, pacing, the per-packet tx chain).
 //
 // The class is single-message: send() transfers one message reliably to
 // the whole group and invokes the completion handler once every receiver
@@ -34,6 +29,8 @@
 #include "common/metrics.h"
 #include "common/serial.h"
 #include "rmcast/config.h"
+#include "rmcast/engine/core.h"
+#include "rmcast/engine/engine.h"
 #include "rmcast/group.h"
 #include "rmcast/observer.h"
 #include "rmcast/report.h"
@@ -71,28 +68,25 @@ class MulticastSender {
   // receivers (ACK, NAK-polling, ring), the flat-tree chain heads, or the
   // binary-tree root. Shrinks/re-forms as receivers are evicted; reset to
   // the full roster's structure on each send().
-  const std::vector<std::size_t>& unit_nodes() const { return unit_nodes_; }
-  bool is_evicted(std::size_t node) const { return evicted_.at(node); }
-  std::size_t n_evicted() const {
-    std::size_t n = 0;
-    for (bool e : evicted_) n += e ? 1 : 0;
-    return n;
-  }
+  const std::vector<std::size_t>& unit_nodes() const { return core_.unit_nodes(); }
+  bool is_evicted(std::size_t node) const { return core_.is_evicted(node); }
+  std::size_t n_evicted() const { return core_.n_evicted(); }
   // Current (possibly backed-off) retransmission timeout.
-  sim::Time current_rto() const { return current_rto_; }
+  sim::Time current_rto() const { return core_.current_rto; }
 
   // Optional protocol-event observer (may be null; not owned). Must
   // outlive the sender or be cleared first.
-  void set_observer(SenderObserver* observer) { observer_ = observer; }
+  void set_observer(SenderObserver* observer) { core_.observer = observer; }
   // Optional metrics sink (may be null; not owned; must outlive the
   // sender). Publishes the ACK round-trip distribution as the
   // "sender.ack_rtt_us" histogram: one sample per acknowledgment that
   // advances a unit's cumulative count, measured from the newest
   // acknowledged packet's last transmission.
   void set_metrics(metrics::Registry* metrics) {
-    ack_rtt_ = metrics != nullptr ? &metrics->histogram("sender.ack_rtt_us") : nullptr;
+    core_.ack_rtt =
+        metrics != nullptr ? &metrics->histogram("sender.ack_rtt_us") : nullptr;
   }
-  const SenderStats& stats() const { return stats_; }
+  const SenderStats& stats() const { return core_.stats; }
   const ProtocolConfig& config() const { return config_; }
   const GroupMembership& membership() const { return membership_; }
 
@@ -123,58 +117,29 @@ class MulticastSender {
   void on_alloc_timeout();
   void complete();
 
-  // Graceful degradation (config_.max_retransmit_rounds > 0).
-  bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
-  // Consecutive no-progress RTO rounds before a tracked unit is evicted;
-  // doubled for tree protocols so the in-tree SUSPECT path — which names
-  // the actual dead node rather than the chain head aggregating for it —
-  // gets the first shot.
-  std::size_t unit_evict_threshold() const;
-  void build_initial_units();
-  void rebuild_units();
+  // Graceful degradation (core bookkeeping + engine policy; this shell
+  // only wires the announcements).
   void evict(std::size_t node);
   void send_evict_notice(std::size_t node);
   void announce_evictions();
-  void recompute_alloc_outstanding();
+  void rebuild_units();
 
-  // Maps a wire node id to a tracker unit index, or -1 if that node does
-  // not acknowledge to the sender under this protocol.
-  int unit_of_node(std::uint16_t node_id) const;
   std::uint8_t data_flags(std::uint32_t seq, bool retransmission, bool force_poll) const;
 
   rt::Runtime& rt_;
   rt::UdpSocket& socket_;
   GroupMembership membership_;
   ProtocolConfig config_;
-
-  // Node ids that acknowledge directly to the sender.
-  std::vector<std::size_t> unit_nodes_;
-  std::vector<int> node_to_unit_;
+  // Per-protocol policy (registry-owned singleton) and the shared
+  // machinery it parameterizes.
+  const SenderEngine* engine_;
+  ProtocolCore core_;
 
   State state_ = State::kIdle;
   std::uint32_t session_ = 0;
   Buffer message_;
   BytesView message_view_;  // what transmit() slices (message_ or caller's)
   std::uint32_t total_packets_ = 0;
-  SenderWindow window_;
-  CumTracker tracker_;
-  std::vector<bool> node_alloc_responded_;  // indexed by node id
-  std::size_t alloc_outstanding_ = 0;
-
-  // Graceful-degradation state, all indexed by node id and reset per send.
-  std::vector<bool> evicted_;
-  // Highest cumulative acknowledgment each node ever reported this send —
-  // survives roster rebuilds (unit indices do not) and seeds both the
-  // re-formed tracker and the final DeliveryReports.
-  std::vector<std::uint32_t> node_cum_;
-  // Stall bookkeeping: cum as of the previous RTO fire, and how many
-  // consecutive fires the node spent short of window_.next() without
-  // advancing.
-  std::vector<std::uint32_t> node_cum_snapshot_;
-  std::vector<std::uint32_t> node_stall_rounds_;
-  sim::Time current_rto_ = 0;       // backed-off per no-progress round
-  std::uint64_t rto_rounds_ = 0;    // RTO fires this send (for the outcome)
-  std::size_t alloc_rounds_ = 0;    // alloc retries this send
   sim::Time send_started_ = 0;
   // True while a first-transmission copy/send chain occupies the CPU; the
   // chain claims the next packet itself when it finishes.
@@ -186,12 +151,9 @@ class MulticastSender {
   rt::TimerId rto_timer_ = rt::kInvalidTimerId;
   rt::TimerId alloc_timer_ = rt::kInvalidTimerId;
   CompletionHandler on_complete_;
-  SenderObserver* observer_ = nullptr;
-  metrics::LatencyHistogram* ack_rtt_ = nullptr;
   // True while the window is full with nothing in flight to send, so the
   // stall observer hook fires once per stall, not once per pump().
   bool window_stalled_ = false;
-  SenderStats stats_;
 };
 
 }  // namespace rmc::rmcast

@@ -1,0 +1,256 @@
+// Unit tests for the per-protocol engine layer and the ProtocolRegistry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rmcast/engine/registry.h"
+#include "rmcast/group.h"
+#include "rmcast/wire.h"
+
+namespace rmc::rmcast {
+namespace {
+
+const EngineEntry& entry(ProtocolKind kind) {
+  return ProtocolRegistry::instance().entry(kind);
+}
+
+const SenderEngine& sender_engine(ProtocolKind kind) {
+  return *entry(kind).sender_engine();
+}
+
+const ReceiverEngine& receiver_engine(ProtocolKind kind) {
+  return *entry(kind).receiver_engine();
+}
+
+TEST(ProtocolRegistryTest, CoversEveryKindInEnumOrder) {
+  const auto& entries = ProtocolRegistry::instance().entries();
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].kind, ProtocolKind::kAck);
+  EXPECT_EQ(entries[1].kind, ProtocolKind::kNakPolling);
+  EXPECT_EQ(entries[2].kind, ProtocolKind::kRing);
+  EXPECT_EQ(entries[3].kind, ProtocolKind::kFlatTree);
+  EXPECT_EQ(entries[4].kind, ProtocolKind::kBinaryTree);
+  for (const EngineEntry& e : entries) {
+    EXPECT_STRNE(e.id, "");
+    EXPECT_STRNE(e.display_name, "");
+    EXPECT_NE(e.sender_engine(), nullptr);
+    EXPECT_NE(e.receiver_engine(), nullptr);
+  }
+}
+
+TEST(ProtocolRegistryTest, EnginesAreSingletons) {
+  EXPECT_EQ(entry(ProtocolKind::kRing).sender_engine(),
+            entry(ProtocolKind::kRing).sender_engine());
+  EXPECT_EQ(entry(ProtocolKind::kRing).receiver_engine(),
+            entry(ProtocolKind::kRing).receiver_engine());
+}
+
+TEST(ProtocolRegistryTest, FindsEntriesById) {
+  const ProtocolRegistry& reg = ProtocolRegistry::instance();
+  ASSERT_NE(reg.find("ack"), nullptr);
+  EXPECT_EQ(reg.find("ack")->kind, ProtocolKind::kAck);
+  ASSERT_NE(reg.find("nak"), nullptr);
+  EXPECT_EQ(reg.find("nak")->kind, ProtocolKind::kNakPolling);
+  ASSERT_NE(reg.find("ring"), nullptr);
+  EXPECT_EQ(reg.find("ring")->kind, ProtocolKind::kRing);
+  ASSERT_NE(reg.find("tree"), nullptr);
+  EXPECT_EQ(reg.find("tree")->kind, ProtocolKind::kFlatTree);
+  ASSERT_NE(reg.find("btree"), nullptr);
+  EXPECT_EQ(reg.find("btree")->kind, ProtocolKind::kBinaryTree);
+  EXPECT_EQ(reg.find("no-such-protocol"), nullptr);
+}
+
+TEST(ProtocolRegistryTest, DisplayNamesMatchProtocolName) {
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    EXPECT_STREQ(e.display_name, protocol_name(e.kind));
+  }
+}
+
+TEST(SenderEngineTest, FlatProtocolsTrackEveryReceiver) {
+  ProtocolConfig config;
+  for (ProtocolKind kind :
+       {ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing}) {
+    config.kind = kind;
+    const std::vector<std::size_t> units = sender_engine(kind).initial_units(4, config);
+    EXPECT_EQ(units, (std::vector<std::size_t>{0, 1, 2, 3}));
+    const std::vector<std::size_t> live = {0, 2, 3};
+    EXPECT_EQ(sender_engine(kind).live_units(live, config), live);
+    EXPECT_FALSE(sender_engine(kind).accepts_suspects());
+  }
+}
+
+TEST(SenderEngineTest, FlatTreeUnitsAreChainHeads) {
+  ProtocolConfig config;
+  config.kind = ProtocolKind::kFlatTree;
+  config.tree_height = 3;
+  const SenderEngine& engine = sender_engine(ProtocolKind::kFlatTree);
+  EXPECT_EQ(engine.initial_units(7, config), tree_chain_heads(7, 3));
+  const std::vector<std::size_t> live = {1, 2, 4, 5, 6};
+  EXPECT_EQ(engine.live_units(live, config), tree_chain_heads_live(live, 3));
+  EXPECT_TRUE(engine.accepts_suspects());
+}
+
+TEST(SenderEngineTest, BinaryTreeUnitIsTheRoot) {
+  ProtocolConfig config;
+  config.kind = ProtocolKind::kBinaryTree;
+  const SenderEngine& engine = sender_engine(ProtocolKind::kBinaryTree);
+  EXPECT_EQ(engine.initial_units(7, config), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(engine.live_units({3, 4, 6}, config), (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(engine.accepts_suspects());
+}
+
+TEST(SenderEngineTest, OnlyNakPollingSetsThePollFlag) {
+  ProtocolConfig config;
+  config.poll_interval = 4;
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    config.kind = e.kind;
+    const SenderEngine& engine = *e.sender_engine();
+    if (e.kind == ProtocolKind::kNakPolling) {
+      EXPECT_EQ(engine.data_flags(3, false, config), kFlagPoll);
+      EXPECT_EQ(engine.data_flags(4, false, config), 0);
+      EXPECT_EQ(engine.data_flags(4, true, config), kFlagPoll);  // forced
+      EXPECT_TRUE(engine.needs_forced_poll());
+    } else {
+      EXPECT_EQ(engine.data_flags(3, false, config), 0);
+      EXPECT_EQ(engine.data_flags(3, true, config), 0);
+      EXPECT_FALSE(engine.needs_forced_poll());
+    }
+  }
+}
+
+TEST(SenderEngineTest, EvictThresholdsScaleWithTreeDepth) {
+  ProtocolConfig config;
+  config.max_retransmit_rounds = 5;
+
+  // Flat protocols: the configured rounds, regardless of group size.
+  for (ProtocolKind kind :
+       {ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing}) {
+    config.kind = kind;
+    EXPECT_EQ(sender_engine(kind).evict_threshold(30, config), 5u);
+    EXPECT_EQ(sender_engine(kind).evict_threshold(1, config), 5u);
+  }
+
+  // Flat tree: rounds * (levels + 2), levels = min(H, n_live) - 1.
+  config.kind = ProtocolKind::kFlatTree;
+  config.tree_height = 6;
+  EXPECT_EQ(sender_engine(ProtocolKind::kFlatTree).evict_threshold(30, config),
+            5u * (5 + 2));
+  EXPECT_EQ(sender_engine(ProtocolKind::kFlatTree).evict_threshold(3, config),
+            5u * (2 + 2));
+  EXPECT_EQ(sender_engine(ProtocolKind::kFlatTree).evict_threshold(1, config),
+            5u * (0 + 2));
+
+  // Binary tree: levels is the depth of the largest full tree under n_live.
+  config.kind = ProtocolKind::kBinaryTree;
+  EXPECT_EQ(sender_engine(ProtocolKind::kBinaryTree).evict_threshold(1, config),
+            5u * (0 + 2));
+  EXPECT_EQ(sender_engine(ProtocolKind::kBinaryTree).evict_threshold(3, config),
+            5u * (1 + 2));
+  EXPECT_EQ(sender_engine(ProtocolKind::kBinaryTree).evict_threshold(30, config),
+            5u * (4 + 2));
+}
+
+TEST(ReceiverEngineTest, TreeClassification) {
+  EXPECT_FALSE(receiver_engine(ProtocolKind::kAck).is_tree());
+  EXPECT_FALSE(receiver_engine(ProtocolKind::kNakPolling).is_tree());
+  EXPECT_FALSE(receiver_engine(ProtocolKind::kRing).is_tree());
+  EXPECT_TRUE(receiver_engine(ProtocolKind::kFlatTree).is_tree());
+  EXPECT_TRUE(receiver_engine(ProtocolKind::kBinaryTree).is_tree());
+  // The classification must agree with the config-layer predicate.
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    EXPECT_EQ(e.receiver_engine()->is_tree(), is_tree_protocol(e.kind));
+  }
+}
+
+TEST(ReceiverEngineTest, OnlyTheRingReformsWithoutLinks) {
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    EXPECT_EQ(e.receiver_engine()->reforms_on_evict(), e.kind == ProtocolKind::kRing);
+  }
+}
+
+TEST(ReceiverEngineTest, TreeEnginesMirrorTheLinkBuilders) {
+  ProtocolConfig config;
+  config.kind = ProtocolKind::kFlatTree;
+  config.tree_height = 3;
+  const ReceiverEngine& flat = receiver_engine(ProtocolKind::kFlatTree);
+  for (std::size_t id = 0; id < 7; ++id) {
+    const TreeLinks expected = flat_tree_links(id, 7, 3);
+    const TreeLinks got = flat.full_links(id, 7, config);
+    EXPECT_EQ(got.has_parent, expected.has_parent);
+    EXPECT_EQ(got.parent, expected.parent);
+    EXPECT_EQ(got.children, expected.children);
+  }
+  config.kind = ProtocolKind::kBinaryTree;
+  const ReceiverEngine& btree = receiver_engine(ProtocolKind::kBinaryTree);
+  const std::vector<std::size_t> live = {0, 2, 3, 5};
+  for (std::size_t id : live) {
+    const TreeLinks expected = binary_tree_links_live(id, live);
+    const TreeLinks got = btree.live_links(id, live, config);
+    EXPECT_EQ(got.has_parent, expected.has_parent);
+    EXPECT_EQ(got.parent, expected.parent);
+    EXPECT_EQ(got.children, expected.children);
+  }
+}
+
+TEST(ReceiverEngineTest, RepairFlagsReconstructTheDeterministicPoll) {
+  ProtocolConfig config;
+  config.poll_interval = 4;
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    config.kind = e.kind;
+    if (e.kind == ProtocolKind::kNakPolling) {
+      EXPECT_EQ(e.receiver_engine()->repair_flags(3, config), kFlagPoll);
+      EXPECT_EQ(e.receiver_engine()->repair_flags(4, config), 0);
+    } else {
+      EXPECT_EQ(e.receiver_engine()->repair_flags(3, config), 0);
+    }
+  }
+}
+
+TEST(ProtocolRegistryTest, ValidateHooksMatchTheConfigLayer) {
+  // The registry's per-kind validate is what the config-layer validate()
+  // routes through; spot-check the kind-specific failure modes.
+  ProtocolConfig nak;
+  nak.kind = ProtocolKind::kNakPolling;
+  nak.poll_interval = 0;
+  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+  nak.poll_interval = nak.window_size + 1;
+  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+  nak.poll_interval = nak.window_size;
+  EXPECT_TRUE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+
+  ProtocolConfig ring;
+  ring.kind = ProtocolKind::kRing;
+  ring.window_size = 10;
+  EXPECT_FALSE(entry(ProtocolKind::kRing).validate(ring, 10).empty());
+  ring.window_size = 11;
+  EXPECT_TRUE(entry(ProtocolKind::kRing).validate(ring, 10).empty());
+
+  ProtocolConfig tree;
+  tree.kind = ProtocolKind::kFlatTree;
+  tree.tree_height = 0;
+  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+  tree.tree_height = 11;
+  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+  tree.tree_height = 5;
+  EXPECT_TRUE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+}
+
+TEST(ProtocolRegistryTest, DescribeKnobsCarryTheKindSpecificSuffix) {
+  ProtocolConfig config;
+  config.poll_interval = 12;
+  config.tree_height = 6;
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    config.kind = e.kind;
+    const std::string knobs = e.describe_knobs(config);
+    if (e.kind == ProtocolKind::kNakPolling) {
+      EXPECT_EQ(knobs, " poll=12");
+    } else if (e.kind == ProtocolKind::kFlatTree) {
+      EXPECT_EQ(knobs, " H=6");
+    } else {
+      EXPECT_EQ(knobs, "");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmc::rmcast

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "protocol_test_util.h"
+#include "rmcast/engine/registry.h"
 #include "rmcast/recommend.h"
 
 namespace rmc::rmcast {
@@ -56,6 +57,45 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::uint64_t>(0, 1, 1000, 50'000, 50'001,
                                                         500'000, 10'000'000),
                        ::testing::Values<std::size_t>(1, 2, 16, 30, 100)));
+
+// recommend_config routes through the registry's per-kind tuning hooks;
+// the hooks themselves must produce valid configurations for EVERY
+// registered kind (not just the two the recommender picks), so a new
+// protocol cannot register a tuning the config layer rejects.
+TEST(Recommend, EveryRegisteredKindsTuningValidates) {
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    for (std::uint64_t bytes : {std::uint64_t{1000}, std::uint64_t{500'000},
+                                std::uint64_t{10'000'000}}) {
+      for (std::size_t receivers : {std::size_t{1}, std::size_t{16}, std::size_t{30}}) {
+        ProtocolConfig config;
+        config.kind = e.kind;
+        e.apply_recommended_tuning(config, bytes, receivers);
+        EXPECT_EQ(validate(config, receivers), "")
+            << e.display_name << ", " << bytes << " bytes, " << receivers
+            << " receivers";
+      }
+    }
+  }
+}
+
+// The recommendation must be reproducible from the registry alone: taking
+// the recommended kind and applying that entry's tuning hook to a fresh
+// config yields the exact knobs the recommender returned.
+TEST(Recommend, AdviceMatchesTheRegistryTuningHook) {
+  for (std::uint64_t bytes : {std::uint64_t{2000}, std::uint64_t{50'000},
+                              std::uint64_t{500'000}, std::uint64_t{8'000'000}}) {
+    auto rec = recommend_config(bytes, 30);
+    ProtocolConfig replayed;
+    replayed.kind = rec.config.kind;
+    ProtocolRegistry::instance()
+        .entry(rec.config.kind)
+        .apply_recommended_tuning(replayed, bytes, 30);
+    EXPECT_EQ(replayed.packet_size, rec.config.packet_size) << bytes;
+    EXPECT_EQ(replayed.window_size, rec.config.window_size) << bytes;
+    EXPECT_EQ(replayed.poll_interval, rec.config.poll_interval) << bytes;
+    EXPECT_EQ(replayed.tree_height, rec.config.tree_height) << bytes;
+  }
+}
 
 TEST(Recommend, RecommendedConfigActuallyTransfers) {
   for (std::uint64_t bytes : {std::uint64_t{2000}, std::uint64_t{300'000}}) {
