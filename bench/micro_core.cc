@@ -4,7 +4,13 @@
 // the experiment sweeps impractically slow.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "inet/ip.h"
+#include "net/frame.h"
+#include "net/frame_arena.h"
 #include "rmcast/engine/registry.h"
 #include "rmcast/window.h"
 #include "rmcast/wire.h"
@@ -38,6 +44,74 @@ void BM_SimulatorCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorCancelHeavy);
+
+// The fast-path event-core gate: a schedule/cancel/re-arm churn in the
+// shape of the sender's RTO and poll timers — every ACK cancels the
+// pending timeout and arms a fresh one, with a capture big enough (~32
+// bytes) to be realistic but still inline in the pooled core.
+// bench/smoke.sh runs this for both cores and fails unless the pooled
+// wheel clears 2x the legacy heap's events/sec.
+void BM_EventChurn(benchmark::State& state) {
+  const auto core = static_cast<sim::EventCoreKind>(state.range(0));
+  state.SetLabel(sim::event_core_name(core));
+  for (auto _ : state) {
+    sim::Simulator sim(core);
+    std::uint64_t sink = 0;
+    std::array<std::uint64_t, 3> ctx{1, 2, 3};  // 32-byte capture with &sink
+    sim::EventId rto = sim::kInvalidEventId;
+    for (int i = 0; i < 1000; ++i) {
+      // "ACK arrives": push the timeout out and schedule the next send.
+      if (rto != sim::kInvalidEventId) sim.cancel(rto);
+      rto = sim.schedule_at(i + 100, [&sink, ctx] { sink += ctx[0]; });
+      sim.schedule_at(i, [&sink, ctx] { sink += ctx[1]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  // Two schedules + one cancel per iteration-step is ~2 executed events.
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventChurn)
+    ->Arg(static_cast<int>(sim::EventCoreKind::kPooledWheel))
+    ->Arg(static_cast<int>(sim::EventCoreKind::kLegacyHeap));
+
+// Cancel + re-arm of one timer, the tightest loop the RTO path has: no
+// event ever fires, so this isolates the bookkeeping cost of arming.
+void BM_TimerRearm(benchmark::State& state) {
+  const auto core = static_cast<sim::EventCoreKind>(state.range(0));
+  state.SetLabel(sim::event_core_name(core));
+  sim::Simulator sim(core);
+  sim::EventId id = sim.schedule_at(1'000'000'000, [] {});
+  for (auto _ : state) {
+    sim.cancel(id);
+    id = sim.schedule_at(1'000'000'000, [] {});
+  }
+  benchmark::DoNotOptimize(id);
+}
+BENCHMARK(BM_TimerRearm)
+    ->Arg(static_cast<int>(sim::EventCoreKind::kPooledWheel))
+    ->Arg(static_cast<int>(sim::EventCoreKind::kLegacyHeap));
+
+// Switch-flood fan-out: one MTU-sized payload handed to N egress frames.
+// With the frame arena this is N refcount bumps on one block; the bytes
+// are never copied. Steady state does no allocation — blocks recycle
+// through the arena free list between iterations.
+void BM_FrameFanout(benchmark::State& state) {
+  const std::size_t fanout = static_cast<std::size_t>(state.range(0));
+  net::MacAddr src{}, dst{};
+  for (auto _ : state) {
+    net::PayloadRef payload = net::PayloadRef::allocate(1500);
+    payload.mutable_data()[0] = 0x5A;
+    std::vector<net::Frame> egress;
+    egress.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      egress.push_back(net::make_frame(src, dst, payload));
+    }
+    benchmark::DoNotOptimize(egress.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_FrameFanout)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_HeaderRoundTrip(benchmark::State& state) {
   rmcast::Header h{rmcast::PacketType::kData, rmcast::kFlagLast, 7, 42, 1000};

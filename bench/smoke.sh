@@ -112,5 +112,73 @@ else
   echo "skip micro_core engine-dispatch gate (binary or python3 missing)"
 fi
 
+# Event-core speedup gate: the pooled-wheel core exists to make the
+# cancel/re-arm-heavy experiment sweeps fast, so hold it to its claim.
+# BM_EventChurn runs the same RTO-shaped schedule/cancel churn on both
+# cores in this one process; the pooled core must clear 2x the legacy
+# heap's events/sec. The absolute pooled events/sec lands in
+# BENCH_sim_core.json, which ci.sh uses as the cross-run regression
+# baseline (README "Performance" links there too).
+if [ -x "$MICRO" ] && [ -n "$PYTHON" ]; then
+  churn_json="$TMP_DIR/micro_core_churn.json"
+  core_report="$BUILD_DIR/BENCH_sim_core.json"
+  if "$MICRO" "--benchmark_filter=^BM_EventChurn/" \
+       --benchmark_repetitions=5 --benchmark_format=json \
+       > "$churn_json" 2> "$TMP_DIR/micro_core_churn.err"; then
+    if "$PYTHON" - "$churn_json" "$core_report" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+# Best-of-repetitions per core: the minimum cpu_time is the least noisy
+# estimate of the true cost. Arg 0 = pooled wheel, arg 1 = legacy heap
+# (sim::EventCoreKind values).
+best = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    arg = b["name"].split("/")[1]
+    t = b["cpu_time"]
+    if arg not in best or t < best[arg][0]:
+        best[arg] = (t, b.get("items_per_second", 0.0))
+pooled = best.get("0")
+legacy = best.get("1")
+if pooled is None or legacy is None:
+    print("sim-core-gate: BM_EventChurn runs missing from output", file=sys.stderr)
+    sys.exit(1)
+speedup = legacy[0] / pooled[0]
+report = {
+    "benchmark": "event_churn",
+    "pooled_cpu_time_ns": pooled[0],
+    "legacy_cpu_time_ns": legacy[0],
+    "pooled_events_per_sec": pooled[1],
+    "legacy_events_per_sec": legacy[1],
+    "speedup": round(speedup, 4),
+    "threshold": 2.0,
+    "pass": speedup >= 2.0,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"sim-core-gate: pooled/legacy speedup = {speedup:.2f}x (threshold 2.0x), "
+      f"pooled {pooled[1] / 1e6:.1f}M events/s")
+sys.exit(0 if speedup >= 2.0 else 1)
+EOF
+    then
+      echo "ok   micro_core event-core gate ($core_report)"
+      pass=$((pass + 1))
+    else
+      echo "FAIL micro_core: pooled event core is not 2x the legacy heap"
+      fail=$((fail + 1))
+    fi
+  else
+    echo "FAIL micro_core: BM_EventChurn run failed"
+    sed 's/^/  | /' "$TMP_DIR/micro_core_churn.err" | tail -5
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip micro_core event-core gate (binary or python3 missing)"
+fi
+
 echo "smoke: $pass passed, $fail failed"
 [ "$fail" -eq 0 ]

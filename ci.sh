@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Full local CI: the tier-1 test suite and the bench smoke run, under the
-# release build and both sanitizer presets.
+# Full local CI: the tier-1 test suite and the bench smoke run under the
+# release build and both sanitizer presets, a line-coverage artifact from
+# the gcov-instrumented preset, and a cross-run event-core throughput gate.
 #
-# Usage: ./ci.sh [preset...]   (default: default asan tsan)
+# Usage: ./ci.sh [preset...]   (default: default asan tsan coverage)
 set -eu
 
 cd "$(dirname "$0")"
 PRESETS=("${@:-default}")
 if [ "$#" -eq 0 ]; then
-  PRESETS=(default asan tsan)
+  PRESETS=(default asan tsan coverage)
 fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+PYTHON="$(command -v python3 || true)"
 
 for preset in "${PRESETS[@]}"; do
   case "$preset" in
@@ -23,9 +25,55 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$JOBS"
+  if [ "$preset" = coverage ]; then
+    # The coverage lane's artifact is the line-coverage report, not the
+    # bench smoke (the instrumented binaries are slow and the smoke run
+    # would only re-count the same lines the tests already hit).
+    echo "=== [coverage] report ==="
+    ./coverage.sh "$build_dir"
+    continue
+  fi
   echo "=== [$preset] bench smoke ==="
   bench/smoke.sh "$build_dir"
 done
+
+# Event-core throughput regression gate, across runs. bench/smoke.sh holds
+# the pooled core to 2x the in-process legacy heap (machine-independent);
+# this gate additionally compares the pooled core's absolute events/sec
+# against the last accepted run on *this* machine and fails on a >5% drop.
+# The baseline seeds itself on first run and is refreshed by deleting it
+# (it is per-machine state, not a committed artifact).
+CORE_REPORT=build/BENCH_sim_core.json
+CORE_BASELINE=build/BENCH_sim_core.baseline.json
+echo "=== event-core throughput gate ==="
+if [ -f "$CORE_REPORT" ] && [ -n "$PYTHON" ]; then
+  "$PYTHON" - "$CORE_REPORT" "$CORE_BASELINE" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)["pooled_events_per_sec"]
+baseline_path = sys.argv[2]
+if not os.path.exists(baseline_path):
+    with open(sys.argv[1]) as f, open(baseline_path, "w") as out:
+        out.write(f.read())
+    print(f"core-gate: baseline seeded at {current / 1e6:.1f}M events/s")
+    sys.exit(0)
+with open(baseline_path) as f:
+    baseline = json.load(f)["pooled_events_per_sec"]
+ratio = current / baseline
+print(f"core-gate: {current / 1e6:.1f}M events/s vs baseline "
+      f"{baseline / 1e6:.1f}M ({ratio:.3f}x, floor 0.95)")
+if ratio < 0.95:
+    print("core-gate: pooled event core regressed more than 5%", file=sys.stderr)
+    sys.exit(1)
+# Ratchet the baseline up so a slow creep cannot hide under the floor.
+if current > baseline:
+    with open(sys.argv[1]) as f, open(baseline_path, "w") as out:
+        out.write(f.read())
+EOF
+else
+  echo "core-gate: skipped ($CORE_REPORT or python3 missing)"
+fi
 
 # Static analysis over the protocol core (.clang-tidy: modernize + bugprone
 # + performance). Gated on the tool being installed — some build images

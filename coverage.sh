@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Line-coverage artifact for the gcov-instrumented build.
+#
+# Usage: ./coverage.sh [BUILD_DIR]   (default: build-coverage)
+#
+# Prefers gcovr when installed (XML + text report). Build images that ship
+# only the bare toolchain fall back to gcov + a python3 summarizer over the
+# raw .gcov files; both paths write the same headline artifact:
+#
+#   BUILD_DIR/coverage_summary.json   {"line_rate": ..., "files": {...}}
+#
+# Run the tests first (ctest --preset coverage) so the .gcda files exist.
+set -eu
+
+cd "$(dirname "$0")"
+BUILD_DIR="${1:-build-coverage}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "no such directory: $BUILD_DIR (cmake --preset coverage && cmake --build --preset coverage && ctest --preset coverage)" >&2
+  exit 2
+fi
+if ! find "$BUILD_DIR" -name '*.gcda' -print -quit | grep -q .; then
+  echo "no .gcda files under $BUILD_DIR — run ctest --preset coverage first" >&2
+  exit 2
+fi
+
+SUMMARY="$BUILD_DIR/coverage_summary.json"
+
+if command -v gcovr > /dev/null 2>&1; then
+  gcovr --root . --filter 'src/' "$BUILD_DIR" \
+    --xml "$BUILD_DIR/coverage.xml" --json-summary "$SUMMARY" \
+    --print-summary
+  echo "coverage: gcovr artifacts at $BUILD_DIR/coverage.xml and $SUMMARY"
+  exit 0
+fi
+
+PYTHON="$(command -v python3 || true)"
+if [ -z "$PYTHON" ] || ! command -v gcov > /dev/null 2>&1; then
+  echo "coverage: skipped (need gcovr, or gcov + python3)" >&2
+  exit 0
+fi
+
+# Fallback: run gcov over every object's .gcda (from a scratch dir — gcov
+# litters its cwd with one .gcov per source) and let python aggregate the
+# per-line execution counts for files under src/.
+GCOV_DIR="$(mktemp -d)"
+trap 'rm -rf "$GCOV_DIR"' EXIT
+ROOT="$(pwd)"
+find "$ROOT/$BUILD_DIR" -name '*.gcda' -print0 |
+  (cd "$GCOV_DIR" && xargs -0 gcov -p > /dev/null 2>&1 || true)
+
+"$PYTHON" - "$GCOV_DIR" "$ROOT" "$SUMMARY" <<'EOF'
+import json, os, sys
+
+gcov_dir, root, summary_path = sys.argv[1], sys.argv[2], sys.argv[3]
+src_prefix = os.path.join(root, "src") + os.sep
+
+# Per source file, a line is covered if ANY object's .gcov saw it executed
+# (headers and templates are compiled into many objects).
+files = {}
+for name in os.listdir(gcov_dir):
+    if not name.endswith(".gcov"):
+        continue
+    source, lines = None, None
+    with open(os.path.join(gcov_dir, name), errors="replace") as f:
+        for raw in f:
+            parts = raw.split(":", 2)
+            if len(parts) < 3:
+                continue
+            count, lineno = parts[0].strip(), parts[1].strip()
+            if lineno == "0":
+                if parts[2].startswith("Source:"):
+                    source = os.path.normpath(
+                        os.path.join(root, parts[2][len("Source:"):].strip()))
+                    if not source.startswith(src_prefix):
+                        source = None
+                        break
+                    lines = files.setdefault(os.path.relpath(source, root), {})
+                continue
+            if count == "-" or lines is None:
+                continue
+            hit = not count.startswith("#") and not count.startswith("=")
+            lines[int(lineno)] = lines.get(int(lineno), False) or hit
+
+total = sum(len(v) for v in files.values())
+covered = sum(sum(1 for hit in v.values() if hit) for v in files.values())
+report = {
+    "tool": "gcov-fallback",
+    "line_rate": round(covered / total, 4) if total else 0.0,
+    "lines_covered": covered,
+    "lines_total": total,
+    "files": {
+        path: {
+            "line_rate": round(sum(1 for h in v.values() if h) / len(v), 4),
+            "lines_covered": sum(1 for h in v.values() if h),
+            "lines_total": len(v),
+        }
+        for path, v in sorted(files.items())
+    },
+}
+with open(summary_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"coverage: {covered}/{total} lines = {report['line_rate']:.1%} "
+      f"across {len(files)} files under src/ ({summary_path})")
+EOF

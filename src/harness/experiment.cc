@@ -216,6 +216,11 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
   rmcast::MulticastSender sender(bed.sender_runtime(), bed.sender_socket(),
                                  bed.membership(), spec.protocol);
   if (spec.metrics != nullptr) sender.set_metrics(spec.metrics);
+  std::unique_ptr<TraceRecorder> trace;
+  if (spec.sender_trace != nullptr) {
+    trace = std::make_unique<TraceRecorder>(bed.sender_runtime());
+    sender.set_observer(trace.get());
+  }
 
   std::vector<std::unique_ptr<rmcast::MulticastReceiver>> receivers;
   std::vector<bool> delivered_ok(spec.n_receivers, false);
@@ -243,7 +248,9 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
   run_to(bed.simulator(), done, spec.time_limit);
 
   result.sender = sender.stats();
+  result.events_executed = bed.simulator().events_executed();
   for (const auto& r : receivers) result.receivers.push_back(r->stats());
+  if (trace != nullptr) *spec.sender_trace = trace->events();
   result.rcvbuf_drops = bed.total_rcvbuf_drops();
   result.link_drops = collect_link_drops(bed.cluster());
   result.fault_drops = collect_fault_drops(bed.cluster());

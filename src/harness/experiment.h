@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "harness/trace.h"
 #include "inet/cluster.h"
 #include "rmcast/config.h"
 #include "rmcast/report.h"
@@ -44,6 +45,11 @@ struct MulticastRunSpec {
   // accumulating across runs, so one registry can absorb a whole sweep.
   // See docs/OBSERVABILITY.md for the metric names.
   metrics::Registry* metrics = nullptr;
+  // Optional control-message trace capture: when set, the run attaches a
+  // TraceRecorder to the sender and copies every protocol event (alloc,
+  // transmit, ack, nak, timeout, complete — with timestamps) here. The
+  // determinism suite diffs these traces across runs and event cores.
+  std::vector<TraceRecorder::Event>* sender_trace = nullptr;
 };
 
 struct RunResult {
@@ -66,6 +72,9 @@ struct RunResult {
   // bottlenecks of every experiment in the paper.
   double sender_cpu_busy_seconds = 0.0;
   double sender_nic_busy_seconds = 0.0;
+  // Simulator events executed over the run — the event-budget bound the
+  // stress suite asserts termination against.
+  std::uint64_t events_executed = 0;
   std::string error;
 
   // Aggregates across receivers, for Table 2-style accounting.

@@ -24,6 +24,10 @@ class TraceRecorder final : public rmcast::SenderObserver {
     // kTimeout: base, 0. kAllocRequest: total packets, 0.
     std::uint32_t a = 0;
     std::uint32_t b = 0;
+
+    // Traces are compared whole (timestamps included) by the determinism
+    // suite: two runs of the same seed must match bit-for-bit.
+    bool operator==(const Event&) const = default;
   };
 
   explicit TraceRecorder(rt::Runtime& runtime) : rt_(runtime) {}

@@ -161,7 +161,7 @@ void Host::send_datagram(Socket& socket, const net::Endpoint& dst, Buffer payloa
     for (IpFragment& fragment : fragment_datagram(datagram, ident)) {
       ++stats_.frames_out;
       if (frame_output_) {
-        frame_output_(net::make_frame(dst_mac, mac_, fragment.serialize()));
+        frame_output_(net::make_frame(dst_mac, mac_, fragment.serialize_arena()));
       }
     }
   }, wire_bytes});
@@ -187,8 +187,7 @@ void Host::handle_frame(const net::Frame& frame) {
   cpu_horizon_ = std::max(cpu_horizon_, sim_.now()) + params_.interrupt_per_frame;
   stats_.cpu_busy += params_.interrupt_per_frame;
 
-  auto fragment = IpFragment::parse(
-      BytesView(frame.payload->data(), frame.payload->size()));
+  auto fragment = IpFragment::parse(frame.payload.view());
   if (!fragment) return;
   reassembler_.accept(*fragment);
 }

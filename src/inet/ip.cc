@@ -13,6 +13,18 @@ namespace {
 constexpr std::uint8_t kProtoUdp = 17;
 constexpr std::uint8_t kFlagMoreFragments = 0x01;
 
+void store_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
 }  // namespace
 
 Buffer IpFragment::serialize() const {
@@ -27,6 +39,20 @@ Buffer IpFragment::serialize() const {
   w.bytes(data);
   RMC_ENSURE(w.size() == kIpHeaderBytes + data.size(), "IP header layout drifted");
   return w.take();
+}
+
+net::PayloadRef IpFragment::serialize_arena() const {
+  net::PayloadRef ref = net::PayloadRef::allocate(kIpHeaderBytes + data.size());
+  std::uint8_t* p = ref.mutable_data();  // freshly allocated: always unique
+  p[0] = kProtoUdp;
+  p[1] = more_fragments ? kFlagMoreFragments : 0;
+  store_u16(p + 2, ident);
+  store_u32(p + 4, src.bits());
+  store_u32(p + 8, dst.bits());
+  store_u32(p + 12, offset);
+  store_u32(p + 16, total_bytes);
+  if (!data.empty()) std::memcpy(p + kIpHeaderBytes, data.data(), data.size());
+  return ref;
 }
 
 std::optional<IpFragment> IpFragment::parse(BytesView frame_payload) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/serial.h"
+#include "net/frame_arena.h"
 #include "net/ipv4.h"
 #include "sim/simulator.h"
 
@@ -48,6 +49,9 @@ struct IpFragment {
 
   // Serializes to exactly kIpHeaderBytes of header followed by data.
   Buffer serialize() const;
+  // Same bytes, written straight into an arena block — the zero-copy path
+  // hosts use to build frame payloads (no intermediate Buffer).
+  net::PayloadRef serialize_arena() const;
   static std::optional<IpFragment> parse(BytesView frame_payload);
 };
 

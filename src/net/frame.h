@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <utility>
 
 #include "common/serial.h"
+#include "net/frame_arena.h"
 #include "net/mac.h"
 
 namespace rmc::net {
@@ -27,11 +27,13 @@ struct Frame {
   MacAddr dst;
   MacAddr src;
   std::uint16_t ethertype = 0x0800;  // IPv4
-  // Shared so that switch flooding does not copy the payload per egress
-  // port; frames are immutable once transmitted.
-  std::shared_ptr<const Buffer> payload;
+  // Arena-pooled and refcounted so switch flooding shares one block per
+  // payload instead of copying per egress port; frames are immutable once
+  // transmitted (fault hooks that tamper go through PayloadRef's
+  // copy-on-write).
+  PayloadRef payload;
 
-  std::size_t payload_size() const { return payload ? payload->size() : 0; }
+  std::size_t payload_size() const { return payload.size(); }
 
   // Header + payload + CRC, padded to the Ethernet minimum.
   std::size_t frame_bytes() const;
@@ -43,8 +45,16 @@ struct Frame {
   bool is_group_addressed() const { return dst.is_group(); }
 };
 
-inline Frame make_frame(MacAddr dst, MacAddr src, Buffer payload) {
-  return Frame{dst, src, 0x0800, std::make_shared<const Buffer>(std::move(payload))};
+inline Frame make_frame(MacAddr dst, MacAddr src, PayloadRef payload) {
+  return Frame{dst, src, 0x0800, std::move(payload)};
+}
+
+// Convenience for call sites that already materialized a Buffer (tests,
+// mostly): copies the bytes into an arena block. The zero-copy path is to
+// serialize straight into a PayloadRef (see IpFragment::serialize_arena).
+inline Frame make_frame(MacAddr dst, MacAddr src, const Buffer& payload) {
+  return Frame{dst, src, 0x0800,
+               PayloadRef::copy_of(BytesView(payload.data(), payload.size()))};
 }
 
 }  // namespace rmc::net

@@ -1,0 +1,151 @@
+// Ref-counted frame payload arena.
+//
+// Before this arena, every frame payload was a std::shared_ptr<const
+// Buffer>: one heap allocation for the vector, one for the control block,
+// and an atomic refcount bump on every hop — with a 16-port switch
+// flooding a multicast frame, that is 16 atomic increments and, at the
+// source, a full Buffer copy out of the serializer. The simulation is
+// single-threaded by construction, so all of that is pure overhead.
+//
+// A PayloadBlock is a fixed 1500-byte-capacity (one MTU) slab with an
+// intrusive, non-atomic refcount, recycled through a per-thread free list:
+// steady-state frame traffic does no allocation at all, and handing a
+// frame from TxPort through EthernetSwitch/SharedBus to inet::Host is a
+// pointer copy plus an integer increment.
+//
+// Frames are immutable once transmitted — except when a fault hook
+// tampers with one. mutable_data() implements copy-on-write for exactly
+// that case: the tampering link gets a private copy, every other port
+// flooding the same payload keeps the pristine bytes.
+//
+// Blocks never migrate between threads (the arena is thread_local, as is
+// everything a Simulator touches); a PayloadRef must not outlive its
+// thread's arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common/panic.h"
+#include "common/serial.h"
+
+namespace rmc::net {
+
+class FrameArena;
+
+namespace detail {
+
+// Header of one arena block; `capacity` payload bytes follow in the same
+// allocation.
+struct PayloadBlock {
+  std::uint32_t refs = 0;
+  std::uint32_t size = 0;
+  std::uint32_t capacity = 0;
+  FrameArena* arena = nullptr;
+
+  std::uint8_t* data() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+};
+
+}  // namespace detail
+
+// Per-thread pool of payload blocks. Blocks at the standard capacity (one
+// MTU — every real frame) are recycled; rare oversize payloads get an
+// exact-sized block that is freed on release.
+class FrameArena {
+ public:
+  static constexpr std::size_t kStandardCapacity = 1500;  // Ethernet MTU
+
+  struct Stats {
+    std::uint64_t blocks_created = 0;   // fresh heap allocations
+    std::uint64_t blocks_reused = 0;    // served from the free list
+    std::uint64_t oversize_blocks = 0;  // exact-sized, not pooled
+    std::uint64_t copies_on_write = 0;  // mutable_data() on a shared block
+  };
+
+  static FrameArena& instance();
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena();
+
+  const Stats& stats() const { return stats_; }
+  std::size_t free_blocks() const { return free_.size(); }
+  std::size_t outstanding_blocks() const { return outstanding_; }
+
+ private:
+  friend class PayloadRef;
+
+  detail::PayloadBlock* acquire(std::size_t size);
+  void recycle(detail::PayloadBlock* block);
+
+  std::vector<detail::PayloadBlock*> free_;
+  std::size_t outstanding_ = 0;
+  Stats stats_;
+};
+
+// Value handle to a refcounted arena block. Copying shares the block;
+// mutable_data() copies-on-write when shared. An empty ref is a null
+// payload of size zero.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  // A block of `size` uninitialized bytes, owned uniquely by the result.
+  static PayloadRef allocate(std::size_t size);
+  static PayloadRef copy_of(BytesView bytes);
+
+  PayloadRef(const PayloadRef& other) : block_(other.block_) {
+    if (block_ != nullptr) ++block_->refs;
+  }
+  PayloadRef(PayloadRef&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  PayloadRef& operator=(const PayloadRef& other) {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      if (block_ != nullptr) ++block_->refs;
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  bool empty() const { return block_ == nullptr; }
+  std::size_t size() const { return block_ != nullptr ? block_->size : 0; }
+  const std::uint8_t* data() const {
+    return block_ != nullptr ? block_->data() : nullptr;
+  }
+  BytesView view() const { return BytesView(data(), size()); }
+
+  // Writable bytes. If the block is shared this makes a private copy first
+  // (copy-on-write), so other holders never observe the mutation.
+  std::uint8_t* mutable_data();
+
+  bool unique() const { return block_ != nullptr && block_->refs == 1; }
+  std::uint32_t ref_count() const { return block_ != nullptr ? block_->refs : 0; }
+
+  void reset() { release(); }
+
+ private:
+  explicit PayloadRef(detail::PayloadBlock* block) : block_(block) {}
+  void release();
+
+  detail::PayloadBlock* block_ = nullptr;
+};
+
+}  // namespace rmc::net

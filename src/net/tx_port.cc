@@ -67,6 +67,15 @@ void TxPort::start_next() {
     // second copy one propagation later (a duplicated frame on a real LAN
     // arrives back-to-back).
     sim::Time delay = tx_time + params_.propagation;
+    if (params_.faults.tamper_rate > 0.0 && rng_ != nullptr &&
+        frame.payload_size() > 0 && rng_->chance(params_.faults.tamper_rate)) {
+      // Undetected corruption: flip one payload byte. mutable_data() is
+      // copy-on-write, so other ports flooding the same payload block
+      // still carry pristine bytes; only this link's copy is dirtied.
+      ++stats_.tampered_frames;
+      const std::size_t pos = rng_->uniform(frame.payload_size());
+      frame.payload.mutable_data()[pos] ^= 0x80;
+    }
     if (params_.faults.reorder_rate > 0.0 && rng_ != nullptr &&
         rng_->chance(params_.faults.reorder_rate)) {
       ++stats_.reordered_frames;

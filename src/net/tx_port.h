@@ -48,6 +48,7 @@ class TxPort {
     std::uint64_t burst_drops = 0;       // Gilbert–Elliott losses
     std::uint64_t duplicated_frames = 0;
     std::uint64_t reordered_frames = 0;
+    std::uint64_t tampered_frames = 0;  // payload mutated in flight (COW)
     std::uint64_t link_down_drops = 0;
     // High-water mark of queue depth (queued + transmitting), in frames —
     // how close the port came to drop-tail loss even when nothing dropped.

@@ -71,9 +71,9 @@ std::vector<std::size_t> ProtocolCore::charge_stall_rounds(
     std::uint32_t transmitted_next) {
   std::vector<std::size_t> dead;
   for (std::size_t node : unit_nodes_) {
-    if (node_cum[node] > node_cum_snapshot[node]) {
+    if (seq_gt(node_cum[node], node_cum_snapshot[node])) {
       node_stall_rounds[node] = 0;  // advanced since the previous fire
-    } else if (node_cum[node] < transmitted_next) {
+    } else if (seq_lt(node_cum[node], transmitted_next)) {
       ++node_stall_rounds[node];
     }
     node_cum_snapshot[node] = node_cum[node];

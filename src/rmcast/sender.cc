@@ -171,7 +171,7 @@ void MulticastSender::start_data_phase() {
 std::uint8_t MulticastSender::data_flags(std::uint32_t seq, bool retransmission,
                                          bool force_poll) const {
   std::uint8_t flags = engine_->data_flags(seq, force_poll, config_);
-  if (seq + 1 == total_packets_) flags |= kFlagLast;
+  if (seq + 1 == core_.window.end()) flags |= kFlagLast;
   if (retransmission) flags |= kFlagRetrans;
   return flags;
 }
@@ -192,7 +192,7 @@ void MulticastSender::pump() {
     // A full window with unsent packets remaining is a flow-control stall:
     // the sender is now blocked on acknowledgments. Report only the
     // transition — pump() runs on every ACK while stalled.
-    if (!window_stalled_ && core_.window.next() < core_.window.total()) {
+    if (!window_stalled_ && seq_lt(core_.window.next(), core_.window.end())) {
       window_stalled_ = true;
       ++core_.stats.window_stalls;
       if (core_.observer) core_.observer->on_window_stall(session_, core_.window.base());
@@ -278,7 +278,7 @@ void MulticastSender::on_ack(const Header& h) {
   ++core_.stats.acks_received;
   if (core_.observer) core_.observer->on_ack(h.session, h.node_id, h.seq);
   int unit = core_.unit_of_node(h.node_id);
-  if (unit < 0 || h.seq > total_packets_) {
+  if (unit < 0 || seq_gt(h.seq, core_.window.end())) {
     ++core_.stats.stale_packets;
     return;
   }
@@ -288,11 +288,11 @@ void MulticastSender::on_ack(const Header& h) {
   // A cumulative count beyond what has ever been transmitted is a
   // misbehaving peer; honour only the prefix that can be true.
   std::uint32_t cum = h.seq;
-  if (cum > core_.window.next()) {
+  if (seq_gt(cum, core_.window.next())) {
     ++core_.stats.stale_packets;
     cum = core_.window.next();
   }
-  core_.node_cum[h.node_id] = std::max(core_.node_cum[h.node_id], cum);
+  core_.node_cum[h.node_id] = seq_max(core_.node_cum[h.node_id], cum);
   if (!core_.tracker.on_ack(static_cast<std::size_t>(unit), cum)) return;
   // Progress: any exponential RTO backoff resets to the configured base.
   core_.current_rto = config_.rto;
@@ -300,7 +300,7 @@ void MulticastSender::on_ack(const Header& h) {
   // ACK round-trip sample: from the newest acknowledged packet's last
   // transmission to now. Must be taken before release_to() slides the
   // window past cum.
-  if (core_.ack_rtt != nullptr && cum > core_.window.base()) {
+  if (core_.ack_rtt != nullptr && seq_gt(cum, core_.window.base())) {
     const sim::Time sent_at = core_.window.last_sent(cum - 1);
     if (sent_at >= 0) {
       core_.ack_rtt->record_seconds(sim::to_seconds(rt_.now() - sent_at));
@@ -312,7 +312,7 @@ void MulticastSender::on_ack(const Header& h) {
   // lags a full rotation behind the newest packet.)
   arm_rto();
 
-  if (core_.tracker.min_cum() <= core_.window.base()) return;
+  if (seq_le(core_.tracker.min_cum(), core_.window.base())) return;
   core_.window.release_to(core_.tracker.min_cum());
   if (core_.window.all_released()) {
     complete();
@@ -329,7 +329,7 @@ void MulticastSender::on_nak(const Header& h) {
   ++core_.stats.naks_received;
   if (core_.observer) core_.observer->on_nak(h.session, h.node_id, h.seq);
   flight_recorder().record(rt_.now(), "sender", "nak", h.node_id, h.seq);
-  if (h.seq < core_.window.base() || h.seq >= core_.window.next()) return;
+  if (seq_lt(h.seq, core_.window.base()) || seq_ge(h.seq, core_.window.next())) return;
   if (config_.unicast_nak_retransmissions && h.node_id < membership_.n_receivers()) {
     // Answer only the complaining receiver; the group keeps its bandwidth
     // and, more importantly on a LAN, its CPUs (paper §3: multicast
@@ -344,11 +344,14 @@ void MulticastSender::on_nak(const Header& h) {
 void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
                                       const net::Endpoint* unicast_to) {
   const std::uint32_t end = config_.selective_repeat
-                                ? std::min(from + 1, core_.window.next())
+                                ? seq_min(from + 1, core_.window.next())
                                 : core_.window.next();
   const sim::Time now = rt_.now();
-  std::uint32_t last_resent = UINT32_MAX;
-  for (std::uint32_t seq = from; seq < end; ++seq) {
+  // UINT32_MAX is a legal sequence number once the space wraps, so an
+  // explicit flag (not a sentinel seq) records whether anything went out.
+  bool resent_any = false;
+  std::uint32_t last_resent = 0;
+  for (std::uint32_t seq = from; seq_lt(seq, end); ++seq) {
     // Unicast repairs answer one receiver and do not interact with the
     // multicast suppression bookkeeping (a unicast resend to A must not
     // mask a later group-wide repair that B needs, and vice versa).
@@ -362,10 +365,11 @@ void MulticastSender::retransmit_from(std::uint32_t from, bool force_poll,
     // Defer the poll flag to the last packet actually resent so one ACK
     // round answers the whole batch.
     transmit(seq, /*retransmission=*/true, /*force_poll=*/false, unicast_to);
+    resent_any = true;
     last_resent = seq;
   }
   if (force_poll && engine_->needs_forced_poll()) {
-    if (last_resent == UINT32_MAX) return;  // everything was suppressed
+    if (!resent_any) return;  // everything was suppressed
     // Resend the final packet of the batch once more with the poll flag if
     // it did not already carry one.
     if ((data_flags(last_resent, true, false) & (kFlagPoll | kFlagLast)) == 0) {

@@ -6,40 +6,55 @@
 
 namespace rmc::rmcast {
 
-void CumTracker::reset(std::size_t n_units) {
+namespace {
+
+// Minimum of a set of cumulative counts under serial order. Well-defined
+// because the tracker's counts always lie within one window (far less
+// than 2^31) of each other.
+std::uint32_t serial_min(const std::vector<std::uint32_t>& cums) {
+  std::uint32_t min = cums.front();
+  for (std::uint32_t c : cums) min = seq_min(min, c);
+  return min;
+}
+
+}  // namespace
+
+void CumTracker::reset(std::size_t n_units, std::uint32_t start_cum) {
   RMC_ENSURE(n_units > 0, "tracker needs at least one unit");
-  cums_.assign(n_units, 0);
-  min_cum_ = 0;
+  cums_.assign(n_units, start_cum);
+  min_cum_ = start_cum;
 }
 
 void CumTracker::reset_with(std::vector<std::uint32_t> cums) {
   RMC_ENSURE(!cums.empty(), "tracker needs at least one unit");
   cums_ = std::move(cums);
-  min_cum_ = *std::min_element(cums_.begin(), cums_.end());
+  min_cum_ = serial_min(cums_);
 }
 
 bool CumTracker::on_ack(std::size_t unit, std::uint32_t cum) {
   RMC_ENSURE(unit < cums_.size(), "unit out of range");
-  if (cum <= cums_[unit]) return false;
+  if (seq_le(cum, cums_[unit])) return false;  // stale, serially
   cums_[unit] = cum;
-  std::uint32_t new_min = *std::min_element(cums_.begin(), cums_.end());
-  RMC_ENSURE(new_min >= min_cum_, "minimum cum went backwards");
+  std::uint32_t new_min = serial_min(cums_);
+  RMC_ENSURE(seq_ge(new_min, min_cum_), "minimum cum went backwards");
   min_cum_ = new_min;
   return true;
 }
 
-void SenderWindow::reset(std::uint32_t total_packets, std::size_t window_size) {
+void SenderWindow::reset(std::uint32_t total_packets, std::size_t window_size,
+                         std::uint32_t start_seq) {
   RMC_ENSURE(window_size > 0, "window must be positive");
   total_ = total_packets;
+  start_ = start_seq;
   window_size_ = window_size;
-  base_ = 0;
-  next_ = 0;
+  base_ = start_seq;
+  next_ = start_seq;
   last_sent_.assign(window_size, -1);
   tx_count_.assign(window_size, 0);
 }
 
 std::size_t SenderWindow::index(std::uint32_t seq) const {
-  RMC_ENSURE(seq >= base_ && seq < next_, "seq outside the window");
+  RMC_ENSURE(seq_ge(seq, base_) && seq_lt(seq, next_), "seq outside the window");
   return seq % window_size_;
 }
 
@@ -62,8 +77,8 @@ sim::Time SenderWindow::last_sent(std::uint32_t seq) const { return last_sent_[i
 std::uint32_t SenderWindow::tx_count(std::uint32_t seq) const { return tx_count_[index(seq)]; }
 
 void SenderWindow::release_to(std::uint32_t cum) {
-  RMC_ENSURE(cum <= next_, "cannot release packets that were never sent");
-  base_ = std::max(base_, cum);
+  RMC_ENSURE(seq_le(cum, next_), "cannot release packets that were never sent");
+  base_ = seq_max(base_, cum);
 }
 
 }  // namespace rmc::rmcast

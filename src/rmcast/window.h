@@ -7,19 +7,27 @@
 // units emit ACKs. CumTracker maintains the per-unit cumulative counts and
 // their minimum; SenderWindow layers Go-Back-N bookkeeping (base, next,
 // per-packet transmission times for retransmission suppression) on top.
+//
+// Sequence numbers wrap: both classes compare and advance counts with the
+// serial arithmetic from wire.h (seq_lt and friends), so a window that
+// starts near 0xFFFFFFFF slides through zero without ever un-releasing a
+// packet or mistaking a fresh acknowledgment for a stale one.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "rmcast/wire.h"
 #include "sim/time.h"
 
 namespace rmc::rmcast {
 
 class CumTracker {
  public:
-  // `n_units` acknowledging parties, all starting at cumulative 0.
-  void reset(std::size_t n_units);
+  // `n_units` acknowledging parties, all starting at cumulative
+  // `start_cum` (the first sequence number of the transfer; 0 for every
+  // fresh session, nonzero when numbering continues across a wrap).
+  void reset(std::size_t n_units, std::uint32_t start_cum = 0);
 
   // Re-forms the tracker over a new unit set with known starting counts —
   // used when eviction rebuilds the roster mid-transfer. Unlike on_ack,
@@ -49,15 +57,23 @@ class CumTracker {
 
 class SenderWindow {
  public:
-  void reset(std::uint32_t total_packets, std::size_t window_size);
+  // A window of `total_packets` packets numbered serially from
+  // `start_seq` (default 0 — the goldens' numbering). The sequence space
+  // may wrap inside the transfer.
+  void reset(std::uint32_t total_packets, std::size_t window_size,
+             std::uint32_t start_seq = 0);
 
-  std::uint32_t total() const { return total_; }
+  std::uint32_t total() const { return total_; }   // packet count
+  std::uint32_t start() const { return start_; }   // first sequence number
+  std::uint32_t end() const { return start_ + total_; }  // one past the last
   std::uint32_t base() const { return base_; }     // oldest unreleased packet
   std::uint32_t next() const { return next_; }     // next never-sent packet
   std::uint32_t outstanding() const { return next_ - base_; }
 
-  bool can_send() const { return next_ < total_ && outstanding() < window_size_; }
-  bool all_released() const { return base_ == total_; }
+  bool can_send() const {
+    return seq_lt(next_, end()) && outstanding() < window_size_;
+  }
+  bool all_released() const { return base_ == end(); }
 
   // Claims the next sequence number for first transmission.
   std::uint32_t claim_next();
@@ -74,6 +90,7 @@ class SenderWindow {
   std::size_t index(std::uint32_t seq) const;
 
   std::uint32_t total_ = 0;
+  std::uint32_t start_ = 0;
   std::size_t window_size_ = 0;
   std::uint32_t base_ = 0;
   std::uint32_t next_ = 0;

@@ -47,6 +47,31 @@ inline constexpr std::uint16_t kSenderNodeId = 0xFFFF;
 
 inline constexpr std::size_t kHeaderBytes = 12;
 
+// Serial sequence-number arithmetic (RFC 1982 style).
+//
+// Sequence numbers and cumulative counts are 32-bit and wrap: a
+// long-lived session that packetizes a large stream — or one that starts
+// its numbering near the top of the space — crosses 0xFFFFFFFF -> 0.
+// Magnitude comparison breaks exactly there (0 < 0xFFFFFFFF, yet 0 is
+// the *later* sequence number), so all ordering must go through the
+// wrapping distance instead: `a` precedes `b` iff the signed difference
+// a - b is negative. Valid whenever the two values are within 2^31 of
+// each other, which every window/tracker invariant guarantees.
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(std::uint32_t a, std::uint32_t b) { return !seq_lt(b, a); }
+constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) { return !seq_lt(a, b); }
+
+// Later / earlier of two sequence numbers under serial order.
+constexpr std::uint32_t seq_max(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? b : a;
+}
+constexpr std::uint32_t seq_min(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? a : b;
+}
+
 struct Header {
   PacketType type = PacketType::kData;
   std::uint8_t flags = 0;

@@ -71,9 +71,15 @@ struct LinkFaults {
   double duplicate_rate = 0.0;  // P(delivered frame is delivered twice)
   double reorder_rate = 0.0;    // P(delivery held back by reorder_delay)
   Time reorder_delay = microseconds(500);
+  // P(a delivered frame has one payload byte flipped) — corruption that
+  // slips past the CRC, unlike frame_error_rate which models CRC-detected
+  // loss. The tamper mutates only the copy on this link (payloads are
+  // shared across flood fan-out and copy-on-write isolates the mutation).
+  double tamper_rate = 0.0;
 
   bool any() const {
-    return burst.enabled() || duplicate_rate > 0.0 || reorder_rate > 0.0;
+    return burst.enabled() || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           tamper_rate > 0.0;
   }
 };
 

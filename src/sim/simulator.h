@@ -1,43 +1,88 @@
 // Discrete-event simulation core.
 //
-// A Simulator owns a priority queue of (time, sequence, callback) events.
-// Events at equal times execute in scheduling order (FIFO), which makes
-// every run deterministic — a property the reproduction leans on: the
-// harness averages over seeds, not over scheduler noise.
+// A Simulator executes events in (time, scheduling-order) order: events at
+// equal times run FIFO, which makes every run deterministic — a property
+// the reproduction leans on: the harness averages over seeds, not over
+// scheduler noise.
 //
-// Cancellation is lazy: cancel() marks the event id and the queue skips it
-// on pop. Protocol retransmission timers cancel and re-arm constantly, so
-// this avoids the cost of heap deletion at the price of some dead entries,
-// which run() drains naturally.
+// Two interchangeable event cores honor that contract:
+//
+//   * kPooledWheel (default) — slab-pooled event records with inline
+//     small-buffer callback storage and generation-counted ids, organized
+//     by a hierarchical timer wheel (sim/event_pool.h, sim/timer_wheel.h).
+//     Scheduling does no allocation in steady state and cancel() is an
+//     O(1) disarm, which is what the cancel/re-arm-heavy retransmission
+//     and poll timers need.
+//   * kLegacyHeap — the original std::function + binary-heap +
+//     unordered_map implementation, kept as an executable specification:
+//     tests/determinism_test.cc pins the two cores to identical traces,
+//     and the BM_EventChurn microbenchmark gates the pooled core's speedup
+//     against it.
+//
+// Cancellation is lazy in both cores: cancel() disarms the event (and
+// frees its callback immediately); the dead entry is reaped when the
+// scheduler reaches it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include <memory>
+#include <utility>
 
+#include "common/panic.h"
+#include "sim/event_pool.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 
 namespace rmc::sim {
 
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+enum class EventCoreKind : std::uint8_t {
+  kPooledWheel,  // slab pool + hierarchical timer wheel (default)
+  kLegacyHeap,   // std::function + priority_queue reference implementation
+};
+
+const char* event_core_name(EventCoreKind kind);
+
+// Process-wide default core for newly constructed Simulators. Lets the
+// parity suites flip every harness-built simulator without plumbing a
+// parameter through Cluster/Testbed.
+EventCoreKind default_event_core();
+void set_default_event_core(EventCoreKind kind);
+
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EventCoreKind core = default_event_core());
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  EventCoreKind core_kind() const { return core_; }
   Time now() const { return now_; }
 
   // Schedules `fn` at absolute time `at` (>= now). Returns an id usable
-  // with cancel().
-  EventId schedule_at(Time at, std::function<void()> fn);
-  EventId schedule_after(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  // with cancel(). Accepts any void() callable; captures up to
+  // kInlineCallbackBytes are stored inline in the pooled core.
+  template <typename F>
+  EventId schedule_at(Time at, F&& fn) {
+    RMC_ENSURE(at >= now_, "event scheduled in the past");
+    if (legacy_) return legacy_schedule(at, std::function<void()>(std::forward<F>(fn)));
+    const std::uint32_t idx = pool_.allocate();
+    EventRecord& rec = pool_.at(idx);
+    rec.at = at;
+    rec.seq = next_seq_++;
+    rec.armed = true;
+    rec.fn.emplace(std::forward<F>(fn));
+    wheel_.insert(idx);
+    ++live_;
+    return make_id(idx, rec.gen);
+  }
+
+  template <typename F>
+  EventId schedule_after(Time delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   // Cancels a pending event. Cancelling an already-executed or unknown id
@@ -55,28 +100,32 @@ class Simulator {
   void run_until(Time deadline);
 
   bool empty() const { return live_events() == 0; }
-  std::size_t live_events() const { return queue_.size() - cancelled_.size(); }
+  std::size_t live_events() const;
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Entry {
-    Time at;
-    EventId id;
-    // Ordered as a max-heap by default; invert for earliest-first, with id
-    // as the tiebreaker so same-time events run FIFO.
-    bool operator<(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;
-    }
-  };
+  struct LegacyCore;
 
+  static EventId make_id(std::uint32_t idx, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (idx + 1u);
+  }
+
+  EventId legacy_schedule(Time at, std::function<void()> fn);
+  bool legacy_step();
+  void legacy_run_until(Time deadline);
+
+  EventCoreKind core_;
   Time now_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry> queue_;
-  // Callbacks stored separately so the heap entries stay trivially copyable.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+
+  // Pooled-wheel core.
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  EventPool pool_;
+  TimerWheel wheel_{pool_};
+
+  // Legacy core, allocated only when selected.
+  std::unique_ptr<LegacyCore> legacy_;
 };
 
 }  // namespace rmc::sim

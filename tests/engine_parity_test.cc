@@ -8,12 +8,19 @@
 // message count, delivered byte and the elapsed clock itself must come
 // out identical — any drift means an engine changed protocol behavior,
 // not just code structure.
+//
+// The suite is parameterized over both event cores (the pooled timer
+// wheel and the legacy heap), so the goldens simultaneously pin the
+// engine refactor AND prove the event-core swap changed nothing
+// observable.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "sim/simulator.h"
 
 namespace rmc::rmcast {
 namespace {
@@ -101,13 +108,33 @@ const std::vector<Golden> kLossyGoldens = {
      324u, 15000000u, 0.624281624},
 };
 
-TEST(EngineParity, ErrorFreeControlLoadMatchesPreRefactorGoldens) {
+class EngineParity : public ::testing::TestWithParam<sim::EventCoreKind> {
+ protected:
+  void SetUp() override {
+    previous_ = sim::default_event_core();
+    sim::set_default_event_core(GetParam());
+  }
+  void TearDown() override { sim::set_default_event_core(previous_); }
+
+ private:
+  sim::EventCoreKind previous_ = sim::EventCoreKind::kPooledWheel;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothCores, EngineParity,
+    ::testing::Values(sim::EventCoreKind::kPooledWheel,
+                      sim::EventCoreKind::kLegacyHeap),
+    [](const ::testing::TestParamInfo<sim::EventCoreKind>& info) {
+      return std::string(sim::event_core_name(info.param));
+    });
+
+TEST_P(EngineParity, ErrorFreeControlLoadMatchesPreRefactorGoldens) {
   for (const Golden& g : kErrorFreeGoldens) {
     expect_matches_golden(g, /*seed=*/1, /*frame_error_rate=*/0.0);
   }
 }
 
-TEST(EngineParity, LossyControlLoadMatchesPreRefactorGoldens) {
+TEST_P(EngineParity, LossyControlLoadMatchesPreRefactorGoldens) {
   for (const Golden& g : kLossyGoldens) {
     expect_matches_golden(g, /*seed=*/7, /*frame_error_rate=*/0.001);
   }

@@ -2,6 +2,7 @@
 // host CPU model, socket semantics, buffer overflow, and topologies.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 #include <vector>
 
@@ -55,6 +56,19 @@ TEST_P(FragmentationTest, RoundTripsThroughReassembly) {
 INSTANTIATE_TEST_SUITE_P(Sizes, FragmentationTest,
                          ::testing::Values(0, 1, 100, 1471, 1472, 1473, 2960, 8192,
                                            50000, 65507));
+
+TEST(Fragmentation, SerializeArenaMatchesBufferSerialize) {
+  Datagram in;
+  in.src = {net::Ipv4Addr(10, 0, 0, 1), 1111};
+  in.dst = {net::Ipv4Addr(10, 0, 0, 2), 2222};
+  in.payload = pattern(3000);
+  for (const auto& f : fragment_datagram(in, 99)) {
+    Buffer via_buffer = f.serialize();
+    net::PayloadRef via_arena = f.serialize_arena();
+    ASSERT_EQ(via_arena.size(), via_buffer.size());
+    EXPECT_EQ(0, std::memcmp(via_arena.data(), via_buffer.data(), via_buffer.size()));
+  }
+}
 
 TEST(Fragmentation, FragmentCounts) {
   EXPECT_EQ(fragment_count(0), 1u);      // UDP header alone

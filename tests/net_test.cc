@@ -60,6 +60,57 @@ TEST(Mac, Rfc1112MulticastMapping) {
             MacAddr::from_multicast_group(Ipv4Addr(224, 0, 0, 1)));
 }
 
+TEST(PayloadRef, SharingBumpsRefcountNotBytes) {
+  Buffer bytes = {1, 2, 3, 4};
+  PayloadRef a = PayloadRef::copy_of(BytesView(bytes.data(), bytes.size()));
+  EXPECT_TRUE(a.unique());
+  PayloadRef b = a;
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_EQ(a.data(), b.data());  // same block, no copy
+  b.reset();
+  EXPECT_TRUE(a.unique());
+  EXPECT_EQ(a.view()[2], 3);
+}
+
+TEST(PayloadRef, CopyOnWriteIsolatesMutation) {
+  const FrameArena::Stats& stats = FrameArena::instance().stats();
+  const std::uint64_t cows_before = stats.copies_on_write;
+  Buffer bytes(100, 0x55);
+  PayloadRef original = PayloadRef::copy_of(BytesView(bytes.data(), bytes.size()));
+  PayloadRef tampered = original;
+  tampered.mutable_data()[10] ^= 0xFF;
+  EXPECT_EQ(stats.copies_on_write, cows_before + 1);
+  EXPECT_NE(original.data(), tampered.data());
+  EXPECT_EQ(original.view()[10], 0x55);
+  EXPECT_EQ(tampered.view()[10], 0x55 ^ 0xFF);
+  // A unique ref mutates in place — no second copy.
+  tampered.mutable_data()[11] ^= 0xFF;
+  EXPECT_EQ(stats.copies_on_write, cows_before + 1);
+}
+
+TEST(FrameArena, RecyclesStandardBlocks) {
+  FrameArena& arena = FrameArena::instance();
+  // Warm the free list, then churn: no fresh allocations in steady state.
+  PayloadRef::allocate(1000).reset();
+  const std::uint64_t created = arena.stats().blocks_created;
+  const std::uint64_t reused_before = arena.stats().blocks_reused;
+  for (int i = 0; i < 100; ++i) {
+    PayloadRef ref = PayloadRef::allocate(1500);
+    ref.mutable_data()[0] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_EQ(arena.stats().blocks_created, created);
+  EXPECT_GE(arena.stats().blocks_reused, reused_before + 100);
+}
+
+TEST(FrameArena, OversizePayloadsWork) {
+  const std::uint64_t oversize_before = FrameArena::instance().stats().oversize_blocks;
+  Buffer big(4000, 0xCD);
+  PayloadRef ref = PayloadRef::copy_of(BytesView(big.data(), big.size()));
+  EXPECT_EQ(ref.size(), 4000u);
+  EXPECT_EQ(ref.view()[3999], 0xCD);
+  EXPECT_EQ(FrameArena::instance().stats().oversize_blocks, oversize_before + 1);
+}
+
 TEST(Frame, SizeAccounting) {
   Frame f = test_frame(MacAddr::host(1), MacAddr::host(2), 1000);
   EXPECT_EQ(f.frame_bytes(), 1000u + 18u);
@@ -140,6 +191,35 @@ TEST(TxPort, DequeueHookReportsWireBytes) {
   EXPECT_EQ(port.queued_wire_bytes(), 0u);
 }
 
+TEST(TxPort, TamperFaultFlipsOneByteInPrivateCopy) {
+  sim::Simulator sim;
+  Rng rng(5);
+  LinkParams params;
+  params.faults.tamper_rate = 1.0;  // every delivered frame tampered
+  TxPort port(sim, params, &rng);
+  std::vector<Frame> delivered;
+  port.connect([&](const Frame& f) { delivered.push_back(f); });
+
+  Frame frame = test_frame(MacAddr::host(1), MacAddr::host(0), 200);
+  PayloadRef pristine = frame.payload;  // a flood peer's view of the block
+  port.send(frame);
+  sim.run();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(port.stats().tampered_frames, 1u);
+  // The delivered copy differs from the shared original in exactly one byte.
+  ASSERT_EQ(delivered[0].payload.size(), pristine.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    if (delivered[0].payload.view()[i] != pristine.view()[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+  // And the original block was never mutated: every byte still 0xAA.
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    ASSERT_EQ(pristine.view()[i], 0xAA);
+  }
+}
+
 class SwitchTest : public ::testing::Test {
  protected:
   SwitchTest() : sw_(sim_, 4, SwitchParams{}) {
@@ -215,6 +295,20 @@ TEST_F(SwitchTest, MulticastAlwaysFloods) {
   EXPECT_EQ(received_[1].size(), 1u);
   EXPECT_EQ(received_[2].size(), 1u);
   EXPECT_TRUE(received_[3].empty());
+}
+
+TEST_F(SwitchTest, FloodingSharesOnePayloadBlock) {
+  Frame frame = test_frame(MacAddr::broadcast(), MacAddr::host(0), 700);
+  const std::uint8_t* block = frame.payload.data();
+  ingress_[0](frame);
+  sim_.run();
+  // Every egress copy points at the same arena block — flooding never
+  // duplicated the payload bytes.
+  for (std::size_t p = 1; p < 4; ++p) {
+    ASSERT_EQ(received_[p].size(), 1u);
+    EXPECT_EQ(received_[p][0].payload.data(), block);
+  }
+  EXPECT_EQ(frame.payload.ref_count(), 4u);  // ours + three receive logs
 }
 
 TEST_F(SwitchTest, ForwardingLatencyApplied) {

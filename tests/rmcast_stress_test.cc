@@ -1,0 +1,162 @@
+// Randomized stress sweep over the protocol matrix.
+//
+// ~100 configurations drawn from a fixed-seed PRNG: every protocol kind ×
+// group sizes 3–20 × packet/window tunings × Gilbert–Elliott burst loss ×
+// scripted fault plans (crashes, pauses, link flaps). Each run must
+//
+//   * terminate — the sender's completion callback fires inside the
+//     simulated time limit (no stuck timer, no lost wakeup), and the run
+//     stays within a bounded simulator event budget (no event storms or
+//     runaway timer churn from the pooled wheel);
+//   * deliver completely — every receiver the sender did not explicitly
+//     evict holds a byte-exact copy of the message, delivered exactly
+//     once (run_multicast verifies payload bytes; exactly-once is checked
+//     here from receiver stats).
+//
+// The sweep deliberately leans on the event paths the fast-path core
+// rewrote: burst loss drives cancel/re-arm RTO churn, fault plans drive
+// eviction timers, and group sizes up to 20 drive same-time event fan-out.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "harness/experiment.h"
+#include "sim/fault.h"
+
+namespace rmc::rmcast {
+namespace {
+
+constexpr ProtocolKind kAllKinds[] = {
+    ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing,
+    ProtocolKind::kFlatTree, ProtocolKind::kBinaryTree};
+
+// Upper bound on simulator events per run. Empirically a lossy 60KB run
+// executes well under 200k events; an order-of-magnitude cushion still
+// catches quadratic blowups and timer leaks immediately.
+constexpr std::uint64_t kEventBudget = 2'000'000;
+
+struct StressConfig {
+  harness::MulticastRunSpec spec;
+  std::string label;
+};
+
+StressConfig draw_config(Rng& rng, int index) {
+  StressConfig out;
+  harness::MulticastRunSpec& spec = out.spec;
+
+  const ProtocolKind kind = kAllKinds[rng.uniform(5)];
+  spec.n_receivers = 3 + rng.uniform(18);  // 3..20
+  spec.message_bytes = 24'000 + rng.uniform(5) * 9'000;
+  spec.seed = 1000 + static_cast<std::uint64_t>(index);
+
+  ProtocolConfig& c = spec.protocol;
+  c.kind = kind;
+  c.packet_size = std::size_t{1000} << rng.uniform(4);  // 1000..8000
+  c.window_size = 8 + rng.uniform(33);                  // 8..40
+  if (kind == ProtocolKind::kRing) {
+    // The token rotation releases packet X on the ACK of X+N, so the ring
+    // window must exceed the group size.
+    c.window_size = spec.n_receivers + 2 + rng.uniform(20);
+  }
+  if (kind == ProtocolKind::kNakPolling) {
+    // A poll past the window would stall the sender before it ever polls.
+    c.poll_interval = 1 + rng.uniform(c.window_size);
+  }
+  if (kind == ProtocolKind::kFlatTree) {
+    c.tree_height = 1 + rng.uniform(spec.n_receivers);
+  }
+  // Eviction on for every run so fault plans cannot stall send() forever.
+  c.max_retransmit_rounds = 4;
+  c.max_rto = sim::milliseconds(400);
+
+  // Burst loss on roughly half the runs.
+  if (rng.chance(0.5)) {
+    spec.cluster.link.faults.burst.p_good_to_bad = 0.001 + 0.01 * rng.uniform01();
+    spec.cluster.link.faults.burst.p_bad_to_good = 0.2 + 0.5 * rng.uniform01();
+  }
+  // Independent per-frame corruption on a third.
+  if (rng.chance(0.33)) {
+    spec.cluster.link.frame_error_rate = 0.002 * rng.uniform01();
+  }
+
+  // A fault plan on a quarter of the runs: one crash, pause/resume, or
+  // link flap against a random receiver.
+  if (rng.chance(0.25)) {
+    const std::size_t target = rng.uniform(spec.n_receivers);
+    switch (rng.uniform(3)) {
+      case 0:
+        spec.faults.crash(target, sim::milliseconds(1 + rng.uniform(10)));
+        break;
+      case 1: {
+        const sim::Time at = sim::milliseconds(1 + rng.uniform(5));
+        spec.faults.pause(target, at).resume(target, at + sim::milliseconds(15));
+        break;
+      }
+      default:
+        spec.faults.flap_link(target, sim::milliseconds(1),
+                              sim::milliseconds(1 + rng.uniform(30)),
+                              sim::milliseconds(5));
+    }
+  }
+  spec.time_limit = sim::seconds(60.0);
+
+  out.label = str_format(
+      "cfg%03d %s n=%zu msg=%llu pkt=%zu win=%zu burst=%.4f fer=%.5f faults=%zu",
+      index, protocol_name(kind), spec.n_receivers,
+      static_cast<unsigned long long>(spec.message_bytes), c.packet_size,
+      c.window_size, spec.cluster.link.faults.burst.p_good_to_bad,
+      spec.cluster.link.frame_error_rate, spec.faults.events.size());
+  return out;
+}
+
+void check_run(const StressConfig& cfg) {
+  harness::RunResult r = harness::run_multicast(cfg.spec);
+
+  // Termination: completed inside the simulated time limit.
+  ASSERT_TRUE(r.completed) << cfg.label << ": " << r.error;
+  // Bounded event budget: no timer leaks or event storms.
+  EXPECT_LT(r.events_executed, kEventBudget) << cfg.label;
+
+  // Completeness and exactly-once delivery for every surviving receiver.
+  // (run_multicast already verified the payload bytes of each delivery.)
+  ASSERT_EQ(r.outcome.receivers.size(), cfg.spec.n_receivers) << cfg.label;
+  std::size_t delivered = 0, evicted = 0;
+  for (std::size_t i = 0; i < cfg.spec.n_receivers; ++i) {
+    if (r.outcome.receivers[i].delivered()) {
+      EXPECT_EQ(r.receivers[i].messages_delivered, 1u)
+          << cfg.label << " receiver " << i;
+      ++delivered;
+    } else {
+      ++evicted;
+    }
+  }
+  EXPECT_EQ(delivered + evicted, cfg.spec.n_receivers) << cfg.label;
+  // Fault-free runs must never evict anyone.
+  if (cfg.spec.faults.empty()) {
+    EXPECT_EQ(evicted, 0u) << cfg.label;
+  }
+}
+
+// The matrix is split into four shards so a failure narrows to a quarter
+// of the space and `ctest -j` runs them concurrently.
+void run_shard(int shard) {
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 100; ++i) {
+    StressConfig cfg = draw_config(rng, i);
+    if (i % 4 != shard) continue;  // every shard draws identically
+    SCOPED_TRACE(cfg.label);
+    check_run(cfg);
+  }
+}
+
+TEST(RmcastStress, RandomizedMatrixShard0) { run_shard(0); }
+TEST(RmcastStress, RandomizedMatrixShard1) { run_shard(1); }
+TEST(RmcastStress, RandomizedMatrixShard2) { run_shard(2); }
+TEST(RmcastStress, RandomizedMatrixShard3) { run_shard(3); }
+
+}  // namespace
+}  // namespace rmc::rmcast

@@ -105,6 +105,97 @@ TEST(SenderWindowDeath, SeqOutsideWindowPanics) {
   EXPECT_DEATH(w.mark_sent(0, 0), "outside the window");
 }
 
+// ---------------------------------------------------------------------------
+// Sequence wraparound: a window that starts near 0xFFFFFFFF must slide
+// through zero exactly as it slides anywhere else. These pin the serial
+// arithmetic (wire.h) the window and tracker compare with.
+
+constexpr std::uint32_t kNearWrap = 0xFFFFFFF0u;  // 16 before the boundary
+
+TEST(SenderWindow, SlidesThroughTheWrap) {
+  SenderWindow w;
+  w.reset(/*total_packets=*/32, /*window_size=*/4, /*start_seq=*/kNearWrap);
+  EXPECT_EQ(w.start(), kNearWrap);
+  EXPECT_EQ(w.end(), kNearWrap + 32);  // == 0x00000010, wrapped
+  EXPECT_EQ(w.base(), kNearWrap);
+
+  // Drain the whole message; claim_next must hand out 0xFFFFFFF0..0xF,
+  // then 0, 1, ... without ever stalling at the boundary.
+  std::uint32_t expect = kNearWrap;
+  while (!w.all_released()) {
+    while (w.can_send()) {
+      std::uint32_t seq = w.claim_next();
+      EXPECT_EQ(seq, expect++);
+      w.mark_sent(seq, sim::microseconds(1));
+    }
+    w.release_to(w.next());  // cumulative ACK for everything sent
+  }
+  EXPECT_EQ(w.base(), kNearWrap + 32);
+  EXPECT_FALSE(w.can_send());
+}
+
+TEST(SenderWindow, OutstandingAndIndexSpanTheBoundary) {
+  SenderWindow w;
+  w.reset(10, 8, 0xFFFFFFFCu);
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t seq = w.claim_next();
+    w.mark_sent(seq, sim::microseconds(10 + i));
+  }
+  // The window now covers 0xFFFFFFFC..0x00000003.
+  EXPECT_EQ(w.outstanding(), 8u);
+  EXPECT_EQ(w.last_sent(0xFFFFFFFEu), sim::microseconds(12));
+  EXPECT_EQ(w.last_sent(0x00000002u), sim::microseconds(16));
+  EXPECT_EQ(w.tx_count(0x00000003u), 1u);
+}
+
+TEST(SenderWindow, ReleaseIsMonotonicAcrossTheWrap) {
+  SenderWindow w;
+  w.reset(10, 8, 0xFFFFFFFCu);
+  for (int i = 0; i < 8; ++i) w.claim_next();
+  w.release_to(0x00000002u);  // past the boundary
+  EXPECT_EQ(w.base(), 0x00000002u);
+  // A stale pre-wrap cumulative must not drag base back to the huge value.
+  w.release_to(0xFFFFFFFEu);
+  EXPECT_EQ(w.base(), 0x00000002u);
+  EXPECT_TRUE(w.can_send());
+}
+
+TEST(SenderWindowDeath, WrappedSeqOutsideWindowPanics) {
+  SenderWindow w;
+  w.reset(10, 4, 0xFFFFFFFEu);
+  w.claim_next();  // window is [0xFFFFFFFE, 0xFFFFFFFF)
+  // 1 is beyond next even though 1 < 0xFFFFFFFE in magnitude.
+  EXPECT_DEATH(w.last_sent(0x00000001u), "outside the window");
+}
+
+TEST(CumTracker, TracksAcksAcrossTheWrap) {
+  CumTracker t;
+  t.reset(2, /*start_cum=*/0xFFFFFFFEu);
+  EXPECT_EQ(t.min_cum(), 0xFFFFFFFEu);
+  EXPECT_TRUE(t.on_ack(0, 0x00000003u));  // advanced through zero
+  EXPECT_EQ(t.min_cum(), 0xFFFFFFFEu);    // unit 1 still pre-wrap
+  EXPECT_TRUE(t.on_ack(1, 0x00000001u));
+  EXPECT_EQ(t.min_cum(), 0x00000001u);  // serial min, not magnitude min
+}
+
+TEST(CumTracker, RejectsStaleAcksFromBeforeTheWrap) {
+  CumTracker t;
+  t.reset(1, 0xFFFFFFF8u);
+  EXPECT_TRUE(t.on_ack(0, 0x00000004u));
+  // A delayed duplicate from before the boundary is stale even though its
+  // magnitude is enormous.
+  EXPECT_FALSE(t.on_ack(0, 0xFFFFFFFCu));
+  EXPECT_EQ(t.unit_cum(0), 0x00000004u);
+}
+
+TEST(CumTracker, ResetWithSeedsStraddlingTheWrap) {
+  CumTracker t;
+  t.reset_with({0x00000002u, 0xFFFFFFFDu});
+  EXPECT_EQ(t.min_cum(), 0xFFFFFFFDu);  // the pre-wrap count is the laggard
+  EXPECT_TRUE(t.on_ack(1, 0x00000001u));
+  EXPECT_EQ(t.min_cum(), 0x00000001u);
+}
+
 // Flat-tree layout properties, swept over group sizes and heights.
 class TreeLayoutTest
     : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};

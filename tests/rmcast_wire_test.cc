@@ -145,5 +145,47 @@ TEST(WireFuzz, RandomHeadersAlwaysRoundTrip) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Serial sequence arithmetic (RFC 1982 style).
+
+TEST(SerialSeq, OrdersWithoutWrap) {
+  EXPECT_TRUE(seq_lt(3, 7));
+  EXPECT_FALSE(seq_lt(7, 3));
+  EXPECT_FALSE(seq_lt(5, 5));
+  EXPECT_TRUE(seq_le(5, 5));
+  EXPECT_TRUE(seq_gt(7, 3));
+  EXPECT_TRUE(seq_ge(5, 5));
+}
+
+TEST(SerialSeq, OrdersAcrossTheWrap) {
+  // 0 comes *after* 0xFFFFFFFF: magnitude comparison gets exactly this
+  // case backwards.
+  EXPECT_TRUE(seq_lt(0xFFFFFFFFu, 0u));
+  EXPECT_FALSE(seq_lt(0u, 0xFFFFFFFFu));
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0u, 0x0000000Fu));
+  EXPECT_TRUE(seq_gt(0x00000002u, 0xFFFFFFFEu));
+  EXPECT_TRUE(seq_le(0xFFFFFFFEu, 0x00000001u));
+  EXPECT_TRUE(seq_ge(0x00000001u, 0xFFFFFFFEu));
+}
+
+TEST(SerialSeq, MaxMinFollowSerialOrder) {
+  EXPECT_EQ(seq_max(3u, 7u), 7u);
+  EXPECT_EQ(seq_min(3u, 7u), 3u);
+  // Across the wrap the *small* integer is the later sequence number.
+  EXPECT_EQ(seq_max(0xFFFFFFFEu, 0x00000001u), 0x00000001u);
+  EXPECT_EQ(seq_min(0xFFFFFFFEu, 0x00000001u), 0xFFFFFFFEu);
+}
+
+TEST(SerialSeq, ValidWithinHalfTheSpace) {
+  // The comparison holds for any pair within 2^31 of each other — the
+  // furthest apart two live window values can ever be.
+  const std::uint32_t base = 0x80000000u;
+  EXPECT_TRUE(seq_lt(base, base + 0x7FFFFFFFu));
+  EXPECT_TRUE(seq_gt(base + 0x7FFFFFFFu, base));
+  // Increments stay ordered through the boundary one step at a time.
+  std::uint32_t s = 0xFFFFFFFDu;
+  for (int i = 0; i < 6; ++i, ++s) EXPECT_TRUE(seq_lt(s, s + 1));
+}
+
 }  // namespace
 }  // namespace rmc::rmcast
