@@ -16,6 +16,8 @@ int run(int argc, char** argv) {
 
   harness::Table table({"receivers", "seconds", "throughput", "sender_cpu_util",
                         "sender_wire_util"});
+  // Two-phase: enqueue every count's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (std::size_t n : counts) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = n;
@@ -24,7 +26,11 @@ int run(int argc, char** argv) {
     spec.protocol.packet_size = 8000;
     spec.protocol.window_size = 20;
     spec.seed = options.seed;
-    harness::RunResult r = bench::run_instrumented(spec, options);
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::size_t n = counts[i];
+    const harness::RunResult& r = handles[i].get();
     if (!r.completed) {
       table.add_row({str_format("%zu", n), "FAILED", "-", "-", "-"});
       continue;

@@ -49,6 +49,9 @@ int run(int argc, char** argv) {
   }
 
   harness::Table table({"protocol", "switched_seconds", "bus_seconds", "bus_penalty"});
+  // Two-phase: enqueue both wirings for every protocol, then redeem rows.
+  std::vector<bench::Measurement> switched_cells;
+  std::vector<bench::Measurement> bus_cells;
   for (const Proto& proto : protos) {
     auto measure_with = [&](inet::Wiring wiring) {
       harness::MulticastRunSpec spec;
@@ -57,14 +60,18 @@ int run(int argc, char** argv) {
       spec.protocol = proto.config;
       spec.cluster.wiring = wiring;
       spec.time_limit = sim::seconds(300.0);
-      return bench::measure(spec, options);
+      return bench::measure_async(spec, options);
     };
-    double switched = measure_with(inet::Wiring::kSingleSwitch);
-    double bus = measure_with(inet::Wiring::kSharedBus);
+    switched_cells.push_back(measure_with(inet::Wiring::kSingleSwitch));
+    bus_cells.push_back(measure_with(inet::Wiring::kSharedBus));
+  }
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    double switched = switched_cells[i].seconds();
+    double bus = bus_cells[i].seconds();
     std::string penalty =
         (switched > 0 && bus > 0) ? str_format("%.2fx", bus / switched) : "n/a";
-    table.add_row({proto.label, bench::seconds_cell(switched), bench::seconds_cell(bus),
-                   penalty});
+    table.add_row({protos[i].label, bench::seconds_cell(switched),
+                   bench::seconds_cell(bus), penalty});
   }
   bench::emit(table, options,
               "Ablation: switched vs CSMA/CD shared-bus Ethernet (500KB, 15 receivers)");

@@ -32,8 +32,9 @@ int run(int argc, char** argv) {
                                      {"Tree5", rmcast::ProtocolKind::kFlatTree}};
 
   harness::Table table({"mean_burst_frames", "ACK", "NAK", "Ring", "Tree5"});
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::Measurement> cells;
   for (double burst : burst_lengths) {
-    std::vector<std::string> row = {str_format("%.0f", burst)};
     for (const Proto& proto : protos) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 15;
@@ -56,7 +57,14 @@ int run(int argc, char** argv) {
         ge.loss_bad = 1.0;
         spec.cluster.link.faults.burst = ge;
       }
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (double burst : burst_lengths) {
+    std::vector<std::string> row = {str_format("%.0f", burst)};
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

@@ -52,15 +52,23 @@ int run(int argc, char** argv) {
 
   harness::Table table({"protocol", "fault_free_s", "crash_s", "evicted", "delivered",
                         "rto_backoffs", "suspects"});
+  // Two-phase: enqueue the clean and crashed run per protocol, then redeem.
+  std::vector<bench::RunHandle> clean_handles;
+  std::vector<bench::RunHandle> crash_handles;
   for (const Proto& proto : protos) {
     harness::MulticastRunSpec clean = base_spec(proto.kind);
     clean.seed = options.seed;
-    harness::RunResult clean_result = bench::run_instrumented(clean, options);
+    clean_handles.push_back(bench::run_async(clean, options));
 
     harness::MulticastRunSpec crashed = base_spec(proto.kind);
     crashed.seed = options.seed;
     crashed.faults.crash(kVictim, sim::milliseconds(5));
-    harness::RunResult crash_result = bench::run_instrumented(crashed, options);
+    crash_handles.push_back(bench::run_async(crashed, options));
+  }
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const Proto& proto = protos[i];
+    const harness::RunResult& clean_result = clean_handles[i].get();
+    const harness::RunResult& crash_result = crash_handles[i].get();
 
     table.add_row(
         {proto.label,

@@ -23,6 +23,8 @@ int run(int argc, char** argv) {
 
   harness::Table table(
       {"flap_period_ms", "seconds", "evicted", "retransmissions", "fault_drops"});
+  // Two-phase: enqueue every period's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (sim::Time period : periods) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 15;
@@ -39,10 +41,12 @@ int run(int argc, char** argv) {
     // Receiver 3's link flaps for the transfer's natural duration
     // (~60-70ms fault-free), then stays up so the run can always finish.
     spec.faults.flap_link(3, sim::milliseconds(2), sim::milliseconds(80), period);
-
-    harness::RunResult result = bench::run_instrumented(spec, options);
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const harness::RunResult& result = handles[i].get();
     table.add_row(
-        {str_format("%.0f", sim::to_seconds(period) * 1e3),
+        {str_format("%.0f", sim::to_seconds(periods[i]) * 1e3),
          bench::seconds_cell(result.completed ? result.seconds : -1.0),
          str_format("%llu", (unsigned long long)result.sender.receivers_evicted),
          str_format("%llu", (unsigned long long)result.sender.retransmissions),

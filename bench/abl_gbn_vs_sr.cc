@@ -17,9 +17,9 @@ int run(int argc, char** argv) {
 
   harness::Table table({"frame_error_rate", "gbn_seconds", "sr_seconds", "gbn_retx",
                         "sr_retx"});
+  // Two-phase: enqueue both modes for every rate, then redeem rows.
+  std::vector<bench::RunHandle> handles;
   for (double rate : rates) {
-    double seconds[2];
-    std::uint64_t retx[2];
     for (int sr = 0; sr < 2; ++sr) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 15;
@@ -32,11 +32,18 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = rate;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = bench::run_instrumented(spec, options);
+      handles.push_back(bench::run_async(spec, options));
+    }
+  }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    double seconds[2];
+    std::uint64_t retx[2];
+    for (int sr = 0; sr < 2; ++sr) {
+      const harness::RunResult& r = handles[i * 2 + sr].get();
       seconds[sr] = r.completed ? r.seconds : -1.0;
       retx[sr] = r.sender.retransmissions;
     }
-    table.add_row({str_format("%.3f", rate), bench::seconds_cell(seconds[0]),
+    table.add_row({str_format("%.3f", rates[i]), bench::seconds_cell(seconds[0]),
                    bench::seconds_cell(seconds[1]),
                    str_format("%llu", (unsigned long long)retx[0]),
                    str_format("%llu", (unsigned long long)retx[1])});

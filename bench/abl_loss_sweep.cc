@@ -23,8 +23,9 @@ int run(int argc, char** argv) {
                                      {"Tree6", rmcast::ProtocolKind::kFlatTree}};
 
   harness::Table table({"frame_error_rate", "ACK", "NAK", "Ring", "Tree6"});
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::Measurement> cells;
   for (double rate : rates) {
-    std::vector<std::string> row = {str_format("%.4f", rate)};
     for (const Proto& proto : protos) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 15;
@@ -36,7 +37,14 @@ int run(int argc, char** argv) {
       spec.protocol.tree_height = 5;
       spec.cluster.link.frame_error_rate = rate;
       spec.time_limit = sim::seconds(300.0);
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (double rate : rates) {
+    std::vector<std::string> row = {str_format("%.4f", rate)};
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

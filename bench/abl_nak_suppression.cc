@@ -23,6 +23,8 @@ int run(int argc, char** argv) {
                                    {"both", true, true}};
 
   harness::Table table({"scheme", "seconds", "naks_sent", "retransmissions"});
+  // Two-phase: enqueue every scheme's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (const Mode& mode : modes) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 15;
@@ -36,8 +38,12 @@ int run(int argc, char** argv) {
     spec.cluster.link.frame_error_rate = 0.01;
     spec.seed = options.seed;
     spec.time_limit = sim::seconds(300.0);
-    harness::RunResult r = bench::run_instrumented(spec, options);
-    table.add_row({mode.label, r.completed ? str_format("%.6f", r.seconds) : "FAILED",
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const harness::RunResult& r = handles[i].get();
+    table.add_row({modes[i].label,
+                   r.completed ? str_format("%.6f", r.seconds) : "FAILED",
                    str_format("%llu", (unsigned long long)r.total_naks_sent()),
                    str_format("%llu", (unsigned long long)r.sender.retransmissions)});
   }

@@ -14,7 +14,10 @@ int run(int argc, char** argv) {
 
   harness::Table table(
       {"repair_scheme", "loss", "seconds", "sender_retx", "peer_repairs"});
-  for (double loss : {0.002, 0.01}) {
+  // Two-phase: enqueue both repair schemes per loss rate, then redeem rows.
+  const std::vector<double> losses = {0.002, 0.01};
+  std::vector<bench::RunHandle> handles;
+  for (double loss : losses) {
     for (int mode = 0; mode < 2; ++mode) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 15;
@@ -30,7 +33,13 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = loss;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = bench::run_instrumented(spec, options);
+      handles.push_back(bench::run_async(spec, options));
+    }
+  }
+  std::size_t handle = 0;
+  for (double loss : losses) {
+    for (int mode = 0; mode < 2; ++mode) {
+      const harness::RunResult& r = handles[handle++].get();
       std::uint64_t repairs = 0;
       for (const auto& rs : r.receivers) repairs += rs.repairs_sent;
       table.add_row({mode == 1 ? "peer repair (SRM-style)" : "sender repair (paper)",

@@ -14,7 +14,10 @@ int run(int argc, char** argv) {
 
   harness::Table table({"flow_control", "seconds", "throughput", "rcvbuf_drops"});
 
-  auto run_spec = [&](const char* label, std::size_t window, double rate_bps) {
+  // Two-phase: enqueue every configuration, then redeem rows in order.
+  std::vector<const char*> labels;
+  std::vector<bench::RunHandle> handles;
+  auto submit_spec = [&](const char* label, std::size_t window, double rate_bps) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 15;
     spec.message_bytes = 2 * 1024 * 1024;
@@ -28,19 +31,24 @@ int run(int argc, char** argv) {
     spec.protocol.rate_limit_bps = rate_bps;
     spec.seed = options.seed;
     spec.time_limit = sim::seconds(300.0);
-    harness::RunResult r = bench::run_instrumented(spec, options);
-    table.add_row({label, r.completed ? str_format("%.6f", r.seconds) : "FAILED",
-                   r.completed ? str_format("%.1fMbps", r.throughput_bps() / 1e6) : "-",
-                   str_format("%llu", (unsigned long long)r.rcvbuf_drops)});
+    labels.push_back(label);
+    handles.push_back(bench::run_async(spec, options));
   };
 
-  run_spec("window 40 (paper)", 40, 0);
-  run_spec("window 8", 8, 0);
+  submit_spec("window 40 (paper)", 40, 0);
+  submit_spec("window 8", 8, 0);
   // Huge window: the rate cap is the only flow control.
-  run_spec("rate 40Mbps", 1000, 40e6);
-  run_spec("rate 80Mbps", 1000, 80e6);
-  run_spec("rate 95Mbps", 1000, 95e6);
-  run_spec("window 40 + rate 80Mbps", 40, 80e6);
+  submit_spec("rate 40Mbps", 1000, 40e6);
+  submit_spec("rate 80Mbps", 1000, 80e6);
+  submit_spec("rate 95Mbps", 1000, 95e6);
+  submit_spec("window 40 + rate 80Mbps", 40, 80e6);
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const harness::RunResult& r = handles[i].get();
+    table.add_row({labels[i], r.completed ? str_format("%.6f", r.seconds) : "FAILED",
+                   r.completed ? str_format("%.1fMbps", r.throughput_bps() / 1e6) : "-",
+                   str_format("%llu", (unsigned long long)r.rcvbuf_drops)});
+  }
 
   bench::emit(table, options,
               "Ablation: window-based vs rate-based flow control (NAK-polling, 2MB, "

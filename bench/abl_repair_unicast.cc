@@ -12,7 +12,10 @@ int run(int argc, char** argv) {
   bench::BenchOptions options = bench::parse_options(argc, argv);
 
   harness::Table table({"repair_mode", "loss", "seconds", "receiver_duplicates"});
-  for (double loss : {0.005, 0.02}) {
+  // Two-phase: enqueue both repair modes per loss rate, then redeem rows.
+  const std::vector<double> losses = {0.005, 0.02};
+  std::vector<bench::RunHandle> handles;
+  for (double loss : losses) {
     for (bool unicast : {false, true}) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 15;
@@ -24,7 +27,13 @@ int run(int argc, char** argv) {
       spec.cluster.link.frame_error_rate = loss;
       spec.seed = options.seed;
       spec.time_limit = sim::seconds(300.0);
-      harness::RunResult r = bench::run_instrumented(spec, options);
+      handles.push_back(bench::run_async(spec, options));
+    }
+  }
+  std::size_t handle = 0;
+  for (double loss : losses) {
+    for (bool unicast : {false, true}) {
+      const harness::RunResult& r = handles[handle++].get();
       std::uint64_t dups = 0;
       for (const auto& rs : r.receivers) dups += rs.duplicates;
       table.add_row({unicast ? "unicast" : "multicast", str_format("%.3f", loss),

@@ -18,6 +18,8 @@ int run(int argc, char** argv) {
 
   harness::Table table(
       {"suppress_interval_ms", "seconds", "retransmissions", "suppressed"});
+  // Two-phase: enqueue every interval's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (sim::Time interval : intervals) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 15;
@@ -29,8 +31,11 @@ int run(int argc, char** argv) {
     spec.cluster.link.frame_error_rate = 0.01;
     spec.seed = options.seed;
     spec.time_limit = sim::seconds(300.0);
-    harness::RunResult r = bench::run_instrumented(spec, options);
-    table.add_row({str_format("%.0f", sim::to_seconds(interval) * 1e3),
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const harness::RunResult& r = handles[i].get();
+    table.add_row({str_format("%.0f", sim::to_seconds(intervals[i]) * 1e3),
                    r.completed ? str_format("%.6f", r.seconds) : "FAILED",
                    str_format("%llu", (unsigned long long)r.sender.retransmissions),
                    str_format("%llu",

@@ -6,19 +6,31 @@
 //   --trials=N          measurement repetitions per point (default 3, as in §5)
 //   --quick             1 trial and a reduced sweep, for fast iteration
 //   --seed=N            base seed
+//   --jobs=N            worker threads for the sweep (default: all cores;
+//                       1 runs the old serial path)
 //   --metrics-out=FILE  write a JSON metrics snapshot (counters, gauges,
 //                       latency histograms — see docs/OBSERVABILITY.md)
 //                       accumulated over every simulated run to FILE at exit
+//
+// The grid points behind a figure are independent simulations, so the
+// binaries run them on a SweepRunner: submission returns immediately, rows
+// print as their tickets resolve in submission order, and per-point metrics
+// fold into bench_metrics() in that same order — output (table, CSV and
+// snapshot alike) is byte-identical at any --jobs value. See
+// src/harness/sweep.h for the determinism contract.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 
 namespace rmc::bench {
@@ -28,6 +40,7 @@ struct BenchOptions {
   bool quick = false;
   int trials = 3;
   std::uint64_t seed = 1;
+  std::size_t jobs = 0;     // sweep workers; 0 = hardware concurrency
   std::string metrics_out;  // empty = no snapshot
 };
 
@@ -62,7 +75,9 @@ inline void write_metrics_snapshot() {
 }  // namespace detail
 
 // Arms the at-exit JSON snapshot of bench_metrics(). parse_options calls
-// this for --metrics-out; binaries with bespoke flag sets call it directly.
+// this for --metrics-out; binaries with bespoke flag sets call it directly
+// (before their first measurement, so the snapshot handler registers ahead
+// of the sweep runner's construction — see bench_runner).
 inline void enable_metrics_snapshot(const std::string& path) {
   if (path.empty()) return;
   // Construct the registry (and the path string) before registering the
@@ -75,6 +90,26 @@ inline void enable_metrics_snapshot(const std::string& path) {
   std::atexit(detail::write_metrics_snapshot);
 }
 
+// True when this process is accumulating metrics (--metrics-out given).
+inline bool metrics_enabled(const BenchOptions& options) {
+  return !options.metrics_out.empty();
+}
+
+// The process-wide sweep runner, sized by --jobs on first use. Constructed
+// lazily AFTER parse_options has registered the snapshot atexit handler:
+// static destruction is LIFO, so the runner's destructor (drain + fold +
+// join) runs before the snapshot writes — a snapshot can never observe a
+// half-folded registry.
+inline harness::SweepRunner& bench_runner(const BenchOptions& options) {
+  static harness::SweepRunner runner([&] {
+    harness::SweepRunner::Options o;
+    o.jobs = options.jobs;
+    o.metrics = metrics_enabled(options) ? &bench_metrics() : nullptr;
+    return o;
+  }());
+  return runner;
+}
+
 inline BenchOptions parse_options(int argc, char** argv) {
   Flags flags = Flags::parse(
       argc, argv,
@@ -82,20 +117,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
        {"quick", "single trial, reduced sweep"},
        {"trials", "trials per point (default 3)"},
        {"seed", "base seed (default 1)"},
+       {"jobs", "sweep worker threads (default: all cores; 1 = serial)"},
        {"metrics-out", "write a JSON metrics snapshot to FILE at exit"}});
   BenchOptions options;
   options.csv = flags.has("csv");
   options.quick = flags.has("quick");
   options.trials = static_cast<int>(flags.get_int("trials", options.quick ? 1 : 3));
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   options.metrics_out = flags.get("metrics-out", "");
   enable_metrics_snapshot(options.metrics_out);
   return options;
-}
-
-// True when this process is accumulating metrics (--metrics-out given).
-inline bool metrics_enabled(const BenchOptions& options) {
-  return !options.metrics_out.empty();
 }
 
 inline void emit(const harness::Table& table, const BenchOptions& options,
@@ -109,24 +141,126 @@ inline void emit(const harness::Table& table, const BenchOptions& options,
   std::printf("\n");
 }
 
-// run_multicast with the bench registry attached when metrics are on.
-// Binaries that call run_multicast directly should go through this so
-// their runs land in the --metrics-out snapshot.
-inline harness::RunResult run_instrumented(harness::MulticastRunSpec spec,
+// A single in-flight run. get() blocks until the point has simulated; the
+// reference stays valid for the process lifetime.
+class RunHandle {
+ public:
+  RunHandle(harness::SweepRunner* runner, harness::SweepRunner::Ticket ticket)
+      : runner_(runner), ticket_(ticket) {}
+  const harness::RunResult& get() const { return runner_->result(ticket_); }
+
+ private:
+  harness::SweepRunner* runner_;
+  harness::SweepRunner::Ticket ticket_;
+};
+
+// Enqueues one run on the sweep runner (metrics fold handled there).
+inline RunHandle run_async(const harness::MulticastRunSpec& spec,
+                           const BenchOptions& options) {
+  harness::SweepRunner& runner = bench_runner(options);
+  return RunHandle(&runner, runner.submit(spec));
+}
+
+// run_multicast through the sweep runner, so the run lands in the
+// --metrics-out snapshot and the fingerprint cache. Binaries that consume
+// RunResult fields row by row call this (or run_async to overlap rows).
+inline harness::RunResult run_instrumented(const harness::MulticastRunSpec& spec,
                                            const BenchOptions& options) {
-  if (metrics_enabled(options)) spec.metrics = &bench_metrics();
-  return harness::run_multicast(spec);
+  return run_async(spec, options).get();
+}
+
+// An in-flight repeated-trials measurement: one ticket per trial seed.
+class Measurement {
+ public:
+  explicit Measurement(harness::SweepRunner* runner) : runner_(runner) {}
+
+  void add(std::uint64_t seed, harness::SweepRunner::Ticket ticket) {
+    seeds_.push_back(seed);
+    tickets_.push_back(ticket);
+  }
+
+  // Blocks for the trials; returns the outcome with the mean (or, on any
+  // failed trial, the failing seed and the run's error).
+  harness::TrialsOutcome outcome() const {
+    harness::TrialsOutcome out;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < tickets_.size(); ++i) {
+      const harness::RunResult& result = runner_->result(tickets_[i]);
+      if (!result.completed) {
+        out.failed_seed = seeds_[i];
+        out.error = result.error.empty() ? "run did not complete" : result.error;
+        return out;
+      }
+      sum += result.seconds;
+    }
+    out.ok = true;
+    out.mean_seconds = tickets_.empty() ? 0.0 : sum / static_cast<double>(tickets_.size());
+    return out;
+  }
+
+  // Mean seconds, or -1 after reporting the failing trial on stderr (a
+  // FAILED table cell then has its seed and cause next to it).
+  double seconds() const {
+    const harness::TrialsOutcome out = outcome();
+    if (!out.ok) {
+      std::fprintf(stderr, "measure: trial failed (%s)\n",
+                   out.describe_failure().c_str());
+    }
+    return out.mean_seconds;
+  }
+
+ private:
+  harness::SweepRunner* runner_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<harness::SweepRunner::Ticket> tickets_;
+};
+
+// Enqueues the configured trials of `base` (seed, seed+1, ...) and returns
+// the in-flight measurement. Two-phase sweeps submit every cell first,
+// then redeem in row order — workers fill the grid while rows print.
+inline Measurement measure_async(const harness::MulticastRunSpec& base,
+                                 const BenchOptions& options) {
+  harness::SweepRunner& runner = bench_runner(options);
+  Measurement m(&runner);
+  for (int t = 0; t < options.trials; ++t) {
+    harness::MulticastRunSpec spec = base;
+    spec.seed = options.seed + static_cast<std::uint64_t>(t);
+    m.add(spec.seed, runner.submit(spec));
+  }
+  return m;
+}
+
+// measure_async for runs the sweep cache cannot fingerprint (TCP/UDP
+// baselines, bespoke probes): `runner_fn(seed)` executes on a worker.
+inline Measurement measure_async(
+    const std::function<harness::RunResult(std::uint64_t)>& runner_fn,
+    const BenchOptions& options) {
+  harness::SweepRunner& runner = bench_runner(options);
+  Measurement m(&runner);
+  for (int t = 0; t < options.trials; ++t) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(t);
+    m.add(seed, runner.submit_task(
+                    [runner_fn, seed](metrics::Registry*) { return runner_fn(seed); }));
+  }
+  return m;
 }
 
 // Mean communication time over the configured trials; negative on failure.
 inline double measure(const harness::MulticastRunSpec& base, const BenchOptions& options) {
-  return harness::mean_seconds(
-      [&](std::uint64_t seed) {
-        harness::MulticastRunSpec spec = base;
-        spec.seed = seed;
-        return run_instrumented(spec, options);
-      },
-      options.trials, options.seed);
+  return measure_async(base, options).seconds();
+}
+
+// Declarative batch: every spec submitted up front, results in input order.
+inline std::vector<harness::RunResult> sweep(
+    const std::vector<harness::MulticastRunSpec>& specs, const BenchOptions& options) {
+  harness::SweepRunner& runner = bench_runner(options);
+  std::vector<harness::SweepRunner::Ticket> tickets;
+  tickets.reserve(specs.size());
+  for (const harness::MulticastRunSpec& spec : specs) tickets.push_back(runner.submit(spec));
+  std::vector<harness::RunResult> results;
+  results.reserve(tickets.size());
+  for (harness::SweepRunner::Ticket t : tickets) results.push_back(runner.result(t));
+  return results;
 }
 
 inline std::string seconds_cell(double seconds) {

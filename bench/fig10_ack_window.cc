@@ -13,8 +13,10 @@ int run(int argc, char** argv) {
 
   const std::vector<std::size_t> packet_sizes = {500, 1300, 3125, 6250, 50'000};
   harness::Table table({"window", "pkt500", "pkt1300", "pkt3125", "pkt6250", "pkt50000"});
+  // Submit the whole grid, then print in grid order: the cells simulate
+  // across the sweep workers while earlier rows are still formatting.
+  std::vector<bench::Measurement> cells;
   for (std::size_t window = 1; window <= 5; ++window) {
-    std::vector<std::string> row = {str_format("%zu", window)};
     for (std::size_t pkt : packet_sizes) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 30;
@@ -22,7 +24,14 @@ int run(int argc, char** argv) {
       spec.protocol.kind = rmcast::ProtocolKind::kAck;
       spec.protocol.packet_size = pkt;
       spec.protocol.window_size = window;
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (std::size_t window = 1; window <= 5; ++window) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t i = 0; i < packet_sizes.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

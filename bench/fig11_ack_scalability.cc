@@ -17,12 +17,13 @@ int run(int argc, char** argv) {
   const std::vector<std::uint64_t> small = {1, 256, 4096};
   const std::vector<std::uint64_t> large = {8192, 65536, 500'000};
 
+  // Two-phase per panel: submit the grid, then redeem rows in order.
   auto sweep = [&](const std::vector<std::uint64_t>& sizes, const char* title) {
     std::vector<std::string> headers = {"receivers"};
     for (auto s : sizes) headers.push_back(str_format("size%llu", (unsigned long long)s));
     harness::Table table(headers);
+    std::vector<bench::Measurement> cells;
     for (std::size_t n : counts) {
-      std::vector<std::string> row = {str_format("%zu", n)};
       for (std::uint64_t size : sizes) {
         harness::MulticastRunSpec spec;
         spec.n_receivers = n;
@@ -30,7 +31,14 @@ int run(int argc, char** argv) {
         spec.protocol.kind = rmcast::ProtocolKind::kAck;
         spec.protocol.packet_size = 50'000;
         spec.protocol.window_size = 5;
-        row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+        cells.push_back(bench::measure_async(spec, options));
+      }
+    }
+    std::size_t cell = 0;
+    for (std::size_t n : counts) {
+      std::vector<std::string> row = {str_format("%zu", n)};
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        row.push_back(bench::seconds_cell(cells[cell++].seconds()));
       }
       table.add_row(std::move(row));
     }

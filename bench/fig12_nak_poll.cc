@@ -16,8 +16,9 @@ int run(int argc, char** argv) {
   for (std::size_t i = 1; i <= 20; i += options.quick ? 4 : 1) intervals.push_back(i);
 
   harness::Table table({"poll_interval", "pkt1000", "pkt5000", "pkt10000"});
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::Measurement> cells;
   for (std::size_t interval : intervals) {
-    std::vector<std::string> row = {str_format("%zu", interval)};
     for (std::size_t pkt : packet_sizes) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 30;
@@ -26,7 +27,14 @@ int run(int argc, char** argv) {
       spec.protocol.packet_size = pkt;
       spec.protocol.window_size = 20;
       spec.protocol.poll_interval = interval;
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (std::size_t interval : intervals) {
+    std::vector<std::string> row = {str_format("%zu", interval)};
+    for (std::size_t i = 0; i < packet_sizes.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

@@ -3,6 +3,8 @@
 // interval pinned at ~83% of the window (500 KB to 30 receivers).
 // Expected shape: small buffers starve the pipeline; mid-size packets win
 // overall; performance is not monotonic in packet size.
+#include <optional>
+
 #include "bench_util.h"
 
 namespace rmc {
@@ -17,12 +19,14 @@ int run(int argc, char** argv) {
   if (options.quick) buffer_sizes = {50'000, 200'000, 500'000};
 
   harness::Table table({"buffer_bytes", "pkt500", "pkt8000", "pkt50000"});
+  // Two-phase: enqueue every valid cell, then redeem in grid order
+  // (window == 0 cells stay "n/a" and submit nothing).
+  std::vector<std::optional<bench::Measurement>> cells;
   for (std::uint64_t buffer : buffer_sizes) {
-    std::vector<std::string> row = {str_format("%llu", (unsigned long long)buffer)};
     for (std::size_t pkt : packet_sizes) {
       std::size_t window = static_cast<std::size_t>(buffer / pkt);
       if (window == 0) {
-        row.push_back("n/a");
+        cells.emplace_back();
         continue;
       }
       harness::MulticastRunSpec spec;
@@ -32,7 +36,15 @@ int run(int argc, char** argv) {
       spec.protocol.packet_size = pkt;
       spec.protocol.window_size = window;
       spec.protocol.poll_interval = std::max<std::size_t>(1, window * 83 / 100);
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (std::uint64_t buffer : buffer_sizes) {
+    std::vector<std::string> row = {str_format("%llu", (unsigned long long)buffer)};
+    for (std::size_t i = 0; i < packet_sizes.size(); ++i) {
+      const std::optional<bench::Measurement>& m = cells[cell++];
+      row.push_back(m ? bench::seconds_cell(m->seconds()) : "n/a");
     }
     table.add_row(std::move(row));
   }

@@ -22,8 +22,9 @@ int run(int argc, char** argv) {
   for (std::size_t n = 1; n <= 30; n += options.quick ? 7 : 2) counts.push_back(n);
 
   harness::Table table({"receivers", "pkt500", "pkt8000", "pkt50000"});
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::Measurement> cells;
   for (std::size_t n : counts) {
-    std::vector<std::string> row = {str_format("%zu", n)};
     for (const Tuning& t : tunings) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = n;
@@ -32,7 +33,14 @@ int run(int argc, char** argv) {
       spec.protocol.packet_size = t.packet;
       spec.protocol.window_size = t.window;
       spec.protocol.poll_interval = t.poll;
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (std::size_t n : counts) {
+    std::vector<std::string> row = {str_format("%zu", n)};
+    for (std::size_t i = 0; i < tunings.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

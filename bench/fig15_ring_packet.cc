@@ -15,16 +15,22 @@ int run(int argc, char** argv) {
   if (options.quick) packet_sizes = {1000, 8000, 50'000};
 
   harness::Table table({"packet_bytes", "seconds", "throughput"});
+  // Two-phase: submit the sweep, then redeem rows in order.
+  const std::uint64_t message_bytes = 2 * 1024 * 1024;
+  std::vector<bench::Measurement> cells;
   for (std::size_t pkt : packet_sizes) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 30;
-    spec.message_bytes = 2 * 1024 * 1024;
+    spec.message_bytes = message_bytes;
     spec.protocol.kind = rmcast::ProtocolKind::kRing;
     spec.protocol.packet_size = pkt;
     spec.protocol.window_size = 35;
-    double seconds = bench::measure(spec, options);
-    double mbps = seconds > 0 ? spec.message_bytes * 8.0 / seconds / 1e6 : 0.0;
-    table.add_row({str_format("%zu", pkt), bench::seconds_cell(seconds),
+    cells.push_back(bench::measure_async(spec, options));
+  }
+  for (std::size_t i = 0; i < packet_sizes.size(); ++i) {
+    double seconds = cells[i].seconds();
+    double mbps = seconds > 0 ? message_bytes * 8.0 / seconds / 1e6 : 0.0;
+    table.add_row({str_format("%zu", packet_sizes[i]), bench::seconds_cell(seconds),
                    str_format("%.1fMbps", mbps)});
   }
   bench::emit(table, options,

@@ -15,8 +15,9 @@ int run(int argc, char** argv) {
   for (std::size_t w = 40; w <= 100; w += options.quick ? 20 : 10) windows.push_back(w);
 
   harness::Table table({"window", "pkt1000", "pkt8000", "pkt20000"});
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::Measurement> cells;
   for (std::size_t window : windows) {
-    std::vector<std::string> row = {str_format("%zu", window)};
     for (std::size_t pkt : packet_sizes) {
       harness::MulticastRunSpec spec;
       spec.n_receivers = 30;
@@ -24,7 +25,14 @@ int run(int argc, char** argv) {
       spec.protocol.kind = rmcast::ProtocolKind::kRing;
       spec.protocol.packet_size = pkt;
       spec.protocol.window_size = window;
-      row.push_back(bench::seconds_cell(bench::measure(spec, options)));
+      cells.push_back(bench::measure_async(spec, options));
+    }
+  }
+  std::size_t cell = 0;
+  for (std::size_t window : windows) {
+    std::vector<std::string> row = {str_format("%zu", window)};
+    for (std::size_t i = 0; i < packet_sizes.size(); ++i) {
+      row.push_back(bench::seconds_cell(cells[cell++].seconds()));
     }
     table.add_row(std::move(row));
   }

@@ -13,16 +13,22 @@ int run(int argc, char** argv) {
   for (std::size_t n = 1; n <= 30; n += options.quick ? 7 : 2) counts.push_back(n);
 
   harness::Table table({"receivers", "seconds", "throughput"});
+  // Two-phase: submit the sweep, then redeem rows in order.
+  const std::uint64_t message_bytes = 2 * 1024 * 1024;
+  std::vector<bench::Measurement> cells;
   for (std::size_t n : counts) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = n;
-    spec.message_bytes = 2 * 1024 * 1024;
+    spec.message_bytes = message_bytes;
     spec.protocol.kind = rmcast::ProtocolKind::kRing;
     spec.protocol.packet_size = 8000;
     spec.protocol.window_size = 50;
-    double seconds = bench::measure(spec, options);
-    double mbps = seconds > 0 ? spec.message_bytes * 8.0 / seconds / 1e6 : 0.0;
-    table.add_row({str_format("%zu", n), bench::seconds_cell(seconds),
+    cells.push_back(bench::measure_async(spec, options));
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    double seconds = cells[i].seconds();
+    double mbps = seconds > 0 ? message_bytes * 8.0 / seconds / 1e6 : 0.0;
+    table.add_row({str_format("%zu", counts[i]), bench::seconds_cell(seconds),
                    str_format("%.1fMbps", mbps)});
   }
   bench::emit(table, options,

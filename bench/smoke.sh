@@ -48,6 +48,89 @@ for bin in "$BENCH_DIR"/*; do
   pass=$((pass + 1))
 done
 
+# Sweep determinism gate: --jobs=N must be byte-identical to --jobs=1, in
+# both the printed table and the merged metrics snapshot (the sweep
+# engine's core contract; tests/sweep_test.cc proves it at the API level,
+# this proves it end-to-end through real bench binaries). Three
+# representatives cover the three harness shapes: a Measurement grid
+# (fig10), a RunHandle table (tab02) and an ablation sweep (abl_loss_sweep).
+for name in fig10_ack_window tab02_control_load abl_loss_sweep; do
+  bin="$BENCH_DIR/$name"
+  [ -x "$bin" ] || continue
+  if "$bin" --quick --jobs=1 "--metrics-out=$TMP_DIR/$name.serial.json" \
+       > "$TMP_DIR/$name.serial.out" 2> /dev/null \
+     && "$bin" --quick --jobs=4 "--metrics-out=$TMP_DIR/$name.parallel.json" \
+       > "$TMP_DIR/$name.parallel.out" 2> /dev/null \
+     && cmp -s "$TMP_DIR/$name.serial.out" "$TMP_DIR/$name.parallel.out" \
+     && cmp -s "$TMP_DIR/$name.serial.json" "$TMP_DIR/$name.parallel.json"; then
+    echo "ok   $name sweep determinism (--jobs=4 == --jobs=1)"
+    pass=$((pass + 1))
+  else
+    echo "FAIL $name: --jobs=4 output differs from --jobs=1"
+    diff "$TMP_DIR/$name.serial.out" "$TMP_DIR/$name.parallel.out" | head -5
+    fail=$((fail + 1))
+  fi
+done
+
+# Parallel speedup gate: the sweep engine exists to use the cores, so hold
+# it to that on machines that have them. abl_straggler --quick is a grid of
+# independent half-second points; at 4 jobs it must run at least 2x faster
+# than serial. Needs >=4 CPUs to be meaningful — fewer (CI containers are
+# often 1-2 vCPU) writes a skip marker instead of a bogus failure.
+if [ -n "$PYTHON" ] && [ -x "$BENCH_DIR/abl_straggler" ]; then
+  sweep_report="$BUILD_DIR/BENCH_sweep_parallel.json"
+  if "$PYTHON" - "$BENCH_DIR/abl_straggler" "$sweep_report" <<'EOF'
+import json, os, subprocess, sys, time
+
+bin_path, report_path = sys.argv[1], sys.argv[2]
+cpus = os.cpu_count() or 1
+if cpus < 4:
+    with open(report_path, "w") as f:
+        json.dump({"benchmark": "sweep_parallel", "skipped": True,
+                   "reason": f"needs >=4 CPUs, have {cpus}", "cpus": cpus}, f,
+                  indent=2)
+        f.write("\n")
+    print(f"sweep-gate: skipped ({cpus} CPU(s) online, needs >= 4)")
+    sys.exit(0)
+
+def run(jobs):
+    start = time.monotonic()
+    subprocess.run([bin_path, "--quick", f"--jobs={jobs}"], check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.monotonic() - start
+
+run(1)  # warm caches/page-ins so the timed pair is comparable
+serial = min(run(1) for _ in range(2))
+parallel = min(run(4) for _ in range(2))
+speedup = serial / parallel if parallel > 0 else 0.0
+report = {
+    "benchmark": "sweep_parallel",
+    "grid": "abl_straggler --quick",
+    "cpus": cpus,
+    "serial_seconds": round(serial, 4),
+    "parallel_seconds": round(parallel, 4),
+    "speedup": round(speedup, 3),
+    "threshold": 2.0,
+    "pass": speedup >= 2.0,
+}
+with open(report_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"sweep-gate: 4-job speedup = {speedup:.2f}x over serial "
+      f"(threshold 2.0x, {cpus} CPUs)")
+sys.exit(0 if speedup >= 2.0 else 1)
+EOF
+  then
+    echo "ok   sweep parallel-speedup gate ($sweep_report)"
+    pass=$((pass + 1))
+  else
+    echo "FAIL sweep: 4-job sweep is not 2x faster than serial"
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip sweep parallel-speedup gate (binary or python3 missing)"
+fi
+
 # Engine-dispatch regression gate: the refactored sender hot path asks its
 # per-packet policy through a virtual engine interface. Diff the engine
 # variant of the window-cycle microbenchmark against the direct-call one

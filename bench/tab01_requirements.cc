@@ -53,13 +53,19 @@ int run(int argc, char** argv) {
 
   harness::Table table({"protocol", "paper_memory", "measured_peak_buffer",
                         "window_bytes", "paper_complexity"});
+  // Two-phase: enqueue every protocol's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (const Row& row : rows) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = 30;
     spec.message_bytes = 2 * 1024 * 1024;
     spec.protocol = row.config;
     spec.seed = options.seed;
-    harness::RunResult result = bench::run_instrumented(spec, options);
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const harness::RunResult& result = handles[i].get();
     std::string peak = result.completed
                            ? format_bytes(result.sender.peak_buffered_bytes)
                            : "FAILED";

@@ -63,13 +63,19 @@ int run(int argc, char** argv) {
 
   harness::Table table({"protocol", "analytic_per_packet", "measured_per_packet",
                         "total_control_packets", "data_packets"});
+  // Two-phase: enqueue every protocol's run, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
   for (const Row& row : rows) {
     harness::MulticastRunSpec spec;
     spec.n_receivers = n;
     spec.message_bytes = 500'000;
     spec.protocol = row.config;
     spec.seed = options.seed;
-    harness::RunResult r = bench::run_instrumented(spec, options);
+    handles.push_back(bench::run_async(spec, options));
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const harness::RunResult& r = handles[i].get();
     if (!r.completed) {
       table.add_row({row.label, str_format("%.2f", row.analytic_sender), "FAILED", "-",
                      "-"});

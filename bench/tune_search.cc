@@ -29,10 +29,12 @@ int run(int argc, char** argv) {
     windows = {5, 35, 50};
   }
 
-  auto probe = [&](rmcast::ProtocolConfig base,
-                   const std::vector<rmcast::ProtocolConfig>& variants) {
+  auto probe = [&](const std::vector<rmcast::ProtocolConfig>& variants) {
+    // Batch-submit every valid variant, then scan for the best: the grid
+    // points probe concurrently across the sweep workers.
     Best best;
-    std::size_t evaluated = 0;
+    std::vector<const rmcast::ProtocolConfig*> valid;
+    std::vector<bench::RunHandle> handles;
     for (const rmcast::ProtocolConfig& config : variants) {
       if (!rmcast::validate(config, n_receivers).empty()) continue;
       harness::MulticastRunSpec spec;
@@ -40,15 +42,17 @@ int run(int argc, char** argv) {
       spec.message_bytes = message;
       spec.protocol = config;
       spec.seed = options.seed;
-      harness::RunResult r = bench::run_instrumented(spec, options);
-      ++evaluated;
+      valid.push_back(&config);
+      handles.push_back(bench::run_async(spec, options));
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      const harness::RunResult& r = handles[i].get();
       if (r.completed && r.seconds < best.seconds) {
         best.seconds = r.seconds;
-        best.config = config;
+        best.config = *valid[i];
       }
     }
-    (void)base;
-    std::fprintf(stderr, "  probed %zu configurations\n", evaluated);
+    std::fprintf(stderr, "  probed %zu configurations\n", handles.size());
     return best;
   };
 
@@ -85,7 +89,7 @@ int run(int argc, char** argv) {
   harness::Table table({"protocol", "best_config_found", "throughput", "paper_tuned"});
   for (const Row& row : rows) {
     std::fprintf(stderr, "probing %s...\n", row.label);
-    Best best = probe({}, grid(row.kind));
+    Best best = probe(grid(row.kind));
     double mbps = best.seconds < 1e17 ? message * 8.0 / best.seconds / 1e6 : 0.0;
     table.add_row({row.label,
                    best.seconds < 1e17 ? best.config.describe() : "none found",

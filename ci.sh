@@ -33,6 +33,17 @@ for preset in "${PRESETS[@]}"; do
     ./coverage.sh "$build_dir"
     continue
   fi
+  if [ "$preset" = tsan ]; then
+    # Drive the sweep engine's threaded path (workers, stealing, fold
+    # cursor) under TSan with more workers than cores, so interleavings
+    # the ctest lane may not hit get exercised. Table/metrics correctness
+    # is covered elsewhere; this lane exists for the race detector.
+    echo "=== [tsan] parallel sweep smoke (--jobs=4) ==="
+    for sweep_bin in fig20_tree_small abl_fault_crash; do
+      "$build_dir/bench/$sweep_bin" --quick --trials=1 --jobs=4 \
+        "--metrics-out=$build_dir/BENCH_tsan_sweep_$sweep_bin.json" > /dev/null
+    done
+  fi
   echo "=== [$preset] bench smoke ==="
   bench/smoke.sh "$build_dir"
 done

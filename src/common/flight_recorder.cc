@@ -57,7 +57,13 @@ void FlightRecorder::clear() {
 }
 
 FlightRecorder& flight_recorder() {
-  static FlightRecorder recorder;
+  // One recorder per thread: protocol code appends from whichever thread
+  // runs its simulation, and a parallel sweep runs many simulations at
+  // once. A shared ring would interleave unrelated runs' histories (and
+  // race); per-thread rings keep each worker's event trail self-contained,
+  // and panic() dumps the ring of the thread that tripped the invariant —
+  // exactly the history that led to it.
+  static thread_local FlightRecorder recorder;
   return recorder;
 }
 

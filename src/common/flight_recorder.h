@@ -64,9 +64,11 @@ class FlightRecorder {
   bool enabled_ = true;
 };
 
-// Process-global recorder: what protocol/network code appends to and what
-// panic() dumps. Tests may clear() or set_enabled(false) around noisy
-// sections.
+// Per-thread recorder: what protocol/network code appends to and what
+// panic() dumps (the ring of the thread that panicked). Thread-local so
+// parallel sweep workers keep self-contained histories instead of
+// interleaving unrelated runs. Tests may clear() or set_enabled(false)
+// around noisy sections.
 FlightRecorder& flight_recorder();
 
 }  // namespace rmc

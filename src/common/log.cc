@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,7 +8,10 @@
 namespace rmc {
 namespace {
 
-LogLevel g_level = [] {
+// Atomic so sweep workers can read the level while a test (or main
+// thread) adjusts it; the level is configuration, not synchronization, so
+// relaxed ordering is enough.
+std::atomic<LogLevel> g_level = [] {
   const char* env = std::getenv("RMC_LOG");
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
@@ -31,8 +35,8 @@ const char* tag(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void log_write(LogLevel level, const char* fmt, ...) {
   std::fprintf(stderr, "[%s] ", tag(level));

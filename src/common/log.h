@@ -4,6 +4,9 @@
 // debugging protocol traces, not for production telemetry, so the design
 // favours zero setup: a process-global level, printf-style formatting, and
 // stderr output. Levels above the global level compile down to a branch.
+// The level is stored atomically so parallel sweep workers can log safely;
+// concurrent statements may still interleave on stderr (each one is a
+// single fprintf, so lines stay whole on POSIX stdio).
 #pragma once
 
 #include <cstdarg>

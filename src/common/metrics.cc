@@ -48,6 +48,19 @@ double LatencyHistogram::percentile_us(double p) const {
   return stat_.max();
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  stat_.merge(other.stat_);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set_max(g.value());
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
 const CounterMetric* Registry::find_counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;

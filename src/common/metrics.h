@@ -10,6 +10,8 @@
 // diff across runs.
 //
 // Everything here is single-threaded, like the simulator it instruments.
+// Parallel sweeps give each worker a private Registry and fold them with
+// merge() at join — a Registry itself is never shared across threads.
 // Metric names are dotted lowercase paths ("sender.ack_rtt_us",
 // "net.switch0.port3.queue_hwm_frames"); the units ride in the suffix.
 #pragma once
@@ -81,6 +83,10 @@ class LatencyHistogram {
   static double bucket_bound_us(std::size_t i);
   std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
 
+  // Folds another histogram into this one: buckets add, count/min/max are
+  // exact, mean matches sequential accumulation up to rounding.
+  void merge(const LatencyHistogram& other);
+
  private:
   RunningStat stat_;
   std::array<std::uint64_t, kBuckets> buckets_{};
@@ -102,6 +108,13 @@ class Registry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   void clear();
+
+  // Folds another registry into this one: counters sum (saturating),
+  // gauges keep the high-water mark, histograms add bucket-wise. Merging
+  // per-run registries in run order is equivalent to accumulating every
+  // run into one registry — the sweep engine's serial-equivalence
+  // contract (see docs/OBSERVABILITY.md) rests on that.
+  void merge(const Registry& other);
 
   // Snapshot as one JSON object:
   //   {"counters": {name: value, ...},

@@ -20,6 +20,12 @@ class RunningStat {
   double min() const { return n_ > 0 ? min_ : 0.0; }
   double max() const { return n_ > 0 ? max_ : 0.0; }
 
+  // Folds another stat into this one (Chan et al.'s parallel combination
+  // of Welford states). Count, min and max are exact; mean and m2 agree
+  // with sequential accumulation up to floating-point rounding. The sweep
+  // engine merges per-worker statistics with this.
+  void merge(const RunningStat& other);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

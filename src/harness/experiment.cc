@@ -181,6 +181,12 @@ void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
 
 }  // namespace
 
+std::string TrialsOutcome::describe_failure() const {
+  if (ok) return "";
+  return str_format("seed %llu: %s", static_cast<unsigned long long>(failed_seed),
+                    error.c_str());
+}
+
 double RunResult::throughput_bps() const {
   if (seconds <= 0.0) return 0.0;
   return static_cast<double>(message_bytes) * 8.0 / seconds;

@@ -96,17 +96,46 @@ RunResult run_raw_udp(std::size_t n_receivers, std::uint64_t message_bytes,
                       std::size_t packet_size, std::uint64_t seed,
                       inet::ClusterParams cluster = {});
 
+// Outcome of a repeated-trials measurement. A failed trial carries which
+// seed failed and the failing run's error, so a FAILED table cell can be
+// diagnosed (reproduce with --seed=failed_seed) instead of just observed.
+struct TrialsOutcome {
+  bool ok = false;
+  double mean_seconds = -1.0;  // negative unless ok
+  std::uint64_t failed_seed = 0;
+  std::string error;  // failing trial's RunResult::error
+
+  // One-line failure description, e.g. "seed 12: timed out after 120.0s".
+  std::string describe_failure() const;
+};
+
 // Averages `runner(seed)` over `trials` seeds (the paper uses three runs).
-// Returns the mean seconds; every trial must complete.
+// Every trial must complete; the first failure stops the measurement and
+// is reported in the outcome.
 template <typename Runner>
-double mean_seconds(Runner&& runner, int trials = 3, std::uint64_t base_seed = 1) {
+TrialsOutcome run_trials(Runner&& runner, int trials = 3, std::uint64_t base_seed = 1) {
+  TrialsOutcome outcome;
   double sum = 0.0;
   for (int t = 0; t < trials; ++t) {
-    RunResult result = runner(base_seed + static_cast<std::uint64_t>(t));
-    if (!result.completed) return -1.0;
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(t);
+    RunResult result = runner(seed);
+    if (!result.completed) {
+      outcome.failed_seed = seed;
+      outcome.error = result.error.empty() ? "run did not complete" : result.error;
+      return outcome;
+    }
     sum += result.seconds;
   }
-  return sum / trials;
+  outcome.ok = true;
+  outcome.mean_seconds = trials > 0 ? sum / trials : 0.0;
+  return outcome;
+}
+
+// Legacy shape of run_trials: the mean seconds, or a bare -1.0 on failure.
+// Prefer run_trials where the failure detail should reach the user.
+template <typename Runner>
+double mean_seconds(Runner&& runner, int trials = 3, std::uint64_t base_seed = 1) {
+  return run_trials(static_cast<Runner&&>(runner), trials, base_seed).mean_seconds;
 }
 
 }  // namespace rmc::harness

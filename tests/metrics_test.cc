@@ -204,6 +204,92 @@ TEST(Registry, EmptyHistogramElidesBuckets) {
   EXPECT_EQ(json.find("\"buckets\""), std::string::npos);
 }
 
+// merge() is the sweep engine's fold: merging per-run registries in run
+// order must equal accumulating every run into one registry.
+
+TEST(RegistryMerge, CountersSumAndSaturate) {
+  Registry a, b;
+  a.counter("shared").inc(40);
+  b.counter("shared").inc(2);
+  b.counter("only_b").inc(7);
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared").value(), 42u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+
+  Registry c, d;
+  c.counter("sat").inc(UINT64_MAX - 5);
+  d.counter("sat").inc(10);
+  c.merge(d);
+  EXPECT_EQ(c.counter("sat").value(), UINT64_MAX);  // saturates, not wraps
+}
+
+TEST(RegistryMerge, GaugesKeepTheHighWaterMark) {
+  Registry a, b;
+  a.gauge("depth").set(5.0);
+  b.gauge("depth").set(3.0);
+  b.gauge("only_b").set(1.5);
+  a.merge(b);
+  EXPECT_EQ(a.gauge("depth").value(), 5.0);  // lower incoming value ignored
+  EXPECT_EQ(a.gauge("only_b").value(), 1.5);
+  Registry c;
+  c.gauge("depth").set(9.0);
+  a.merge(c);
+  EXPECT_EQ(a.gauge("depth").value(), 9.0);  // higher incoming value wins
+}
+
+TEST(RegistryMerge, HistogramsAddBucketsAndExactStats) {
+  Registry a, b;
+  for (double v : {1.0, 2.0}) a.histogram("lat").record(v);
+  for (double v : {4.0, 100.0}) b.histogram("lat").record(v);
+  a.merge(b);
+
+  const LatencyHistogram& h = *a.find_histogram("lat");
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min_us(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 100.0);
+  EXPECT_NEAR(h.mean_us(), 26.75, 1e-9);
+
+  // Bucket-wise addition: the merged buckets are the element-wise sum.
+  LatencyHistogram sequential;
+  for (double v : {1.0, 2.0, 4.0, 100.0}) sequential.record(v);
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(h.bucket_count(i), sequential.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(RegistryMerge, OrderedFoldEqualsDirectAccumulation) {
+  // Three "runs", folded run-by-run vs accumulated straight into one
+  // registry: identical JSON snapshots, byte for byte.
+  auto run = [](Registry& r, int i) {
+    r.counter("frames").inc(10 * (i + 1));
+    r.gauge("queue_peak").set_max(2.0 * i);
+    r.histogram("rtt").record(1.0 + i);
+  };
+
+  Registry direct;
+  Registry folded;
+  for (int i = 0; i < 3; ++i) {
+    run(direct, i);
+    Registry per_run;
+    run(per_run, i);
+    folded.merge(per_run);
+  }
+  EXPECT_EQ(folded.to_json(), direct.to_json());
+}
+
+TEST(RegistryMerge, EmptySourceAndSelflessTargetAreNoOps) {
+  Registry a;
+  a.counter("c").inc(3);
+  Registry empty;
+  a.merge(empty);
+  EXPECT_EQ(a.counter("c").value(), 3u);
+  EXPECT_EQ(a.size(), 1u);
+
+  Registry fresh;
+  fresh.merge(a);  // merge into an empty registry copies everything
+  EXPECT_EQ(fresh.to_json(), a.to_json());
+}
+
 }  // namespace
 }  // namespace rmc::metrics
 
