@@ -11,6 +11,11 @@
 //   --metrics-out=FILE  write a JSON metrics snapshot (counters, gauges,
 //                       latency histograms — see docs/OBSERVABILITY.md)
 //                       accumulated over every simulated run to FILE at exit
+//   --trace-out=FILE    write a Chrome/Perfetto trace-event JSON file at
+//                       exit: one traced process per multicast run (causal
+//                       packet spans, drop instants with causes, timeline
+//                       counters) plus the per-run loss/stall attribution
+//                       report — see docs/OBSERVABILITY.md
 //
 // The grid points behind a figure are independent simulations, so the
 // binaries run them on a SweepRunner: submission returns immediately, rows
@@ -42,6 +47,7 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::size_t jobs = 0;     // sweep workers; 0 = hardware concurrency
   std::string metrics_out;  // empty = no snapshot
+  std::string trace_out;    // empty = no trace export
 };
 
 // Process-wide metrics registry the bench run accumulates into when
@@ -53,11 +59,32 @@ inline metrics::Registry& bench_metrics() {
   return registry;
 }
 
+// Process-wide trace log the sweep runner folds per-run traces into when
+// --trace-out is given, strictly in ticket order (byte-identical at any
+// --jobs value).
+inline harness::TraceLog& bench_trace() {
+  static harness::TraceLog log;
+  return log;
+}
+
 namespace detail {
 
 inline std::string& metrics_out_path() {
   static std::string path;
   return path;
+}
+
+inline std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_trace_export() {
+  const std::string& path = trace_out_path();
+  if (path.empty()) return;
+  if (!bench_trace().write_json_file(path)) {
+    std::fprintf(stderr, "could not write trace export to %s\n", path.c_str());
+  }
 }
 
 inline void write_metrics_snapshot() {
@@ -90,9 +117,25 @@ inline void enable_metrics_snapshot(const std::string& path) {
   std::atexit(detail::write_metrics_snapshot);
 }
 
+// Arms the at-exit trace-event JSON export of bench_trace(). Same atexit
+// ordering contract as enable_metrics_snapshot: register before the lazy
+// sweep runner is first touched, so the runner drains and folds every
+// trace before the file is written.
+inline void enable_trace_export(const std::string& path) {
+  if (path.empty()) return;
+  (void)bench_trace();
+  detail::trace_out_path() = path;
+  std::atexit(detail::write_trace_export);
+}
+
 // True when this process is accumulating metrics (--metrics-out given).
 inline bool metrics_enabled(const BenchOptions& options) {
   return !options.metrics_out.empty();
+}
+
+// True when this process is collecting causal traces (--trace-out given).
+inline bool trace_enabled(const BenchOptions& options) {
+  return !options.trace_out.empty();
 }
 
 // The process-wide sweep runner, sized by --jobs on first use. Constructed
@@ -105,6 +148,7 @@ inline harness::SweepRunner& bench_runner(const BenchOptions& options) {
     harness::SweepRunner::Options o;
     o.jobs = options.jobs;
     o.metrics = metrics_enabled(options) ? &bench_metrics() : nullptr;
+    o.trace = trace_enabled(options) ? &bench_trace() : nullptr;
     return o;
   }());
   return runner;
@@ -118,7 +162,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
        {"trials", "trials per point (default 3)"},
        {"seed", "base seed (default 1)"},
        {"jobs", "sweep worker threads (default: all cores; 1 = serial)"},
-       {"metrics-out", "write a JSON metrics snapshot to FILE at exit"}});
+       {"metrics-out", "write a JSON metrics snapshot to FILE at exit"},
+       {"trace-out", "write a Perfetto trace-event JSON file to FILE at exit"}});
   BenchOptions options;
   options.csv = flags.has("csv");
   options.quick = flags.has("quick");
@@ -126,7 +171,26 @@ inline BenchOptions parse_options(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   options.jobs = static_cast<std::size_t>(flags.get_int("jobs", 0));
   options.metrics_out = flags.get("metrics-out", "");
+  options.trace_out = flags.get("trace-out", "");
   enable_metrics_snapshot(options.metrics_out);
+  enable_trace_export(options.trace_out);
+  if (metrics_enabled(options)) {
+    // Snapshot provenance (the "meta" block). Values that vary across a
+    // merged sweep collapse to "mixed"; the protocol and seed are filled
+    // per run by the harness.
+    metrics::Registry& m = bench_metrics();
+    std::string binary = argc > 0 && argv[0] != nullptr ? argv[0] : "unknown";
+    if (auto slash = binary.find_last_of('/'); slash != std::string::npos) {
+      binary = binary.substr(slash + 1);
+    }
+    m.set_meta("binary", binary);
+    m.set_meta("jobs", std::to_string(options.jobs));
+#ifdef RMC_GIT_DESCRIBE
+    m.set_meta("git", RMC_GIT_DESCRIBE);
+#else
+    m.set_meta("git", "unknown");
+#endif
+  }
   return options;
 }
 

@@ -24,10 +24,13 @@ int run(int argc, char** argv) {
                               {"mnak", "multicast nak suppression"},
                               {"peer", "peer repair"},
                               {"quick", "accepted for smoke-test uniformity (single run anyway)"},
-                              {"metrics-out", "write a JSON metrics snapshot to FILE at exit"}});
+                              {"metrics-out", "write a JSON metrics snapshot to FILE at exit"},
+                              {"trace-out", "write a Perfetto trace-event JSON file to FILE at exit"}});
   bench::BenchOptions options;
   options.metrics_out = flags.get("metrics-out", "");
+  options.trace_out = flags.get("trace-out", "");
   bench::enable_metrics_snapshot(options.metrics_out);
+  bench::enable_trace_export(options.trace_out);
   harness::MulticastRunSpec spec;
   spec.n_receivers = static_cast<std::size_t>(flags.get_int("n", 30));
   spec.message_bytes = static_cast<std::uint64_t>(flags.get_int("bytes", 2 * 1024 * 1024));

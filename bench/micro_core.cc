@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "inet/ip.h"
 #include "net/frame.h"
 #include "net/frame_arena.h"
@@ -17,6 +18,13 @@
 #include "sim/simulator.h"
 
 namespace rmc {
+
+// External linkage on purpose: the compiler must assume some other TU can
+// attach a tracer, so the per-event null test in BM_EventChurnNullTrace
+// survives optimization — exactly the branch every instrumented tier pays
+// when no tracer is attached.
+trace::Tracer* g_bench_tracer = nullptr;
+
 namespace {
 
 void BM_SimulatorScheduleAndRun(benchmark::State& state) {
@@ -74,6 +82,42 @@ void BM_EventChurn(benchmark::State& state) {
 BENCHMARK(BM_EventChurn)
     ->Arg(static_cast<int>(sim::EventCoreKind::kPooledWheel))
     ->Arg(static_cast<int>(sim::EventCoreKind::kLegacyHeap));
+
+// The tracing-disabled overhead gate: BM_EventChurn's exact churn with the
+// null-sink hook pattern added to every executed event — load the tracer
+// pointer, test, skip. bench/smoke.sh fails if this runs more than 5%
+// slower than BM_EventChurn on the pooled core (the default), i.e. if
+// untraced runs ever start paying for the tracing subsystem.
+void BM_EventChurnNullTrace(benchmark::State& state) {
+  const auto core = static_cast<sim::EventCoreKind>(state.range(0));
+  state.SetLabel(sim::event_core_name(core));
+  for (auto _ : state) {
+    sim::Simulator sim(core);
+    std::uint64_t sink = 0;
+    std::array<std::uint64_t, 3> ctx{1, 2, 3};  // 32-byte capture with &sink
+    sim::EventId rto = sim::kInvalidEventId;
+    for (int i = 0; i < 1000; ++i) {
+      if (rto != sim::kInvalidEventId) sim.cancel(rto);
+      rto = sim.schedule_at(i + 100, [&sink, ctx] {
+        if (g_bench_tracer) {
+          g_bench_tracer->record(0, trace::EventKind::kSenderTx, 0);
+        }
+        sink += ctx[0];
+      });
+      sim.schedule_at(i, [&sink, ctx] {
+        if (g_bench_tracer) {
+          g_bench_tracer->record(0, trace::EventKind::kSenderTx, 0);
+        }
+        sink += ctx[1];
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventChurnNullTrace)
+    ->Arg(static_cast<int>(sim::EventCoreKind::kPooledWheel));
 
 // Cancel + re-arm of one timer, the tightest loop the RTO path has: no
 // event ever fires, so this isolates the bookkeeping cost of arming.

@@ -49,21 +49,29 @@ for bin in "$BENCH_DIR"/*; do
 done
 
 # Sweep determinism gate: --jobs=N must be byte-identical to --jobs=1, in
-# both the printed table and the merged metrics snapshot (the sweep
-# engine's core contract; tests/sweep_test.cc proves it at the API level,
-# this proves it end-to-end through real bench binaries). Three
+# the printed table, the merged metrics snapshot and the exported trace
+# (the sweep engine's core contract; tests/sweep_test.cc proves it at the
+# API level, this proves it end-to-end through real bench binaries). Three
 # representatives cover the three harness shapes: a Measurement grid
 # (fig10), a RunHandle table (tab02) and an ablation sweep (abl_loss_sweep).
+# The metrics snapshots are compared after dropping the meta "jobs" line —
+# the one field that legitimately records the worker count.
+strip_jobs_meta() { grep -v '^    "jobs": ' "$1"; }
 for name in fig10_ack_window tab02_control_load abl_loss_sweep; do
   bin="$BENCH_DIR/$name"
   [ -x "$bin" ] || continue
   if "$bin" --quick --jobs=1 "--metrics-out=$TMP_DIR/$name.serial.json" \
+       "--trace-out=$TMP_DIR/$name.serial.trace.json" \
        > "$TMP_DIR/$name.serial.out" 2> /dev/null \
      && "$bin" --quick --jobs=4 "--metrics-out=$TMP_DIR/$name.parallel.json" \
+       "--trace-out=$TMP_DIR/$name.parallel.trace.json" \
        > "$TMP_DIR/$name.parallel.out" 2> /dev/null \
      && cmp -s "$TMP_DIR/$name.serial.out" "$TMP_DIR/$name.parallel.out" \
-     && cmp -s "$TMP_DIR/$name.serial.json" "$TMP_DIR/$name.parallel.json"; then
-    echo "ok   $name sweep determinism (--jobs=4 == --jobs=1)"
+     && [ "$(strip_jobs_meta "$TMP_DIR/$name.serial.json")" = \
+          "$(strip_jobs_meta "$TMP_DIR/$name.parallel.json")" ] \
+     && cmp -s "$TMP_DIR/$name.serial.trace.json" \
+          "$TMP_DIR/$name.parallel.trace.json"; then
+    echo "ok   $name sweep determinism (--jobs=4 == --jobs=1, trace included)"
     pass=$((pass + 1))
   else
     echo "FAIL $name: --jobs=4 output differs from --jobs=1"
@@ -71,6 +79,63 @@ for name in fig10_ack_window tab02_control_load abl_loss_sweep; do
     fail=$((fail + 1))
   fi
 done
+
+# Trace export gate: the abl_loss_sweep trace written above must be a
+# well-formed Chrome trace-event file (loadable at ui.perfetto.dev) whose
+# attribution reports account for >= 95% of every run's time, and — on the
+# lossy points — trace every retransmission back to a tagged drop cause.
+if [ -n "$PYTHON" ] && [ -s "$TMP_DIR/abl_loss_sweep.serial.trace.json" ]; then
+  if "$PYTHON" - "$TMP_DIR/abl_loss_sweep.serial.trace.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc.get("traceEvents")
+if not isinstance(events, list) or not events:
+    sys.exit("trace-gate: traceEvents missing or empty")
+phases = set()
+for e in events:
+    # Metadata ("M") events carry no timestamp; everything else must.
+    keys = ("ph", "pid") if e.get("ph") == "M" else ("ph", "ts", "pid", "tid")
+    for key in keys:
+        if key not in e:
+            sys.exit(f"trace-gate: event missing {key}: {e}")
+    phases.add(e["ph"])
+for needed in ("M", "X", "i"):  # metadata, wire spans, protocol instants
+    if needed not in phases:
+        sys.exit(f"trace-gate: no '{needed}' events in trace")
+
+reports = doc.get("attribution")
+if not isinstance(reports, list) or not reports:
+    sys.exit("trace-gate: attribution reports missing")
+lossy = 0
+for r in reports:
+    frac = r["accounted_fraction"]
+    if frac < 0.95:
+        sys.exit(f"trace-gate: {r['label']}: accounted_fraction {frac} < 0.95")
+    retx = r["retransmissions"]
+    by_cause = r["retransmissions_by_cause"]
+    if retx != sum(by_cause.values()):
+        sys.exit(f"trace-gate: {r['label']}: by-cause sum != {retx}")
+    if retx > 0:
+        lossy += 1
+        if by_cause.get("unknown", 0) != 0:
+            sys.exit(f"trace-gate: {r['label']}: retransmissions left unattributed")
+if lossy == 0:
+    sys.exit("trace-gate: no lossy point exercised retransmission attribution")
+print(f"trace-gate: {len(reports)} runs, {lossy} lossy, all >= 95% accounted, "
+      f"every retransmission cause-tagged")
+EOF
+  then
+    echo "ok   abl_loss_sweep trace export + attribution gate"
+    pass=$((pass + 1))
+  else
+    echo "FAIL abl_loss_sweep: trace export failed validation"
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip trace export gate (trace file or python3 missing)"
+fi
 
 # Parallel speedup gate: the sweep engine exists to use the cores, so hold
 # it to that on machines that have them. abl_straggler --quick is a grid of
@@ -261,6 +326,68 @@ EOF
   fi
 else
   echo "skip micro_core event-core gate (binary or python3 missing)"
+fi
+
+# Tracing-disabled overhead gate: every instrumented tier guards its hooks
+# with one null-pointer test, and that test is all an untraced run may pay.
+# BM_EventChurnNullTrace is BM_EventChurn's exact churn plus the guarded
+# hook in every executed event; on the pooled core it must stay within 5%
+# of the uninstrumented baseline. Self-relative, like the engine gate.
+if [ -x "$MICRO" ] && [ -n "$PYTHON" ]; then
+  trace_json="$TMP_DIR/micro_core_trace.json"
+  trace_report="$BUILD_DIR/BENCH_trace_overhead.json"
+  if "$MICRO" "--benchmark_filter=^BM_EventChurn(NullTrace)?/0\$" \
+       --benchmark_repetitions=5 --benchmark_format=json \
+       > "$trace_json" 2> "$TMP_DIR/micro_core_trace.err"; then
+    if "$PYTHON" - "$trace_json" "$trace_report" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+# Best-of-repetitions per family: the minimum cpu_time is the least noisy
+# estimate of the true cost.
+best = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    family = b["name"].split("/")[0]
+    t = b["cpu_time"]
+    if family not in best or t < best[family]:
+        best[family] = t
+plain = best.get("BM_EventChurn")
+hooked = best.get("BM_EventChurnNullTrace")
+if plain is None or hooked is None:
+    print("trace-overhead-gate: benchmarks missing from output", file=sys.stderr)
+    sys.exit(1)
+ratio = hooked / plain
+report = {
+    "benchmark": "event_churn_null_trace",
+    "plain_cpu_time_ns": plain,
+    "null_trace_cpu_time_ns": hooked,
+    "null_trace_over_plain": round(ratio, 4),
+    "threshold": 1.05,
+    "pass": ratio <= 1.05,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"trace-overhead-gate: hooked/plain = {ratio:.3f} (threshold 1.05)")
+sys.exit(0 if ratio <= 1.05 else 1)
+EOF
+    then
+      echo "ok   micro_core trace-overhead gate ($trace_report)"
+      pass=$((pass + 1))
+    else
+      echo "FAIL micro_core: tracing-disabled hooks cost >5% on the event churn"
+      fail=$((fail + 1))
+    fi
+  else
+    echo "FAIL micro_core: BM_EventChurnNullTrace run failed"
+    sed 's/^/  | /' "$TMP_DIR/micro_core_trace.err" | tail -5
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip micro_core trace-overhead gate (binary or python3 missing)"
 fi
 
 echo "smoke: $pass passed, $fail failed"

@@ -59,6 +59,17 @@ void Registry::merge(const Registry& other) {
   for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
   for (const auto& [name, g] : other.gauges_) gauges_[name].set_max(g.value());
   for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  // Metadata folds as a union; a key whose value differs across folded
+  // registries (a sweep over several protocols, say) collapses to "mixed"
+  // — deterministically, whatever the fold order.
+  for (const auto& [key, value] : other.meta_) {
+    auto it = meta_.find(key);
+    if (it == meta_.end()) {
+      meta_.emplace(key, value);
+    } else if (it->second != value) {
+      it->second = "mixed";
+    }
+  }
 }
 
 const CounterMetric* Registry::find_counter(const std::string& name) const {
@@ -76,10 +87,16 @@ const LatencyHistogram* Registry::find_histogram(const std::string& name) const 
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const std::string* Registry::find_meta(const std::string& key) const {
+  auto it = meta_.find(key);
+  return it == meta_.end() ? nullptr : &it->second;
+}
+
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  meta_.clear();
 }
 
 namespace {
@@ -117,8 +134,21 @@ void append_json_double(std::string& out, double v) {
 }  // namespace
 
 std::string Registry::to_json() const {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n";
   bool first = true;
+  if (!meta_.empty()) {
+    out += "  \"meta\": {";
+    for (const auto& [key, value] : meta_) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      append_json_string(out, key);
+      out += ": ";
+      append_json_string(out, value);
+    }
+    out += "\n  },\n";
+  }
+  out += "  \"counters\": {";
+  first = true;
   for (const auto& [name, c] : counters_) {
     out += first ? "\n    " : ",\n    ";
     first = false;

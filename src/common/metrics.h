@@ -96,6 +96,12 @@ class LatencyHistogram {
 class Registry {
  public:
   CounterMetric& counter(const std::string& name) { return counters_[name]; }
+  // Free-form snapshot metadata (binary name, protocol, seed, jobs, git
+  // version...): makes a `--metrics-out` file self-describing. Not a
+  // metric — never merged numerically; see merge() for the fold rule.
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   LatencyHistogram& histogram(const std::string& name) { return histograms_[name]; }
 
@@ -103,6 +109,8 @@ class Registry {
   const CounterMetric* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const LatencyHistogram* find_histogram(const std::string& name) const;
+  // Null when the key was never set.
+  const std::string* find_meta(const std::string& key) const;
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
@@ -117,7 +125,8 @@ class Registry {
   void merge(const Registry& other);
 
   // Snapshot as one JSON object:
-  //   {"counters": {name: value, ...},
+  //   {"meta": {key: value, ...},        — elided when no metadata was set
+  //    "counters": {name: value, ...},
   //    "gauges": {name: value, ...},
   //    "histograms": {name: {"count": n, "min_us": ..., "max_us": ...,
   //                          "mean_us": ..., "p50_us": ..., "p95_us": ...,
@@ -132,11 +141,13 @@ class Registry {
   const std::map<std::string, LatencyHistogram>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, std::string>& meta() const { return meta_; }
 
  private:
   std::map<std::string, CounterMetric> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, std::string> meta_;
 };
 
 }  // namespace rmc::metrics

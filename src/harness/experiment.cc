@@ -1,12 +1,15 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 
 #include "baseline/raw_udp.h"
 #include "baseline/sim_tcp.h"
 #include "common/panic.h"
 #include "common/strings.h"
 #include "harness/testbed.h"
+#include "harness/trace_export.h"
 #include "rmcast/receiver.h"
 #include "rmcast/sender.h"
 
@@ -236,10 +239,23 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
         bed.receiver_runtime(i), bed.receiver_data_socket(i),
         bed.receiver_control_socket(i), bed.membership(), i, spec.protocol));
     if (spec.metrics != nullptr) receivers[i]->set_metrics(spec.metrics);
+    if (spec.tracer != nullptr) {
+      receivers[i]->set_tracer(
+          spec.tracer, spec.tracer->track(str_format("receiver.%zu", i),
+                                          trace::TrackTier::kReceiver));
+    }
     receivers[i]->set_message_handler(
         [&, i](const Buffer& received, std::uint32_t /*session*/) {
           delivered_ok[i] = !spec.verify_payload || received == message;
         });
+  }
+
+  if (spec.tracer != nullptr) {
+    trace::Tracer& tr = *spec.tracer;
+    tr.set_packet_tagger(tag_rmcast_packet);
+    sender.set_tracer(&tr, tr.track("sender", trace::TrackTier::kSender));
+    bed.cluster().attach_tracer(&tr);
+    trace_fault_plan(tr, spec.faults);
   }
 
   bool done = false;
@@ -250,6 +266,51 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
                 completed_at = bed.simulator().now();
                 result.outcome = outcome;
               });
+
+  // Sim-time timeline sampler: a repeating read-only snapshot of queue
+  // depths, the outstanding window and the send/retransmit rates. It only
+  // observes and reschedules, so protocol behavior (and every other
+  // event's relative order) is untouched; it stops rescheduling at
+  // completion so the simulation still drains.
+  std::function<void()> sample_tick;
+  std::uint16_t timeline_track = 0;
+  std::uint32_t s_nic_queue = 0, s_switch_queue = 0, s_outstanding = 0;
+  std::uint32_t s_tx_rate = 0, s_retx_rate = 0;
+  std::uint64_t last_tx = 0, last_retx = 0;
+  if (spec.tracer != nullptr && spec.timeline_interval > 0) {
+    trace::Tracer& tr = *spec.tracer;
+    timeline_track = tr.track("timeline", trace::TrackTier::kTimeline);
+    s_nic_queue = tr.series("sender_nic.queue_frames");
+    s_switch_queue = tr.series("switch.max_port_queue_frames");
+    s_outstanding = tr.series("sender.outstanding_pkts");
+    s_tx_rate = tr.series("sender.tx_pkts_per_interval");
+    s_retx_rate = tr.series("sender.retx_pkts_per_interval");
+    sample_tick = [&] {
+      if (done) return;
+      trace::Tracer& t = *spec.tracer;
+      const sim::Time now = bed.simulator().now();
+      const net::TxPort* nic = bed.cluster().host_nic(0);
+      t.sample(now, timeline_track, s_nic_queue,
+               nic != nullptr ? static_cast<double>(nic->queue_length()) : 0.0);
+      std::size_t switch_depth = 0;
+      for (const auto& sw : bed.cluster().switches()) {
+        switch_depth = std::max(switch_depth, sw->max_port_queue_now());
+      }
+      t.sample(now, timeline_track, s_switch_queue,
+               static_cast<double>(switch_depth));
+      t.sample(now, timeline_track, s_outstanding,
+               static_cast<double>(sender.outstanding_packets()));
+      const rmcast::SenderStats& st = sender.stats();
+      t.sample(now, timeline_track, s_tx_rate,
+               static_cast<double>(st.data_packets_sent - last_tx));
+      t.sample(now, timeline_track, s_retx_rate,
+               static_cast<double>(st.retransmissions - last_retx));
+      last_tx = st.data_packets_sent;
+      last_retx = st.retransmissions;
+      bed.simulator().schedule_at(now + spec.timeline_interval, sample_tick);
+    };
+    bed.simulator().schedule_at(spec.timeline_interval, sample_tick);
+  }
 
   run_to(bed.simulator(), done, spec.time_limit);
 
@@ -265,6 +326,11 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
     result.sender_nic_busy_seconds = sim::to_seconds(nic->stats().busy_time);
   }
   if (spec.metrics != nullptr) {
+    // Run provenance for the snapshot's "meta" block. Accumulating
+    // registries keep the last run's values; merge() collapses
+    // disagreements to "mixed".
+    spec.metrics->set_meta("protocol", rmcast::protocol_name(spec.protocol.kind));
+    spec.metrics->set_meta("seed", std::to_string(spec.seed));
     // Export even for failed runs: a timeout's counters show where the
     // packets went (or stopped going).
     export_run_metrics(bed, result, done, *spec.metrics);

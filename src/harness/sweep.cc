@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -135,6 +136,7 @@ struct SweepRunner::Job {
   Task task;
   RunResult result;
   std::unique_ptr<metrics::Registry> metrics;  // private per-point registry
+  std::unique_ptr<trace::Tracer> tracer;       // private per-point trace
   bool done = false;
   bool claimed = false;  // picked up by some worker (or the inline path)
   bool queued = false;   // sitting in some worker's deque
@@ -151,6 +153,8 @@ struct SweepRunner::Impl {
   // Ticket -> job, in submission order. Distinct tickets may point at the
   // same Job.
   std::vector<std::shared_ptr<Job>> tickets;
+  // Ticket -> trace label (only filled when a trace sink is configured).
+  std::vector<std::string> labels;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> cache;
   // Per-worker deques of pending jobs. Owner pops front, thieves pop back.
   std::vector<std::deque<std::shared_ptr<Job>>> queues;
@@ -178,13 +182,19 @@ struct SweepRunner::Impl {
   // into the sink. Caller holds `mu`. Tickets fold strictly in submission
   // order, so the sink accumulates exactly as a serial sweep would.
   void fold_ready() {
-    if (options.metrics == nullptr) {
+    if (options.metrics == nullptr && options.trace == nullptr) {
       fold_cursor = tickets.size();
       return;
     }
     while (fold_cursor < tickets.size() && tickets[fold_cursor]->done) {
-      if (tickets[fold_cursor]->metrics) {
-        options.metrics->merge(*tickets[fold_cursor]->metrics);
+      Job& job = *tickets[fold_cursor];
+      if (options.metrics != nullptr && job.metrics) {
+        options.metrics->merge(*job.metrics);
+      }
+      // Cache-hit tickets append a copy per ticket, exactly as if the
+      // point had been re-run serially.
+      if (options.trace != nullptr && job.tracer) {
+        options.trace->append(labels[fold_cursor], *job.tracer);
       }
       ++fold_cursor;
     }
@@ -226,13 +236,17 @@ struct SweepRunner::Impl {
     }
   }
 
-  Ticket enqueue(std::shared_ptr<Job> job) {
+  Ticket enqueue(std::shared_ptr<Job> job, std::string label = {}) {
     Ticket ticket;
     bool run_inline = false;
     {
       std::lock_guard<std::mutex> lock(mu);
       ticket = tickets.size();
       tickets.push_back(job);
+      if (options.trace != nullptr) {
+        labels.push_back(label.empty() ? "point" + std::to_string(ticket)
+                                       : std::move(label));
+      }
       ++stats.submitted;
       if (job->done) {
         // Cache hit on an already-finished job: fold it through (or let
@@ -310,23 +324,32 @@ SweepRunner::~SweepRunner() {
   for (std::thread& t : impl_->workers) t.join();
 }
 
-SweepRunner::Ticket SweepRunner::submit(const MulticastRunSpec& spec) {
+SweepRunner::Ticket SweepRunner::submit(const MulticastRunSpec& spec,
+                                        std::string trace_label) {
   auto make_job = [&] {
     auto job = std::make_shared<Job>();
-    MulticastRunSpec point = spec;
-    job->task = [point](metrics::Registry* reg) {
-      MulticastRunSpec s = point;
-      s.metrics = reg;
-      return run_multicast(s);
-    };
     if (impl_->options.metrics != nullptr) {
       job->metrics = std::make_unique<metrics::Registry>();
     }
+    if (impl_->options.trace != nullptr) {
+      job->tracer = std::make_unique<trace::Tracer>();
+    }
+    MulticastRunSpec point = spec;
+    trace::Tracer* tracer = job->tracer.get();
+    job->task = [point, tracer](metrics::Registry* reg) {
+      MulticastRunSpec s = point;
+      s.metrics = reg;
+      if (tracer != nullptr) s.tracer = tracer;
+      return run_multicast(s);
+    };
     return job;
   };
 
-  // Traces are an out-of-band output a cached result cannot replay.
-  const bool cacheable = impl_->options.cache && spec.sender_trace == nullptr;
+  // Caller-owned trace pointers are out-of-band outputs a cached result
+  // cannot replay. The runner's own per-job tracers are fine: a cache hit
+  // folds a copy of the shared job's trace per ticket.
+  const bool cacheable = impl_->options.cache && spec.sender_trace == nullptr &&
+                         spec.tracer == nullptr;
   std::shared_ptr<Job> job;
   if (cacheable) {
     const std::uint64_t fp = spec_fingerprint(spec);
@@ -342,7 +365,7 @@ SweepRunner::Ticket SweepRunner::submit(const MulticastRunSpec& spec) {
   } else {
     job = make_job();
   }
-  return impl_->enqueue(std::move(job));
+  return impl_->enqueue(std::move(job), std::move(trace_label));
 }
 
 SweepRunner::Ticket SweepRunner::submit_task(Task task) {

@@ -38,9 +38,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/trace_export.h"
 
 namespace rmc::harness {
 
@@ -68,6 +70,11 @@ class SweepRunner {
     // Sink the per-point registries fold into, in ticket order. Null
     // disables per-point registries entirely.
     metrics::Registry* metrics = nullptr;
+    // Trace sink: when set, every multicast point runs with a private
+    // trace::Tracer and the finished traces are appended here strictly in
+    // ticket order (cache hits append a copy per ticket), so the log is
+    // byte-identical for --jobs=1 and --jobs=N. Null disables tracing.
+    TraceLog* trace = nullptr;
     // Deduplicate identical specs by fingerprint.
     bool cache = true;
   };
@@ -89,13 +96,15 @@ class SweepRunner {
 
   // Enqueues one simulation point. Cacheable: an identical spec already
   // submitted shares its execution. The spec's `metrics` field is ignored
-  // (the runner supplies the private registry); a spec carrying a
-  // sender_trace bypasses the cache (the trace is an out-of-band output
-  // the cache cannot replay).
-  Ticket submit(const MulticastRunSpec& spec);
+  // (the runner supplies the private registry), and so is its `tracer`
+  // when the runner has a trace sink; a spec carrying a sender_trace or
+  // its own tracer bypasses the cache (out-of-band outputs the cache
+  // cannot replay). `trace_label` names the point in the trace log
+  // (defaults to "point<ticket>").
+  Ticket submit(const MulticastRunSpec& spec, std::string trace_label = {});
 
   // Enqueues an arbitrary task (TCP/UDP baselines, bespoke probes).
-  // Never cached.
+  // Never cached, never traced.
   Ticket submit_task(Task task);
 
   // Blocks until the ticket's point has run (helping is not needed: with

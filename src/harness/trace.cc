@@ -13,8 +13,22 @@ const char* TraceRecorder::kind_name(Kind kind) {
     case Kind::kNak: return "nak";
     case Kind::kTimeout: return "timeout";
     case Kind::kComplete: return "complete";
+    case Kind::kData: return "data";
+    case Kind::kDuplicate: return "duplicate";
+    case Kind::kAckSent: return "ack_sent";
+    case Kind::kNakSent: return "nak_sent";
+    case Kind::kNakSuppressed: return "nak_suppressed";
+    case Kind::kRepairSent: return "repair_sent";
+    case Kind::kRepairSuppressed: return "repair_suppressed";
+    case Kind::kDeliver: return "deliver";
   }
   return "unknown";
+}
+
+rmcast::ReceiverObserver* TraceRecorder::receiver_tap(std::size_t node) {
+  taps_.push_back(
+      std::make_unique<ReceiverTap>(*this, static_cast<std::uint32_t>(node)));
+  return taps_.back().get();
 }
 
 std::size_t TraceRecorder::count(Kind kind) const {
@@ -23,11 +37,17 @@ std::size_t TraceRecorder::count(Kind kind) const {
                     [kind](const Event& e) { return e.kind == kind; }));
 }
 
+std::size_t TraceRecorder::count_node(std::uint32_t node) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [node](const Event& e) { return e.node == node; }));
+}
+
 void TraceRecorder::write_csv(std::FILE* out) const {
-  std::fprintf(out, "seconds,kind,session,a,b\n");
+  std::fprintf(out, "seconds,kind,node,session,a,b\n");
   for (const Event& e : events_) {
-    std::fprintf(out, "%.9f,%s,%u,%u,%u\n", e.seconds, kind_name(e.kind), e.session,
-                 e.a, e.b);
+    std::fprintf(out, "%.9f,%s,%u,%u,%u,%u\n", e.seconds, kind_name(e.kind), e.node,
+                 e.session, e.a, e.b);
   }
 }
 

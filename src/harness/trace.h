@@ -1,27 +1,54 @@
-// Protocol trace recording: a SenderObserver that timestamps every
-// protocol event, for post-mortem analysis of a run (CSV export) and for
-// tests that assert event ordering.
+// Protocol trace recording: one recorder timestamps every protocol event
+// on both sides of a transfer — the sender's (it is a SenderObserver
+// itself) and each receiver's (via per-node taps) — for post-mortem
+// analysis of a run (CSV export) and for tests that assert event ordering.
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rmcast/observer.h"
+#include "rmcast/wire.h"
 #include "runtime/runtime.h"
 
 namespace rmc::harness {
 
 class TraceRecorder final : public rmcast::SenderObserver {
  public:
-  enum class Kind { kAllocRequest, kTransmit, kRetransmit, kAck, kNak, kTimeout, kComplete };
+  enum class Kind {
+    // Sender side.
+    kAllocRequest,
+    kTransmit,
+    kRetransmit,
+    kAck,      // acknowledgment arrived at the sender
+    kNak,      // NAK arrived at the sender
+    kTimeout,
+    kComplete,
+    // Receiver side (recorded through receiver_tap()).
+    kData,       // accepted data packet (in-order or buffered)
+    kDuplicate,  // counted duplicate data packet
+    kAckSent,
+    kNakSent,
+    kNakSuppressed,
+    kRepairSent,
+    kRepairSuppressed,
+    kDeliver,
+  };
+
+  // Node id stamped on sender-side events (receiver ids are their own).
+  static constexpr std::uint32_t kSenderNode = rmcast::kSenderNodeId;
 
   struct Event {
     double seconds;  // runtime clock at the event
     Kind kind;
+    std::uint32_t node;  // kSenderNode, or the receiver's node id
     std::uint32_t session;
     // kTransmit/kRetransmit: seq, flags. kAck/kNak: node, seq/cum.
     // kTimeout: base, 0. kAllocRequest: total packets, 0.
+    // kData/kDuplicate: seq, flags. kAckSent: cum. kNakSent/kRepair*: seq.
+    // kNakSuppressed: seq, reason. kDeliver: bytes (truncated to 32 bits).
     std::uint32_t a = 0;
     std::uint32_t b = 0;
 
@@ -33,41 +60,88 @@ class TraceRecorder final : public rmcast::SenderObserver {
   explicit TraceRecorder(rt::Runtime& runtime) : rt_(runtime) {}
 
   void on_alloc_request(std::uint32_t session, std::uint32_t total) override {
-    record(Kind::kAllocRequest, session, total, 0);
+    record(Kind::kAllocRequest, kSenderNode, session, total, 0);
   }
   void on_transmit(std::uint32_t session, std::uint32_t seq, std::uint8_t flags,
                    bool retransmission) override {
-    record(retransmission ? Kind::kRetransmit : Kind::kTransmit, session, seq, flags);
+    record(retransmission ? Kind::kRetransmit : Kind::kTransmit, kSenderNode, session,
+           seq, flags);
   }
   void on_ack(std::uint32_t session, std::uint16_t node, std::uint32_t cum) override {
-    record(Kind::kAck, session, node, cum);
+    record(Kind::kAck, kSenderNode, session, node, cum);
   }
   void on_nak(std::uint32_t session, std::uint16_t node, std::uint32_t seq) override {
-    record(Kind::kNak, session, node, seq);
+    record(Kind::kNak, kSenderNode, session, node, seq);
   }
   void on_timeout(std::uint32_t session, std::uint32_t base) override {
-    record(Kind::kTimeout, session, base, 0);
+    record(Kind::kTimeout, kSenderNode, session, base, 0);
   }
   void on_complete(std::uint32_t session) override {
-    record(Kind::kComplete, session, 0, 0);
+    record(Kind::kComplete, kSenderNode, session, 0, 0);
   }
+
+  // Receiver-side tap for node `node`: a ReceiverObserver (owned by the
+  // recorder, valid for its lifetime) whose events land in the same
+  // time-ordered stream, stamped with the node id.
+  rmcast::ReceiverObserver* receiver_tap(std::size_t node);
 
   const std::vector<Event>& events() const { return events_; }
   std::size_t count(Kind kind) const;
+  // Events recorded by node `node`'s tap (or the sender with kSenderNode).
+  std::size_t count_node(std::uint32_t node) const;
   void clear() { events_.clear(); }
 
-  // One row per event: seconds,kind,session,a,b
+  // One row per event: seconds,kind,node,session,a,b
   void write_csv(std::FILE* out) const;
 
   static const char* kind_name(Kind kind);
 
  private:
-  void record(Kind kind, std::uint32_t session, std::uint32_t a, std::uint32_t b) {
-    events_.push_back(Event{sim::to_seconds(rt_.now()), kind, session, a, b});
+  class ReceiverTap final : public rmcast::ReceiverObserver {
+   public:
+    ReceiverTap(TraceRecorder& recorder, std::uint32_t node)
+        : recorder_(recorder), node_(node) {}
+
+    void on_data(std::uint32_t session, std::uint32_t seq, std::uint8_t flags,
+                 bool duplicate) override {
+      recorder_.record(duplicate ? Kind::kDuplicate : Kind::kData, node_, session, seq,
+                       flags);
+    }
+    void on_ack_sent(std::uint32_t session, std::uint32_t cum) override {
+      recorder_.record(Kind::kAckSent, node_, session, cum, 0);
+    }
+    void on_nak_sent(std::uint32_t session, std::uint32_t seq) override {
+      recorder_.record(Kind::kNakSent, node_, session, seq, 0);
+    }
+    void on_nak_suppressed(std::uint32_t session, std::uint32_t seq,
+                           rmcast::NakSuppressReason reason) override {
+      recorder_.record(Kind::kNakSuppressed, node_, session, seq,
+                       static_cast<std::uint32_t>(reason));
+    }
+    void on_repair_sent(std::uint32_t session, std::uint32_t seq) override {
+      recorder_.record(Kind::kRepairSent, node_, session, seq, 0);
+    }
+    void on_repair_suppressed(std::uint32_t session, std::uint32_t seq) override {
+      recorder_.record(Kind::kRepairSuppressed, node_, session, seq, 0);
+    }
+    void on_deliver(std::uint32_t session, std::uint64_t bytes) override {
+      recorder_.record(Kind::kDeliver, node_, session,
+                       static_cast<std::uint32_t>(bytes), 0);
+    }
+
+   private:
+    TraceRecorder& recorder_;
+    std::uint32_t node_;
+  };
+
+  void record(Kind kind, std::uint32_t node, std::uint32_t session, std::uint32_t a,
+              std::uint32_t b) {
+    events_.push_back(Event{sim::to_seconds(rt_.now()), kind, node, session, a, b});
   }
 
   rt::Runtime& rt_;
   std::vector<Event> events_;
+  std::vector<std::unique_ptr<ReceiverTap>> taps_;
 };
 
 }  // namespace rmc::harness

@@ -106,6 +106,27 @@ void Cluster::apply_fault_plan(const sim::FaultPlan& plan, std::size_t host_offs
   }
 }
 
+void Cluster::attach_tracer(trace::Tracer* tracer) {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i]->set_tracer(
+        tracer, tracer == nullptr
+                    ? 0
+                    : tracer->track("net." + hosts_[i]->name(),
+                                    trace::TrackTier::kNet));
+    if (i < nics_.size() && nics_[i] != nullptr) {
+      nics_[i]->set_tracer(
+          tracer, tracer == nullptr
+                      ? 0
+                      : tracer->track("net." + hosts_[i]->name() + ".nic",
+                                      trace::TrackTier::kNet));
+    }
+  }
+  for (std::size_t s = 0; s < switches_.size(); ++s) {
+    switches_[s]->set_tracer(tracer, "net.switch" + std::to_string(s));
+  }
+  if (bus_) bus_->set_tracer(tracer, "net.bus");
+}
+
 void Cluster::build_switched(std::size_t n_switch_a) {
   n_switch_a_ = n_switch_a;
   const std::size_t n = hosts_.size();

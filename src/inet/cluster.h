@@ -90,6 +90,13 @@ class Cluster {
   // convention: sender on host 0, receiver i on host i + 1).
   void apply_fault_plan(const sim::FaultPlan& plan, std::size_t host_offset = 1);
 
+  // Causal tracing: attaches `tracer` to every network element — one track
+  // per host ("net.P0"), host NIC ("net.P0.nic"), switch port
+  // ("net.switch0.portP") and bus station ("net.bus.stationS") — so every
+  // enqueue, wire serialization and drop in the cluster lands in the
+  // trace. Null detaches everywhere.
+  void attach_tracer(trace::Tracer* tracer);
+
  private:
   void build_switched(std::size_t n_switch_a);
   void build_bus();

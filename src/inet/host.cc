@@ -158,10 +158,16 @@ void Host::send_datagram(Socket& socket, const net::Endpoint& dst, Buffer payloa
       RMC_ENSURE(mac_resolver_ != nullptr, "no MAC resolver configured");
       dst_mac = mac_resolver_(datagram.dst.addr);
     }
+    const std::uint32_t tag =
+        tracer_ == nullptr ? 0u
+                           : tracer_->tag_packet(datagram.payload.data(),
+                                                 datagram.payload.size());
     for (IpFragment& fragment : fragment_datagram(datagram, ident)) {
       ++stats_.frames_out;
       if (frame_output_) {
-        frame_output_(net::make_frame(dst_mac, mac_, fragment.serialize_arena()));
+        net::Frame frame = net::make_frame(dst_mac, mac_, fragment.serialize_arena());
+        frame.trace_tag = tag;
+        frame_output_(std::move(frame));
       }
     }
   }, wire_bytes});
@@ -208,6 +214,12 @@ void Host::deliver(Datagram datagram, std::size_t n_fragments) {
     Socket* s = socket.get();
     if (s->pending_bytes_ + datagram.payload.size() > s->rcvbuf_bytes_) {
       ++s->stats_.rcvbuf_drops;
+      if (tracer_) {
+        tracer_->drop(sim_.now(), trace_track_,
+                      tracer_->tag_packet(datagram.payload.data(),
+                                          datagram.payload.size()),
+                      trace::DropCause::kRcvbufOverflow);
+      }
       RMC_TRACE("%s: rcvbuf overflow on port %u", name_.c_str(), s->port_);
       continue;
     }

@@ -114,6 +114,15 @@ class Host {
     return [this](const net::Frame& frame) { handle_frame(frame); };
   }
 
+  // Causal tracing: stamps every outgoing frame with the tracer's packet
+  // tag for the datagram it carries (all fragments share the tag) and
+  // records socket receive-buffer overflows onto `track` as drops with
+  // cause kRcvbufOverflow. Null detaches.
+  void set_tracer(trace::Tracer* tracer, std::uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   // Unicast IP -> MAC resolution (the cluster provides a static table; the
   // testbed's ARP traffic is not modelled).
   void set_mac_resolver(std::function<net::MacAddr(net::Ipv4Addr)> resolver) {
@@ -179,6 +188,8 @@ class Host {
   net::MacAddr mac_;
   HostParams params_;
   net::FrameSink frame_output_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_track_ = 0;
   std::function<net::MacAddr(net::Ipv4Addr)> mac_resolver_;
   std::function<void(net::MacAddr, bool)> membership_observer_;
   std::function<std::size_t()> nic_backlog_fn_;

@@ -34,10 +34,28 @@ FrameSink EthernetSwitch::attach(std::size_t port, FrameSink deliver) {
   return [this, port](const Frame& frame) { handle_frame(port, frame); };
 }
 
+void EthernetSwitch::set_tracer(trace::Tracer* tracer, const std::string& prefix) {
+  tracer_ = tracer;
+  if (tracer != nullptr) {
+    ingress_track_ = tracer->track(prefix + ".ingress", trace::TrackTier::kNet);
+  }
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i]->set_tracer(
+        tracer, tracer == nullptr
+                    ? 0
+                    : tracer->track(prefix + ".port" + std::to_string(i),
+                                    trace::TrackTier::kNet));
+  }
+}
+
 void EthernetSwitch::handle_frame(std::size_t ingress_port, const Frame& frame) {
   RMC_ENSURE(ingress_port < ports_.size(), "ingress port out of range");
   if (!port_up_[ingress_port]) {
     ++stats_.frames_link_down;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), ingress_track_, frame.trace_tag,
+                    trace::DropCause::kLinkDown);
+    }
     return;
   }
   // Learn the station behind the ingress port. Group addresses are never
@@ -93,6 +111,14 @@ std::size_t EthernetSwitch::max_port_queue_hwm() const {
     hwm = std::max(hwm, port->stats().peak_queue_frames);
   }
   return hwm;
+}
+
+std::size_t EthernetSwitch::max_port_queue_now() const {
+  std::size_t depth = 0;
+  for (const auto& port : ports_) {
+    depth = std::max(depth, port->queue_length());
+  }
+  return depth;
 }
 
 void EthernetSwitch::enqueue(std::size_t egress_port, const Frame& frame) {

@@ -60,6 +60,11 @@ class EthernetSwitch {
 
   const TxPort& port_tx(std::size_t port) const { return *ports_[port]; }
 
+  // Causal tracing: gives every egress port its own track named
+  // "<prefix>.portP" on `tracer` and records ingress drops on downed
+  // ports (cause kLinkDown) onto "<prefix>.ingress". Null detaches.
+  void set_tracer(trace::Tracer* tracer, const std::string& prefix);
+
   struct Stats {
     std::uint64_t frames_forwarded = 0;
     std::uint64_t frames_flooded = 0;
@@ -73,11 +78,17 @@ class EthernetSwitch {
   // congestion signal the per-port TxPort stats aggregate to.
   std::size_t max_port_queue_hwm() const;
 
+  // Deepest egress queue right now (queued + transmitting), in frames —
+  // what the timeline sampler snapshots.
+  std::size_t max_port_queue_now() const;
+
  private:
   void enqueue(std::size_t egress_port, const Frame& frame);
 
   sim::Simulator& sim_;
   SwitchParams params_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t ingress_track_ = 0;
   std::vector<std::unique_ptr<TxPort>> ports_;
   std::vector<bool> port_up_;
   std::unordered_map<MacAddr, std::size_t> fdb_;  // forwarding database

@@ -32,6 +32,11 @@ struct Frame {
   // transmitted (fault hooks that tamper go through PayloadRef's
   // copy-on-write).
   PayloadRef payload;
+  // Opaque packet tag for causal tracing (common/trace.h): stamped by the
+  // sending host when a tracer is attached, carried unchanged across
+  // switch hops and fragment copies so a drop anywhere on the path can
+  // name the protocol packet it killed. 0 = untraced.
+  std::uint32_t trace_tag = 0;
 
   std::size_t payload_size() const { return payload.size(); }
 

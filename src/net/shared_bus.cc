@@ -28,11 +28,26 @@ std::size_t SharedBus::station_queue_hwm(std::size_t id) const {
   return stations_.at(id).queue_hwm;
 }
 
+void SharedBus::set_tracer(trace::Tracer* tracer, const std::string& prefix) {
+  tracer_ = tracer;
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    stations_[i].trace_track =
+        tracer == nullptr
+            ? 0
+            : tracer->track(prefix + ".station" + std::to_string(i),
+                            trace::TrackTier::kNet);
+  }
+}
+
 void SharedBus::send(std::size_t id, Frame frame) {
   RMC_ENSURE(id < stations_.size(), "unknown bus station");
   Station& station = stations_[id];
   if (station.queue.size() >= params_.queue_frames) {
     ++stats_.queue_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), station.trace_track, frame.trace_tag,
+                    trace::DropCause::kQueueOverflow);
+    }
     if (station.dequeue_hook) station.dequeue_hook(frame.wire_bytes());
     return;
   }
@@ -40,6 +55,11 @@ void SharedBus::send(std::size_t id, Frame frame) {
   station.queue.push_back(std::move(frame));
   ++stats_.frames_enqueued;
   station.queue_hwm = std::max(station.queue_hwm, station.queue.size());
+  if (tracer_) {
+    tracer_->record(sim_.now(), trace::EventKind::kEnqueue, station.trace_track,
+                    station.queue.back().trace_tag,
+                    static_cast<std::uint32_t>(station.queue.size()));
+  }
   // If the station is already transmitting or waiting out a backoff, the
   // frame just queues behind; otherwise start an attempt now.
   if (!station.backoff_pending && station.queue.size() == 1) attempt(id);
@@ -125,6 +145,11 @@ void SharedBus::schedule_backoff(std::size_t id, sim::Time from) {
     station.attempts = 0;
     if (!station.queue.empty()) {
       std::size_t bytes = station.queue.front().wire_bytes();
+      if (tracer_) {
+        tracer_->drop(sim_.now(), station.trace_track,
+                      station.queue.front().trace_tag,
+                      trace::DropCause::kCollision);
+      }
       station.queued_wire_bytes -= bytes;
       station.queue.pop_front();
       if (station.dequeue_hook) station.dequeue_hook(bytes);
@@ -159,6 +184,11 @@ void SharedBus::complete(std::size_t id) {
   station.attempts = 0;
   ++stats_.frames_delivered;
   stats_.busy_time += serialization;
+  if (tracer_) {
+    tracer_->record(sim_.now() - serialization - params_.propagation,
+                    trace::EventKind::kWireTx, station.trace_track,
+                    frame.trace_tag, static_cast<std::uint32_t>(serialization));
+  }
 
   for (std::size_t s = 0; s < stations_.size(); ++s) {
     if (s != id && stations_[s].deliver) stations_[s].deliver(frame);

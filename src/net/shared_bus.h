@@ -60,6 +60,11 @@ class SharedBus {
   // High-water mark of station `id`'s transmit queue, in frames.
   std::size_t station_queue_hwm(std::size_t id) const;
 
+  // Causal tracing: one track per station ("<prefix>.stationS") carrying
+  // enqueue / wire / drop events; collision give-ups are drops with cause
+  // kCollision. Must be called after all stations are registered.
+  void set_tracer(trace::Tracer* tracer, const std::string& prefix);
+
   struct Stats {
     std::uint64_t frames_delivered = 0;
     std::uint64_t frames_enqueued = 0;  // accepted into a station queue
@@ -79,6 +84,7 @@ class SharedBus {
     std::size_t queued_wire_bytes = 0;
     std::size_t queue_hwm = 0;  // deepest the queue has ever been
     std::function<void(std::size_t)> dequeue_hook;
+    std::uint16_t trace_track = 0;
     int attempts = 0;
     bool backoff_pending = false;  // an attempt is already scheduled
   };
@@ -101,6 +107,7 @@ class SharedBus {
   sim::Simulator& sim_;
   BusParams params_;
   Rng& rng_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<Station> stations_;
   std::vector<ActiveTx> active_;
   Stats stats_;

@@ -17,11 +17,19 @@ TxPort::TxPort(sim::Simulator& simulator, LinkParams params, Rng* rng)
 void TxPort::send(Frame frame) {
   if (!link_up_) {
     ++stats_.link_down_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), trace_track_, frame.trace_tag,
+                    trace::DropCause::kLinkDown);
+    }
     if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
     return;
   }
   if (transmitting_ && queue_.size() >= params_.queue_frames) {
     ++stats_.queue_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), trace_track_, frame.trace_tag,
+                    trace::DropCause::kQueueOverflow);
+    }
     if (dequeue_hook_) dequeue_hook_(frame.wire_bytes());
     return;
   }
@@ -29,6 +37,11 @@ void TxPort::send(Frame frame) {
   queue_.push_back(std::move(frame));
   ++stats_.frames_enqueued;
   stats_.peak_queue_frames = std::max(stats_.peak_queue_frames, queue_length());
+  if (tracer_) {
+    tracer_->record(sim_.now(), trace::EventKind::kEnqueue, trace_track_,
+                    queue_.back().trace_tag,
+                    static_cast<std::uint32_t>(queue_length()));
+  }
   if (!transmitting_) start_next();
 }
 
@@ -47,6 +60,10 @@ void TxPort::start_next() {
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.wire_bytes();
   stats_.busy_time += tx_time;
+  if (tracer_) {
+    tracer_->record(sim_.now(), trace::EventKind::kWireTx, trace_track_,
+                    frame.trace_tag, static_cast<std::uint32_t>(tx_time));
+  }
 
   const bool corrupted = params_.frame_error_rate > 0.0 && rng_ != nullptr &&
                          rng_->chance(params_.frame_error_rate);
@@ -56,10 +73,22 @@ void TxPort::start_next() {
     // The carrier dropped while this frame was queued: it serializes into
     // a dead wire.
     ++stats_.link_down_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), trace_track_, frame.trace_tag,
+                    trace::DropCause::kLinkDown);
+    }
   } else if (corrupted) {
     ++stats_.error_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), trace_track_, frame.trace_tag,
+                    trace::DropCause::kFrameError);
+    }
   } else if (burst_lost) {
     ++stats_.burst_drops;
+    if (tracer_) {
+      tracer_->drop(sim_.now(), trace_track_, frame.trace_tag,
+                    trace::DropCause::kBurstLoss);
+    }
   } else {
     // Store-and-forward: the frame is delivered once fully serialized plus
     // the wire propagation delay. Injected reordering holds the delivery

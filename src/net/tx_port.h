@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "net/frame.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -76,6 +77,15 @@ class TxPort {
   // Enqueues a frame for transmission; drops it if the queue is full.
   void send(Frame frame);
 
+  // Causal tracing: records enqueue / wire-serialization / drop events
+  // onto `track` of `tracer`, each carrying the frame's packet tag and
+  // (for drops) the cause. Null detaches; an untraced port pays one
+  // branch per event.
+  void set_tracer(trace::Tracer* tracer, std::uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
   // Carrier control for fault injection: while the link is down every
   // frame entering or surfacing from the queue is dropped (the queue keeps
   // draining — a downed cable loses frames, it does not preserve them).
@@ -96,6 +106,8 @@ class TxPort {
   sim::Simulator& sim_;
   LinkParams params_;
   Rng* rng_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_track_ = 0;
   FrameSink sink_;
   std::function<void(std::size_t)> dequeue_hook_;
   std::deque<Frame> queue_;

@@ -228,6 +228,9 @@ void MulticastReceiver::handle_data(const Header& h, BytesView body) {
   // pending repair of it is redundant.
   if (config_.peer_repair && (h.flags & kFlagRetrans) != 0) cancel_repair(h.seq);
 
+  if (tracer_ && h.seq >= expected_) {
+    tracer_->record(rt_.now(), trace::EventKind::kReceiverRx, trace_track_, h.seq, 0);
+  }
   if (h.seq == expected_) {
     if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/false);
     const std::uint32_t old_expected = expected_;
@@ -287,6 +290,9 @@ void MulticastReceiver::after_advance(std::uint32_t old_expected,
 void MulticastReceiver::on_duplicate(const Header& h) {
   ++stats_.duplicates;
   if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/true);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kReceiverRx, trace_track_, h.seq, 1);
+  }
   // A retransmission of something we already hold usually means our (or a
   // peer's) acknowledgment was lost: re-acknowledge per the engine's
   // policy.
@@ -341,6 +347,9 @@ void MulticastReceiver::send_ack(std::uint32_t cum) {
   Buffer packet = make_control_packet(h);
   ++stats_.acks_sent;
   if (observer_) observer_->on_ack_sent(session_, cum);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kAckTx, trace_track_, cum);
+  }
   control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
 }
 
@@ -380,6 +389,9 @@ void MulticastReceiver::emit_nak() {
   Buffer packet = make_control_packet(h);
   ++stats_.naks_sent;
   if (observer_) observer_->on_nak_sent(session_, expected_);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kNakTx, trace_track_, expected_);
+  }
   flight_recorder().record(rt_.now(), "receiver", "nak",
                            static_cast<std::uint32_t>(node_id_), expected_);
   if (config_.peer_repair) {
@@ -444,6 +456,10 @@ void MulticastReceiver::deliver_if_complete() {
     delivery_latency_->record_seconds(sim::to_seconds(rt_.now() - session_started_));
   }
   if (observer_) observer_->on_deliver(session_, buffer_.size());
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kDeliver, trace_track_, session_,
+                    static_cast<std::uint32_t>(buffer_.size()));
+  }
   flight_recorder().record(rt_.now(), "receiver", "deliver",
                            static_cast<std::uint32_t>(node_id_), session_,
                            buffer_.size());

@@ -40,6 +40,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/serial.h"
+#include "common/trace.h"
 #include "rmcast/config.h"
 #include "rmcast/engine/engine.h"
 #include "rmcast/group.h"
@@ -77,6 +78,13 @@ class MulticastReceiver : private ReceiverOps {
   void set_metrics(metrics::Registry* metrics) {
     delivery_latency_ =
         metrics != nullptr ? &metrics->histogram("receiver.delivery_latency_us") : nullptr;
+  }
+  // Causal tracing (may be null; not owned; must outlive the receiver):
+  // records data receptions (with duplicate flag), ACK/NAK emissions and
+  // delivery onto `track` of `tracer`.
+  void set_tracer(trace::Tracer* tracer, std::uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
   }
 
   std::size_t node_id() const override { return node_id_; }
@@ -167,6 +175,8 @@ class MulticastReceiver : private ReceiverOps {
 
   MessageHandler handler_;
   ReceiverObserver* observer_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_track_ = 0;
   metrics::LatencyHistogram* delivery_latency_ = nullptr;
   ReceiverStats stats_;
 

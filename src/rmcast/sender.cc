@@ -196,10 +196,18 @@ void MulticastSender::pump() {
       window_stalled_ = true;
       ++core_.stats.window_stalls;
       if (core_.observer) core_.observer->on_window_stall(session_, core_.window.base());
+      if (tracer_) {
+        tracer_->record(rt_.now(), trace::EventKind::kWindowStall, trace_track_,
+                        core_.window.base());
+      }
       flight_recorder().record(rt_.now(), "sender", "window_stall", kSenderNodeId,
                                session_, core_.window.base());
     }
     return;
+  }
+  if (window_stalled_ && tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kWindowResume, trace_track_,
+                    core_.window.base());
   }
   window_stalled_ = false;
   if (config_.rate_limit_bps > 0) {
@@ -242,6 +250,10 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
   // suppression bookkeeping.
   if (unicast_to == nullptr) core_.window.mark_sent(seq, rt_.now());
   if (core_.observer) core_.observer->on_transmit(session_, seq, h.flags, retransmission);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kSenderTx, trace_track_, seq,
+                    retransmission ? 1u : 0u);
+  }
   flight_recorder().record(rt_.now(), "sender", retransmission ? "retx" : "tx",
                            kSenderNodeId, seq, h.flags);
 
@@ -277,6 +289,9 @@ void MulticastSender::on_ack(const Header& h) {
   }
   ++core_.stats.acks_received;
   if (core_.observer) core_.observer->on_ack(h.session, h.node_id, h.seq);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kAckRx, trace_track_, h.node_id, h.seq);
+  }
   int unit = core_.unit_of_node(h.node_id);
   if (unit < 0 || seq_gt(h.seq, core_.window.end())) {
     ++core_.stats.stale_packets;
@@ -314,6 +329,11 @@ void MulticastSender::on_ack(const Header& h) {
 
   if (seq_le(core_.tracker.min_cum(), core_.window.base())) return;
   core_.window.release_to(core_.tracker.min_cum());
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kWindowAdvance, trace_track_,
+                    core_.window.base(),
+                    static_cast<std::uint32_t>(core_.window.outstanding()));
+  }
   if (core_.window.all_released()) {
     complete();
     return;
@@ -328,6 +348,9 @@ void MulticastSender::on_nak(const Header& h) {
   }
   ++core_.stats.naks_received;
   if (core_.observer) core_.observer->on_nak(h.session, h.node_id, h.seq);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kNakRx, trace_track_, h.node_id, h.seq);
+  }
   flight_recorder().record(rt_.now(), "sender", "nak", h.node_id, h.seq);
   if (seq_lt(h.seq, core_.window.base()) || seq_ge(h.seq, core_.window.next())) return;
   if (config_.unicast_nak_retransmissions && h.node_id < membership_.n_receivers()) {
@@ -397,6 +420,10 @@ void MulticastSender::on_rto() {
   ++core_.stats.rto_fires;
   ++core_.rto_rounds;
   if (core_.observer) core_.observer->on_timeout(session_, core_.window.base());
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kRtoFire, trace_track_,
+                    core_.window.base());
+  }
   flight_recorder().record(rt_.now(), "sender", "rto", kSenderNodeId, session_,
                            core_.window.base());
   RMC_DEBUG("[%.6f] sender rto: session=%u base=%u next=%u", sim::to_seconds(rt_.now()),
@@ -523,6 +550,9 @@ void MulticastSender::complete() {
   state_ = State::kIdle;
   ++core_.stats.messages_sent;
   if (core_.observer) core_.observer->on_complete(session_);
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kComplete, trace_track_, session_);
+  }
   flight_recorder().record(rt_.now(), "sender", "complete", kSenderNodeId, session_);
   message_.clear();
   message_view_ = {};

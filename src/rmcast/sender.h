@@ -28,6 +28,7 @@
 
 #include "common/metrics.h"
 #include "common/serial.h"
+#include "common/trace.h"
 #include "rmcast/config.h"
 #include "rmcast/engine/core.h"
 #include "rmcast/engine/engine.h"
@@ -86,9 +87,20 @@ class MulticastSender {
     core_.ack_rtt =
         metrics != nullptr ? &metrics->histogram("sender.ack_rtt_us") : nullptr;
   }
+  // Causal tracing (may be null; not owned; must outlive the sender):
+  // records transmit / ACK / NAK arrivals, window advance / stall /
+  // resume, RTO fires and completion onto `track` of `tracer`.
+  void set_tracer(trace::Tracer* tracer, std::uint16_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
   const SenderStats& stats() const { return core_.stats; }
   const ProtocolConfig& config() const { return config_; }
   const GroupMembership& membership() const { return membership_; }
+
+  // Packets sent but not yet released by acknowledgments — what the
+  // timeline sampler snapshots as the outstanding window.
+  std::size_t outstanding_packets() const { return core_.window.outstanding(); }
 
  private:
   enum class State { kIdle, kAllocating, kSending };
@@ -130,6 +142,8 @@ class MulticastSender {
   rt::UdpSocket& socket_;
   GroupMembership membership_;
   ProtocolConfig config_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_track_ = 0;
   // Per-protocol policy (registry-owned singleton) and the shared
   // machinery it parameterizes.
   const SenderEngine* engine_;

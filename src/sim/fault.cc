@@ -56,6 +56,16 @@ FaultPlan& FaultPlan::link_up(std::size_t receiver, Time at) {
   return *this;
 }
 
+void trace_fault_plan(trace::Tracer& tracer, const FaultPlan& plan) {
+  if (plan.empty()) return;
+  const std::uint16_t track = tracer.track("faults", trace::TrackTier::kFaults);
+  for (const FaultEvent& e : plan.events) {
+    tracer.record(e.at, trace::EventKind::kFault, track,
+                  static_cast<std::uint32_t>(e.kind),
+                  static_cast<std::uint32_t>(e.target));
+  }
+}
+
 FaultPlan& FaultPlan::flap_link(std::size_t receiver, Time from, Time until,
                                 Time period) {
   RMC_ENSURE(period > 0, "flap period must be positive");

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/time.h"
 
 namespace rmc::sim {
@@ -123,5 +124,11 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
 };
+
+// Causal tracing: records the plan's schedule onto the "faults" track of
+// `tracer` as kFault events (a = FaultKind, b = target node), so an
+// exported timeline shows the injected crash/flap alongside the drops it
+// caused. The schedule is static, so this records it up front.
+void trace_fault_plan(trace::Tracer& tracer, const FaultPlan& plan);
 
 }  // namespace rmc::sim

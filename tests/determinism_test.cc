@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "harness/experiment.h"
 #include "harness/trace.h"
 #include "sim/simulator.h"
@@ -44,6 +45,7 @@ struct Capture {
   harness::RunResult result;
   std::string metrics_json;
   std::vector<harness::TraceRecorder::Event> trace;
+  trace::Tracer tracer;  // full causal trace, tags and timelines included
 };
 
 Capture capture_run(ProtocolKind kind, sim::EventCoreKind core,
@@ -67,6 +69,7 @@ Capture capture_run(ProtocolKind kind, sim::EventCoreKind core,
   }
   spec.metrics = &registry;
   spec.sender_trace = &cap.trace;
+  spec.tracer = &cap.tracer;
   cap.result = harness::run_multicast(spec);
   cap.metrics_json = registry.to_json();
 
@@ -97,6 +100,10 @@ void expect_identical(const Capture& x, const Capture& y, const char* label) {
   // The control-message trace: same packets, same order, same timestamps.
   ASSERT_EQ(x.trace.size(), y.trace.size()) << label;
   EXPECT_TRUE(x.trace == y.trace) << label;
+  // The causal trace — every hook in the protocol, net and timeline tiers,
+  // with integer nanosecond timestamps — must also match bit-for-bit.
+  ASSERT_EQ(x.tracer.events().size(), y.tracer.events().size()) << label;
+  EXPECT_TRUE(x.tracer.same_as(y.tracer)) << label;
 }
 
 class Determinism : public ::testing::TestWithParam<sim::EventCoreKind> {};
@@ -175,6 +182,7 @@ TEST(DeterminismCrossCore, CoresAgreeUnderFaults) {
       // Even a timed-out run must time out identically.
       EXPECT_EQ(pooled.metrics_json, legacy.metrics_json) << protocol_name(kind);
       EXPECT_TRUE(pooled.trace == legacy.trace) << protocol_name(kind);
+      EXPECT_TRUE(pooled.tracer.same_as(legacy.tracer)) << protocol_name(kind);
     }
   }
 }

@@ -168,6 +168,9 @@ TEST(Trace, RecordsOrderedProtocolEvents) {
   }
   TraceRecorder trace(bed.sender_runtime());
   sender.set_observer(&trace);
+  for (std::size_t i = 0; i < 3; ++i) {
+    receivers[i]->set_observer(trace.receiver_tap(i));
+  }
 
   Buffer message(20'000, 0x33);  // 3 packets
   bool done = false;
@@ -183,6 +186,17 @@ TEST(Trace, RecordsOrderedProtocolEvents) {
   EXPECT_EQ(trace.count(Kind::kRetransmit), 0u);
   EXPECT_EQ(trace.count(Kind::kAck), 9u);  // 3 receivers x 3 packets
   EXPECT_EQ(trace.count(Kind::kComplete), 1u);
+  // Receiver taps land in the same stream: each of the 3 receivers accepts
+  // every data packet (no loss), acks it, and delivers once.
+  EXPECT_EQ(trace.count(Kind::kData), 9u);
+  EXPECT_EQ(trace.count(Kind::kDuplicate), 0u);
+  EXPECT_EQ(trace.count(Kind::kAckSent), 9u);
+  EXPECT_EQ(trace.count(Kind::kDeliver), 3u);
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    EXPECT_EQ(trace.count_node(node), 7u);  // 3 data + 3 acks + 1 deliver
+  }
+  EXPECT_EQ(trace.count_node(TraceRecorder::kSenderNode),
+            trace.events().size() - 3 * 7u);
 
   // Chronology: alloc first, completion last, timestamps non-decreasing.
   const auto& events = trace.events();
@@ -201,9 +215,10 @@ TEST(Trace, RecordsOrderedProtocolEvents) {
   std::fclose(mem);
   std::string csv(data, size);
   free(data);
-  EXPECT_NE(csv.find("seconds,kind,session,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("seconds,kind,node,session,a,b"), std::string::npos);
   EXPECT_NE(csv.find("alloc_request"), std::string::npos);
   EXPECT_NE(csv.find("complete"), std::string::npos);
+  EXPECT_NE(csv.find("deliver"), std::string::npos);
   EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
             events.size() + 1);
 }
@@ -246,10 +261,21 @@ TEST(Trace, RetransmissionsVisibleUnderLoss) {
 TEST(Trace, KindNameRoundTrip) {
   using Kind = TraceRecorder::Kind;
   const std::pair<Kind, const char*> expected[] = {
-      {Kind::kAllocRequest, "alloc_request"}, {Kind::kTransmit, "transmit"},
-      {Kind::kRetransmit, "retransmit"},      {Kind::kAck, "ack"},
-      {Kind::kNak, "nak"},                    {Kind::kTimeout, "timeout"},
-      {Kind::kComplete, "complete"}};
+      {Kind::kAllocRequest, "alloc_request"},
+      {Kind::kTransmit, "transmit"},
+      {Kind::kRetransmit, "retransmit"},
+      {Kind::kAck, "ack"},
+      {Kind::kNak, "nak"},
+      {Kind::kTimeout, "timeout"},
+      {Kind::kComplete, "complete"},
+      {Kind::kData, "data"},
+      {Kind::kDuplicate, "duplicate"},
+      {Kind::kAckSent, "ack_sent"},
+      {Kind::kNakSent, "nak_sent"},
+      {Kind::kNakSuppressed, "nak_suppressed"},
+      {Kind::kRepairSent, "repair_sent"},
+      {Kind::kRepairSuppressed, "repair_suppressed"},
+      {Kind::kDeliver, "deliver"}};
   std::set<std::string> names;
   for (const auto& [kind, name] : expected) {
     EXPECT_STREQ(TraceRecorder::kind_name(kind), name);
@@ -265,12 +291,15 @@ TEST(Trace, WriteCsvRowFormat) {
   trace.on_transmit(7, 3, 2, false);
   trace.on_transmit(7, 3, 2, true);
   trace.on_ack(7, 1, 4);
+  trace.receiver_tap(1)->on_data(7, 3, 2, false);
 
   using Kind = TraceRecorder::Kind;
   EXPECT_EQ(trace.count(Kind::kTransmit), 1u);
   EXPECT_EQ(trace.count(Kind::kRetransmit), 1u);
   EXPECT_EQ(trace.count(Kind::kAck), 1u);
   EXPECT_EQ(trace.count(Kind::kNak), 0u);
+  EXPECT_EQ(trace.count(Kind::kData), 1u);
+  EXPECT_EQ(trace.count_node(1), 1u);
 
   char* data = nullptr;
   std::size_t size = 0;
@@ -282,10 +311,11 @@ TEST(Trace, WriteCsvRowFormat) {
   // Header plus one row per event, fields in declared order; the clock
   // has not advanced, so every timestamp is zero.
   EXPECT_EQ(csv,
-            "seconds,kind,session,a,b\n"
-            "0.000000000,transmit,7,3,2\n"
-            "0.000000000,retransmit,7,3,2\n"
-            "0.000000000,ack,7,1,4\n");
+            "seconds,kind,node,session,a,b\n"
+            "0.000000000,transmit,65535,7,3,2\n"
+            "0.000000000,retransmit,65535,7,3,2\n"
+            "0.000000000,ack,65535,7,1,4\n"
+            "0.000000000,data,1,7,3,2\n");
 
   trace.clear();
   EXPECT_EQ(trace.count(Kind::kTransmit), 0u);

@@ -191,5 +191,47 @@ TEST(Observability, WindowStallsCountedWhenWindowIsTight) {
             r.sender.window_stalls);
 }
 
+TEST(Observability, SnapshotMetaBlockPinsRunProvenance) {
+  metrics::Registry registry;
+  MulticastRunSpec spec = small_ack_spec();
+  spec.seed = 9;
+  spec.metrics = &registry;
+  ASSERT_TRUE(run_multicast(spec).completed);
+
+  // run_multicast stamps the protocol and seed; bench binaries add binary
+  // name, jobs and git describe on top via bench_util.
+  const std::string* protocol = registry.find_meta("protocol");
+  ASSERT_NE(protocol, nullptr);
+  EXPECT_EQ(*protocol, "ACK-based");
+  const std::string* seed = registry.find_meta("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(*seed, "9");
+
+  // The snapshot leads with the meta block, ahead of the counters.
+  const std::string json = registry.to_json();
+  const std::size_t meta_pos = json.find("\"meta\"");
+  ASSERT_NE(meta_pos, std::string::npos);
+  EXPECT_NE(json.find("\"protocol\": \"ACK-based\""), std::string::npos);
+  EXPECT_LT(meta_pos, json.find("\"counters\""));
+
+  // Merging a run of a different protocol collapses the differing key to
+  // "mixed" while agreeing keys survive — so a sweep snapshot says exactly
+  // what it mixes.
+  metrics::Registry other;
+  MulticastRunSpec nak = small_ack_spec();
+  nak.protocol.kind = rmcast::ProtocolKind::kNakPolling;
+  nak.protocol.poll_interval = 8;
+  nak.seed = 9;
+  nak.metrics = &other;
+  ASSERT_TRUE(run_multicast(nak).completed);
+  registry.merge(other);
+  EXPECT_EQ(*registry.find_meta("protocol"), "mixed");
+  EXPECT_EQ(*registry.find_meta("seed"), "9");
+
+  // A registry with no metadata elides the block entirely.
+  metrics::Registry empty;
+  EXPECT_EQ(empty.to_json().find("\"meta\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rmc::harness
