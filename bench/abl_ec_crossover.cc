@@ -1,0 +1,142 @@
+// Ablation: the ARQ-vs-FEC crossover under Gilbert–Elliott burst loss
+// (beyond the paper; the SRM/EC-MDS line of work's central trade-off).
+// Pure selective-repeat NAK pays for every lost frame with a repair
+// round-trip; the hybrid-FEC protocols pay a fixed parity overhead up
+// front and decode around losses locally. As burst loss rises, the
+// repair traffic of ARQ grows with the loss rate while the EC kinds'
+// stays near zero until bursts exceed the parity budget — this sweep
+// locates that crossover.
+//
+// The binary doubles as a regression gate: at every lossy point within
+// the parity budget (stationary loss <= 2% against m/(k+m) = 20% parity)
+// EC-RS must complete with strictly less repair traffic (retransmissions)
+// than NAK-SR, and at every lossy point — including 5%, where the burst
+// tail exhausts the budget and GROUP_NAK repairs re-emerge — it must
+// still finish faster. Every run is byte-verified by the harness. A
+// violation exits non-zero, failing bench/smoke.sh.
+#include "bench_util.h"
+
+namespace rmc {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::BenchOptions options = bench::parse_options(argc, argv);
+
+  // Stationary loss rates on a mean-burst-4 Gilbert–Elliott channel:
+  // p(bad->good) = 1/4, p(good->bad) solved from the stationary rate.
+  std::vector<double> rates = {0.0, 0.005, 0.02, 0.05};
+  if (options.quick) rates = {0.0, 0.02};
+  constexpr double kPBadToGood = 0.25;
+
+  struct Proto {
+    const char* label;
+    rmcast::ProtocolKind kind;
+    std::size_t k, m;
+  };
+  const std::vector<Proto> protos = {
+      {"NAK-SR", rmcast::ProtocolKind::kNakPolling, 0, 0},
+      {"EC-XOR", rmcast::ProtocolKind::kEcXor, 16, 1},
+      {"EC-RS", rmcast::ProtocolKind::kEcRs, 32, 8},
+  };
+
+  auto spec_for = [&](const Proto& proto, double rate) {
+    harness::MulticastRunSpec spec;
+    spec.n_receivers = 15;
+    spec.message_bytes = 2 * 1024 * 1024;
+    spec.seed = options.seed;
+    rmcast::ProtocolConfig& c = spec.protocol;
+    c.kind = proto.kind;
+    c.packet_size = 8000;
+    c.window_size = 44;  // one full EC-RS group; same pipe depth for all
+    c.selective_repeat = true;
+    c.receiver_driven_timeouts = true;
+    if (proto.kind == rmcast::ProtocolKind::kNakPolling) {
+      c.poll_interval = 35;  // ~80% of the window (Figure 12's optimum)
+    } else {
+      c.fec.k = proto.k;
+      c.fec.m = proto.m;
+    }
+    if (rate > 0.0) {
+      spec.cluster.link.faults.burst.p_bad_to_good = kPBadToGood;
+      spec.cluster.link.faults.burst.p_good_to_bad =
+          rate * kPBadToGood / (1.0 - rate);
+    }
+    spec.time_limit = sim::seconds(300.0);
+    return spec;
+  };
+
+  // Two-phase: submit the whole grid, then redeem rows in order.
+  std::vector<bench::RunHandle> handles;
+  for (double rate : rates) {
+    for (const Proto& proto : protos) {
+      handles.push_back(bench::run_async(spec_for(proto, rate), options));
+    }
+  }
+
+  harness::Table table({"stationary_loss", "protocol", "seconds", "throughput",
+                        "repair_pkts", "parity_pkts", "fec_decodes",
+                        "group_naks"});
+  bool gate_ok = true;
+  std::size_t cell = 0;
+  for (double rate : rates) {
+    std::uint64_t nak_repairs = 0, rs_repairs = 0;
+    double nak_seconds = 0.0, rs_seconds = 0.0;
+    for (const Proto& proto : protos) {
+      const harness::RunResult& r = handles[cell++].get();
+      if (!r.completed) {
+        table.add_row({str_format("%.3f", rate), proto.label, "FAILED", "-", "-",
+                       "-", "-", "-"});
+        gate_ok = false;
+        continue;
+      }
+      std::uint64_t decodes = 0, gnaks = 0;
+      for (const auto& rs : r.receivers) {
+        decodes += rs.fec_decodes;
+        gnaks += rs.group_naks_sent;
+      }
+      if (proto.kind == rmcast::ProtocolKind::kNakPolling) {
+        nak_repairs = r.sender.retransmissions;
+        nak_seconds = r.seconds;
+      }
+      if (proto.kind == rmcast::ProtocolKind::kEcRs) {
+        rs_repairs = r.sender.retransmissions;
+        rs_seconds = r.seconds;
+      }
+      table.add_row({str_format("%.3f", rate), proto.label,
+                     str_format("%.4f", r.seconds),
+                     str_format("%.1fMbps", r.throughput_bps() / 1e6),
+                     str_format("%llu", (unsigned long long)r.sender.retransmissions),
+                     str_format("%llu", (unsigned long long)r.sender.parity_packets_sent),
+                     str_format("%llu", (unsigned long long)decodes),
+                     str_format("%llu", (unsigned long long)gnaks)});
+    }
+    if (rate > 0.0 && rate <= 0.02 && rs_repairs >= nak_repairs) {
+      std::fprintf(stderr,
+                   "crossover-gate FAIL at loss %.3f: EC-RS repairs %llu >= "
+                   "NAK-SR repairs %llu\n",
+                   rate, (unsigned long long)rs_repairs,
+                   (unsigned long long)nak_repairs);
+      gate_ok = false;
+    }
+    if (rate > 0.0 && rs_seconds >= nak_seconds) {
+      std::fprintf(stderr,
+                   "crossover-gate FAIL at loss %.3f: EC-RS %.4fs >= NAK-SR "
+                   "%.4fs\n",
+                   rate, rs_seconds, nak_seconds);
+      gate_ok = false;
+    }
+  }
+  bench::emit(table, options,
+              "Ablation: ARQ-vs-FEC crossover under Gilbert-Elliott burst loss "
+              "(2MB, 15 receivers, mean burst 4; repair_pkts = retransmissions)");
+  if (!gate_ok) return 1;
+  std::fprintf(stderr,
+               "crossover-gate: EC-RS repaired less within the parity budget "
+               "and finished faster at every lossy point\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmc
+
+int main(int argc, char** argv) { return rmc::run(argc, argv); }

@@ -1,25 +1,30 @@
 // Development probe: one run with full statistics. Not part of the paper's
 // tables; kept because it is the fastest way to see where a configuration's
 // time goes (retransmissions, drops, ACK load).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
 #include "bench_util.h"
+#include "rmcast/engine/registry.h"
 
 namespace rmc {
 namespace {
 
 int run(int argc, char** argv) {
   Flags flags = Flags::parse(argc, argv,
-                             {{"proto", "ack|nak|ring|tree"},
+                             {{"proto", "registry id: ack|nak|ring|tree|btree|ecxor|ecrs"},
                               {"pkt", "packet size"},
                               {"win", "window"},
                               {"poll", "poll interval"},
                               {"height", "tree height"},
+                              {"k", "FEC data blocks per group (EC kinds)"},
+                              {"m", "FEC parity blocks per group (EC kinds)"},
                               {"bytes", "message size"},
                               {"n", "receivers"},
                               {"seed", "seed"},
                               {"loss", "frame error rate"},
+                              {"burst", "Gilbert-Elliott p(good->bad); bursts avg 8 frames"},
                               {"sr", "selective repeat"},
                               {"mnak", "multicast nak suppression"},
                               {"peer", "peer repair"},
@@ -35,12 +40,20 @@ int run(int argc, char** argv) {
   spec.n_receivers = static_cast<std::size_t>(flags.get_int("n", 30));
   spec.message_bytes = static_cast<std::uint64_t>(flags.get_int("bytes", 2 * 1024 * 1024));
   spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Protocols resolve by registry id: a new engine entry is probe-able
+  // with no edits here.
   std::string proto = flags.get("proto", "nak");
-  if (proto == "ack") spec.protocol.kind = rmcast::ProtocolKind::kAck;
-  if (proto == "nak") spec.protocol.kind = rmcast::ProtocolKind::kNakPolling;
-  if (proto == "ring") spec.protocol.kind = rmcast::ProtocolKind::kRing;
-  if (proto == "tree") spec.protocol.kind = rmcast::ProtocolKind::kFlatTree;
-  if (proto == "btree") spec.protocol.kind = rmcast::ProtocolKind::kBinaryTree;
+  const rmcast::EngineEntry* entry =
+      rmcast::ProtocolRegistry::instance().find(proto.c_str());
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown --proto=%s; registry ids:", proto.c_str());
+    for (const rmcast::EngineEntry& e : rmcast::ProtocolRegistry::instance().entries()) {
+      std::fprintf(stderr, " %s", e.traits.id);
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  spec.protocol.kind = entry->kind;
   spec.protocol.packet_size = static_cast<std::size_t>(flags.get_int("pkt", 8000));
   spec.protocol.window_size = static_cast<std::size_t>(flags.get_int("win", 50));
   spec.protocol.poll_interval = static_cast<std::size_t>(flags.get_int("poll", 43));
@@ -52,11 +65,26 @@ int run(int argc, char** argv) {
     spec.protocol.selective_repeat = true;
     spec.protocol.receiver_driven_timeouts = true;
   }
+  if (entry->traits.fec) {
+    spec.protocol.fec.k = static_cast<std::size_t>(
+        flags.get_int("k", entry->kind == rmcast::ProtocolKind::kEcXor ? 16 : 32));
+    spec.protocol.fec.m = static_cast<std::size_t>(
+        flags.get_int("m", entry->kind == rmcast::ProtocolKind::kEcXor ? 1 : 8));
+    spec.protocol.window_size =
+        std::max(spec.protocol.window_size, spec.protocol.fec.group_size());
+    spec.protocol.selective_repeat = true;
+    spec.protocol.receiver_driven_timeouts = true;
+  }
   spec.cluster.link.frame_error_rate = flags.get_double("loss", 0.0);
+  const double burst = flags.get_double("burst", 0.0);
+  if (burst > 0.0) {
+    spec.cluster.link.faults.burst.p_good_to_bad = burst;
+    spec.cluster.link.faults.burst.p_bad_to_good = 0.125;
+  }
   spec.time_limit = sim::seconds(5.0);
 
   harness::RunResult r = bench::run_instrumented(spec, options);
-  std::printf("completed=%d seconds=%.6f (%s) error='%s'\n", r.completed, r.seconds,
+  std::printf("completed=%d seconds=%.9f (%s) error='%s'\n", r.completed, r.seconds,
               str_format("%.1fMbps", r.throughput_bps() / 1e6).c_str(), r.error.c_str());
   const auto& s = r.sender;
   std::printf("sender: data=%llu retx=%llu acks=%llu naks=%llu alloc_req=%llu "
@@ -69,17 +97,30 @@ int run(int argc, char** argv) {
               (unsigned long long)s.suppressed_retransmissions,
               (unsigned long long)s.stale_packets);
   std::uint64_t acks = 0, naks = 0, dups = 0, gaps = 0, delivered = 0;
+  std::uint64_t parity_rx = 0, decodes = 0, recovered = 0, gnaks = 0;
   for (const auto& rs : r.receivers) {
     acks += rs.acks_sent;
     naks += rs.naks_sent;
     dups += rs.duplicates;
     gaps += rs.gaps_detected;
     delivered += rs.messages_delivered;
+    parity_rx += rs.parity_packets_received;
+    decodes += rs.fec_decodes;
+    recovered += rs.fec_blocks_recovered;
+    gnaks += rs.group_naks_sent;
   }
   std::printf("receivers: delivered=%llu acks=%llu naks=%llu dups=%llu gaps=%llu\n",
               (unsigned long long)delivered, (unsigned long long)acks,
               (unsigned long long)naks, (unsigned long long)dups,
               (unsigned long long)gaps);
+  if (entry->traits.fec) {
+    std::printf("fec: parity_tx=%llu parity_rx=%llu decodes=%llu recovered=%llu "
+                "group_naks=%llu (sender saw %llu)\n",
+                (unsigned long long)s.parity_packets_sent,
+                (unsigned long long)parity_rx, (unsigned long long)decodes,
+                (unsigned long long)recovered, (unsigned long long)gnaks,
+                (unsigned long long)s.group_naks_received);
+  }
   std::printf("drops: rcvbuf=%llu link=%llu\n", (unsigned long long)r.rcvbuf_drops,
               (unsigned long long)r.link_drops);
   std::printf("sender: cpu_busy=%.4fs nic_busy=%.4fs of %.4fs\n",

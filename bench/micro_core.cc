@@ -13,6 +13,8 @@
 #include "net/frame.h"
 #include "net/frame_arena.h"
 #include "rmcast/engine/registry.h"
+#include "rmcast/fec/codec.h"
+#include "rmcast/fec/gf256.h"
 #include "rmcast/window.h"
 #include "rmcast/wire.h"
 #include "sim/simulator.h"
@@ -238,6 +240,67 @@ void BM_EngineWindowCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineWindowCycle);
+
+// The GF(2^8) region kernel underneath the erasure-coded protocol family.
+// Arg 0 = scalar log/exp-table path, Arg 1 = slice-by-64 wide path; both
+// produce identical bytes. bench/smoke.sh diffs the two: the wide path
+// must hold at least a 2x throughput edge on the multiply-accumulate, or
+// the BENCH_ec_decode.json gate fails (the decode cost model assumes it).
+void BM_GfMulAddRegion(benchmark::State& state) {
+  const auto backend = static_cast<rmcast::fec::Backend>(state.range(0));
+  constexpr std::size_t kLen = 8192;  // one max-size protocol block
+  std::vector<std::uint8_t> dst(kLen), src(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    src[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  std::uint8_t c = 0x8e;
+  for (auto _ : state) {
+    rmcast::fec::mul_add_region(dst.data(), src.data(), c, kLen, backend);
+    benchmark::DoNotOptimize(dst.data());
+    c = c == 255 ? 2 : static_cast<std::uint8_t>(c + 1);  // never the c<=1 shortcuts
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLen);
+}
+BENCHMARK(BM_GfMulAddRegion)->Arg(0)->Arg(1);
+
+// Full Reed-Solomon decode at the protocol's default shape (k=32, m=8)
+// with the worst legal erasure pattern: all eight parities spent on an
+// eight-data-block burst. Reported for scale next to the region kernel;
+// the smoke gate keys off BM_GfMulAddRegion.
+void BM_RsDecode(benchmark::State& state) {
+  const auto backend = static_cast<rmcast::fec::Backend>(state.range(0));
+  constexpr std::size_t kK = 32, kM = 8, kLen = 8192;
+  rmcast::fec::Codec codec(kK, kM);
+  std::vector<std::vector<std::uint8_t>> data(kK), parity(kM);
+  std::uint8_t* data_ptrs[kK];
+  std::uint8_t* parity_ptrs[kM];
+  bool data_present[kK];
+  bool parity_present[kM];
+  for (std::size_t i = 0; i < kK; ++i) {
+    data[i].resize(kLen);
+    for (std::size_t b = 0; b < kLen; ++b) {
+      data[i][b] = static_cast<std::uint8_t>(i * 251 + b * 13 + 1);
+    }
+    data_ptrs[i] = data[i].data();
+    data_present[i] = i >= kM;  // burst erasure of blocks 0..7
+  }
+  for (std::size_t j = 0; j < kM; ++j) {
+    parity[j].resize(kLen);
+    parity_ptrs[j] = parity[j].data();
+    parity_present[j] = true;
+  }
+  codec.encode(data_ptrs, parity_ptrs, kLen, backend);
+  for (auto _ : state) {
+    bool ok = codec.decode(data_ptrs, data_present,
+                           const_cast<const std::uint8_t* const*>(parity_ptrs),
+                           parity_present, kLen, backend);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kM *
+                          kLen);
+}
+BENCHMARK(BM_RsDecode)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace rmc

@@ -51,13 +51,16 @@ done
 # Sweep determinism gate: --jobs=N must be byte-identical to --jobs=1, in
 # the printed table, the merged metrics snapshot and the exported trace
 # (the sweep engine's core contract; tests/sweep_test.cc proves it at the
-# API level, this proves it end-to-end through real bench binaries). Three
-# representatives cover the three harness shapes: a Measurement grid
-# (fig10), a RunHandle table (tab02) and an ablation sweep (abl_loss_sweep).
+# API level, this proves it end-to-end through real bench binaries). Four
+# representatives cover the harness shapes: a Measurement grid (fig10), a
+# RunHandle table (tab02), an ablation sweep (abl_loss_sweep) and the
+# erasure-coded family under burst loss (abl_ec_crossover, whose quick
+# grid also re-proves byte-correct FEC decode + the repair crossover —
+# the binary exits non-zero if either breaks).
 # The metrics snapshots are compared after dropping the meta "jobs" line —
 # the one field that legitimately records the worker count.
 strip_jobs_meta() { grep -v '^    "jobs": ' "$1"; }
-for name in fig10_ack_window tab02_control_load abl_loss_sweep; do
+for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover; do
   bin="$BENCH_DIR/$name"
   [ -x "$bin" ] || continue
   if "$bin" --quick --jobs=1 "--metrics-out=$TMP_DIR/$name.serial.json" \
@@ -388,6 +391,79 @@ EOF
   fi
 else
   echo "skip micro_core trace-overhead gate (binary or python3 missing)"
+fi
+
+# Erasure-decode kernel gate: the EC protocol family's cost story rests on
+# the wide GF(2^8) backend (PSHUFB nibble tables on x86, slice-by-64 SWAR
+# elsewhere) actually beating the scalar log/exp path. Hold the region
+# multiply-accumulate — the decode hot loop — to >= 2x scalar, and record
+# the full Reed-Solomon decode throughput (k=32, m=8, worst legal erasure
+# pattern) alongside it in BENCH_ec_decode.json, the cross-run baseline.
+# Arg 0 = scalar, arg 1 = wide (fec::Backend values).
+if [ -x "$MICRO" ] && [ -n "$PYTHON" ]; then
+  gf_json="$TMP_DIR/micro_core_gf.json"
+  gf_report="$BUILD_DIR/BENCH_ec_decode.json"
+  if "$MICRO" "--benchmark_filter=^BM_(GfMulAddRegion|RsDecode)/" \
+       --benchmark_repetitions=5 --benchmark_format=json \
+       > "$gf_json" 2> "$TMP_DIR/micro_core_gf.err"; then
+    if "$PYTHON" - "$gf_json" "$gf_report" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+# Best-of-repetitions per (family, backend): the minimum cpu_time is the
+# least noisy estimate of the true cost.
+best = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    family, arg = b["name"].split("/")[:2]
+    t = b["cpu_time"]
+    key = (family, arg)
+    if key not in best or t < best[key][0]:
+        best[key] = (t, b.get("bytes_per_second", 0.0))
+mul_scalar = best.get(("BM_GfMulAddRegion", "0"))
+mul_wide = best.get(("BM_GfMulAddRegion", "1"))
+dec_scalar = best.get(("BM_RsDecode", "0"))
+dec_wide = best.get(("BM_RsDecode", "1"))
+if None in (mul_scalar, mul_wide, dec_scalar, dec_wide):
+    print("ec-decode-gate: GF benchmarks missing from output", file=sys.stderr)
+    sys.exit(1)
+speedup = mul_scalar[0] / mul_wide[0]
+report = {
+    "benchmark": "gf256_mul_add_region",
+    "scalar_cpu_time_ns": mul_scalar[0],
+    "wide_cpu_time_ns": mul_wide[0],
+    "scalar_bytes_per_sec": mul_scalar[1],
+    "wide_bytes_per_sec": mul_wide[1],
+    "speedup": round(speedup, 4),
+    "rs_decode_scalar_bytes_per_sec": dec_scalar[1],
+    "rs_decode_wide_bytes_per_sec": dec_wide[1],
+    "rs_decode_speedup": round(dec_scalar[0] / dec_wide[0], 4),
+    "threshold": 2.0,
+    "pass": speedup >= 2.0,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"ec-decode-gate: wide/scalar mul_add speedup = {speedup:.2f}x "
+      f"(threshold 2.0x), RS decode {dec_wide[1] / 1e6:.1f}MB/s wide")
+sys.exit(0 if speedup >= 2.0 else 1)
+EOF
+    then
+      echo "ok   micro_core ec-decode gate ($gf_report)"
+      pass=$((pass + 1))
+    else
+      echo "FAIL micro_core: wide GF backend is not 2x the scalar path"
+      fail=$((fail + 1))
+    fi
+  else
+    echo "FAIL micro_core: GF benchmark run failed"
+    sed 's/^/  | /' "$TMP_DIR/micro_core_gf.err" | tail -5
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip micro_core ec-decode gate (binary or python3 missing)"
 fi
 
 echo "smoke: $pass passed, $fail failed"

@@ -67,34 +67,26 @@ int run(int argc, char** argv) {
         c.kind = kind;
         c.packet_size = pkt;
         c.window_size = win;
-        entry.tuning_variants(c, out);
+        entry.traits.tuning_variants(c, out);
       }
     }
     return out;
   };
 
-  struct Row {
-    const char* label;
-    rmcast::ProtocolKind kind;
-    double paper_mbps;
-  };
-  const std::vector<Row> rows = {
-      {"ACK-based", rmcast::ProtocolKind::kAck, 68.0},
-      {"NAK-based", rmcast::ProtocolKind::kNakPolling, 89.7},
-      {"Ring-based", rmcast::ProtocolKind::kRing, 84.6},
-      {"Tree-based", rmcast::ProtocolKind::kFlatTree, 81.2},
-      {"BinaryTree", rmcast::ProtocolKind::kBinaryTree, 0.0},
-  };
-
+  // The probe rows ARE the registry: every protocol kind — name, paper
+  // reference throughput, knob axes — comes from its EngineTraits, so a
+  // new engine entry (the EC kinds included) shows up here with no edits.
   harness::Table table({"protocol", "best_config_found", "throughput", "paper_tuned"});
-  for (const Row& row : rows) {
-    std::fprintf(stderr, "probing %s...\n", row.label);
-    Best best = probe(grid(row.kind));
+  for (const rmcast::EngineEntry& e : rmcast::ProtocolRegistry::instance().entries()) {
+    std::fprintf(stderr, "probing %s...\n", e.traits.display_name);
+    Best best = probe(grid(e.kind));
     double mbps = best.seconds < 1e17 ? message * 8.0 / best.seconds / 1e6 : 0.0;
-    table.add_row({row.label,
+    table.add_row({e.traits.display_name,
                    best.seconds < 1e17 ? best.config.describe() : "none found",
                    str_format("%.1fMbps", mbps),
-                   row.paper_mbps > 0 ? str_format("%.1fMbps", row.paper_mbps) : "n/a"});
+                   e.traits.paper_mbps > 0
+                       ? str_format("%.1fMbps", e.traits.paper_mbps)
+                       : "n/a"});
   }
   bench::emit(table, options,
               "Parameter-space probe (the paper's Table 3 method): best configuration "

@@ -36,6 +36,11 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kWireTx: return "wire_tx";
     case EventKind::kDrop: return "drop";
     case EventKind::kSample: return "sample";
+    case EventKind::kParityTx: return "parity_tx";
+    case EventKind::kGroupNakTx: return "group_nak_tx";
+    case EventKind::kGroupNakRx: return "group_nak_rx";
+    case EventKind::kFecDecode: return "fec_decode";
+    case EventKind::kFecRecover: return "fec_recover";
   }
   return "unknown";
 }

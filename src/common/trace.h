@@ -79,6 +79,13 @@ enum class EventKind : std::uint8_t {
   kDrop,     // b=DropCause
   // Timelines.
   kSample,  // a=series id; `value` holds the sample
+  // Hybrid FEC (appended so existing kind values — and every golden
+  // trace that embeds them — stay stable).
+  kParityTx,    // a=group*m+index (the parity seq space)
+  kGroupNakTx,  // a=group id, b=popcount of the missing bitmap
+  kGroupNakRx,  // a=node, b=group id
+  kFecDecode,   // a=group id, b=decode span duration in ns
+  kFecRecover,  // a=seq of a data block rebuilt from parity
 };
 
 const char* event_kind_name(EventKind kind);

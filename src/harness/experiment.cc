@@ -87,10 +87,13 @@ void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
   m.counter("sender.receivers_evicted").inc(s.receivers_evicted);
   m.counter("sender.rto_backoffs").inc(s.rto_backoffs);
   m.counter("sender.suspect_reports").inc(s.suspect_reports_received);
+  m.counter("sender.parity_packets_sent").inc(s.parity_packets_sent);
+  m.counter("sender.group_naks_received").inc(s.group_naks_received);
 
   std::uint64_t delivered = 0, acks = 0, naks = 0, naks_suppressed = 0;
   std::uint64_t repairs = 0, repairs_suppressed = 0, duplicates = 0, gaps = 0;
   std::uint64_t evict_notices = 0, suspects = 0, reforms = 0;
+  std::uint64_t parity_rx = 0, fec_decodes = 0, fec_recovered = 0, group_naks = 0;
   for (const rmcast::ReceiverStats& r : result.receivers) {
     delivered += r.messages_delivered;
     acks += r.acks_sent;
@@ -103,6 +106,10 @@ void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
     evict_notices += r.evict_notices_received;
     suspects += r.suspects_sent;
     reforms += r.structure_reforms;
+    parity_rx += r.parity_packets_received;
+    fec_decodes += r.fec_decodes;
+    fec_recovered += r.fec_blocks_recovered;
+    group_naks += r.group_naks_sent;
   }
   m.counter("receiver.messages_delivered").inc(delivered);
   m.counter("receiver.acks_sent").inc(acks);
@@ -115,6 +122,10 @@ void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
   m.counter("receiver.evict_notices").inc(evict_notices);
   m.counter("receiver.suspects_sent").inc(suspects);
   m.counter("receiver.structure_reforms").inc(reforms);
+  m.counter("receiver.parity_packets_received").inc(parity_rx);
+  m.counter("receiver.fec_decodes").inc(fec_decodes);
+  m.counter("receiver.fec_blocks_recovered").inc(fec_recovered);
+  m.counter("receiver.group_naks_sent").inc(group_naks);
 
   m.counter("net.rcvbuf_drops").inc(result.rcvbuf_drops);
   m.counter("net.link_drops").inc(result.link_drops);

@@ -11,7 +11,7 @@ std::uint32_t tag_rmcast_packet(const std::uint8_t* data, std::size_t size) {
   if (data == nullptr || size < rmcast::kHeaderBytes) return 0;
   const std::uint8_t type = data[0];
   if (type < static_cast<std::uint8_t>(rmcast::PacketType::kData) ||
-      type > static_cast<std::uint8_t>(rmcast::PacketType::kSuspect)) {
+      type > static_cast<std::uint8_t>(rmcast::PacketType::kGroupNak)) {
     return 0;
   }
   // seq: bytes 8..11, big-endian (see rmcast/wire.h).
@@ -199,6 +199,10 @@ Attribution attribute(const trace::Tracer& tracer) {
         cause = last_cause;
       }
       ++out.retransmissions_by_cause[static_cast<std::size_t>(cause)];
+    } else if (e->kind == trace::EventKind::kFecRecover) {
+      ++out.parity_recoveries;
+    } else if (e->kind == trace::EventKind::kFecDecode) {
+      out.fec_decode_seconds += static_cast<double>(e->b) * 1e-9;
     }
   }
   return out;
@@ -288,6 +292,13 @@ void TraceLog::write_json(std::FILE* out) const {
       const int tid = static_cast<int>(e.track) + 1;
       sep();
       switch (e.kind) {
+        case trace::EventKind::kFecDecode:
+          std::fprintf(out, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":", pid, tid);
+          write_ts(out, e.at);
+          std::fputs(",\"dur\":", out);
+          write_ts(out, static_cast<std::int64_t>(e.b));
+          std::fprintf(out, ",\"name\":\"fec_decode\",\"args\":{\"group\":%u}}", e.a);
+          break;
         case trace::EventKind::kWireTx:
           std::fprintf(out, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":", pid, tid);
           write_ts(out, e.at);
@@ -342,11 +353,14 @@ void TraceLog::write_json(std::FILE* out) const {
                  "\"transmit_seconds\":%.9f,\"queueing_seconds\":%.9f,"
                  "\"loss_recovery_seconds\":%.9f,\"window_stall_seconds\":%.9f,"
                  "\"accounted_fraction\":%.6f,\"retransmissions\":%llu,"
+                 "\"parity_recoveries\":%llu,\"fec_decode_seconds\":%.9f,"
                  "\"retransmissions_by_cause\":{",
                  a.total_seconds, a.other_seconds, a.transmit_seconds,
                  a.queueing_seconds, a.loss_recovery_seconds, a.window_stall_seconds,
                  a.accounted_fraction(),
-                 static_cast<unsigned long long>(a.retransmissions));
+                 static_cast<unsigned long long>(a.retransmissions),
+                 static_cast<unsigned long long>(a.parity_recoveries),
+                 a.fec_decode_seconds);
     for (std::size_t c = 0; c < Attribution::kNumCauses; ++c) {
       std::fprintf(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
                    trace::drop_cause_name(static_cast<trace::DropCause>(c)),

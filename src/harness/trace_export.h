@@ -31,21 +31,24 @@ namespace rmc::harness {
 
 // ---- Packet tags -----------------------------------------------------------
 // Bit 31 set marks a valid tag (so an untagged frame's 0 is unambiguous);
-// bits 30..28 carry the rmcast packet type, bits 27..0 the sequence
-// number. 2^28 packets bounds a traced message at ~2 TB of 8 KB packets —
-// far beyond anything the testbed sends.
+// bits 30..27 carry the rmcast packet type, bits 26..0 the sequence
+// number. The type field is four bits wide because the FEC wire types
+// (PARITY=8, GROUP_NAK=9) overflow three — a 3-bit field would alias
+// them onto 0/DATA and corrupt attribution. 2^27 packets still bounds a
+// traced message at ~1 TB of 8 KB packets — far beyond anything the
+// testbed sends.
 
 constexpr std::uint32_t kTagValid = 0x8000'0000u;
 
 constexpr std::uint32_t pack_packet_tag(std::uint8_t type, std::uint32_t seq) {
-  return kTagValid | (static_cast<std::uint32_t>(type & 0x7u) << 28) |
-         (seq & 0x0FFF'FFFFu);
+  return kTagValid | (static_cast<std::uint32_t>(type & 0xFu) << 27) |
+         (seq & 0x07FF'FFFFu);
 }
 constexpr bool tag_valid(std::uint32_t tag) { return (tag & kTagValid) != 0; }
 constexpr std::uint8_t tag_type(std::uint32_t tag) {
-  return static_cast<std::uint8_t>((tag >> 28) & 0x7u);
+  return static_cast<std::uint8_t>((tag >> 27) & 0xFu);
 }
-constexpr std::uint32_t tag_seq(std::uint32_t tag) { return tag & 0x0FFF'FFFFu; }
+constexpr std::uint32_t tag_seq(std::uint32_t tag) { return tag & 0x07FF'FFFFu; }
 
 // PacketTagger for trace::Tracer: parses the rmcast wire header out of a
 // datagram payload. Returns 0 for payloads that are not rmcast packets.
@@ -71,6 +74,12 @@ struct Attribution {
   std::uint64_t retransmissions = 0;
   // Retransmissions by the root-cause drop, indexed by trace::DropCause.
   std::array<std::uint64_t, kNumCauses> retransmissions_by_cause{};
+
+  // Hybrid FEC: losses repaired locally from parity (no repair traffic),
+  // versus `retransmissions` above, and the decode CPU time spent doing
+  // it — summed across all receiver tracks.
+  std::uint64_t parity_recoveries = 0;
+  double fec_decode_seconds = 0.0;
 
   // Fraction of total_seconds the four named data-phase components (plus
   // the handshake) explain. The acceptance bar is >= 0.95.

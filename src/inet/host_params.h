@@ -52,4 +52,15 @@ struct HostParams {
   sim::Time reassembly_timeout = sim::milliseconds(200);
 };
 
+// User-space GF(2^8) processing rates for the hybrid-FEC protocols,
+// ns per byte folded (one source block into one parity/syndrome row).
+// Calibrated to a software slice-by-64 code path on the testbed CPU
+// class: a plain XOR fold runs near memory speed, a general-coefficient
+// multiply-accumulate folds eight bit planes and runs ~3x slower. The
+// protocol shells charge encode as k x m folds per group and decode as
+// roughly one fold per held block per erasure round, so the modelled
+// cost scales O(k * m * bytes) exactly like the real kernel.
+inline constexpr double kFecXorNsPerByte = 1.0;
+inline constexpr double kFecMulNsPerByte = 3.0;
+
 }  // namespace rmc::inet

@@ -8,13 +8,13 @@
 namespace rmc::rmcast {
 
 const char* protocol_name(ProtocolKind kind) {
-  return ProtocolRegistry::instance().entry(kind).display_name;
+  return ProtocolRegistry::instance().entry(kind).traits.display_name;
 }
 
 std::string ProtocolConfig::describe() const {
   std::string out = str_format("%s pkt=%zu win=%zu", protocol_name(kind), packet_size,
                                window_size);
-  out += ProtocolRegistry::instance().entry(kind).describe_knobs(*this);
+  out += ProtocolRegistry::instance().entry(kind).traits.describe_knobs(*this);
   if (selective_repeat) out += " SR";
   if (max_retransmit_rounds > 0) {
     out += str_format(" evict@%zu", max_retransmit_rounds);
@@ -29,10 +29,16 @@ std::string validate(const ProtocolConfig& config, std::size_t n_receivers) {
     return str_format("packet_size %zu exceeds the UDP maximum payload", config.packet_size);
   }
   if (config.window_size == 0) return "window_size must be positive";
+  const EngineTraits& traits = ProtocolRegistry::instance().entry(config.kind).traits;
+  // FEC knobs are owned by the FEC kinds: anything else must leave them
+  // unset (a silent no-op would hide a misconfigured sweep).
+  if (!traits.fec && config.fec.is_set()) {
+    return str_format("%s does not use FEC: fec.k/fec.m must stay unset",
+                      traits.display_name);
+  }
   // Kind-specific knobs, between the window and timer checks so error
   // precedence is stable across protocols.
-  std::string kind_error =
-      ProtocolRegistry::instance().entry(config.kind).validate(config, n_receivers);
+  std::string kind_error = traits.validate(config, n_receivers);
   if (!kind_error.empty()) return kind_error;
   if (config.rto <= 0 || config.alloc_rto <= 0) return "timeouts must be positive";
   if (config.suppress_interval < 0 || config.nak_interval < 0) {

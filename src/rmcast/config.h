@@ -11,13 +11,17 @@ namespace rmc::rmcast {
 // The four protocol families of the reproduced paper (§3), plus the
 // binary-tree structure of the pre-existing tree protocols (paper
 // Figure 4) that the flat tree is an argument against — kept as a
-// comparison baseline.
+// comparison baseline — plus the hybrid-FEC family (beyond the paper):
+// the sender streams k data + m parity packets per group, receivers
+// decode around up to m erasures and NAK only undecodable groups.
 enum class ProtocolKind {
   kAck,         // every receiver ACKs every packet
   kNakPolling,  // NAKs on gaps; periodic polled ACKs release buffers
   kRing,        // rotating token receiver ACKs; NAKs straight to the source
   kFlatTree,    // ACKs aggregated up N/H chains of height H
   kBinaryTree,  // ACKs aggregated up a binary tree rooted at receiver 0
+  kEcXor,       // erasure-coded, one XOR parity per group (m = 1)
+  kEcRs,        // erasure-coded, Reed-Solomon MDS parity (any m of k+m)
 };
 
 // True for the protocols that aggregate acknowledgments through a logical
@@ -25,6 +29,32 @@ enum class ProtocolKind {
 constexpr bool is_tree_protocol(ProtocolKind kind) {
   return kind == ProtocolKind::kFlatTree || kind == ProtocolKind::kBinaryTree;
 }
+
+// True for the erasure-coded protocols (group-structured transmission
+// with parity). Prefer ProtocolRegistry's EngineTraits::fec where a
+// registry is already in hand; this exists for constexpr contexts.
+constexpr bool is_fec_protocol(ProtocolKind kind) {
+  return kind == ProtocolKind::kEcXor || kind == ProtocolKind::kEcRs;
+}
+
+// Erasure-coding parameters, meaningful only for the FEC kinds. Both
+// zero (the default) means "unset": the FEC kinds reject an unset
+// configuration (recommend_config() fills in the defaults), and the ARQ
+// kinds reject a *set* one — FEC knobs on a non-FEC protocol are a
+// configuration error, not a silent no-op.
+struct FecParams {
+  // Data packets per group. Each group is erasure-coded independently;
+  // the wire group-NAK bitmap caps k at 64 (fec::kMaxK).
+  std::size_t k = 0;
+  // Parity packets per group (1 for kEcXor; kEcRs tolerates any m losses
+  // per group). k + m must fit inside the sender window.
+  std::size_t m = 0;
+
+  // Packets a receiver must buffer per group: the group's span on the
+  // wire.
+  constexpr std::size_t group_size() const { return k + m; }
+  constexpr bool is_set() const { return k != 0 || m != 0; }
+};
 
 struct ProtocolConfig {
   ProtocolKind kind = ProtocolKind::kAck;
@@ -44,6 +74,9 @@ struct ProtocolConfig {
   // Flat tree: chain height H. 1 degenerates to the ACK-based protocol
   // (every receiver talks straight to the sender); N gives a single chain.
   std::size_t tree_height = 1;
+
+  // Erasure coding (kEcXor / kEcRs only; must stay unset elsewhere).
+  FecParams fec;
 
   // Sender-driven error control (paper §4): retransmission timeout, and
   // the suppression interval below which a packet is not retransmitted

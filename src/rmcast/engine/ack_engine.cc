@@ -38,8 +38,9 @@ void grid_ack(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
 EngineEntry ack_engine_entry() {
   EngineEntry entry;
   entry.kind = ProtocolKind::kAck;
-  entry.id = "ack";
-  entry.display_name = "ACK-based";
+  entry.traits.id = "ack";
+  entry.traits.display_name = "ACK-based";
+  entry.traits.paper_mbps = 68.0;
   entry.sender_engine = [] {
     static const AckSenderEngine engine;
     return static_cast<const SenderEngine*>(&engine);
@@ -48,10 +49,10 @@ EngineEntry ack_engine_entry() {
     static const AckReceiverEngine engine;
     return static_cast<const ReceiverEngine*>(&engine);
   };
-  entry.validate = validate_ack;
-  entry.describe_knobs = describe_ack;
-  entry.apply_recommended_tuning = tune_ack;
-  entry.tuning_variants = grid_ack;
+  entry.traits.validate = validate_ack;
+  entry.traits.describe_knobs = describe_ack;
+  entry.traits.apply_recommended_tuning = tune_ack;
+  entry.traits.tuning_variants = grid_ack;
   return entry;
 }
 

@@ -60,8 +60,8 @@ void grid_binary_tree(const ProtocolConfig& base, std::vector<ProtocolConfig>& o
 EngineEntry binary_tree_engine_entry() {
   EngineEntry entry;
   entry.kind = ProtocolKind::kBinaryTree;
-  entry.id = "btree";
-  entry.display_name = "BinaryTree-based";
+  entry.traits.id = "btree";
+  entry.traits.display_name = "BinaryTree-based";
   entry.sender_engine = [] {
     static const BinaryTreeSenderEngine engine;
     return static_cast<const SenderEngine*>(&engine);
@@ -70,10 +70,10 @@ EngineEntry binary_tree_engine_entry() {
     static const BinaryTreeReceiverEngine engine;
     return static_cast<const ReceiverEngine*>(&engine);
   };
-  entry.validate = validate_binary_tree;
-  entry.describe_knobs = describe_binary_tree;
-  entry.apply_recommended_tuning = tune_binary_tree;
-  entry.tuning_variants = grid_binary_tree;
+  entry.traits.validate = validate_binary_tree;
+  entry.traits.describe_knobs = describe_binary_tree;
+  entry.traits.apply_recommended_tuning = tune_binary_tree;
+  entry.traits.tuning_variants = grid_binary_tree;
   return entry;
 }
 

@@ -71,6 +71,31 @@ class SenderEngine {
   // True when tree parents report stalled children to the sender via
   // SUSPECT packets (only meaningful for aggregating protocols).
   virtual bool accepts_suspects() const { return false; }
+
+  // --- Group-aware contract (hybrid FEC) -------------------------------
+  // ARQ protocols keep the defaults: no parity, no group repairs.
+
+  // Parity packets the sender emits after each group of fec.k data
+  // packets. 0 means the protocol is pure ARQ and no group structure
+  // exists on the wire.
+  virtual std::size_t parity_per_group(const ProtocolConfig& config) const {
+    (void)config;
+    return 0;
+  }
+
+  // Answers a GROUP_NAK: expands (group, missing-bitmap) into the data
+  // sequence numbers to retransmit. `group_data` is the number of data
+  // packets the group actually holds (the tail group may be short).
+  // Default: ARQ senders never see a GROUP_NAK, so there is no plan.
+  virtual std::vector<std::uint32_t> make_repair_plan(
+      std::uint32_t group, std::uint64_t missing, std::size_t group_data,
+      const ProtocolConfig& config) const {
+    (void)group;
+    (void)missing;
+    (void)group_data;
+    (void)config;
+    return {};
+  }
 };
 
 // One data-packet acknowledgment decision, covering both the in-order
@@ -155,6 +180,39 @@ class ReceiverEngine {
   // True when an eviction notice re-forms this protocol's logical
   // structure even without tree links (the ring's token rotation).
   virtual bool reforms_on_evict() const { return false; }
+
+  // --- Group-aware contract (hybrid FEC) -------------------------------
+  // ARQ protocols keep the defaults: packets have no group structure and
+  // the hooks never fire.
+
+  // True for the erasure-coded kinds: the receiver buffers whole groups,
+  // decodes around erasures, and NAKs only undecodable groups.
+  virtual bool is_fec() const { return false; }
+
+  // The in-order point entered group `group` (its first packet is now
+  // awaited). Fired by the shell once per group, in order.
+  virtual void on_group_open(ReceiverOps& ops, std::uint32_t group) const {
+    (void)ops;
+    (void)group;
+  }
+
+  // The in-order point moved past the last packet of `group`: every data
+  // block of the group is held. The EC engines acknowledge here — one
+  // cumulative ACK per group instead of per packet.
+  virtual void on_group_close(ReceiverOps& ops, std::uint32_t group) const {
+    (void)ops;
+    (void)group;
+  }
+
+  // Decode policy: can a group missing `missing_data` blocks be
+  // reconstructed from `parity_held` parity blocks? ARQ protocols hold no
+  // parity and never decode.
+  virtual bool group_decodable(std::size_t missing_data,
+                               std::size_t parity_held) const {
+    (void)missing_data;
+    (void)parity_held;
+    return false;
+  }
 };
 
 }  // namespace rmc::rmcast

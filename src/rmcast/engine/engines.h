@@ -14,5 +14,7 @@ EngineEntry nak_polling_engine_entry();
 EngineEntry ring_engine_entry();
 EngineEntry flat_tree_engine_entry();
 EngineEntry binary_tree_engine_entry();
+EngineEntry ec_xor_engine_entry();
+EngineEntry ec_rs_engine_entry();
 
 }  // namespace rmc::rmcast

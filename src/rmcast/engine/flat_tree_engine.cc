@@ -86,8 +86,9 @@ void grid_flat_tree(const ProtocolConfig& base, std::vector<ProtocolConfig>& out
 EngineEntry flat_tree_engine_entry() {
   EngineEntry entry;
   entry.kind = ProtocolKind::kFlatTree;
-  entry.id = "tree";
-  entry.display_name = "Tree-based";
+  entry.traits.id = "tree";
+  entry.traits.display_name = "Tree-based";
+  entry.traits.paper_mbps = 81.2;
   entry.sender_engine = [] {
     static const FlatTreeSenderEngine engine;
     return static_cast<const SenderEngine*>(&engine);
@@ -96,10 +97,10 @@ EngineEntry flat_tree_engine_entry() {
     static const FlatTreeReceiverEngine engine;
     return static_cast<const ReceiverEngine*>(&engine);
   };
-  entry.validate = validate_flat_tree;
-  entry.describe_knobs = describe_flat_tree;
-  entry.apply_recommended_tuning = tune_flat_tree;
-  entry.tuning_variants = grid_flat_tree;
+  entry.traits.validate = validate_flat_tree;
+  entry.traits.describe_knobs = describe_flat_tree;
+  entry.traits.apply_recommended_tuning = tune_flat_tree;
+  entry.traits.tuning_variants = grid_flat_tree;
   return entry;
 }
 

@@ -84,8 +84,9 @@ void grid_nak(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
 EngineEntry nak_polling_engine_entry() {
   EngineEntry entry;
   entry.kind = ProtocolKind::kNakPolling;
-  entry.id = "nak";
-  entry.display_name = "NAK-based";
+  entry.traits.id = "nak";
+  entry.traits.display_name = "NAK-based";
+  entry.traits.paper_mbps = 89.7;
   entry.sender_engine = [] {
     static const NakSenderEngine engine;
     return static_cast<const SenderEngine*>(&engine);
@@ -94,10 +95,10 @@ EngineEntry nak_polling_engine_entry() {
     static const NakReceiverEngine engine;
     return static_cast<const ReceiverEngine*>(&engine);
   };
-  entry.validate = validate_nak;
-  entry.describe_knobs = describe_nak;
-  entry.apply_recommended_tuning = tune_nak;
-  entry.tuning_variants = grid_nak;
+  entry.traits.validate = validate_nak;
+  entry.traits.describe_knobs = describe_nak;
+  entry.traits.apply_recommended_tuning = tune_nak;
+  entry.traits.tuning_variants = grid_nak;
   return entry;
 }
 

@@ -82,8 +82,9 @@ void grid_ring(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
 EngineEntry ring_engine_entry() {
   EngineEntry entry;
   entry.kind = ProtocolKind::kRing;
-  entry.id = "ring";
-  entry.display_name = "Ring-based";
+  entry.traits.id = "ring";
+  entry.traits.display_name = "Ring-based";
+  entry.traits.paper_mbps = 84.6;
   entry.sender_engine = [] {
     static const RingSenderEngine engine;
     return static_cast<const SenderEngine*>(&engine);
@@ -92,10 +93,10 @@ EngineEntry ring_engine_entry() {
     static const RingReceiverEngine engine;
     return static_cast<const ReceiverEngine*>(&engine);
   };
-  entry.validate = validate_ring;
-  entry.describe_knobs = describe_ring;
-  entry.apply_recommended_tuning = tune_ring;
-  entry.tuning_variants = grid_ring;
+  entry.traits.validate = validate_ring;
+  entry.traits.describe_knobs = describe_ring;
+  entry.traits.apply_recommended_tuning = tune_ring;
+  entry.traits.tuning_variants = grid_ring;
   return entry;
 }
 

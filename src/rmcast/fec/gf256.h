@@ -1,0 +1,59 @@
+// GF(2^8) arithmetic kernel for the erasure-coded protocol family.
+//
+// Two interchangeable region backends compute the same bytes:
+//
+//  - kScalar: classic log/exp table lookups, one byte at a time. The
+//    reference implementation every test compares against.
+//  - kWide: the fastest kernel the host CPU offers, resolved once at
+//    first use. On x86 with SSSE3/AVX2 this is the PSHUFB nibble-table
+//    multiply (two 16-entry product-table shuffles per 16/32-byte lane
+//    group); elsewhere it falls back to a portable slice-by-64 SWAR path
+//    that walks the constant's bits, doubling eight 64-bit lanes at once
+//    with a branch-free carryless "xtime".
+//
+// The field is GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), generator 2 — the same field Rizzo's FEC and RAID-6 use.
+// Backends are bit-identical by construction; the simulation's
+// determinism suite pins that, and bench/micro_core measures the gap
+// (smoke.sh gates the wide path at >= 2x scalar).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmc::rmcast::fec {
+
+// Primitive polynomial for the field, sans the x^8 term: 0x11D & 0xFF.
+inline constexpr std::uint32_t kGfPoly = 0x11D;
+
+// Which region-operation implementation to run. Both produce identical
+// bytes; kWide exists purely for throughput.
+enum class Backend : std::uint8_t { kScalar = 0, kWide = 1 };
+
+const char* backend_name(Backend backend);
+
+// --- Scalar field ops (table-driven) ---------------------------------------
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+// b must be non-zero.
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b);
+// a must be non-zero.
+std::uint8_t gf_inv(std::uint8_t a);
+// Generator powers: gf_exp(i) = 2^i (i reduced mod 255).
+std::uint8_t gf_exp(unsigned i);
+// Discrete log base 2; a must be non-zero.
+std::uint8_t gf_log(std::uint8_t a);
+
+// --- Region ops -------------------------------------------------------------
+// The codec's hot loops. Regions may not overlap. `len` is in bytes and
+// need not be a multiple of 64: the wide path falls back to scalar for
+// the tail.
+
+// dst[i] ^= src[i]
+void xor_region(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+                Backend backend);
+// dst[i] ^= c * src[i]  (in GF(2^8); c == 0 is a no-op, c == 1 is XOR)
+void mul_add_region(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len, Backend backend);
+
+}  // namespace rmc::rmcast::fec

@@ -5,6 +5,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
+#include "inet/host_params.h"
 #include "rmcast/engine/registry.h"
 
 namespace rmc::rmcast {
@@ -28,6 +29,7 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
   RMC_ENSURE(node_id_ < membership_.n_receivers(), "node id out of range");
 
   is_tree_ = engine_->is_tree();
+  if (engine_->is_fec()) fec_codec_.emplace(config_.fec.k, config_.fec.m);
   const std::size_t n = membership_.n_receivers();
   peer_alloc_done_.assign(n, false);
   peer_cum_.assign(n, 0);
@@ -116,7 +118,11 @@ void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
     case PacketType::kEvict:
       handle_evict(*header);
       break;
+    case PacketType::kParity:
+      handle_parity(*header, r.bytes(r.remaining()));
+      break;
     case PacketType::kSuspect:
+    case PacketType::kGroupNak:
       ++stats_.stale_packets;  // sender-bound; not for receivers
       break;
   }
@@ -151,6 +157,8 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
     nak_timer_ = rt::kInvalidTimerId;
   }
   reorder_.clear();
+  fec_parity_.clear();
+  fec_no_more_parity_group_ = 0;
   for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
   repair_timers_.clear();
   repair_seen_at_.clear();
@@ -177,6 +185,7 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
   std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
 
   if (!is_tree_ || all_children_alloc_done()) send_alloc_response();
+  if (engine_->is_fec()) engine_->on_group_open(*this, 0);
   if (config_.receiver_driven_timeouts) arm_inactivity_timer();
   if (eviction_enabled() && is_tree_ && !links_.children.empty()) arm_child_monitor();
 }
@@ -227,6 +236,14 @@ void MulticastReceiver::handle_data(const Header& h, BytesView body) {
   // Someone (sender or peer) already retransmitted this packet: our own
   // pending repair of it is redundant.
   if (config_.peer_repair && (h.flags & kFlagRetrans) != 0) cancel_repair(h.seq);
+  const bool is_fec = engine_->is_fec();
+  if (is_fec) {
+    // A data block from group G proves every earlier group's parity tail
+    // already went by (first transmissions are in order on the wire).
+    fec_no_more_parity_group_ =
+        std::max(fec_no_more_parity_group_,
+                 h.seq / static_cast<std::uint32_t>(config_.fec.k));
+  }
 
   if (tracer_ && h.seq >= expected_) {
     tracer_->record(rt_.now(), trace::EventKind::kReceiverRx, trace_track_, h.seq, 0);
@@ -236,6 +253,11 @@ void MulticastReceiver::handle_data(const Header& h, BytesView body) {
     const std::uint32_t old_expected = expected_;
     std::uint8_t consumed = consume_in_order(h.seq, h.flags, body);
     after_advance(old_expected, consumed);
+    // A retransmission can complete the erasure pattern of the (new)
+    // oldest group without any fresh parity arriving.
+    if (is_fec && !delivered_) {
+      maybe_fec_decode(expected_ / static_cast<std::uint32_t>(config_.fec.k));
+    }
   } else if (h.seq > expected_) {
     if (observer_) observer_->on_data(session_, h.seq, h.flags, /*duplicate=*/false);
     ++stats_.gaps_detected;
@@ -246,8 +268,17 @@ void MulticastReceiver::handle_data(const Header& h, BytesView body) {
       for (const auto& [seq, entry] : reorder_) held += entry.second.size();
       stats_.peak_reorder_bytes = std::max(stats_.peak_reorder_bytes, held);
     }
-    // Go-Back-N discards the packet; either way, ask for the gap.
-    want_nak();
+    if (is_fec) {
+      // No per-packet NAK: parity is the first line of repair. Try the
+      // block's own group (a retransmission may have completed it), then
+      // fall back to a GROUP_NAK only if the oldest incomplete group is
+      // provably beyond parity help.
+      maybe_fec_decode(h.seq / static_cast<std::uint32_t>(config_.fec.k));
+      want_group_nak(/*force=*/false);
+    } else {
+      // Go-Back-N discards the packet; either way, ask for the gap.
+      want_nak();
+    }
   } else {
     on_duplicate(h);
   }
@@ -284,6 +315,21 @@ void MulticastReceiver::after_advance(std::uint32_t old_expected,
   event.flags = consumed_flags;
   event.old_expected = old_expected;
   engine_->on_data_event(*this, event);
+  if (engine_->is_fec()) {
+    // Fire the group hooks for every group boundary the in-order point
+    // crossed, in order; a short tail group closes at the message end.
+    const std::uint32_t k = static_cast<std::uint32_t>(config_.fec.k);
+    const std::uint32_t new_group = expected_ / k;
+    for (std::uint32_t g = old_expected / k; g < new_group; ++g) {
+      fec_parity_.erase(g);
+      engine_->on_group_close(*this, g);
+      engine_->on_group_open(*this, g + 1);
+    }
+    if (expected_ >= alloc_.total_packets && expected_ % k != 0) {
+      fec_parity_.erase(new_group);
+      engine_->on_group_close(*this, new_group);
+    }
+  }
   deliver_if_complete();
 }
 
@@ -447,6 +493,241 @@ void MulticastReceiver::handle_foreign_nak(const Header& h) {
   }
 }
 
+std::size_t MulticastReceiver::fec_group_data(std::uint32_t group) const {
+  const std::uint64_t first = std::uint64_t{group} * config_.fec.k;
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.fec.k, alloc_.total_packets - first));
+}
+
+std::size_t MulticastReceiver::fec_block_len(std::uint32_t seq) const {
+  const std::uint64_t off = std::uint64_t{seq} * alloc_.packet_bytes;
+  const std::uint64_t remain =
+      alloc_.message_bytes - std::min<std::uint64_t>(alloc_.message_bytes, off);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(alloc_.packet_bytes, remain));
+}
+
+std::uint64_t MulticastReceiver::fec_missing_bitmap(std::uint32_t group,
+                                                    std::size_t* n_missing) const {
+  const std::uint32_t first = group * static_cast<std::uint32_t>(config_.fec.k);
+  const std::size_t group_data = fec_group_data(group);
+  std::uint64_t missing = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < group_data; ++i) {
+    const std::uint32_t seq = first + static_cast<std::uint32_t>(i);
+    if (seq < expected_ || reorder_.count(seq) > 0) continue;
+    missing |= std::uint64_t{1} << i;
+    ++count;
+  }
+  if (n_missing != nullptr) *n_missing = count;
+  return missing;
+}
+
+void MulticastReceiver::handle_parity(const Header& h, BytesView body) {
+  if (!engine_->is_fec() || !session_active_ || h.session != session_) {
+    ++stats_.stale_packets;
+    return;
+  }
+  const std::uint32_t m = static_cast<std::uint32_t>(config_.fec.m);
+  const std::uint32_t group = h.seq / m;
+  const std::uint32_t index = h.seq % m;
+  const std::uint64_t first = std::uint64_t{group} * config_.fec.k;
+  if (first >= alloc_.total_packets) {
+    ++stats_.stale_packets;
+    return;
+  }
+  ++stats_.parity_packets_received;
+  if (config_.receiver_driven_timeouts && !delivered_) arm_inactivity_timer();
+  // This frame proves every earlier frame of its group already went by;
+  // the group's last parity index closes its repair window entirely.
+  fec_no_more_parity_group_ = std::max(
+      fec_no_more_parity_group_, index + 1 == m ? group + 1 : group);
+  flight_recorder().record(rt_.now(), "receiver", "parity",
+                           static_cast<std::uint32_t>(node_id_), h.seq, group);
+  const std::uint64_t group_end = first + fec_group_data(group);
+  if (!delivered_ && expected_ < group_end) {
+    fec_parity_[group].try_emplace(index, Buffer(body.begin(), body.end()));
+  }
+  maybe_fec_decode(group);
+  want_group_nak(/*force=*/false);
+}
+
+void MulticastReceiver::maybe_fec_decode(std::uint32_t group) {
+  if (fec_decode_inflight_ || !session_active_ || delivered_) return;
+  auto pit = fec_parity_.find(group);
+  if (pit == fec_parity_.end() || pit->second.empty()) return;
+  std::size_t n_missing = 0;
+  fec_missing_bitmap(group, &n_missing);
+  if (n_missing == 0) {
+    // Every data block is already held (in order or buffered): the group
+    // closes by draining, and its parity is dead weight.
+    fec_parity_.erase(pit);
+    return;
+  }
+  if (!engine_->group_decodable(n_missing, pit->second.size())) return;
+  // Defer the reconstruction behind its modelled CPU cost: syndrome
+  // formation folds every held block and recovery recombines the
+  // erasures — about one fold per group block at the GF multiply rate
+  // (memory-speed XOR for the m == 1 code). State may shift while the
+  // CPU is busy (a retransmission can land, a new session can start), so
+  // the completion re-verifies before touching anything.
+  fec_decode_inflight_ = true;
+  const std::uint32_t first = group * static_cast<std::uint32_t>(config_.fec.k);
+  const std::uint64_t folded_bytes =
+      std::uint64_t{fec_block_len(first)} * fec_group_data(group);
+  const double rate =
+      config_.fec.m == 1 ? inet::kFecXorNsPerByte : inet::kFecMulNsPerByte;
+  const auto cost = static_cast<sim::Time>(rate * static_cast<double>(folded_bytes));
+  const std::uint32_t sess = session_;
+  const sim::Time started = rt_.now();
+  rt_.run_cost(cost, [this, group, sess, started] {
+    fec_decode_inflight_ = false;
+    if (!session_active_ || session_ != sess || delivered_) return;
+    finish_fec_decode(group, started);
+  });
+}
+
+void MulticastReceiver::finish_fec_decode(std::uint32_t group, sim::Time started) {
+  auto pit = fec_parity_.find(group);
+  if (pit == fec_parity_.end() || pit->second.empty()) return;
+  std::size_t n_missing = 0;
+  const std::uint64_t missing = fec_missing_bitmap(group, &n_missing);
+  if (n_missing == 0) {
+    fec_parity_.erase(pit);
+    return;
+  }
+  if (!engine_->group_decodable(n_missing, pit->second.size())) return;
+
+  const std::size_t k = config_.fec.k;
+  const std::size_t m = config_.fec.m;
+  const std::uint32_t first = group * static_cast<std::uint32_t>(k);
+  const std::size_t group_data = fec_group_data(group);
+  const std::size_t len = fec_block_len(first);
+
+  // Stage all k blocks at the parity length: held blocks copy in (short
+  // tail blocks zero-padded), erased blocks start zeroed as decode
+  // outputs, and indices past the tail group's end are implicit zero
+  // blocks (present by definition — the sender never folded them).
+  std::vector<Buffer> staging(k, Buffer(len, 0));
+  std::vector<std::uint8_t*> data_ptrs(k);
+  bool data_present[fec::kMaxK];
+  for (std::size_t i = 0; i < k; ++i) {
+    data_ptrs[i] = staging[i].data();
+    data_present[i] = true;
+    if (i >= group_data) continue;
+    const std::uint32_t seq = first + static_cast<std::uint32_t>(i);
+    if ((missing >> i) & 1u) {
+      data_present[i] = false;
+      continue;
+    }
+    if (seq < expected_) {
+      const std::size_t off = std::size_t{seq} * alloc_.packet_bytes;
+      std::copy_n(buffer_.begin() + static_cast<std::ptrdiff_t>(off),
+                  fec_block_len(seq), staging[i].begin());
+    } else {
+      const Buffer& held = reorder_.at(seq).second;
+      std::copy_n(held.begin(), std::min(held.size(), len), staging[i].begin());
+    }
+  }
+  std::vector<const std::uint8_t*> parity_ptrs(m, nullptr);
+  bool parity_present[fec::kMaxM];
+  std::fill(parity_present, parity_present + m, false);
+  for (const auto& [index, payload] : pit->second) {
+    if (index < m && payload.size() == len) {
+      parity_ptrs[index] = payload.data();
+      parity_present[index] = true;
+    }
+  }
+  if (!fec_codec_->decode(data_ptrs.data(), data_present, parity_ptrs.data(),
+                          parity_present, len, fec::Backend::kWide)) {
+    // A malformed parity frame shrank the usable set below the erasure
+    // count; the GROUP_NAK fallback takes over from here.
+    return;
+  }
+  ++stats_.fec_decodes;
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kFecDecode, trace_track_, group,
+                    static_cast<std::uint32_t>(rt_.now() - started));
+  }
+  flight_recorder().record(rt_.now(), "receiver", "fec_decode",
+                           static_cast<std::uint32_t>(node_id_), group,
+                           static_cast<std::uint32_t>(n_missing));
+  for (std::size_t i = 0; i < group_data; ++i) {
+    if (((missing >> i) & 1u) == 0) continue;
+    const std::uint32_t seq = first + static_cast<std::uint32_t>(i);
+    std::uint8_t flags = engine_->repair_flags(seq, config_);
+    if (seq + 1 == alloc_.total_packets) flags |= kFlagLast;
+    ++stats_.fec_blocks_recovered;
+    if (tracer_) {
+      tracer_->record(rt_.now(), trace::EventKind::kFecRecover, trace_track_, seq);
+    }
+    reorder_.try_emplace(seq, flags,
+                         Buffer(staging[i].begin(),
+                                staging[i].begin() +
+                                    static_cast<std::ptrdiff_t>(fec_block_len(seq))));
+  }
+  fec_parity_.erase(group);
+  // The decode may have filled the in-order gap: drain through the normal
+  // consume path so acknowledgments and delivery fire exactly as if the
+  // blocks had arrived on the wire.
+  auto it = reorder_.find(expected_);
+  if (it == reorder_.end()) return;
+  const std::uint32_t old_expected = expected_;
+  const std::uint8_t flags = it->second.first;
+  Buffer body = std::move(it->second.second);
+  reorder_.erase(it);
+  const std::uint8_t consumed =
+      consume_in_order(old_expected, flags, BytesView(body.data(), body.size()));
+  after_advance(old_expected, consumed);
+}
+
+void MulticastReceiver::want_group_nak(bool force) {
+  if (!session_active_ || delivered_) return;
+  const std::uint32_t k = static_cast<std::uint32_t>(config_.fec.k);
+  const std::uint32_t group = expected_ / k;  // oldest incomplete group
+  if (std::uint64_t{group} * k >= alloc_.total_packets) return;
+  std::size_t n_missing = 0;
+  const std::uint64_t missing = fec_missing_bitmap(group, &n_missing);
+  if (n_missing == 0) return;
+  auto pit = fec_parity_.find(group);
+  const std::size_t parity_held = pit == fec_parity_.end() ? 0 : pit->second.size();
+  if (engine_->group_decodable(n_missing, parity_held)) {
+    // Parity already here covers the erasures: decode instead of asking.
+    maybe_fec_decode(group);
+    return;
+  }
+  // Unless forced (silence: nothing more is coming), hold the NAK while
+  // the group's parity tail may still be in flight.
+  if (!force && group >= fec_no_more_parity_group_) return;
+  const sim::Time now = rt_.now();
+  if (last_nak_ >= 0 && now - last_nak_ < config_.nak_interval) {
+    ++stats_.naks_suppressed;
+    return;
+  }
+  last_nak_ = now;
+  emit_group_nak(group, missing, n_missing);
+}
+
+void MulticastReceiver::emit_group_nak(std::uint32_t group, std::uint64_t missing,
+                                       std::size_t n_missing) {
+  Header h{PacketType::kGroupNak, 0, static_cast<std::uint16_t>(node_id_), session_,
+           group};
+  Writer w(kHeaderBytes + kGroupNakBytes);
+  write_header(w, h);
+  write_group_nak(w, GroupNak{missing});
+  ++stats_.group_naks_sent;
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kGroupNakTx, trace_track_, group,
+                    static_cast<std::uint32_t>(n_missing));
+  }
+  flight_recorder().record(rt_.now(), "receiver", "group_nak",
+                           static_cast<std::uint32_t>(node_id_), group,
+                           static_cast<std::uint32_t>(n_missing));
+  Buffer packet = w.take();
+  control_socket_.send_to(membership_.sender_control,
+                          BytesView(packet.data(), packet.size()));
+}
+
 void MulticastReceiver::deliver_if_complete() {
   if (delivered_ || expected_ < alloc_.total_packets) return;
   delivered_ = true;
@@ -474,8 +755,13 @@ void MulticastReceiver::arm_inactivity_timer() {
     inactivity_timer_ = rt::kInvalidTimerId;
     if (!session_active_ || delivered_) return;
     // The stream went quiet with the message incomplete: ask for the gap
-    // ourselves instead of waiting out the sender's timer.
-    want_nak();
+    // ourselves instead of waiting out the sender's timer. Silence means
+    // no parity is coming either, so the FEC fallback is forced.
+    if (engine_->is_fec()) {
+      want_group_nak(/*force=*/true);
+    } else {
+      want_nak();
+    }
     arm_inactivity_timer();
   });
 }

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/metrics.h"
@@ -43,6 +44,7 @@
 #include "common/trace.h"
 #include "rmcast/config.h"
 #include "rmcast/engine/engine.h"
+#include "rmcast/fec/codec.h"
 #include "rmcast/group.h"
 #include "rmcast/observer.h"
 #include "rmcast/stats.h"
@@ -116,6 +118,7 @@ class MulticastReceiver : private ReceiverOps {
   void handle_chain_alloc_rsp(const Header& h);  // tree: from a child
   void handle_foreign_nak(const Header& h);      // multicast NAK suppression
   void handle_evict(const Header& h);            // sender evicted a node
+  void handle_parity(const Header& h, BytesView body);  // hybrid FEC
 
   // Copies an in-order packet into the message buffer and advances the
   // in-order point, draining the reorder buffer under selective repeat.
@@ -138,6 +141,26 @@ class MulticastReceiver : private ReceiverOps {
   void schedule_repair(std::uint32_t seq);
   void cancel_repair(std::uint32_t seq);
   void emit_repair(std::uint32_t seq);
+
+  // Hybrid FEC (engine_->is_fec()). Data blocks of the group live in
+  // buffer_/reorder_ as usual; only parity needs dedicated storage.
+  // Data packets of the oldest incomplete group count as erased once the
+  // group's repair window provably closed (parity tail seen, or anything
+  // from a later group); a group whose erasures exceed its held parity
+  // falls back to a GROUP_NAK naming the missing blocks.
+  std::size_t fec_group_data(std::uint32_t group) const;   // blocks in group
+  std::size_t fec_block_len(std::uint32_t seq) const;      // bytes in block
+  std::uint64_t fec_missing_bitmap(std::uint32_t group, std::size_t* n_missing) const;
+  // Schedules a decode of `group` behind its modelled GF(2^8) CPU cost
+  // when it is decodable; the completion re-verifies (state may shift
+  // while the CPU is busy) and then reconstructs the erased blocks.
+  void maybe_fec_decode(std::uint32_t group);
+  void finish_fec_decode(std::uint32_t group, sim::Time started);
+  // GROUP_NAK fallback, rate-limited like ordinary NAKs. `force` skips
+  // the parity-still-in-flight check (inactivity: nothing more is coming).
+  void want_group_nak(bool force);
+  void emit_group_nak(std::uint32_t group, std::uint64_t missing,
+                      std::size_t n_missing);
 
   net::Endpoint ack_target() const;  // sender, or tree parent
   int child_index(std::uint16_t node) const;
@@ -203,6 +226,17 @@ class MulticastReceiver : private ReceiverOps {
 
   // Selective repeat reorder buffer: seq -> (flags, payload).
   std::map<std::uint32_t, std::pair<std::uint8_t, Buffer>> reorder_;
+
+  // Hybrid FEC state (engine_->is_fec() only; reset per session).
+  std::optional<fec::Codec> fec_codec_;
+  // group -> (parity index -> payload); released at group close/decode.
+  std::map<std::uint32_t, std::map<std::uint32_t, Buffer>> fec_parity_;
+  // One decode occupies the (modelled) CPU at a time.
+  bool fec_decode_inflight_ = false;
+  // Groups below this provably have no more parity in flight: the sender
+  // streams a group's parity right after its data, so any frame from a
+  // later group — or the group's own last parity index — closes it.
+  std::uint32_t fec_no_more_parity_group_ = 0;
 
   // Tree chain/aggregation state, indexed by node id (not child slot) so
   // that re-forming links_ after an eviction keeps what surviving children

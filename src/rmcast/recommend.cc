@@ -18,7 +18,7 @@ Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_recei
     rec.config.kind = ProtocolKind::kAck;
     ProtocolRegistry::instance()
         .entry(rec.config.kind)
-        .apply_recommended_tuning(rec.config, message_bytes, n_receivers);
+        .traits.apply_recommended_tuning(rec.config, message_bytes, n_receivers);
     rec.rationale = str_format(
         "%s fits one %s packet: the ACK-based, NAK-based and ring protocols behave "
         "identically here and all beat the trees (user-level relaying only adds "
@@ -32,7 +32,7 @@ Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_recei
   rec.config.kind = ProtocolKind::kNakPolling;
   ProtocolRegistry::instance()
       .entry(rec.config.kind)
-      .apply_recommended_tuning(rec.config, message_bytes, n_receivers);
+      .traits.apply_recommended_tuning(rec.config, message_bytes, n_receivers);
   rec.rationale = str_format(
       "%s to %zu receivers: the NAK-based protocol with polling achieves the highest "
       "large-message throughput (Table 3); %s packets keep the pipeline full, a "
@@ -40,6 +40,32 @@ Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_recei
       "is the Figure 12 optimum.",
       format_bytes(message_bytes).c_str(), n_receivers,
       format_bytes(rec.config.packet_size).c_str(), rec.config.window_size);
+  return rec;
+}
+
+Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_receivers,
+                                double expected_loss) {
+  RMC_ENSURE(expected_loss >= 0.0 && expected_loss < 1.0,
+             "expected_loss must be a rate in [0, 1)");
+  // The ARQ advice holds while losses are rare: an occasional NAK round
+  // trip is cheaper than streaming parity nobody needs. Small messages
+  // also stay ARQ — they span a fraction of one FEC group, so parity
+  // overhead cannot amortize.
+  if (expected_loss < 0.01 || message_bytes <= tuning::kSmallMessagePacket) {
+    return recommend_config(message_bytes, n_receivers);
+  }
+  Recommendation rec;
+  rec.config.kind = ProtocolKind::kEcRs;
+  ProtocolRegistry::instance()
+      .entry(rec.config.kind)
+      .traits.apply_recommended_tuning(rec.config, message_bytes, n_receivers);
+  rec.rationale = str_format(
+      "%s to %zu receivers at ~%.1f%% expected loss: the Reed-Solomon hybrid-FEC "
+      "protocol repairs up to %zu losses per %zu-packet group from parity with no "
+      "repair round trip, so repair traffic stays flat where the NAK-based "
+      "protocol's retransmissions grow with the loss rate (abl_ec_crossover).",
+      format_bytes(message_bytes).c_str(), n_receivers, expected_loss * 100.0,
+      rec.config.fec.m, rec.config.fec.k);
   return rec;
 }
 

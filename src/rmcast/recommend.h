@@ -29,4 +29,15 @@ struct Recommendation {
 
 Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_receivers);
 
+// Loss-aware variant (beyond the paper, which measures an effectively
+// error-free switched LAN): `expected_loss` is the anticipated packet
+// loss rate on the path. Clean networks get the paper's advice above;
+// once losses are frequent enough that NAK/retransmission traffic and
+// its latency dominate (>= ~1%, e.g. wireless links or congested
+// uplinks), large messages switch to the Reed-Solomon hybrid-FEC
+// protocol, which repairs most losses from parity without any repair
+// round trip (see bench/abl_ec_crossover).
+Recommendation recommend_config(std::uint64_t message_bytes, std::size_t n_receivers,
+                                double expected_loss);
+
 }  // namespace rmc::rmcast

@@ -5,6 +5,7 @@
 #include "common/flight_recorder.h"
 #include "common/log.h"
 #include "common/panic.h"
+#include "inet/host_params.h"
 #include "rmcast/engine/registry.h"
 
 namespace rmc::rmcast {
@@ -21,6 +22,12 @@ MulticastSender::MulticastSender(rt::Runtime& runtime, rt::UdpSocket& control_so
   RMC_ENSURE(group_error.empty(), group_error);
   std::string config_error = validate(config_, membership_.n_receivers());
   RMC_ENSURE(config_error.empty(), config_error);
+
+  // Hybrid FEC: one codec serves every group of every session (the
+  // parity matrix depends only on k and m, both fixed per config).
+  if (engine_->parity_per_group(config_) > 0) {
+    fec_codec_.emplace(config_.fec.k, config_.fec.m);
+  }
 
   core_.reset_units(membership_.n_receivers());
 
@@ -134,6 +141,9 @@ void MulticastSender::on_packet(const net::Endpoint& src, BytesView payload) {
       break;
     case PacketType::kSuspect:
       on_suspect(*header);
+      break;
+    case PacketType::kGroupNak:
+      on_group_nak(*header, r);
       break;
     default:
       ++core_.stats.stale_packets;
@@ -268,8 +278,15 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
   }
 
   ++core_.stats.data_packets_sent;
-  auto finish = [this, packet = w.take()] {
+  auto finish = [this, seq, packet = w.take()] {
     socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    if (group_closes_at(seq)) {
+      // The group's parity rides the same tx chain as its data: the
+      // GF(2^8) encode occupies the CPU, the m frames go out back to
+      // back, and only then does the chain resume pumping.
+      emit_group_parity(seq / static_cast<std::uint32_t>(config_.fec.k));
+      return;
+    }
     tx_chain_active_ = false;
     if (state_ == State::kSending) pump();
   };
@@ -279,6 +296,121 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
     rt_.run_cost(copy_cost, std::move(finish));
   } else {
     finish();
+  }
+}
+
+bool MulticastSender::group_closes_at(std::uint32_t seq) const {
+  if (!fec_codec_.has_value()) return false;
+  const std::uint32_t k = static_cast<std::uint32_t>(config_.fec.k);
+  // First transmissions are claimed sequentially, so each seq passes
+  // through here exactly once; the last seq of the message closes a
+  // (possibly partial) tail group.
+  return (seq + 1) % k == 0 || seq + 1 == total_packets_;
+}
+
+void MulticastSender::emit_group_parity(std::uint32_t group) {
+  const std::size_t k = config_.fec.k;
+  const std::size_t m = config_.fec.m;
+  const std::uint64_t first = std::uint64_t{group} * k;
+  const std::size_t group_data = static_cast<std::size_t>(
+      std::min<std::uint64_t>(k, total_packets_ - first));
+  // Parity blocks span the group's longest data block (its first).
+  // Shorter tail blocks contribute as if zero-padded: folding only their
+  // real bytes leaves the remainder untouched, which is exactly the
+  // zero-pad's contribution.
+  const std::size_t first_off = static_cast<std::size_t>(first) * config_.packet_size;
+  const std::size_t parity_len =
+      std::min(config_.packet_size,
+               message_view_.size() - std::min(message_view_.size(), first_off));
+
+  std::vector<Buffer> parity(m);
+  std::vector<std::uint8_t*> parity_ptrs(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    parity[j].assign(parity_len, 0);
+    parity_ptrs[j] = parity[j].data();
+  }
+  std::uint64_t folded_bytes = 0;
+  for (std::size_t i = 0; i < group_data; ++i) {
+    const std::size_t off = first_off + i * config_.packet_size;
+    const std::size_t len =
+        std::min(config_.packet_size,
+                 message_view_.size() - std::min(message_view_.size(), off));
+    if (len == 0) continue;
+    fec_codec_->encode_add(i, message_view_.data() + off, parity_ptrs.data(), len,
+                           fec::Backend::kWide);
+    folded_bytes += std::uint64_t{len} * m;
+  }
+
+  auto finish = [this, group, parity = std::move(parity)] {
+    const std::size_t m = config_.fec.m;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint32_t pseq =
+          group * static_cast<std::uint32_t>(m) + static_cast<std::uint32_t>(j);
+      Header h{PacketType::kParity, 0, kSenderNodeId, session_, pseq};
+      Writer w(kHeaderBytes + parity[j].size());
+      write_header(w, h);
+      if (!parity[j].empty()) w.bytes(BytesView(parity[j].data(), parity[j].size()));
+      ++core_.stats.parity_packets_sent;
+      if (tracer_) {
+        tracer_->record(rt_.now(), trace::EventKind::kParityTx, trace_track_, pseq,
+                        group);
+      }
+      flight_recorder().record(rt_.now(), "sender", "parity", kSenderNodeId, pseq,
+                               group);
+      Buffer packet = w.take();
+      socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    }
+    tx_chain_active_ = false;
+    if (state_ == State::kSending) pump();
+  };
+  // XOR parity (m == 1) folds at memory speed; general coefficients pay
+  // the bit-plane multiply rate. Same cost model as the receive-side
+  // decode (inet/host_params.h).
+  const double rate = m == 1 ? inet::kFecXorNsPerByte : inet::kFecMulNsPerByte;
+  const auto encode_cost =
+      static_cast<sim::Time>(rate * static_cast<double>(folded_bytes));
+  rt_.run_cost(encode_cost, std::move(finish));
+}
+
+void MulticastSender::on_group_nak(const Header& h, Reader& r) {
+  if (state_ != State::kSending || h.session != session_ ||
+      !fec_codec_.has_value()) {
+    ++core_.stats.stale_packets;
+    return;
+  }
+  auto body = read_group_nak(r);
+  if (!body) {
+    ++core_.stats.stale_packets;
+    return;
+  }
+  ++core_.stats.group_naks_received;
+  if (tracer_) {
+    tracer_->record(rt_.now(), trace::EventKind::kGroupNakRx, trace_track_, h.node_id,
+                    h.seq);
+  }
+  flight_recorder().record(rt_.now(), "sender", "group_nak", h.node_id, session_,
+                           h.seq);
+  const std::uint64_t first = std::uint64_t{h.seq} * config_.fec.k;
+  if (first >= total_packets_) {
+    ++core_.stats.stale_packets;
+    return;
+  }
+  const std::size_t group_data = static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.fec.k, total_packets_ - first));
+  const std::vector<std::uint32_t> plan =
+      engine_->make_repair_plan(h.seq, body->missing, group_data, config_);
+  const sim::Time now = rt_.now();
+  for (std::uint32_t seq : plan) {
+    // Below the window base every unit (the complainer included) has
+    // acknowledged past it — the NAK is stale; at or past next() the
+    // block was never transmitted — the bitmap is garbage.
+    if (seq_lt(seq, core_.window.base()) || seq_ge(seq, core_.window.next())) continue;
+    if (now - core_.window.last_sent(seq) < config_.suppress_interval) {
+      ++core_.stats.suppressed_retransmissions;
+      if (core_.observer) core_.observer->on_retransmit_suppressed(session_, seq);
+      continue;
+    }
+    transmit(seq, /*retransmission=*/true, /*force_poll=*/false);
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/metrics.h"
@@ -32,6 +33,7 @@
 #include "rmcast/config.h"
 #include "rmcast/engine/core.h"
 #include "rmcast/engine/engine.h"
+#include "rmcast/fec/codec.h"
 #include "rmcast/group.h"
 #include "rmcast/observer.h"
 #include "rmcast/report.h"
@@ -110,6 +112,9 @@ class MulticastSender {
   void on_ack(const Header& h);
   void on_nak(const Header& h);
   void on_suspect(const Header& h);
+  // Hybrid FEC fallback: a receiver names a group's missing data blocks
+  // (bitmap body) and the engine's repair plan is multicast back.
+  void on_group_nak(const Header& h, Reader& r);
 
   void send_alloc_request();
   void start_data_phase();
@@ -122,6 +127,15 @@ class MulticastSender {
   // repeat resends only `from`.
   void retransmit_from(std::uint32_t from, bool force_poll,
                        const net::Endpoint* unicast_to = nullptr);
+  // Hybrid FEC: true when the engine emits parity and `seq` is the final
+  // data block of its group (so its tx chain must append the parity).
+  bool group_closes_at(std::uint32_t seq) const;
+  // Encodes and multicasts the m parity frames for `group` inside the tx
+  // chain: the GF(2^8) encode occupies the host CPU (run_cost) exactly
+  // like the user-space copy, then the frames go out back to back and
+  // the chain resumes pump().
+  void emit_group_parity(std::uint32_t group);
+
   void arm_rto();
   void disarm_rto();
   void on_rto();
@@ -148,6 +162,9 @@ class MulticastSender {
   // machinery it parameterizes.
   const SenderEngine* engine_;
   ProtocolCore core_;
+  // Hybrid FEC only (engine_->parity_per_group() > 0): the GF(2^8)
+  // erasure codec shared by every group of the transfer.
+  std::optional<fec::Codec> fec_codec_;
 
   State state_ = State::kIdle;
   std::uint32_t session_ = 0;

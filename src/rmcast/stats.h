@@ -30,6 +30,10 @@ struct SenderStats {
   std::uint64_t receivers_evicted = 0;
   std::uint64_t rto_backoffs = 0;
   std::uint64_t suspect_reports_received = 0;
+  // Hybrid FEC (kEcXor/kEcRs): parity frames emitted at group close and
+  // GROUP_NAK fallback requests answered with retransmissions.
+  std::uint64_t parity_packets_sent = 0;
+  std::uint64_t group_naks_received = 0;
 };
 
 struct ReceiverStats {
@@ -57,6 +61,13 @@ struct ReceiverStats {
   std::uint64_t evict_notices_received = 0;
   std::uint64_t suspects_sent = 0;
   std::uint64_t structure_reforms = 0;
+  // Hybrid FEC: parity frames accepted, decode passes run, data blocks
+  // reconstructed from parity (each one a retransmission avoided), and
+  // GROUP_NAK fallbacks sent for groups parity could not repair.
+  std::uint64_t parity_packets_received = 0;
+  std::uint64_t fec_decodes = 0;
+  std::uint64_t fec_blocks_recovered = 0;
+  std::uint64_t group_naks_sent = 0;
 };
 
 }  // namespace rmc::rmcast

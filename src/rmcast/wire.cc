@@ -19,7 +19,7 @@ std::optional<Header> read_header(Reader& r) {
   h.seq = r.u32();
   if (!r.ok()) return std::nullopt;
   if (type < static_cast<std::uint8_t>(PacketType::kData) ||
-      type > static_cast<std::uint8_t>(PacketType::kSuspect)) {
+      type > static_cast<std::uint8_t>(PacketType::kGroupNak)) {
     return std::nullopt;
   }
   h.type = static_cast<PacketType>(type);
@@ -41,6 +41,15 @@ std::optional<AllocRequest> read_alloc_request(Reader& r) {
   return a;
 }
 
+void write_group_nak(Writer& w, const GroupNak& g) { w.u64(g.missing); }
+
+std::optional<GroupNak> read_group_nak(Reader& r) {
+  GroupNak g;
+  g.missing = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return g;
+}
+
 Buffer make_control_packet(const Header& h) {
   Writer w(kHeaderBytes);
   write_header(w, h);
@@ -56,6 +65,8 @@ const char* packet_type_name(PacketType type) {
     case PacketType::kAllocRsp: return "ALLOC_RSP";
     case PacketType::kEvict: return "EVICT";
     case PacketType::kSuspect: return "SUSPECT";
+    case PacketType::kParity: return "PARITY";
+    case PacketType::kGroupNak: return "GROUP_NAK";
   }
   return "UNKNOWN";
 }

@@ -35,6 +35,15 @@ enum class PacketType : std::uint8_t {
   //   child node id whose acknowledgments have stalled.
   kEvict = 6,
   kSuspect = 7,
+  // Hybrid FEC (EC-XOR / EC-RS):
+  // kParity — multicast by the sender after each group of k data packets;
+  //   seq encodes the group id and parity index (group * m + index), and
+  //   the body is one parity block.
+  // kGroupNak — unicast to the sender by a receiver whose group failed to
+  //   decode; seq carries the group id (RFC-1982 serial, like every other
+  //   seq) and the body is a bitmap of the missing data blocks.
+  kParity = 8,
+  kGroupNak = 9,
 };
 
 // Flag bits on data packets.
@@ -83,6 +92,9 @@ struct Header {
   // kNak: first missing sequence number.
   // kAllocReq / kAllocRsp: 0.
   // kEvict / kSuspect: the node id being evicted / suspected.
+  // kParity: group * m + parity_index (a sequence space parallel to the
+  //          data packets', advancing m per group).
+  // kGroupNak: the undecodable group id.
   std::uint32_t seq = 0;
 };
 
@@ -96,11 +108,23 @@ struct AllocRequest {
 
 inline constexpr std::size_t kAllocRequestBytes = 16;
 
+// Body of a group NAK: bit i set means data block i of the group (the
+// packet with seq = group * k + i) is missing at the receiver. A u64
+// bitmap caps FEC groups at 64 data blocks (fec::kMaxK).
+struct GroupNak {
+  std::uint64_t missing = 0;
+};
+
+inline constexpr std::size_t kGroupNakBytes = 8;
+
 void write_header(Writer& w, const Header& h);
 std::optional<Header> read_header(Reader& r);
 
 void write_alloc_request(Writer& w, const AllocRequest& a);
 std::optional<AllocRequest> read_alloc_request(Reader& r);
+
+void write_group_nak(Writer& w, const GroupNak& g);
+std::optional<GroupNak> read_group_nak(Reader& r);
 
 // Convenience: serialize a header-only control packet.
 Buffer make_control_packet(const Header& h);

@@ -26,11 +26,14 @@ namespace rmc::rmcast {
 namespace {
 
 constexpr ProtocolKind kAllKinds[] = {
-    ProtocolKind::kAck, ProtocolKind::kNakPolling, ProtocolKind::kRing,
-    ProtocolKind::kFlatTree, ProtocolKind::kBinaryTree};
+    ProtocolKind::kAck,      ProtocolKind::kNakPolling, ProtocolKind::kRing,
+    ProtocolKind::kFlatTree, ProtocolKind::kBinaryTree, ProtocolKind::kEcXor,
+    ProtocolKind::kEcRs};
 
 // Table 2 tunings, shrunk to a 12-receiver 120KB transfer so the full
-// 5-protocol × 2-core × repeated-run matrix stays fast under sanitizers.
+// 7-protocol × 2-core × repeated-run matrix stays fast under sanitizers.
+// The EC kinds ride the same matrix: their parity emission, deferred
+// decode and GROUP_NAK fallback must be as replayable as the ARQ paths.
 ProtocolConfig small_config(ProtocolKind kind) {
   ProtocolConfig c;
   c.kind = kind;
@@ -38,6 +41,13 @@ ProtocolConfig small_config(ProtocolKind kind) {
   c.window_size = kind == ProtocolKind::kRing ? 40 : 20;
   if (kind == ProtocolKind::kNakPolling) c.poll_interval = 12;
   if (kind == ProtocolKind::kFlatTree) c.tree_height = 4;
+  if (is_fec_protocol(kind)) {
+    c.fec.k = kind == ProtocolKind::kEcXor ? 8 : 12;
+    c.fec.m = kind == ProtocolKind::kEcXor ? 1 : 3;
+    c.window_size = c.fec.group_size() + 4;
+    c.selective_repeat = true;
+    c.receiver_driven_timeouts = true;
+  }
   return c;
 }
 

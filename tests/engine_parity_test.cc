@@ -40,7 +40,8 @@ struct Golden {
   double seconds;
 };
 
-// The tab02_control_load configurations: Table 2's per-protocol tunings.
+// The tab02_control_load configurations: Table 2's per-protocol tunings,
+// plus the hybrid-FEC kinds at their recommended group shapes.
 ProtocolConfig tab02_config(ProtocolKind kind) {
   ProtocolConfig c;
   c.kind = kind;
@@ -48,6 +49,13 @@ ProtocolConfig tab02_config(ProtocolKind kind) {
   c.window_size = kind == ProtocolKind::kRing ? 40 : 20;
   if (kind == ProtocolKind::kNakPolling) c.poll_interval = 12;
   if (kind == ProtocolKind::kFlatTree) c.tree_height = 6;
+  if (is_fec_protocol(kind)) {
+    c.fec.k = kind == ProtocolKind::kEcXor ? 16 : 32;
+    c.fec.m = kind == ProtocolKind::kEcXor ? 1 : 8;
+    c.window_size = c.fec.group_size() + 4;
+    c.selective_repeat = true;
+    c.receiver_driven_timeouts = true;
+  }
   return c;
 }
 
@@ -108,6 +116,81 @@ const std::vector<Golden> kLossyGoldens = {
      324u, 15000000u, 0.624281624},
 };
 
+// The hybrid-FEC kinds have no pre-refactor build to compare against;
+// their goldens were captured from the first EC-capable build (this
+// commit) and pin the parity/decode/GROUP_NAK machinery for every
+// refactor after it. Same scenario: 500KB to 30 receivers.
+struct EcGolden {
+  const char* label;
+  ProtocolKind kind;
+  std::uint64_t data_packets_sent;
+  std::uint64_t retransmissions;
+  std::uint64_t acks_received;
+  std::uint64_t total_acks_sent;
+  std::uint64_t parity_packets_sent;
+  std::uint64_t parity_packets_received;
+  std::uint64_t fec_decodes;
+  std::uint64_t fec_blocks_recovered;
+  std::uint64_t group_naks_sent;
+  std::uint64_t group_naks_received;
+  std::uint64_t delivered_bytes;
+  double seconds;
+};
+
+void expect_matches_ec_golden(const EcGolden& g, std::uint64_t seed,
+                              double frame_error_rate) {
+  harness::MulticastRunSpec spec;
+  spec.n_receivers = 30;
+  spec.message_bytes = 500'000;
+  spec.protocol = tab02_config(g.kind);
+  spec.seed = seed;
+  spec.cluster.link.frame_error_rate = frame_error_rate;
+  harness::RunResult r = harness::run_multicast(spec);
+  ASSERT_TRUE(r.completed) << g.label << ": " << r.error;
+
+  EXPECT_EQ(r.sender.data_packets_sent, g.data_packets_sent) << g.label;
+  EXPECT_EQ(r.sender.retransmissions, g.retransmissions) << g.label;
+  EXPECT_EQ(r.sender.acks_received, g.acks_received) << g.label;
+  EXPECT_EQ(r.total_acks_sent(), g.total_acks_sent) << g.label;
+  EXPECT_EQ(r.sender.parity_packets_sent, g.parity_packets_sent) << g.label;
+  EXPECT_EQ(r.sender.group_naks_received, g.group_naks_received) << g.label;
+  std::uint64_t parity_rx = 0, decodes = 0, recovered = 0, gnaks = 0,
+                delivered_bytes = 0;
+  for (const auto& rs : r.receivers) {
+    parity_rx += rs.parity_packets_received;
+    decodes += rs.fec_decodes;
+    recovered += rs.fec_blocks_recovered;
+    gnaks += rs.group_naks_sent;
+    delivered_bytes += rs.messages_delivered * spec.message_bytes;
+  }
+  EXPECT_EQ(parity_rx, g.parity_packets_received) << g.label;
+  EXPECT_EQ(decodes, g.fec_decodes) << g.label;
+  EXPECT_EQ(recovered, g.fec_blocks_recovered) << g.label;
+  EXPECT_EQ(gnaks, g.group_naks_sent) << g.label;
+  EXPECT_EQ(delivered_bytes, g.delivered_bytes) << g.label;
+  EXPECT_NEAR(r.seconds, g.seconds, 1e-9) << g.label;
+}
+
+// Error-free, seed=1: parity flows (4 = 4 groups x m=1; 16 = 2 x m=8)
+// but nothing decodes and no GROUP_NAK fires.
+const std::vector<EcGolden> kEcErrorFreeGoldens = {
+    {"kEcXor", ProtocolKind::kEcXor, 63u, 0u, 120u, 120u, 4u, 120u, 0u, 0u, 0u,
+     0u, 15000000u, 0.048172672},
+    {"kEcRs", ProtocolKind::kEcRs, 63u, 0u, 60u, 60u, 16u, 240u, 0u, 0u, 0u, 0u,
+     15000000u, 0.056367248},
+};
+
+// seed=7, frame_error_rate=0.001: most losses decode locally; one window
+// stall mid-transfer exercises every receiver's inactivity-forced
+// GROUP_NAK exactly once, and the sender's suppression collapses the 30
+// requests into single-digit retransmissions.
+const std::vector<EcGolden> kEcLossyGoldens = {
+    {"kEcXor", ProtocolKind::kEcXor, 63u, 2u, 176u, 177u, 4u, 119u, 10u, 10u,
+     30u, 30u, 15000000u, 0.084992304},
+    {"kEcRs", ProtocolKind::kEcRs, 63u, 1u, 88u, 89u, 16u, 283u, 9u, 9u, 30u,
+     30u, 15000000u, 0.096622224},
+};
+
 class EngineParity : public ::testing::TestWithParam<sim::EventCoreKind> {
  protected:
   void SetUp() override {
@@ -137,6 +220,18 @@ TEST_P(EngineParity, ErrorFreeControlLoadMatchesPreRefactorGoldens) {
 TEST_P(EngineParity, LossyControlLoadMatchesPreRefactorGoldens) {
   for (const Golden& g : kLossyGoldens) {
     expect_matches_golden(g, /*seed=*/7, /*frame_error_rate=*/0.001);
+  }
+}
+
+TEST_P(EngineParity, ErrorFreeEcControlLoadMatchesCapturedGoldens) {
+  for (const EcGolden& g : kEcErrorFreeGoldens) {
+    expect_matches_ec_golden(g, /*seed=*/1, /*frame_error_rate=*/0.0);
+  }
+}
+
+TEST_P(EngineParity, LossyEcControlLoadMatchesCapturedGoldens) {
+  for (const EcGolden& g : kEcLossyGoldens) {
+    expect_matches_ec_golden(g, /*seed=*/7, /*frame_error_rate=*/0.001);
   }
 }
 

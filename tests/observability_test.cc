@@ -145,6 +145,47 @@ TEST(Observability, NakRunPublishesNakCounters) {
   EXPECT_GT(r.link_drops, 0u);
 }
 
+TEST(Observability, EcRunPublishesFecCounters) {
+  metrics::Registry registry;
+  MulticastRunSpec spec;
+  spec.n_receivers = 4;
+  spec.message_bytes = 400'000;
+  spec.protocol.kind = rmcast::ProtocolKind::kEcRs;
+  spec.protocol.packet_size = 4000;
+  spec.protocol.fec.k = 16;
+  spec.protocol.fec.m = 4;
+  spec.protocol.window_size = 24;
+  spec.protocol.selective_repeat = true;
+  spec.protocol.receiver_driven_timeouts = true;
+  spec.cluster.link.frame_error_rate = 0.01;
+  spec.seed = 5;
+  spec.metrics = &registry;
+  RunResult r = run_multicast(spec);
+  ASSERT_TRUE(r.completed) << r.error;
+
+  EXPECT_EQ(registry.find_counter("sender.parity_packets_sent")->value(),
+            r.sender.parity_packets_sent);
+  EXPECT_GT(r.sender.parity_packets_sent, 0u);
+  std::uint64_t parity_rx = 0, decodes = 0, recovered = 0, gnaks = 0;
+  for (const auto& rs : r.receivers) {
+    parity_rx += rs.parity_packets_received;
+    decodes += rs.fec_decodes;
+    recovered += rs.fec_blocks_recovered;
+    gnaks += rs.group_naks_sent;
+  }
+  EXPECT_EQ(registry.find_counter("receiver.parity_packets_received")->value(),
+            parity_rx);
+  EXPECT_EQ(registry.find_counter("receiver.fec_decodes")->value(), decodes);
+  EXPECT_EQ(registry.find_counter("receiver.fec_blocks_recovered")->value(),
+            recovered);
+  EXPECT_EQ(registry.find_counter("receiver.group_naks_sent")->value(), gnaks);
+  EXPECT_EQ(registry.find_counter("sender.group_naks_received")->value(),
+            r.sender.group_naks_received);
+  // At 1% loss the parity must actually be earning its keep.
+  EXPECT_GT(decodes, 0u);
+  EXPECT_GE(recovered, decodes);
+}
+
 TEST(Observability, JsonSnapshotHasDocumentedSchema) {
   metrics::Registry registry;
   MulticastRunSpec spec = small_ack_spec();

@@ -24,15 +24,17 @@ const ReceiverEngine& receiver_engine(ProtocolKind kind) {
 
 TEST(ProtocolRegistryTest, CoversEveryKindInEnumOrder) {
   const auto& entries = ProtocolRegistry::instance().entries();
-  ASSERT_EQ(entries.size(), 5u);
+  ASSERT_EQ(entries.size(), 7u);
   EXPECT_EQ(entries[0].kind, ProtocolKind::kAck);
   EXPECT_EQ(entries[1].kind, ProtocolKind::kNakPolling);
   EXPECT_EQ(entries[2].kind, ProtocolKind::kRing);
   EXPECT_EQ(entries[3].kind, ProtocolKind::kFlatTree);
   EXPECT_EQ(entries[4].kind, ProtocolKind::kBinaryTree);
+  EXPECT_EQ(entries[5].kind, ProtocolKind::kEcXor);
+  EXPECT_EQ(entries[6].kind, ProtocolKind::kEcRs);
   for (const EngineEntry& e : entries) {
-    EXPECT_STRNE(e.id, "");
-    EXPECT_STRNE(e.display_name, "");
+    EXPECT_STRNE(e.traits.id, "");
+    EXPECT_STRNE(e.traits.display_name, "");
     EXPECT_NE(e.sender_engine(), nullptr);
     EXPECT_NE(e.receiver_engine(), nullptr);
   }
@@ -57,12 +59,16 @@ TEST(ProtocolRegistryTest, FindsEntriesById) {
   EXPECT_EQ(reg.find("tree")->kind, ProtocolKind::kFlatTree);
   ASSERT_NE(reg.find("btree"), nullptr);
   EXPECT_EQ(reg.find("btree")->kind, ProtocolKind::kBinaryTree);
+  ASSERT_NE(reg.find("ecxor"), nullptr);
+  EXPECT_EQ(reg.find("ecxor")->kind, ProtocolKind::kEcXor);
+  ASSERT_NE(reg.find("ecrs"), nullptr);
+  EXPECT_EQ(reg.find("ecrs")->kind, ProtocolKind::kEcRs);
   EXPECT_EQ(reg.find("no-such-protocol"), nullptr);
 }
 
 TEST(ProtocolRegistryTest, DisplayNamesMatchProtocolName) {
   for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
-    EXPECT_STREQ(e.display_name, protocol_name(e.kind));
+    EXPECT_STREQ(e.traits.display_name, protocol_name(e.kind));
   }
 }
 
@@ -212,40 +218,144 @@ TEST(ProtocolRegistryTest, ValidateHooksMatchTheConfigLayer) {
   ProtocolConfig nak;
   nak.kind = ProtocolKind::kNakPolling;
   nak.poll_interval = 0;
-  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).traits.validate(nak, 10).empty());
   nak.poll_interval = nak.window_size + 1;
-  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+  EXPECT_FALSE(entry(ProtocolKind::kNakPolling).traits.validate(nak, 10).empty());
   nak.poll_interval = nak.window_size;
-  EXPECT_TRUE(entry(ProtocolKind::kNakPolling).validate(nak, 10).empty());
+  EXPECT_TRUE(entry(ProtocolKind::kNakPolling).traits.validate(nak, 10).empty());
 
   ProtocolConfig ring;
   ring.kind = ProtocolKind::kRing;
   ring.window_size = 10;
-  EXPECT_FALSE(entry(ProtocolKind::kRing).validate(ring, 10).empty());
+  EXPECT_FALSE(entry(ProtocolKind::kRing).traits.validate(ring, 10).empty());
   ring.window_size = 11;
-  EXPECT_TRUE(entry(ProtocolKind::kRing).validate(ring, 10).empty());
+  EXPECT_TRUE(entry(ProtocolKind::kRing).traits.validate(ring, 10).empty());
 
   ProtocolConfig tree;
   tree.kind = ProtocolKind::kFlatTree;
   tree.tree_height = 0;
-  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).traits.validate(tree, 10).empty());
   tree.tree_height = 11;
-  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+  EXPECT_FALSE(entry(ProtocolKind::kFlatTree).traits.validate(tree, 10).empty());
   tree.tree_height = 5;
-  EXPECT_TRUE(entry(ProtocolKind::kFlatTree).validate(tree, 10).empty());
+  EXPECT_TRUE(entry(ProtocolKind::kFlatTree).traits.validate(tree, 10).empty());
+}
+
+TEST(ProtocolRegistryTest, ValidateHooksCoverTheFecKnobs) {
+  // An EC config must carry its FEC shape plus the reception options the
+  // group machinery depends on; the hooks reject each omission by name.
+  ProtocolConfig ec;
+  ec.kind = ProtocolKind::kEcRs;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty())
+      << "unset fec must be rejected";
+  ec.fec.k = 8;
+  ec.fec.m = 2;
+  ec.window_size = 50;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty())
+      << "selective_repeat is mandatory";
+  ec.selective_repeat = true;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty())
+      << "receiver_driven_timeouts is mandatory";
+  ec.receiver_driven_timeouts = true;
+  EXPECT_TRUE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+
+  // The group must fit the window or the sender stalls mid-group.
+  ec.window_size = ec.fec.group_size() - 1;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+  ec.window_size = ec.fec.group_size();
+  EXPECT_TRUE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+
+  // The GROUP_NAK bitmap is 64 bits wide: k beyond it must fail.
+  ec.fec.k = 65;
+  ec.window_size = 80;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+  ec.fec.k = 8;
+
+  // ARQ-side options that conflict with the parity machinery.
+  ec.window_size = 50;
+  ec.multicast_nak_suppression = true;
+  ec.nak_suppress_delay = 0.001;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+  ec.multicast_nak_suppression = false;
+  ec.unicast_nak_retransmissions = true;
+  EXPECT_FALSE(entry(ProtocolKind::kEcRs).traits.validate(ec, 10).empty());
+  ec.unicast_nak_retransmissions = false;
+
+  // EC-XOR is the m = 1 special case and rejects anything wider.
+  ec.kind = ProtocolKind::kEcXor;
+  ec.fec.m = 2;
+  EXPECT_FALSE(entry(ProtocolKind::kEcXor).traits.validate(ec, 10).empty());
+  ec.fec.m = 1;
+  EXPECT_TRUE(entry(ProtocolKind::kEcXor).traits.validate(ec, 10).empty());
+
+  // Conversely the ARQ kinds must reject FEC knobs (config-layer rule).
+  ProtocolConfig stray;
+  stray.kind = ProtocolKind::kNakPolling;
+  stray.poll_interval = 2;
+  stray.fec.k = 8;
+  stray.fec.m = 1;
+  EXPECT_FALSE(validate(stray, 10).empty());
+}
+
+TEST(ProtocolRegistryTest, OnlyTheEcKindsCarryTheFecTrait) {
+  for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
+    const bool ec =
+        e.kind == ProtocolKind::kEcXor || e.kind == ProtocolKind::kEcRs;
+    EXPECT_EQ(e.traits.fec, ec);
+    EXPECT_EQ(e.receiver_engine()->is_fec(), ec);
+    EXPECT_EQ(is_fec_protocol(e.kind), ec);
+  }
+}
+
+TEST(SenderEngineTest, EcParityAndRepairPlansFollowTheGroupShape) {
+  ProtocolConfig config;
+  config.kind = ProtocolKind::kEcRs;
+  config.fec.k = 8;
+  config.fec.m = 3;
+  const SenderEngine& engine = sender_engine(ProtocolKind::kEcRs);
+  EXPECT_EQ(engine.parity_per_group(config), 3u);
+
+  // The repair plan expands the missing-bitmap into absolute sequence
+  // numbers within the group; bits at or past group_data are ignored
+  // (a short tail group has no blocks there).
+  const std::uint64_t missing = 0b1000'0101;
+  EXPECT_EQ(engine.make_repair_plan(2, missing, 8, config),
+            (std::vector<std::uint32_t>{16, 18, 23}));
+  EXPECT_EQ(engine.make_repair_plan(2, missing, 3, config),
+            (std::vector<std::uint32_t>{16, 18}));
+  EXPECT_EQ(engine.make_repair_plan(0, 0, 8, config), std::vector<std::uint32_t>{});
+
+  // ARQ engines keep the do-nothing defaults: no parity, empty plans.
+  const SenderEngine& nak = sender_engine(ProtocolKind::kNakPolling);
+  EXPECT_EQ(nak.parity_per_group(config), 0u);
+  EXPECT_TRUE(nak.make_repair_plan(2, missing, 8, config).empty());
+}
+
+TEST(ReceiverEngineTest, EcGroupDecodabilityIsTheMdsBound) {
+  const ReceiverEngine& engine = receiver_engine(ProtocolKind::kEcRs);
+  EXPECT_TRUE(engine.group_decodable(0, 0));
+  EXPECT_TRUE(engine.group_decodable(3, 3));
+  EXPECT_TRUE(engine.group_decodable(2, 3));
+  EXPECT_FALSE(engine.group_decodable(4, 3));
+  // ARQ receivers never claim decodability.
+  EXPECT_FALSE(receiver_engine(ProtocolKind::kAck).group_decodable(0, 0));
 }
 
 TEST(ProtocolRegistryTest, DescribeKnobsCarryTheKindSpecificSuffix) {
   ProtocolConfig config;
   config.poll_interval = 12;
   config.tree_height = 6;
+  config.fec.k = 16;
+  config.fec.m = 4;
   for (const EngineEntry& e : ProtocolRegistry::instance().entries()) {
     config.kind = e.kind;
-    const std::string knobs = e.describe_knobs(config);
+    const std::string knobs = e.traits.describe_knobs(config);
     if (e.kind == ProtocolKind::kNakPolling) {
       EXPECT_EQ(knobs, " poll=12");
     } else if (e.kind == ProtocolKind::kFlatTree) {
       EXPECT_EQ(knobs, " H=6");
+    } else if (e.traits.fec) {
+      EXPECT_EQ(knobs, " k=16 m=4");
     } else {
       EXPECT_EQ(knobs, "");
     }

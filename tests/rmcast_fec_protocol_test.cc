@@ -1,0 +1,122 @@
+// End-to-end behaviour of the erasure-coded protocols: parity flows on a
+// clean wire without triggering repairs, losses within the MDS bound are
+// decoded locally with zero retransmission traffic, and only losses the
+// parity cannot cover fall back to GROUP_NAK selective repeat.
+#include <gtest/gtest.h>
+
+#include "protocol_test_util.h"
+
+namespace rmc {
+namespace {
+
+using rmcast::ProtocolKind;
+using test::pattern;
+using test::ProtocolHarness;
+
+rmcast::ProtocolConfig ec_config(ProtocolKind kind) {
+  rmcast::ProtocolConfig c;
+  c.kind = kind;
+  c.packet_size = 4000;
+  c.fec.k = kind == ProtocolKind::kEcXor ? 8 : 16;
+  c.fec.m = kind == ProtocolKind::kEcXor ? 1 : 4;
+  c.window_size = c.fec.group_size() + 4;
+  c.selective_repeat = true;
+  c.receiver_driven_timeouts = true;
+  return c;
+}
+
+class EcProtocolTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, EcProtocolTest,
+                         ::testing::Values(ProtocolKind::kEcXor, ProtocolKind::kEcRs),
+                         [](const auto& info) {
+                           return info.param == ProtocolKind::kEcXor
+                                      ? std::string("Xor")
+                                      : std::string("Rs");
+                         });
+
+TEST_P(EcProtocolTest, DeliversExactPayloadOnCleanWire) {
+  const auto config = ec_config(GetParam());
+  ProtocolHarness h(6, config);
+  Buffer message = pattern(40 * config.packet_size + 123);
+  ASSERT_TRUE(h.send_and_run(message));
+  h.expect_all_delivered({message});
+  // Parity flowed: every full group's worth, at every receiver.
+  EXPECT_GT(h.sender().stats().parity_packets_sent, 0u);
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    EXPECT_GT(h.receiver(i).stats().parity_packets_received, 0u) << i;
+  }
+  // ...but nothing needed repair: no decode, no NAK, no retransmission.
+  EXPECT_EQ(h.sender().stats().retransmissions, 0u);
+  EXPECT_EQ(h.sender().stats().group_naks_received, 0u);
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    EXPECT_EQ(h.receiver(i).stats().fec_decodes, 0u) << i;
+    EXPECT_EQ(h.receiver(i).stats().group_naks_sent, 0u) << i;
+  }
+}
+
+TEST_P(EcProtocolTest, EdgeCaseMessageSizes) {
+  const auto config = ec_config(GetParam());
+  for (std::size_t bytes :
+       {std::size_t{0}, std::size_t{1}, config.packet_size,
+        config.packet_size * config.fec.k,        // exactly one group
+        config.packet_size * config.fec.k + 1,    // one group + a byte
+        config.packet_size * (config.fec.k - 1)}) {  // short tail group only
+    ProtocolHarness h(4, config);
+    Buffer message = pattern(bytes);
+    ASSERT_TRUE(h.send_and_run(message)) << bytes << " bytes";
+    h.expect_all_delivered({message});
+  }
+}
+
+TEST_P(EcProtocolTest, LossesWithinTheMdsBoundDecodeWithoutRetransmission) {
+  const auto config = ec_config(GetParam());
+  inet::ClusterParams cluster;
+  // Rare isolated losses: well under one per group on average, so the
+  // per-group parity absorbs essentially all of them.
+  cluster.link.frame_error_rate = 0.002;
+  ProtocolHarness h(4, config, cluster);
+  Buffer message = pattern(120 * config.packet_size);
+  ASSERT_TRUE(h.send_and_run(message, sim::seconds(60.0)));
+  h.expect_all_delivered({message});
+  std::uint64_t decodes = 0, recovered = 0;
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    decodes += h.receiver(i).stats().fec_decodes;
+    recovered += h.receiver(i).stats().fec_blocks_recovered;
+  }
+  EXPECT_GT(decodes, 0u) << "losses should have been repaired by decode";
+  EXPECT_GE(recovered, decodes);
+}
+
+TEST_P(EcProtocolTest, SurvivesBurstLossBeyondTheParityBudget) {
+  const auto config = ec_config(GetParam());
+  inet::ClusterParams cluster;
+  // Bursts of ~8 frames: longer than EC-XOR's single parity and at the
+  // edge of EC-RS's budget, forcing the GROUP_NAK fallback path.
+  cluster.link.faults.burst.p_good_to_bad = 0.01;
+  cluster.link.faults.burst.p_bad_to_good = 0.125;
+  ProtocolHarness h(4, config, cluster);
+  Buffer message = pattern(150 * config.packet_size);
+  ASSERT_TRUE(h.send_and_run(message, sim::seconds(120.0)));
+  h.expect_all_delivered({message});
+  std::uint64_t group_naks = 0;
+  for (std::size_t i = 0; i < h.n_receivers(); ++i) {
+    group_naks += h.receiver(i).stats().group_naks_sent;
+  }
+  // Some group somewhere must have lost more than m blocks.
+  EXPECT_GT(group_naks, 0u);
+  EXPECT_GT(h.sender().stats().retransmissions, 0u);
+}
+
+TEST_P(EcProtocolTest, SequentialMessagesUseFreshSessions) {
+  const auto config = ec_config(GetParam());
+  ProtocolHarness h(4, config);
+  std::vector<Buffer> messages = {pattern(5000), pattern(30 * config.packet_size),
+                                  pattern(123)};
+  for (const Buffer& m : messages) ASSERT_TRUE(h.send_and_run(m));
+  h.expect_all_delivered(messages);
+  EXPECT_EQ(h.sender().stats().messages_sent, 3u);
+}
+
+}  // namespace
+}  // namespace rmc

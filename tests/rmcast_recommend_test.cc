@@ -69,9 +69,9 @@ TEST(Recommend, EveryRegisteredKindsTuningValidates) {
       for (std::size_t receivers : {std::size_t{1}, std::size_t{16}, std::size_t{30}}) {
         ProtocolConfig config;
         config.kind = e.kind;
-        e.apply_recommended_tuning(config, bytes, receivers);
+        e.traits.apply_recommended_tuning(config, bytes, receivers);
         EXPECT_EQ(validate(config, receivers), "")
-            << e.display_name << ", " << bytes << " bytes, " << receivers
+            << e.traits.display_name << ", " << bytes << " bytes, " << receivers
             << " receivers";
       }
     }
@@ -89,12 +89,34 @@ TEST(Recommend, AdviceMatchesTheRegistryTuningHook) {
     replayed.kind = rec.config.kind;
     ProtocolRegistry::instance()
         .entry(rec.config.kind)
-        .apply_recommended_tuning(replayed, bytes, 30);
+        .traits.apply_recommended_tuning(replayed, bytes, 30);
     EXPECT_EQ(replayed.packet_size, rec.config.packet_size) << bytes;
     EXPECT_EQ(replayed.window_size, rec.config.window_size) << bytes;
     EXPECT_EQ(replayed.poll_interval, rec.config.poll_interval) << bytes;
     EXPECT_EQ(replayed.tree_height, rec.config.tree_height) << bytes;
   }
+}
+
+// The loss-aware overload: clean and near-clean networks keep the
+// paper's ARQ advice, frequent losses switch large messages to the
+// Reed-Solomon hybrid, and small messages stay ARQ at any loss rate
+// (they span a fraction of one FEC group).
+TEST(Recommend, LossAwareAdviceSwitchesToHybridFec) {
+  auto clean = recommend_config(2'000'000, 30, 0.0);
+  EXPECT_EQ(clean.config.kind, ProtocolKind::kNakPolling);
+  auto rare = recommend_config(2'000'000, 30, 0.005);
+  EXPECT_EQ(rare.config.kind, ProtocolKind::kNakPolling);
+
+  auto lossy = recommend_config(2'000'000, 30, 0.05);
+  EXPECT_EQ(lossy.config.kind, ProtocolKind::kEcRs);
+  EXPECT_EQ(lossy.config.fec.k, 32u);
+  EXPECT_EQ(lossy.config.fec.m, 8u);
+  EXPECT_GE(lossy.config.window_size, lossy.config.fec.group_size());
+  EXPECT_EQ(validate(lossy.config, 30), "");
+  EXPECT_FALSE(lossy.rationale.empty());
+
+  auto small = recommend_config(2'000, 30, 0.05);
+  EXPECT_EQ(small.config.kind, ProtocolKind::kAck);
 }
 
 TEST(Recommend, RecommendedConfigActuallyTransfers) {

@@ -158,5 +158,82 @@ TEST(RmcastStress, RandomizedMatrixShard1) { run_shard(1); }
 TEST(RmcastStress, RandomizedMatrixShard2) { run_shard(2); }
 TEST(RmcastStress, RandomizedMatrixShard3) { run_shard(3); }
 
+// The erasure-coded kinds get their own sweep on a separate PRNG stream,
+// so adding (or re-tuning) EC coverage can never perturb the ARQ matrix
+// above — its draws stay byte-identical. Random group shapes (k, m),
+// burst loss sized to sometimes exceed the parity budget, and the same
+// fault plans drive parity emission, deferred decode, GROUP_NAK fallback
+// and eviction against each other.
+StressConfig draw_ec_config(Rng& rng, int index) {
+  StressConfig out;
+  harness::MulticastRunSpec& spec = out.spec;
+
+  const ProtocolKind kind =
+      rng.chance(0.5) ? ProtocolKind::kEcXor : ProtocolKind::kEcRs;
+  spec.n_receivers = 3 + rng.uniform(18);  // 3..20
+  spec.message_bytes = 24'000 + rng.uniform(5) * 9'000;
+  spec.seed = 7000 + static_cast<std::uint64_t>(index);
+
+  ProtocolConfig& c = spec.protocol;
+  c.kind = kind;
+  c.packet_size = std::size_t{1000} << rng.uniform(4);  // 1000..8000
+  c.fec.k = 4 + rng.uniform(kind == ProtocolKind::kEcXor ? 13 : 29);  // 4..16/32
+  c.fec.m = kind == ProtocolKind::kEcXor ? 1 : 2 + rng.uniform(7);    // 2..8
+  c.window_size = c.fec.group_size() + rng.uniform(9);
+  c.selective_repeat = true;
+  c.receiver_driven_timeouts = true;
+  c.max_retransmit_rounds = 4;
+  c.max_rto = sim::milliseconds(400);
+
+  if (rng.chance(0.5)) {
+    spec.cluster.link.faults.burst.p_good_to_bad = 0.001 + 0.01 * rng.uniform01();
+    spec.cluster.link.faults.burst.p_bad_to_good = 0.2 + 0.5 * rng.uniform01();
+  }
+  if (rng.chance(0.33)) {
+    spec.cluster.link.frame_error_rate = 0.002 * rng.uniform01();
+  }
+  if (rng.chance(0.25)) {
+    const std::size_t target = rng.uniform(spec.n_receivers);
+    switch (rng.uniform(3)) {
+      case 0:
+        spec.faults.crash(target, sim::milliseconds(1 + rng.uniform(10)));
+        break;
+      case 1: {
+        const sim::Time at = sim::milliseconds(1 + rng.uniform(5));
+        spec.faults.pause(target, at).resume(target, at + sim::milliseconds(15));
+        break;
+      }
+      default:
+        spec.faults.flap_link(target, sim::milliseconds(1),
+                              sim::milliseconds(1 + rng.uniform(30)),
+                              sim::milliseconds(5));
+    }
+  }
+  spec.time_limit = sim::seconds(60.0);
+
+  out.label = str_format(
+      "ec%03d %s n=%zu msg=%llu pkt=%zu win=%zu k=%zu m=%zu burst=%.4f "
+      "fer=%.5f faults=%zu",
+      index, protocol_name(kind), spec.n_receivers,
+      static_cast<unsigned long long>(spec.message_bytes), c.packet_size,
+      c.window_size, c.fec.k, c.fec.m,
+      spec.cluster.link.faults.burst.p_good_to_bad,
+      spec.cluster.link.frame_error_rate, spec.faults.events.size());
+  return out;
+}
+
+void run_ec_shard(int shard) {
+  Rng rng(0xEC0DEC);
+  for (int i = 0; i < 48; ++i) {
+    StressConfig cfg = draw_ec_config(rng, i);
+    if (i % 2 != shard) continue;  // every shard draws identically
+    SCOPED_TRACE(cfg.label);
+    check_run(cfg);
+  }
+}
+
+TEST(RmcastStress, RandomizedEcMatrixShard0) { run_ec_shard(0); }
+TEST(RmcastStress, RandomizedEcMatrixShard1) { run_ec_shard(1); }
+
 }  // namespace
 }  // namespace rmc::rmcast

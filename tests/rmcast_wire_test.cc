@@ -12,7 +12,7 @@ namespace rmc::rmcast {
 namespace {
 
 TEST(Wire, HeaderRoundTripsEveryTypeAndFlag) {
-  for (std::uint8_t type = 1; type <= 7; ++type) {
+  for (std::uint8_t type = 1; type <= 9; ++type) {
     for (std::uint8_t flags : {0x00, 0x01, 0x02, 0x04, 0x07}) {
       Header in{static_cast<PacketType>(type), flags, 12345, 0xDEADBEEF, 0xCAFEF00D};
       Writer w;
@@ -42,7 +42,7 @@ TEST(Wire, TruncatedHeaderRejected) {
 }
 
 TEST(Wire, UnknownTypeRejected) {
-  for (std::uint8_t bad : {0, 8, 17, 255}) {
+  for (std::uint8_t bad : {0, 10, 17, 255}) {
     Buffer bytes(kHeaderBytes, 0);
     bytes[0] = bad;
     Reader r(BytesView(bytes.data(), bytes.size()));
@@ -88,6 +88,45 @@ TEST(Wire, TypeNames) {
   EXPECT_STREQ(packet_type_name(PacketType::kAllocReq), "ALLOC_REQ");
   EXPECT_STREQ(packet_type_name(PacketType::kEvict), "EVICT");
   EXPECT_STREQ(packet_type_name(PacketType::kSuspect), "SUSPECT");
+  EXPECT_STREQ(packet_type_name(PacketType::kParity), "PARITY");
+  EXPECT_STREQ(packet_type_name(PacketType::kGroupNak), "GROUP_NAK");
+}
+
+// The FEC types must occupy their own ids: PARITY/GROUP_NAK parse as
+// themselves and never collide with EVICT/SUSPECT (a mis-parse here
+// would let a parity frame evict a node).
+TEST(Wire, FecTypesNeverAliasEvictOrSuspect) {
+  EXPECT_EQ(static_cast<std::uint8_t>(PacketType::kParity), 8);
+  EXPECT_EQ(static_cast<std::uint8_t>(PacketType::kGroupNak), 9);
+  for (PacketType t : {PacketType::kParity, PacketType::kGroupNak}) {
+    Header in{t, 0, 3, 42, 0xABCD1234};
+    Writer w;
+    write_header(w, in);
+    Reader r(BytesView(w.buffer().data(), w.buffer().size()));
+    auto out = read_header(r);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->type, t);
+    EXPECT_NE(out->type, PacketType::kEvict);
+    EXPECT_NE(out->type, PacketType::kSuspect);
+  }
+}
+
+TEST(Wire, GroupNakRoundTrips) {
+  GroupNak in{0xDEADBEEF00FF0001ULL};
+  Writer w;
+  write_group_nak(w, in);
+  EXPECT_EQ(w.size(), kGroupNakBytes);
+  Reader r(BytesView(w.buffer().data(), w.buffer().size()));
+  auto out = read_group_nak(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->missing, in.missing);
+}
+
+TEST(Wire, TruncatedGroupNakRejected) {
+  Writer w;
+  write_group_nak(w, GroupNak{7});
+  Reader r(BytesView(w.buffer().data(), kGroupNakBytes - 1));
+  EXPECT_FALSE(read_group_nak(r).has_value());
 }
 
 // Fuzz-style property: random byte strings must either parse into a
@@ -116,7 +155,7 @@ TEST_P(WireFuzzTest, RandomBytesNeverBreakTheParser) {
       EXPECT_TRUE(std::equal(w.buffer().begin(), w.buffer().end(), bytes.begin()));
     } else {
       // Rejection must be because of the type octet, nothing else.
-      EXPECT_TRUE(bytes[0] < 1 || bytes[0] > 5);
+      EXPECT_TRUE(bytes[0] < 1 || bytes[0] > 9);
     }
   }
 }
@@ -127,7 +166,7 @@ TEST(WireFuzz, RandomHeadersAlwaysRoundTrip) {
   Rng rng(99);
   for (int i = 0; i < 2000; ++i) {
     Header in;
-    in.type = static_cast<PacketType>(1 + rng.uniform(5));
+    in.type = static_cast<PacketType>(1 + rng.uniform(9));
     in.flags = static_cast<std::uint8_t>(rng.next());
     in.node_id = static_cast<std::uint16_t>(rng.next());
     in.session = static_cast<std::uint32_t>(rng.next());

@@ -40,8 +40,11 @@ RunResult traced_run(const MulticastRunSpec& base, trace::Tracer& tracer) {
 }
 
 TEST(PacketTag, PackUnpackRoundTrip) {
-  for (std::uint8_t type = 1; type <= 7; ++type) {
-    for (std::uint32_t seq : {0u, 1u, 12345u, 0x0FFF'FFFFu}) {
+  // Types run to 9 (GROUP_NAK): the tag's type field is four bits wide so
+  // the FEC types survive the round trip instead of aliasing onto
+  // DATA/ACK (a 3-bit field would fold 8 -> 0 and 9 -> 1).
+  for (std::uint8_t type = 1; type <= 9; ++type) {
+    for (std::uint32_t seq : {0u, 1u, 12345u, 0x07FF'FFFFu}) {
       const std::uint32_t tag = pack_packet_tag(type, seq);
       EXPECT_TRUE(tag_valid(tag));
       EXPECT_EQ(tag_type(tag), type);
@@ -49,6 +52,21 @@ TEST(PacketTag, PackUnpackRoundTrip) {
     }
   }
   EXPECT_FALSE(tag_valid(0));
+}
+
+TEST(PacketTag, FecWireTypesTagAsThemselves) {
+  for (rmcast::PacketType t :
+       {rmcast::PacketType::kParity, rmcast::PacketType::kGroupNak}) {
+    rmcast::Header h;
+    h.type = t;
+    h.seq = 321;
+    Writer w(rmcast::kHeaderBytes);
+    rmcast::write_header(w, h);
+    const std::uint32_t tag = tag_rmcast_packet(w.buffer().data(), w.buffer().size());
+    ASSERT_TRUE(tag_valid(tag));
+    EXPECT_EQ(tag_type(tag), static_cast<std::uint8_t>(t));
+    EXPECT_EQ(tag_seq(tag), 321u);
+  }
 }
 
 TEST(PacketTag, ParsesRmcastWireHeader) {
