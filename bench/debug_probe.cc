@@ -28,6 +28,15 @@ int run(int argc, char** argv) {
                               {"sr", "selective repeat"},
                               {"mnak", "multicast nak suppression"},
                               {"peer", "peer repair"},
+                              {"topo", "fabric: single|figure7|spineleaf|fattree"},
+                              {"radix", "host ports per leaf/edge switch (default 16)"},
+                              {"spine", "spine planes / agg per pod (default 4)"},
+                              {"queue", "port queue depth in frames (default 512)"},
+                              {"rcvbuf", "socket receive buffer bytes"},
+                              {"limit", "sim-time limit in seconds (default 5)"},
+                              {"rtimeout", "receiver inactivity timeout in ms"},
+                              {"rto", "sender retransmission timeout in ms"},
+                              {"allocrto", "buffer-allocation retransmission timeout in ms"},
                               {"quick", "accepted for smoke-test uniformity (single run anyway)"},
                               {"metrics-out", "write a JSON metrics snapshot to FILE at exit"},
                               {"trace-out", "write a Perfetto trace-event JSON file to FILE at exit"}});
@@ -81,7 +90,42 @@ int run(int argc, char** argv) {
     spec.cluster.link.faults.burst.p_good_to_bad = burst;
     spec.cluster.link.faults.burst.p_bad_to_good = 0.125;
   }
-  spec.time_limit = sim::seconds(5.0);
+  const std::string topo = flags.get("topo", "");
+  if (!topo.empty()) {
+    const auto radix = static_cast<std::size_t>(flags.get_int("radix", 16));
+    const auto spine = static_cast<std::size_t>(flags.get_int("spine", 4));
+    if (topo == "single") {
+      spec.cluster.topology = net::TopologySpec::single_switch();
+    } else if (topo == "figure7") {
+      spec.cluster.topology = net::TopologySpec::figure7();
+    } else if (topo == "spineleaf") {
+      spec.cluster.topology = net::TopologySpec::spine_leaf(radix, spine);
+    } else if (topo == "fattree") {
+      spec.cluster.topology = net::TopologySpec::fat_tree(radix, 4, spine, 4);
+    } else {
+      std::fprintf(stderr, "unknown --topo=%s\n", topo.c_str());
+      return 1;
+    }
+  }
+  spec.cluster.link.queue_frames =
+      static_cast<std::size_t>(flags.get_int("queue", 512));
+  if (flags.has("rcvbuf")) {
+    spec.cluster.host.default_rcvbuf_bytes =
+        static_cast<std::size_t>(flags.get_int("rcvbuf", 64 * 1024));
+    spec.cluster.host.default_sndbuf_bytes = spec.cluster.host.default_rcvbuf_bytes;
+  }
+  if (flags.has("rtimeout")) {
+    spec.protocol.receiver_timeout =
+        sim::milliseconds(flags.get_int("rtimeout", 100));
+  }
+  if (flags.has("rto")) {
+    spec.protocol.rto = sim::milliseconds(flags.get_int("rto", 100));
+    spec.protocol.max_rto = std::max(spec.protocol.max_rto, spec.protocol.rto);
+  }
+  if (flags.has("allocrto")) {
+    spec.protocol.alloc_rto = sim::milliseconds(flags.get_int("allocrto", 10));
+  }
+  spec.time_limit = sim::seconds(flags.get_double("limit", 5.0));
 
   harness::RunResult r = bench::run_instrumented(spec, options);
   std::printf("completed=%d seconds=%.9f (%s) error='%s'\n", r.completed, r.seconds,

@@ -12,6 +12,7 @@
 #include "inet/ip.h"
 #include "net/frame.h"
 #include "net/frame_arena.h"
+#include "rmcast/engine/core.h"
 #include "rmcast/engine/registry.h"
 #include "rmcast/fec/codec.h"
 #include "rmcast/fec/gf256.h"
@@ -301,6 +302,88 @@ void BM_RsDecode(benchmark::State& state) {
                           kLen);
 }
 BENCHMARK(BM_RsDecode)->Arg(0)->Arg(1);
+
+// Receiver-roster accounting at datacenter scale. Arg 0 = roster size,
+// Arg 1 = 0 for the pre-refactor shape (a full flat walk over the
+// eviction flags on every query) or 1 for ProtocolCore::live_nodes()
+// (bitmap membership with a cached live vector, rebuilt only after an
+// eviction dirties it). The cached path must stay O(1) per query at any
+// roster size; the flat walk is the O(N) cost it replaced.
+void BM_RosterWalk(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool cached = state.range(1) == 1;
+  const rmcast::SenderEngine* engine =
+      rmcast::ProtocolRegistry::instance().entry(rmcast::ProtocolKind::kAck).sender_engine();
+  rmcast::ProtocolConfig config;
+  rmcast::ProtocolCore core(*engine, config);
+  core.begin_send(n);
+  core.mark_evicted(n / 2);
+  std::vector<bool> evicted_flat(n, false);
+  evicted_flat[n / 2] = true;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (cached) {
+      sink += core.live_nodes().size();
+    } else {
+      std::vector<std::size_t> live;
+      live.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!evicted_flat[i]) live.push_back(i);
+      }
+      sink += live.size();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RosterWalk)
+    ->Args({31, 0})
+    ->Args({31, 1})
+    ->Args({1023, 0})
+    ->Args({1023, 1})
+    ->Args({10007, 0})
+    ->Args({10007, 1});
+
+// One acknowledgment's minimum-cum maintenance. Arg 0 = tracked units,
+// Arg 1 = 0 for the pre-refactor shape (write the unit's cum, then a
+// serial seq_min fold over all units) or 1 for CumTracker::on_ack (the
+// tournament tree's leaf-to-root update, O(log N)). At N = 10007 the
+// serial fold is the per-ACK cost that made 10^4-receiver sweeps
+// quadratic in roster size.
+void BM_MinCumUpdate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool tree = state.range(1) == 1;
+  rmcast::CumTracker t;
+  t.reset(n);
+  std::vector<std::uint32_t> flat(n, 0);
+  std::uint32_t cum = 1;
+  std::size_t unit = 0;
+  std::uint32_t sink = 0;
+  for (auto _ : state) {
+    if (tree) {
+      t.on_ack(unit, cum);
+      sink += t.min_cum();
+    } else {
+      flat[unit] = cum;
+      std::uint32_t min = flat[0];
+      for (std::size_t i = 1; i < n; ++i) min = rmcast::seq_min(min, flat[i]);
+      sink += min;
+    }
+    if (++unit == n) {
+      unit = 0;
+      ++cum;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinCumUpdate)
+    ->Args({31, 0})
+    ->Args({31, 1})
+    ->Args({1023, 0})
+    ->Args({1023, 1})
+    ->Args({10007, 0})
+    ->Args({10007, 1});
 
 }  // namespace
 }  // namespace rmc

@@ -51,16 +51,19 @@ done
 # Sweep determinism gate: --jobs=N must be byte-identical to --jobs=1, in
 # the printed table, the merged metrics snapshot and the exported trace
 # (the sweep engine's core contract; tests/sweep_test.cc proves it at the
-# API level, this proves it end-to-end through real bench binaries). Four
+# API level, this proves it end-to-end through real bench binaries). Five
 # representatives cover the harness shapes: a Measurement grid (fig10), a
-# RunHandle table (tab02), an ablation sweep (abl_loss_sweep) and the
+# RunHandle table (tab02), an ablation sweep (abl_loss_sweep), the
 # erasure-coded family under burst loss (abl_ec_crossover, whose quick
 # grid also re-proves byte-correct FEC decode + the repair crossover —
-# the binary exits non-zero if either breaks).
+# the binary exits non-zero if either breaks), and the declarative
+# spine-leaf fabric at 10^3 receivers (fig_scalability_xl, whose
+# wall-clock side channel is deliberately NOT requested here: stdout must
+# be identical even though wall timings never are).
 # The metrics snapshots are compared after dropping the meta "jobs" line —
 # the one field that legitimately records the worker count.
 strip_jobs_meta() { grep -v '^    "jobs": ' "$1"; }
-for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover; do
+for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover fig_scalability_xl; do
   bin="$BENCH_DIR/$name"
   [ -x "$bin" ] || continue
   if "$bin" --quick --jobs=1 "--metrics-out=$TMP_DIR/$name.serial.json" \
@@ -464,6 +467,65 @@ EOF
   fi
 else
   echo "skip micro_core ec-decode gate (binary or python3 missing)"
+fi
+
+# Scalability gate: the O(log N) roster/tracker refactor's end-to-end
+# claim. fig_scalability_xl runs every protocol family over the
+# spine-leaf fabric at N in {31, 127, 1023} (--quick) and reports wall
+# cost per simulator event in a side-channel JSON (wall time is the one
+# number the determinism contract keeps off stdout). If per-event cost
+# grew linearly with the roster — the pre-refactor flat-walk behavior —
+# the ratio between the largest and smallest N would track N itself;
+# demand it stays under half of that slope. BENCH_scalability.json is
+# also the artifact README points at for the scaling story.
+XL="$BENCH_DIR/fig_scalability_xl"
+if [ -x "$XL" ] && [ -n "$PYTHON" ]; then
+  xl_report="$BUILD_DIR/BENCH_scalability.json"
+  if "$XL" --quick "--wallclock-out=$xl_report" \
+       > "$TMP_DIR/fig_scalability_xl.gate.out" 2> /dev/null; then
+    if "$PYTHON" - "$xl_report" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = [r for r in doc.get("rows", []) if r.get("completed")]
+if not rows:
+    sys.exit("scalability-gate: no completed rows")
+by_proto = defaultdict(list)
+for r in rows:
+    by_proto[r["protocol"]].append(r)
+worst = 0.0
+for proto, pr in sorted(by_proto.items()):
+    pr.sort(key=lambda r: r["receivers"])
+    if len(pr) < 2:
+        sys.exit(f"scalability-gate: {proto}: fewer than 2 completed points")
+    lo, hi = pr[0], pr[-1]
+    n_ratio = hi["receivers"] / lo["receivers"]
+    cost_ratio = hi["wall_us_per_event"] / max(lo["wall_us_per_event"], 1e-9)
+    worst = max(worst, cost_ratio / n_ratio)
+    if cost_ratio >= 0.5 * n_ratio:
+        sys.exit(
+            f"scalability-gate: {proto}: per-event cost grew {cost_ratio:.1f}x "
+            f"from N={lo['receivers']} to N={hi['receivers']} "
+            f"(limit {0.5 * n_ratio:.1f}x = half-linear)")
+print(f"scalability-gate: {len(by_proto)} protocols, worst per-event cost "
+      f"slope {worst:.3f} of linear (limit 0.5)")
+EOF
+    then
+      echo "ok   fig_scalability_xl sub-linear scaling gate ($xl_report)"
+      pass=$((pass + 1))
+    else
+      echo "FAIL fig_scalability_xl: per-event cost is not sub-linear in N"
+      fail=$((fail + 1))
+    fi
+  else
+    echo "FAIL fig_scalability_xl: gate run failed"
+    sed 's/^/  | /' "$TMP_DIR/fig_scalability_xl.gate.out" | tail -5
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip fig_scalability_xl scaling gate (binary or python3 missing)"
 fi
 
 echo "smoke: $pass passed, $fail failed"

@@ -86,6 +86,52 @@ else
   echo "core-gate: skipped ($CORE_REPORT or python3 missing)"
 fi
 
+# Roster/tracker throughput regression gate, across runs. bench/smoke.sh's
+# scalability gate holds per-event cost sub-linear in N (shape, machine-
+# independent); this gate additionally compares the absolute events/sec the
+# XL sweep sustains against the last accepted run on *this* machine and
+# fails on a >5% drop — the guard against an O(log N)-shaped but
+# constant-factor-slower accounting tier. Same self-seeding ratcheted
+# baseline protocol as the event-core gate above.
+XL_REPORT=build/BENCH_scalability.json
+XL_BASELINE=build/BENCH_scalability.baseline.json
+echo "=== scalability events/sec gate ==="
+if [ -f "$XL_REPORT" ] && [ -n "$PYTHON" ]; then
+  "$PYTHON" - "$XL_REPORT" "$XL_BASELINE" <<'EOF'
+import json, os, sys
+
+def events_per_sec(path):
+    with open(path) as f:
+        rows = [r for r in json.load(f)["rows"] if r.get("completed")]
+    wall = sum(r["wall_seconds"] for r in rows)
+    if not rows or wall <= 0:
+        sys.exit(f"scalability-espec-gate: no completed rows in {path}")
+    return sum(r["events"] for r in rows) / wall
+
+current = events_per_sec(sys.argv[1])
+baseline_path = sys.argv[2]
+if not os.path.exists(baseline_path):
+    with open(sys.argv[1]) as f, open(baseline_path, "w") as out:
+        out.write(f.read())
+    print(f"scalability-espec-gate: baseline seeded at {current / 1e6:.2f}M events/s")
+    sys.exit(0)
+baseline = events_per_sec(baseline_path)
+ratio = current / baseline
+print(f"scalability-espec-gate: {current / 1e6:.2f}M events/s vs baseline "
+      f"{baseline / 1e6:.2f}M ({ratio:.3f}x, floor 0.95)")
+if ratio < 0.95:
+    print("scalability-espec-gate: XL sweep events/sec regressed more than 5%",
+          file=sys.stderr)
+    sys.exit(1)
+# Ratchet the baseline up so a slow creep cannot hide under the floor.
+if current > baseline:
+    with open(sys.argv[1]) as f, open(baseline_path, "w") as out:
+        out.write(f.read())
+EOF
+else
+  echo "scalability-espec-gate: skipped ($XL_REPORT or python3 missing)"
+fi
+
 # Static analysis over the protocol core (.clang-tidy: modernize + bugprone
 # + performance). Gated on the tool being installed — some build images
 # ship only the compiler — and on the default preset's compile database.

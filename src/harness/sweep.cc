@@ -60,6 +60,19 @@ void hash_link(Hasher& h, const net::LinkParams& link) {
 void hash_cluster(Hasher& h, const inet::ClusterParams& c) {
   h.u64(c.n_hosts);
   h.u64(static_cast<std::uint64_t>(c.wiring));
+  // The declarative topology overrides `wiring`; two specs differing only
+  // here must never share a cache entry.
+  h.b(c.topology.has_value());
+  if (c.topology.has_value()) {
+    const net::TopologySpec& t = *c.topology;
+    h.u64(static_cast<std::uint64_t>(t.kind));
+    h.u64(t.switch_a_hosts);
+    h.u64(t.leaf_radix);
+    h.u64(t.spine_count);
+    h.u64(t.pod_leaves);
+    h.u64(t.agg_per_pod);
+    h.u64(t.core_count);
+  }
   h.i64(c.host.send_syscall);
   h.f64(c.host.send_per_byte_ns);
   h.i64(c.host.send_per_fragment);

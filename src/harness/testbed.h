@@ -25,8 +25,13 @@ inline net::Endpoint default_group_endpoint() {
 
 class Testbed {
  public:
-  // `params.n_hosts` is overridden to n_receivers + 1.
+  // `params.n_hosts` is overridden to n_receivers + 1. The default
+  // ClusterParams keep the paper's Figure-7 wiring.
   Testbed(std::size_t n_receivers, inet::ClusterParams params = {});
+  // Same, on an explicit fabric shape (spine-leaf, fat-tree, ...): sets
+  // `params.topology` before building the cluster.
+  Testbed(std::size_t n_receivers, const net::TopologySpec& topology,
+          inet::ClusterParams params = {});
 
   std::size_t n_receivers() const { return n_receivers_; }
   inet::Cluster& cluster() { return cluster_; }

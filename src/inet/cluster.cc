@@ -10,11 +10,13 @@ namespace rmc::inet {
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)), rng_(params_.seed) {
   RMC_ENSURE(params_.n_hosts >= 1, "cluster needs at least one host");
 
-  std::unordered_map<std::uint32_t, net::MacAddr> arp;
+  // Shared by reference across every host's resolver closure: at 10^4
+  // hosts a by-value capture would copy the whole table per host.
+  auto arp = std::make_shared<std::unordered_map<std::uint32_t, net::MacAddr>>();
   for (std::size_t i = 0; i < params_.n_hosts; ++i) {
     auto addr = host_addr(i);
     auto mac = net::MacAddr::host(static_cast<std::uint32_t>(i));
-    arp.emplace(addr.bits(), mac);
+    arp->emplace(addr.bits(), mac);
     HostParams host_params = params_.host;
     if (static_cast<int>(i) == params_.straggler_index) {
       const double f = params_.straggler_cpu_factor;
@@ -32,32 +34,36 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)), rng_(params
     hosts_.push_back(std::make_unique<Host>(sim_, str_format("P%zu", i), addr, mac,
                                             host_params));
   }
-  // Shared static ARP table: the testbed's 31 hosts never change.
+  // Shared static ARP table: cluster membership never changes mid-run.
   auto resolver = [arp](net::Ipv4Addr addr) {
-    auto it = arp.find(addr.bits());
-    RMC_ENSURE(it != arp.end(), "MAC resolution for unknown host");
+    auto it = arp->find(addr.bits());
+    RMC_ENSURE(it != arp->end(), "MAC resolution for unknown host");
     return it->second;
   };
   for (auto& host : hosts_) host->set_mac_resolver(resolver);
 
-  switch (params_.wiring) {
-    case Wiring::kTwoSwitch:
-      build_switched(std::min<std::size_t>(16, params_.n_hosts));
-      break;
-    case Wiring::kSingleSwitch:
-      build_switched(params_.n_hosts);
-      break;
-    case Wiring::kSharedBus:
-      build_bus();
-      break;
+  if (params_.topology.has_value()) {
+    build_from_spec(*params_.topology);
+  } else {
+    switch (params_.wiring) {
+      case Wiring::kTwoSwitch:
+        build_from_spec(net::TopologySpec::figure7());
+        break;
+      case Wiring::kSingleSwitch:
+        build_from_spec(net::TopologySpec::single_switch());
+        break;
+      case Wiring::kSharedBus:
+        build_bus();
+        break;
+    }
   }
 }
 
 net::EthernetSwitch& Cluster::switch_of_host(std::size_t i, std::size_t* port) {
   RMC_ENSURE(!switches_.empty(), "no switches in this wiring");
-  const bool on_a = i < n_switch_a_;
-  *port = on_a ? i : i - n_switch_a_;
-  return on_a ? *switches_[0] : *switches_[1];
+  const net::HostAttachment& at = wiring_.hosts.at(i);
+  *port = at.port;
+  return *switches_[at.sw];
 }
 
 void Cluster::set_host_down(std::size_t i, bool down) {
@@ -127,27 +133,44 @@ void Cluster::attach_tracer(trace::Tracer* tracer) {
   if (bus_) bus_->set_tracer(tracer, "net.bus");
 }
 
-void Cluster::build_switched(std::size_t n_switch_a) {
-  n_switch_a_ = n_switch_a;
+void Cluster::build_from_spec(const net::TopologySpec& spec) {
   const std::size_t n = hosts_.size();
-  const std::size_t n_switch_b = n - n_switch_a;
+  wiring_ = net::build_wiring(spec, n);
   net::SwitchParams sw_params{params_.link, params_.switch_forwarding_latency,
                               params_.multicast_snooping};
 
-  // Switch A carries its hosts plus (if needed) the uplink to switch B.
-  const bool two_switches = n_switch_b > 0;
-  switches_.push_back(std::make_unique<net::EthernetSwitch>(
-      sim_, n_switch_a + (two_switches ? 1 : 0) + 1, sw_params, &rng_));
-  if (two_switches) {
-    switches_.push_back(std::make_unique<net::EthernetSwitch>(
-        sim_, n_switch_b + 1 + 1, sw_params, &rng_));
+  for (const net::SwitchPlan& plan : wiring_.switches) {
+    switches_.push_back(
+        std::make_unique<net::EthernetSwitch>(sim_, plan.n_ports, sw_params, &rng_));
   }
-  net::EthernetSwitch& sw_a = *switches_[0];
+  // Aggregated trunks (spine/agg/core planes folded into one logical
+  // cable) get their rate and queue scaled before anything attaches. A
+  // factor-1.0 trunk keeps the port built by the switch constructor, so
+  // the Figure-7 shapes are untouched object-for-object.
+  for (const net::TrunkPlan& trunk : wiring_.trunks) {
+    if (trunk.capacity_factor == 1.0) continue;
+    net::LinkParams trunk_link = params_.link;
+    trunk_link.rate_bps *= trunk.capacity_factor;
+    trunk_link.queue_frames = static_cast<std::size_t>(
+        static_cast<double>(trunk_link.queue_frames) * trunk.capacity_factor);
+    switches_[trunk.sw_a]->override_port_params(trunk.port_a, trunk_link, &rng_);
+    switches_[trunk.sw_b]->override_port_params(trunk.port_b, trunk_link, &rng_);
+  }
+
+  // Snooping needs, per member switch m and every other switch s, the
+  // egress port of s toward m — the trunk-tree first hop — so group
+  // traffic is steered down the tree toward members only. (The two-switch
+  // case degenerates to the far switch's uplink port.)
+  std::vector<std::vector<std::size_t>> routes;
+  if (params_.multicast_snooping && switches_.size() > 1) {
+    routes = net::switch_routes(wiring_);
+  }
 
   nics_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    net::EthernetSwitch& sw = (i < n_switch_a) ? sw_a : *switches_[1];
-    std::size_t port = (i < n_switch_a) ? i : i - n_switch_a;
+    const net::HostAttachment at = wiring_.hosts[i];
+    net::EthernetSwitch& sw = *switches_[at.sw];
+    const std::size_t port = at.port;
     nics_[i] = std::make_unique<net::TxPort>(sim_, params_.link, &rng_);
     // Host NIC -> switch ingress; switch egress -> host NIC receive.
     net::FrameSink ingress = sw.attach(port, hosts_[i]->frame_input());
@@ -161,37 +184,38 @@ void Cluster::build_switched(std::size_t n_switch_a) {
     nic->set_dequeue_hook([host](std::size_t bytes) { host->on_nic_dequeue(bytes); });
 
     if (params_.multicast_snooping) {
-      // Joins register the host's own port on its switch and the uplink
-      // port on the far switch (so cross-switch group traffic still
-      // crosses); leaves unregister symmetrically.
-      net::EthernetSwitch* own = &sw;
-      net::EthernetSwitch* other =
-          two_switches ? switches_[i < n_switch_a ? 1 : 0].get() : nullptr;
-      const std::size_t other_uplink = i < n_switch_a ? n_switch_b : n_switch_a;
+      // Joins register the host's own port, then the toward-the-member
+      // port on every other switch; leaves unregister symmetrically.
+      std::vector<std::pair<net::EthernetSwitch*, std::size_t>> taps;
+      taps.emplace_back(&sw, port);
+      for (std::size_t s = 0; s < switches_.size(); ++s) {
+        if (s == at.sw) continue;
+        taps.emplace_back(switches_[s].get(), routes[s][at.sw]);
+      }
       host->set_membership_observer(
-          [own, port, other, other_uplink](net::MacAddr mac, bool joined) {
-            if (joined) {
-              own->register_group_port(mac, port);
-              if (other) other->register_group_port(mac, other_uplink);
-            } else {
-              own->unregister_group_port(mac, port);
-              if (other) other->unregister_group_port(mac, other_uplink);
+          [taps = std::move(taps)](net::MacAddr mac, bool joined) {
+            for (const auto& [tap_sw, tap_port] : taps) {
+              if (joined) {
+                tap_sw->register_group_port(mac, tap_port);
+              } else {
+                tap_sw->unregister_group_port(mac, tap_port);
+              }
             }
           });
     }
   }
 
-  if (two_switches) {
-    // Uplink on the last port of each switch: egress of A delivers straight
-    // into B's ingress and vice versa (each egress TxPort already models
-    // the cable's serialization and propagation).
-    net::EthernetSwitch& sw_b = *switches_[1];
-    const std::size_t port_a = n_switch_a;
-    const std::size_t port_b = n_switch_b;
-    sw_a.attach(port_a, [&sw_b, port_b](const net::Frame& f) {
+  // Trunks attach last (the legacy builder's order): egress of one side
+  // delivers straight into the other's ingress and vice versa (each
+  // egress TxPort already models the cable's serialization and
+  // propagation).
+  for (const net::TrunkPlan& trunk : wiring_.trunks) {
+    net::EthernetSwitch& sw_a = *switches_[trunk.sw_a];
+    net::EthernetSwitch& sw_b = *switches_[trunk.sw_b];
+    sw_a.attach(trunk.port_a, [&sw_b, port_b = trunk.port_b](const net::Frame& f) {
       sw_b.handle_frame(port_b, f);
     });
-    sw_b.attach(port_b, [&sw_a, port_a](const net::Frame& f) {
+    sw_b.attach(trunk.port_b, [&sw_a, port_a = trunk.port_a](const net::Frame& f) {
       sw_a.handle_frame(port_a, f);
     });
   }

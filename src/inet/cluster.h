@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "inet/host.h"
 #include "net/ethernet_switch.h"
 #include "net/shared_bus.h"
+#include "net/topology.h"
 #include "sim/fault.h"
 
 namespace rmc::inet {
@@ -33,6 +35,11 @@ enum class Wiring {
 struct ClusterParams {
   std::size_t n_hosts = 31;
   Wiring wiring = Wiring::kTwoSwitch;
+  // Explicit fabric shape (spine-leaf, fat-tree, ...). When set it takes
+  // precedence over `wiring`; when empty, `wiring` selects the legacy
+  // shapes (kTwoSwitch compiles to TopologySpec::figure7(), kSingleSwitch
+  // to single_switch(), kSharedBus keeps the CSMA/CD segment).
+  std::optional<net::TopologySpec> topology;
   HostParams host;
   net::LinkParams link;          // host NICs and switch ports
   sim::Time switch_forwarding_latency = sim::microseconds(15);
@@ -60,9 +67,10 @@ class Cluster {
   std::size_t size() const { return hosts_.size(); }
   Host& host(std::size_t i) { return *hosts_.at(i); }
 
-  // Host i lives at 10.0.0.(i+1).
+  // Host i lives at 10.0.0.(i+1), rolling into 10.0.1.x and beyond —
+  // 32-bit arithmetic so clusters can exceed the /24 the paper needed.
   static net::Ipv4Addr host_addr(std::size_t i) {
-    return net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    return net::Ipv4Addr(0x0A000001u + static_cast<std::uint32_t>(i));
   }
 
   // NIC transmit port of host i (switched wirings only; null on a bus,
@@ -74,6 +82,9 @@ class Cluster {
     return switches_;
   }
   const net::SharedBus* bus() const { return bus_.get(); }
+
+  // The compiled wiring plan (switched shapes only; empty on a bus).
+  const net::TopologyWiring& wiring() const { return wiring_; }
 
   const ClusterParams& params() const { return params_; }
 
@@ -98,7 +109,7 @@ class Cluster {
   void attach_tracer(trace::Tracer* tracer);
 
  private:
-  void build_switched(std::size_t n_switch_a);
+  void build_from_spec(const net::TopologySpec& spec);
   void build_bus();
   // Switch and port facing host i (switched wirings).
   net::EthernetSwitch& switch_of_host(std::size_t i, std::size_t* port);
@@ -106,7 +117,7 @@ class Cluster {
   ClusterParams params_;
   sim::Simulator sim_;
   Rng rng_;
-  std::size_t n_switch_a_ = 0;  // hosts on switch A (switched wirings)
+  net::TopologyWiring wiring_;  // compiled plan (switched wirings)
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::TxPort>> nics_;  // host-side transmit ports
   std::vector<std::unique_ptr<net::EthernetSwitch>> switches_;

@@ -28,6 +28,12 @@ bool EthernetSwitch::port_link_up(std::size_t port) const {
   return port_up_[port];
 }
 
+void EthernetSwitch::override_port_params(std::size_t port, LinkParams params,
+                                          Rng* rng) {
+  RMC_ENSURE(port < ports_.size(), "switch port out of range");
+  ports_[port] = std::make_unique<TxPort>(sim_, params, rng);
+}
+
 FrameSink EthernetSwitch::attach(std::size_t port, FrameSink deliver) {
   RMC_ENSURE(port < ports_.size(), "switch port out of range");
   ports_[port]->connect(std::move(deliver));

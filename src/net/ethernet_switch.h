@@ -43,6 +43,12 @@ class EthernetSwitch {
   // side for ingress frames.
   FrameSink attach(std::size_t port, FrameSink deliver);
 
+  // Rebuilds port `port`'s transmit side with `params` — how topology
+  // builders give an aggregated trunk (LAG/ECMP planes folded into one
+  // logical cable) more rate and queue than a host port. Must be called
+  // before the port is attached: the replacement discards any sink.
+  void override_port_params(std::size_t port, LinkParams params, Rng* rng = nullptr);
+
   // Ingress entry point (what attach() returns, exposed for tests).
   void handle_frame(std::size_t ingress_port, const Frame& frame);
 

@@ -14,7 +14,7 @@ void ProtocolCore::reset_units(std::size_t n) {
 
 bool ProtocolCore::rebuild_units() {
   const std::size_t n = node_to_unit_.size();
-  std::vector<std::size_t> live = live_nodes();
+  const std::vector<std::size_t>& live = live_nodes();
   if (live.empty()) return false;
   unit_nodes_ = engine_.live_units(live, config_);
   rebuild_node_to_unit(n);
@@ -39,28 +39,30 @@ int ProtocolCore::unit_of_node(std::uint16_t node_id) const {
 }
 
 bool ProtocolCore::mark_evicted(std::size_t node) {
-  if (node >= evicted.size() || evicted[node]) return false;
-  evicted[node] = true;
+  if (node >= evicted_.size() || !evicted_.set(node)) return false;
+  // Evictions are rare (a handful per send); keeping the sorted id list
+  // incrementally beats re-deriving it from the bitmap each RTO round.
+  evicted_ids_.insert(
+      std::lower_bound(evicted_ids_.begin(), evicted_ids_.end(), node), node);
+  live_dirty_ = true;
   ++stats.receivers_evicted;
   return true;
 }
 
-std::size_t ProtocolCore::n_evicted() const {
-  std::size_t n = 0;
-  for (bool e : evicted) n += e ? 1 : 0;
-  return n;
-}
-
 std::size_t ProtocolCore::n_live() const {
-  return std::max<std::size_t>(evicted.size() - n_evicted(), 1);
+  return std::max<std::size_t>(evicted_.size() - evicted_.count(), 1);
 }
 
-std::vector<std::size_t> ProtocolCore::live_nodes() const {
-  std::vector<std::size_t> live;
-  for (std::size_t i = 0; i < evicted.size(); ++i) {
-    if (!evicted[i]) live.push_back(i);
+const std::vector<std::size_t>& ProtocolCore::live_nodes() const {
+  if (live_dirty_) {
+    live_cache_.clear();
+    live_cache_.reserve(evicted_.size() - evicted_.count());
+    for (std::size_t i = 0; i < evicted_.size(); ++i) {
+      if (!evicted_.test(i)) live_cache_.push_back(i);
+    }
+    live_dirty_ = false;
   }
-  return live;
+  return live_cache_;
 }
 
 std::size_t ProtocolCore::unit_evict_threshold() const {
@@ -70,6 +72,9 @@ std::size_t ProtocolCore::unit_evict_threshold() const {
 std::vector<std::size_t> ProtocolCore::charge_stall_rounds(
     std::uint32_t transmitted_next) {
   std::vector<std::size_t> dead;
+  // The live count — and with it the threshold — cannot change inside
+  // this loop, so hoist the engine call out of the per-unit walk.
+  const std::size_t threshold = unit_evict_threshold();
   for (std::size_t node : unit_nodes_) {
     if (seq_gt(node_cum[node], node_cum_snapshot[node])) {
       node_stall_rounds[node] = 0;  // advanced since the previous fire
@@ -77,7 +82,7 @@ std::vector<std::size_t> ProtocolCore::charge_stall_rounds(
       ++node_stall_rounds[node];
     }
     node_cum_snapshot[node] = node_cum[node];
-    if (node_stall_rounds[node] >= unit_evict_threshold()) dead.push_back(node);
+    if (node_stall_rounds[node] >= threshold) dead.push_back(node);
   }
   return dead;
 }
@@ -92,10 +97,19 @@ bool ProtocolCore::backoff_rto() {
   return true;
 }
 
+bool ProtocolCore::mark_alloc_responded(std::size_t node) {
+  if (node >= alloc_responded_.size() || !alloc_responded_.set(node)) return false;
+  if (node < node_to_unit_.size() && node_to_unit_[node] >= 0 &&
+      alloc_outstanding > 0) {
+    --alloc_outstanding;
+  }
+  return true;
+}
+
 void ProtocolCore::recompute_alloc_outstanding() {
   alloc_outstanding = 0;
   for (std::size_t node : unit_nodes_) {
-    if (!node_alloc_responded[node]) ++alloc_outstanding;
+    if (!alloc_responded_.test(node)) ++alloc_outstanding;
   }
 }
 
@@ -103,8 +117,10 @@ void ProtocolCore::begin_send(std::size_t n) {
   // A previous send may have evicted receivers and shrunk the roster;
   // every send starts from the full structure again.
   reset_units(n);
-  node_alloc_responded.assign(n, false);
-  evicted.assign(n, false);
+  alloc_responded_.assign(n, false);
+  evicted_.assign(n, false);
+  evicted_ids_.clear();
+  live_dirty_ = true;
   node_cum.assign(n, 0);
   node_cum_snapshot.assign(n, 0);
   node_stall_rounds.assign(n, 0);

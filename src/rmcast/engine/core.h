@@ -16,6 +16,7 @@
 #include "rmcast/config.h"
 #include "rmcast/engine/engine.h"
 #include "rmcast/observer.h"
+#include "rmcast/roster.h"
 #include "rmcast/stats.h"
 #include "rmcast/window.h"
 
@@ -50,11 +51,18 @@ class ProtocolCore {
   bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
   // Marks `node` evicted; false when already evicted (or out of range).
   bool mark_evicted(std::size_t node);
-  bool is_evicted(std::size_t node) const { return evicted.at(node); }
-  std::size_t n_evicted() const;
+  bool is_evicted(std::size_t node) const {
+    return node < evicted_.size() && evicted_.test(node);
+  }
+  std::size_t n_nodes() const { return evicted_.size(); }
+  std::size_t n_evicted() const { return evicted_.count(); }
   std::size_t n_live() const;
-  // Sorted node ids not yet evicted.
-  std::vector<std::size_t> live_nodes() const;
+  // Sorted node ids not yet evicted. Cached: rebuilt only after an
+  // eviction dirtied it, so the common call is a reference return.
+  const std::vector<std::size_t>& live_nodes() const;
+  // Sorted node ids evicted so far — what announce_evictions re-announces
+  // each RTO round without walking the full roster.
+  const std::vector<std::size_t>& evicted_ids() const { return evicted_ids_; }
   // Consecutive no-progress RTO rounds before a tracked unit is evicted
   // (engine policy over the current live count).
   std::size_t unit_evict_threshold() const;
@@ -69,7 +77,15 @@ class ProtocolCore {
 
   // --- Alloc handshake --------------------------------------------------
 
-  // Units that have not yet confirmed their buffer allocation.
+  bool alloc_responded(std::size_t node) const {
+    return node < alloc_responded_.size() && alloc_responded_.test(node);
+  }
+  // Records `node`'s ALLOC_RSP; false on a duplicate or out-of-range id.
+  // When the node is a tracked unit, alloc_outstanding drops by one — the
+  // O(1) increment that replaces a roster recount per response.
+  bool mark_alloc_responded(std::size_t node);
+  // Recounts units that have not yet confirmed their buffer allocation
+  // (the roster-rebuild path, where incremental bookkeeping is stale).
   void recompute_alloc_outstanding();
 
   // Resets everything for a fresh send over `n` receivers.
@@ -82,13 +98,10 @@ class ProtocolCore {
   SenderWindow window;
   CumTracker tracker;
 
-  // Alloc-handshake bookkeeping, indexed by node id.
-  std::vector<bool> node_alloc_responded;
+  // Alloc-handshake bookkeeping.
   std::size_t alloc_outstanding = 0;
   std::size_t alloc_rounds = 0;  // alloc retries this send
 
-  // Graceful-degradation state, indexed by node id and reset per send.
-  std::vector<bool> evicted;
   // Highest cumulative acknowledgment each node ever reported this send —
   // survives roster rebuilds (unit indices do not) and seeds both the
   // re-formed tracker and the final DeliveryReports.
@@ -115,6 +128,14 @@ class ProtocolCore {
   // Node ids that acknowledge directly to the sender.
   std::vector<std::size_t> unit_nodes_;
   std::vector<int> node_to_unit_;
+  // Membership facts, 64 nodes per word (see roster.h): who confirmed the
+  // alloc handshake and who has been evicted this send.
+  NodeBitmap alloc_responded_;
+  NodeBitmap evicted_;
+  std::vector<std::size_t> evicted_ids_;  // sorted; mirrors evicted_
+  // live_nodes() cache, invalidated by mark_evicted / begin_send.
+  mutable std::vector<std::size_t> live_cache_;
+  mutable bool live_dirty_ = true;
 };
 
 }  // namespace rmc::rmcast

@@ -179,14 +179,21 @@ ProtocolConfig ec_grid_point(const ProtocolConfig& base, std::size_t k,
 }
 
 void grid_ec_xor(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
-  for (std::size_t k : {8u, 16u, 32u}) {
+  for (std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
     out.push_back(ec_grid_point(base, k, 1));
   }
 }
 
 void grid_ec_rs(const ProtocolConfig& base, std::vector<ProtocolConfig>& out) {
-  for (std::size_t m : {4u, 8u}) {
-    out.push_back(ec_grid_point(base, 4 * m, m));
+  // Overhead (m) and rate (k/m) probed independently: the best code for a
+  // bursty channel is not always the best for uniform loss, and the 4:1
+  // diagonal the old grid walked hid that.
+  for (std::size_t m : {2u, 4u, 8u, 16u}) {
+    for (std::size_t ratio : {2u, 4u, 8u}) {
+      const std::size_t k = m * ratio;
+      if (k > fec::kMaxK) continue;
+      out.push_back(ec_grid_point(base, k, m));
+    }
   }
 }
 

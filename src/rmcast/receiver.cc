@@ -30,14 +30,6 @@ MulticastReceiver::MulticastReceiver(rt::Runtime& runtime, rt::UdpSocket& data_s
 
   is_tree_ = engine_->is_tree();
   if (engine_->is_fec()) fec_codec_.emplace(config_.fec.k, config_.fec.m);
-  const std::size_t n = membership_.n_receivers();
-  peer_alloc_done_.assign(n, false);
-  peer_cum_.assign(n, 0);
-  pending_rsp_.assign(n, false);
-  pending_cum_.assign(n, 0);
-  monitor_cum_snapshot_.assign(n, 0);
-  monitor_alloc_snapshot_.assign(n, false);
-  peer_stall_rounds_.assign(n, 0);
   reset_full_structure();
 
   auto handler = [this](const net::Endpoint& src, BytesView payload) {
@@ -56,18 +48,30 @@ MulticastReceiver::~MulticastReceiver() {
 
 void MulticastReceiver::reset_full_structure() {
   alive_.assign(membership_.n_receivers(), true);
-  rebuild_live();
+  live_dirty_ = true;
   evicted_self_ = false;
   if (is_tree_) {
     links_ = engine_->full_links(node_id_, membership_.n_receivers(), config_);
   }
 }
 
-void MulticastReceiver::rebuild_live() {
-  live_.clear();
-  for (std::size_t i = 0; i < alive_.size(); ++i) {
-    if (alive_[i]) live_.push_back(i);
+const std::vector<std::size_t>& MulticastReceiver::live() const {
+  if (live_dirty_) {
+    live_.clear();
+    live_.reserve(alive_.size());
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (alive_[i]) live_.push_back(i);
+    }
+    live_dirty_ = false;
   }
+  return live_;
+}
+
+const MulticastReceiver::PeerState& MulticastReceiver::peer_view(
+    std::size_t node) const {
+  static const PeerState kNeverReported{};
+  auto it = peers_.find(node);
+  return it == peers_.end() ? kNeverReported : it->second;
 }
 
 net::Endpoint MulticastReceiver::ack_target() const {
@@ -86,7 +90,7 @@ int MulticastReceiver::child_index(std::uint16_t node) const {
 
 bool MulticastReceiver::all_children_alloc_done() const {
   return std::all_of(links_.children.begin(), links_.children.end(),
-                     [this](std::size_t child) { return peer_alloc_done_[child]; });
+                     [this](std::size_t child) { return peer_view(child).alloc_done; });
 }
 
 void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
@@ -169,20 +173,18 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
   // after evictions (a previously evicted — e.g. paused-and-resumed —
   // receiver rejoins here).
   reset_full_structure();
-  std::fill(peer_stall_rounds_.begin(), peer_stall_rounds_.end(), 0);
-  std::fill(monitor_cum_snapshot_.begin(), monitor_cum_snapshot_.end(), 0);
-  std::fill(monitor_alloc_snapshot_.begin(), monitor_alloc_snapshot_.end(), false);
-  // Apply tree traffic that raced ahead of this request.
+  // Per-peer state starts empty (absent map entry == never reported);
+  // apply tree traffic that raced ahead of this request.
+  peers_.clear();
   if (pending_session_ == session_) {
-    peer_alloc_done_ = pending_rsp_;
-    peer_cum_ = pending_cum_;
-  } else {
-    std::fill(peer_alloc_done_.begin(), peer_alloc_done_.end(), false);
-    std::fill(peer_cum_.begin(), peer_cum_.end(), 0);
+    for (const auto& [node, pending] : pending_peers_) {
+      PeerState& st = peers_[node];
+      st.alloc_done = pending.rsp;
+      st.cum = pending.cum;
+    }
   }
   pending_session_ = 0;
-  std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
-  std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
+  pending_peers_.clear();
 
   if (!is_tree_ || all_children_alloc_done()) send_alloc_response();
   if (engine_->is_fec()) engine_->on_group_open(*this, 0);
@@ -209,15 +211,14 @@ void MulticastReceiver::handle_chain_alloc_rsp(const Header& h) {
     if (h.session > session_) {
       if (h.session != pending_session_) {
         pending_session_ = h.session;
-        std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
-        std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
+        pending_peers_.clear();
       }
-      pending_rsp_[h.node_id] = true;
+      pending_peers_[h.node_id].rsp = true;
     }
     return;
   }
   const bool was_done = all_children_alloc_done();
-  peer_alloc_done_[h.node_id] = true;
+  peer(h.node_id).alloc_done = true;
   // Forward once the whole subtree (and we) have allocated; re-forward on
   // duplicates to heal a lost response upstream.
   if (all_children_alloc_done() && (!was_done || alloc_rsp_sent_)) send_alloc_response();
@@ -360,15 +361,14 @@ void MulticastReceiver::handle_chain_ack(const Header& h) {
     if (h.session > session_) {
       if (h.session != pending_session_) {
         pending_session_ = h.session;
-        std::fill(pending_rsp_.begin(), pending_rsp_.end(), false);
-        std::fill(pending_cum_.begin(), pending_cum_.end(), 0);
+        pending_peers_.clear();
       }
-      auto& pending = pending_cum_[h.node_id];
+      auto& pending = pending_peers_[h.node_id].cum;
       pending = std::max(pending, h.seq);
     }
     return;
   }
-  auto& cum = peer_cum_[h.node_id];
+  auto& cum = peer(h.node_id).cum;
   const bool advanced = h.seq > cum;
   cum = std::max(cum, h.seq);
   // A non-advancing tree ACK is a child healing a lost ACK; pass the
@@ -379,7 +379,7 @@ void MulticastReceiver::handle_chain_ack(const Header& h) {
 void MulticastReceiver::maybe_forward_chain_state(bool resend_allowed) {
   std::uint32_t upstream = expected_;
   for (std::size_t child : links_.children) {
-    upstream = std::min(upstream, peer_cum_[child]);
+    upstream = std::min(upstream, peer_view(child).cum);
   }
   if (upstream > upstream_sent_ ||
       (resend_allowed && upstream == upstream_sent_ && upstream > 0)) {
@@ -848,7 +848,7 @@ void MulticastReceiver::handle_evict(const Header& h) {
   if (node >= alive_.size() || !alive_[node]) return;  // duplicate notice
   ++stats_.evict_notices_received;
   alive_[node] = false;
-  rebuild_live();
+  live_dirty_ = true;
   flight_recorder().record(rt_.now(), "receiver", "evict_notice",
                            static_cast<std::uint32_t>(node_id_), session_,
                            static_cast<std::uint32_t>(node));
@@ -881,7 +881,7 @@ void MulticastReceiver::handle_evict(const Header& h) {
 }
 
 void MulticastReceiver::rebuild_tree_links() {
-  links_ = engine_->live_links(node_id_, live_, config_);
+  links_ = engine_->live_links(node_id_, live(), config_);
   // The parent may be new (a splice re-points us at the dead node's
   // predecessor, or promotes us to report to the sender): it has no record
   // of what we reported before, so start the upstream watermark over and
@@ -891,7 +891,7 @@ void MulticastReceiver::rebuild_tree_links() {
   upstream_sent_ = 0;
   // A splice changes who is accountable for what: give every child a fresh
   // stall budget against the re-formed structure.
-  peer_stall_rounds_.assign(peer_stall_rounds_.size(), 0);
+  for (auto& [node, st] : peers_) st.stall_rounds = 0;
   if (all_children_alloc_done()) {
     send_alloc_response();
   }
@@ -923,24 +923,25 @@ void MulticastReceiver::on_child_monitor() {
   // can stall a finished transfer (and an idle simulation must drain).
   bool subtree_done = delivered_;
   for (std::size_t child : links_.children) {
-    if (peer_cum_[child] < alloc_.total_packets) subtree_done = false;
+    if (peer_view(child).cum < alloc_.total_packets) subtree_done = false;
   }
   if (subtree_done) return;
   for (std::size_t child : links_.children) {
-    const bool changed = peer_cum_[child] != monitor_cum_snapshot_[child] ||
-                         peer_alloc_done_[child] != monitor_alloc_snapshot_[child];
+    PeerState& st = peer(child);
+    const bool changed =
+        st.cum != st.monitor_cum || st.alloc_done != st.monitor_alloc;
     // A child is only suspect while it is the one holding us back: before
     // its allocation confirmation, or while its cumulative count trails
     // what we already hold (if it matches us, the stall is upstream).
-    const bool blocking = !peer_alloc_done_[child] || peer_cum_[child] < expected_;
+    const bool blocking = !st.alloc_done || st.cum < expected_;
     if (changed) {
-      peer_stall_rounds_[child] = 0;
+      st.stall_rounds = 0;
     } else if (blocking) {
-      ++peer_stall_rounds_[child];
+      ++st.stall_rounds;
     }
-    monitor_cum_snapshot_[child] = peer_cum_[child];
-    monitor_alloc_snapshot_[child] = peer_alloc_done_[child];
-    if (peer_stall_rounds_[child] >= child_suspect_threshold(child)) {
+    st.monitor_cum = st.cum;
+    st.monitor_alloc = st.alloc_done;
+    if (st.stall_rounds >= child_suspect_threshold(child)) {
       // Repeat every tick until the sender's EVICT notice arrives and the
       // splice removes the child from links_.
       send_suspect(child);
@@ -950,7 +951,7 @@ void MulticastReceiver::on_child_monitor() {
 }
 
 std::size_t MulticastReceiver::subtree_height(std::size_t node) const {
-  TreeLinks links = engine_->live_links(node, live_, config_);
+  TreeLinks links = engine_->live_links(node, live(), config_);
   std::size_t height = 0;
   for (std::size_t child : links.children) {
     height = std::max(height, 1 + subtree_height(child));

@@ -36,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -99,8 +100,10 @@ class MulticastReceiver : private ReceiverOps {
   // Current tree links — re-formed over the live set as evict notices
   // arrive; reset to the full-roster structure on each new session.
   const TreeLinks& links() const override { return links_; }
-  // Sorted node ids this receiver currently believes alive.
-  const std::vector<std::size_t>& live() const override { return live_; }
+  // Sorted node ids this receiver currently believes alive. Built lazily:
+  // protocols that never consult the roster (and the common no-eviction
+  // run) skip the O(N) build entirely.
+  const std::vector<std::size_t>& live() const override;
 
  private:
   // Remaining ReceiverOps surface (the engine's view of this receiver).
@@ -168,7 +171,6 @@ class MulticastReceiver : private ReceiverOps {
 
   // Graceful degradation.
   bool eviction_enabled() const { return config_.max_retransmit_rounds > 0; }
-  void rebuild_live();
   void reset_full_structure();   // links/alive for a fresh session
   void rebuild_tree_links();     // splice chains over the live set
   // Tree parents watch their children's progress and report a child that
@@ -238,28 +240,44 @@ class MulticastReceiver : private ReceiverOps {
   // later group — or the group's own last parity index — closes it.
   std::uint32_t fec_no_more_parity_group_ = 0;
 
-  // Tree chain/aggregation state, indexed by node id (not child slot) so
-  // that re-forming links_ after an eviction keeps what surviving children
-  // already reported.
-  std::vector<bool> peer_alloc_done_;
-  std::vector<std::uint32_t> peer_cum_;
+  // Tree chain/aggregation state, keyed by peer node id (not child slot)
+  // so that re-forming links_ after an eviction keeps what surviving
+  // children already reported. A map, not an N-sized vector: each node
+  // hears from O(degree) children, and per-receiver state that is O(N)
+  // costs O(N^2) across a 10^4-receiver group.
+  struct PeerState {
+    bool alloc_done = false;
+    std::uint32_t cum = 0;
+    // Child-stall bookkeeping for the monitor tick: state as of the
+    // previous tick and consecutive no-progress ticks.
+    std::uint32_t monitor_cum = 0;
+    bool monitor_alloc = false;
+    std::uint32_t stall_rounds = 0;
+  };
+  std::unordered_map<std::size_t, PeerState> peers_;
+  PeerState& peer(std::size_t node) { return peers_[node]; }
+  // Read-only view; absent peers read as the all-zero state (exactly what
+  // the old vectors held for a child that never reported).
+  const PeerState& peer_view(std::size_t node) const;
+
   bool alloc_rsp_sent_ = false;
   std::uint32_t upstream_sent_ = 0;
   // Tree traffic that raced ahead of our ALLOC_REQ (the multicast REQ and
   // the unicast tree traffic take different paths); held for the newest
-  // future session seen. Indexed by node id.
+  // future session seen. Keyed by peer node id.
+  struct PendingPeer {
+    bool rsp = false;
+    std::uint32_t cum = 0;
+  };
   std::uint32_t pending_session_ = 0;
-  std::vector<bool> pending_rsp_;
-  std::vector<std::uint32_t> pending_cum_;
+  std::unordered_map<std::size_t, PendingPeer> pending_peers_;
 
   // Graceful-degradation state, reset per session.
-  std::vector<bool> alive_;         // indexed by node id
-  std::vector<std::size_t> live_;   // sorted ids where alive_
+  std::vector<bool> alive_;  // indexed by node id
+  // live() cache over alive_; dirtied by evict notices and session resets.
+  mutable std::vector<std::size_t> live_;
+  mutable bool live_dirty_ = true;
   bool evicted_self_ = false;
-  // Child-stall bookkeeping for the monitor tick, indexed by node id.
-  std::vector<std::uint32_t> monitor_cum_snapshot_;
-  std::vector<bool> monitor_alloc_snapshot_;
-  std::vector<std::uint32_t> peer_stall_rounds_;
   rt::TimerId child_monitor_timer_ = rt::kInvalidTimerId;
 };
 

@@ -1,0 +1,77 @@
+// Bitmap node sets for datacenter-scale rosters.
+//
+// The sender tracks membership facts about every receiver — evicted or
+// not, allocation confirmed or not. As flat vector<bool>s these cost an
+// O(N) scan wherever a count or a roster walk is needed; at 10^4
+// receivers those scans dominate the per-event cost. NodeBitmap packs the
+// facts 64 per word with a maintained cardinality, so tests and updates
+// are O(1), counts are O(1), and full-set iteration touches N/64 words.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rmc::rmcast {
+
+// A set over the fixed node universe [0, n). Cardinality is maintained
+// incrementally; set/clear report whether the bit actually changed, which
+// is what duplicate-suppression call sites key on.
+class NodeBitmap {
+ public:
+  void assign(std::size_t n, bool value) {
+    n_ = n;
+    words_.assign((n + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    if (value && n % 64 != 0) {
+      // Mask the tail so count() and iteration never see ghost members.
+      words_.back() = (std::uint64_t{1} << (n % 64)) - 1;
+    }
+    count_ = value ? n : 0;
+  }
+
+  std::size_t size() const { return n_; }
+  std::size_t count() const { return count_; }
+
+  bool test(std::size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+
+  // Returns true if the bit changed.
+  bool set(std::size_t i) {
+    std::uint64_t& word = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    ++count_;
+    return true;
+  }
+  bool clear(std::size_t i) {
+    std::uint64_t& word = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if ((word & mask) == 0) return false;
+    word &= ~mask;
+    --count_;
+    return true;
+  }
+
+  // Calls fn(i) for every member, in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rmc::rmcast

@@ -110,7 +110,7 @@ void MulticastSender::on_alloc_timeout() {
       core_.alloc_rounds = 0;  // promoted replacements get a full grace period
       std::vector<std::size_t> dead;
       for (std::size_t node : core_.unit_nodes()) {
-        if (!core_.node_alloc_responded[node] && !core_.evicted[node]) {
+        if (!core_.alloc_responded(node) && !core_.is_evicted(node)) {
           dead.push_back(node);
         }
       }
@@ -157,11 +157,8 @@ void MulticastSender::on_alloc_response(const Header& h) {
     return;
   }
   ++core_.stats.alloc_responses_received;
-  if (h.node_id >= core_.node_alloc_responded.size()) return;
-  if (core_.node_alloc_responded[h.node_id]) return;
-  core_.node_alloc_responded[h.node_id] = true;
+  if (!core_.mark_alloc_responded(h.node_id)) return;  // duplicate or unknown
   if (core_.unit_of_node(h.node_id) < 0) return;
-  core_.recompute_alloc_outstanding();
   if (core_.alloc_outstanding == 0) start_data_phase();
 }
 
@@ -591,9 +588,7 @@ void MulticastSender::announce_evictions() {
   // Evict notices ride the lossy multicast channel; re-announcing every
   // timeout round heals receivers that missed the original, the same way
   // Go-Back-N retransmission heals lost data.
-  for (std::size_t node = 0; node < core_.evicted.size(); ++node) {
-    if (core_.evicted[node]) send_evict_notice(node);
-  }
+  for (std::size_t node : core_.evicted_ids()) send_evict_notice(node);
 }
 
 void MulticastSender::evict(std::size_t node) {
@@ -650,7 +645,7 @@ void MulticastSender::on_suspect(const Header& h) {
   }
   ++core_.stats.suspect_reports_received;
   const std::size_t node = h.seq;
-  if (node >= core_.evicted.size() || core_.evicted[node]) return;
+  if (node >= core_.n_nodes() || core_.is_evicted(node)) return;
   flight_recorder().record(rt_.now(), "sender", "suspect", h.node_id, session_, h.seq);
   evict(node);
 }
@@ -673,7 +668,7 @@ void MulticastSender::complete() {
   outcome.retransmit_rounds = core_.rto_rounds;
   outcome.receivers.resize(membership_.n_receivers());
   for (std::size_t i = 0; i < outcome.receivers.size(); ++i) {
-    if (i < core_.evicted.size() && core_.evicted[i]) {
+    if (core_.is_evicted(i)) {
       outcome.receivers[i] = {DeliveryStatus::kEvicted, core_.node_cum[i]};
     } else {
       outcome.receivers[i] = {DeliveryStatus::kDelivered, total_packets_};

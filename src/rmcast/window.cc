@@ -6,36 +6,41 @@
 
 namespace rmc::rmcast {
 
-namespace {
-
-// Minimum of a set of cumulative counts under serial order. Well-defined
-// because the tracker's counts always lie within one window (far less
-// than 2^31) of each other.
-std::uint32_t serial_min(const std::vector<std::uint32_t>& cums) {
-  std::uint32_t min = cums.front();
-  for (std::uint32_t c : cums) min = seq_min(min, c);
-  return min;
-}
-
-}  // namespace
-
 void CumTracker::reset(std::size_t n_units, std::uint32_t start_cum) {
   RMC_ENSURE(n_units > 0, "tracker needs at least one unit");
   cums_.assign(n_units, start_cum);
+  rebuild_tree();
   min_cum_ = start_cum;
 }
 
 void CumTracker::reset_with(std::vector<std::uint32_t> cums) {
   RMC_ENSURE(!cums.empty(), "tracker needs at least one unit");
   cums_ = std::move(cums);
-  min_cum_ = serial_min(cums_);
+  rebuild_tree();
+  min_cum_ = tree_[1];
+}
+
+void CumTracker::rebuild_tree() {
+  const std::size_t n = cums_.size();
+  tree_.assign(2 * n, 0);
+  std::copy(cums_.begin(), cums_.end(), tree_.begin() + static_cast<std::ptrdiff_t>(n));
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    tree_[i] = seq_min(tree_[2 * i], tree_[2 * i + 1]);
+  }
 }
 
 bool CumTracker::on_ack(std::size_t unit, std::uint32_t cum) {
   RMC_ENSURE(unit < cums_.size(), "unit out of range");
   if (seq_le(cum, cums_[unit])) return false;  // stale, serially
   cums_[unit] = cum;
-  std::uint32_t new_min = serial_min(cums_);
+  // Leaf-to-root update: rewrite the unit's leaf, then re-minimize the
+  // log2(n) ancestors above it. The root is the roster-wide minimum.
+  std::size_t i = cums_.size() + unit;
+  tree_[i] = cum;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    tree_[i] = seq_min(tree_[2 * i], tree_[2 * i + 1]);
+  }
+  const std::uint32_t new_min = tree_[1];
   RMC_ENSURE(seq_ge(new_min, min_cum_), "minimum cum went backwards");
   min_cum_ = new_min;
   return true;

@@ -51,7 +51,17 @@ class CumTracker {
   std::size_t n_units() const { return cums_.size(); }
 
  private:
+  void rebuild_tree();
+
   std::vector<std::uint32_t> cums_;
+  // Tournament tree over cums_ under serial order: an iterative segment
+  // tree of size 2n with leaves at [n, 2n) and the minimum at tree_[1].
+  // An acknowledgment updates one leaf and its log2(n) ancestors instead
+  // of rescanning every unit — the difference between O(N) and O(log N)
+  // per ACK once rosters reach 10^4 receivers. seq_min is associative and
+  // commutative over counts within one window of each other, so the root
+  // equals the serial scan's fold exactly.
+  std::vector<std::uint32_t> tree_;
   std::uint32_t min_cum_ = 0;
 };
 

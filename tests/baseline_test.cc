@@ -115,7 +115,7 @@ TEST(TcpScaling, FanoutTimeGrowsLinearly) {
 }
 
 TEST(RawUdp, BlastCompletesOnAllReplies) {
-  harness::Testbed bed(4, {});
+  harness::Testbed bed(4);
   RawUdpBlastSender sender(bed.sender_runtime(), bed.sender_socket(),
                            bed.membership().group, 4);
   std::vector<std::unique_ptr<RawUdpReceiver>> receivers;

@@ -18,7 +18,7 @@ namespace rmc::harness {
 namespace {
 
 TEST(Testbed, WiresSocketsAndMembership) {
-  Testbed bed(4, {});
+  Testbed bed(4);
   EXPECT_EQ(bed.n_receivers(), 4u);
   EXPECT_EQ(bed.cluster().size(), 5u);  // sender + 4
   const auto& m = bed.membership();
@@ -153,7 +153,7 @@ TEST(TablePrinterDeath, RowWidthMustMatch) {
 }
 
 TEST(Trace, RecordsOrderedProtocolEvents) {
-  Testbed bed(3, {});
+  Testbed bed(3);
   rmcast::ProtocolConfig config;
   config.kind = rmcast::ProtocolKind::kAck;
   config.packet_size = 8000;
@@ -286,7 +286,7 @@ TEST(Trace, KindNameRoundTrip) {
 }
 
 TEST(Trace, WriteCsvRowFormat) {
-  Testbed bed(1, {});
+  Testbed bed(1);
   TraceRecorder trace(bed.sender_runtime());
   trace.on_transmit(7, 3, 2, false);
   trace.on_transmit(7, 3, 2, true);
