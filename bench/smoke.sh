@@ -59,11 +59,13 @@ done
 # the binary exits non-zero if either breaks), and the declarative
 # spine-leaf fabric at 10^3 receivers (fig_scalability_xl, whose
 # wall-clock side channel is deliberately NOT requested here: stdout must
-# be identical even though wall timings never are).
+# be identical even though wall timings never are), and the multi-tenant
+# mix (fig_multitenant — hundreds of sessions with churn multiplexed over
+# one fabric; its per-cell report side channel gets its own gate below).
 # The metrics snapshots are compared after dropping the meta "jobs" line —
 # the one field that legitimately records the worker count.
 strip_jobs_meta() { grep -v '^    "jobs": ' "$1"; }
-for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover fig_scalability_xl; do
+for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover fig_scalability_xl fig_multitenant; do
   bin="$BENCH_DIR/$name"
   [ -x "$bin" ] || continue
   if "$bin" --quick --jobs=1 "--metrics-out=$TMP_DIR/$name.serial.json" \
@@ -85,6 +87,64 @@ for name in fig10_ack_window tab02_control_load abl_loss_sweep abl_ec_crossover 
     fail=$((fail + 1))
   fi
 done
+
+# Multi-tenant report gate: fig_multitenant's side channel (the
+# BENCH_multitenant.json artifact) carries every cell's per-tenant
+# completion table, Jain fairness index and switch-queue contention
+# matrix. Like stdout, it is derived from deterministic runs, so it must
+# be byte-identical across --jobs values; and every tenant of every cell
+# must have reported a DeliveryReport (a stalled sender would show up as
+# an incomplete cell here before it shows up anywhere else).
+MT="$BENCH_DIR/fig_multitenant"
+if [ -x "$MT" ]; then
+  mt_report="$BUILD_DIR/BENCH_multitenant.json"
+  mt_ok=1
+  "$MT" --quick --jobs=1 "--report-out=$mt_report" > /dev/null 2>&1 || mt_ok=0
+  "$MT" --quick --jobs=4 "--report-out=$TMP_DIR/multitenant.parallel.json" \
+    > /dev/null 2>&1 || mt_ok=0
+  cmp -s "$mt_report" "$TMP_DIR/multitenant.parallel.json" || mt_ok=0
+  if [ "$mt_ok" -eq 1 ] && [ -n "$PYTHON" ]; then
+    "$PYTHON" - "$mt_report" <<'EOF' || mt_ok=0
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc.get("cells")
+if not isinstance(cells, list) or not cells:
+    sys.exit("multitenant-gate: no cells in report")
+churned = 0
+for cell in cells:
+    mix = cell["mix"]
+    label = f"{cell['topology']}/t={cell['tenants']}/churn={cell['churn']}"
+    if not mix["completed"]:
+        sys.exit(f"multitenant-gate: {label}: cell incomplete")
+    if len(mix["per_tenant"]) != cell["tenants"]:
+        sys.exit(f"multitenant-gate: {label}: missing tenant rows")
+    for t in mix["per_tenant"]:
+        if not t["completed"]:
+            sys.exit(f"multitenant-gate: {label}: tenant {t['tenant']} "
+                     "never reported a DeliveryReport")
+    if not 0.0 <= mix["jain_fairness"] <= 1.0:
+        sys.exit(f"multitenant-gate: {label}: Jain index out of [0, 1]")
+    if cell["churn"]:
+        churned += sum(t["late_joins"] + t["leaves"] + t["crashes"]
+                       for t in mix["per_tenant"])
+if churned == 0:
+    sys.exit("multitenant-gate: churn cells exercised no churn events")
+print(f"multitenant-gate: {len(cells)} cells, every tenant reported, "
+      f"{churned} churn events exercised")
+EOF
+  fi
+  if [ "$mt_ok" -eq 1 ]; then
+    echo "ok   fig_multitenant report gate ($mt_report)"
+    pass=$((pass + 1))
+  else
+    echo "FAIL fig_multitenant: report missing, non-deterministic, or invalid"
+    fail=$((fail + 1))
+  fi
+else
+  echo "skip fig_multitenant report gate (binary missing)"
+fi
 
 # Trace export gate: the abl_loss_sweep trace written above must be a
 # well-formed Chrome trace-event file (loadable at ui.perfetto.dev) whose

@@ -33,6 +33,32 @@ for preset in "${PRESETS[@]}"; do
     ./coverage.sh "$build_dir"
     continue
   fi
+  if [ "$preset" = asan ] || [ "$preset" = tsan ]; then
+    # The group-churn matrix again, under the memory/race detectors and
+    # sharded across processes: the randomized join/leave/crash scripts
+    # drive ring re-rotation and tree splicing around evicted receivers,
+    # where a stale pointer into a departed node's state is a sanitizer
+    # report, not a silent corruption. (ctest above runs the same binary;
+    # this lane re-runs it shard-parallel so the sanitizer sees the full
+    # matrix even when ctest's scheduler batched it onto one core.)
+    echo "=== [$preset] churn matrix (4-way sharded) ==="
+    churn_pids=()
+    for shard in 0 1 2 3; do
+      GTEST_TOTAL_SHARDS=4 GTEST_SHARD_INDEX="$shard" \
+        "$build_dir/tests/churn_test" \
+        > "$build_dir/churn_shard_$shard.log" 2>&1 &
+      churn_pids+=("$!")
+    done
+    churn_fail=0
+    for pid in "${churn_pids[@]}"; do
+      wait "$pid" || churn_fail=1
+    done
+    if [ "$churn_fail" -ne 0 ]; then
+      tail -n 30 "$build_dir"/churn_shard_*.log
+      echo "[$preset] churn matrix failed"
+      exit 1
+    fi
+  fi
   if [ "$preset" = tsan ]; then
     # Drive the sweep engine's threaded path (workers, stealing, fold
     # cursor) under TSan with more workers than cores, so interleavings

@@ -22,6 +22,26 @@ std::uint32_t tag_rmcast_packet(const std::uint8_t* data, std::size_t size) {
   return pack_packet_tag(type, seq);
 }
 
+std::uint32_t tag_rmcast_tenant_packet(const std::uint8_t* data, std::size_t size) {
+  if (data == nullptr || size < rmcast::kHeaderBytes) return 0;
+  const std::uint8_t type = data[0];
+  if (type < static_cast<std::uint8_t>(rmcast::PacketType::kData) ||
+      type > static_cast<std::uint8_t>(rmcast::PacketType::kGroupNak)) {
+    return 0;
+  }
+  // session: bytes 4..7, big-endian; its high half is tenant + 1 under the
+  // TenantMix session-base convention (saturated into the 8-bit field).
+  const std::uint32_t session_hi = (static_cast<std::uint32_t>(data[4]) << 8) |
+                                   static_cast<std::uint32_t>(data[5]);
+  const std::uint8_t tenant =
+      static_cast<std::uint8_t>(session_hi > 0xFF ? 0xFF : session_hi);
+  const std::uint32_t seq = (static_cast<std::uint32_t>(data[8]) << 24) |
+                            (static_cast<std::uint32_t>(data[9]) << 16) |
+                            (static_cast<std::uint32_t>(data[10]) << 8) |
+                            static_cast<std::uint32_t>(data[11]);
+  return pack_tenant_tag(tenant, type, seq);
+}
+
 namespace {
 
 // Time-ordered view of the event stream. The shared bus backdates its

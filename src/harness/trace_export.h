@@ -54,6 +54,36 @@ constexpr std::uint32_t tag_seq(std::uint32_t tag) { return tag & 0x07FF'FFFFu; 
 // datagram payload. Returns 0 for payloads that are not rmcast packets.
 std::uint32_t tag_rmcast_packet(const std::uint8_t* data, std::size_t size);
 
+// ---- Tenant tags (multi-tenant runs) ---------------------------------------
+// Multi-tenant traces need to know WHOSE frame sat in a shared switch
+// queue, so the tag trades sequence range for a tenant field:
+// valid(1) | tenant(8) | type(4) | seq(19). The tenant is recovered from
+// the wire header's session id: TenantMix gives tenant t the session base
+// (t + 1) << 16, so session >> 16 is t + 1 (0 = a frame outside any
+// tenant namespace; values past 255 saturate). 2^19 packets bounds a
+// traced tenant message at 4 GB of 8 KB packets — plenty for workloads
+// that run hundreds of transfers at once. A tracer uses ONE tag scheme
+// for its whole life: single-tenant traces install tag_rmcast_packet and
+// unpack with tag_*(), tenant traces install tag_rmcast_tenant_packet and
+// unpack with tenant_tag_*() — the two layouts are never mixed.
+
+constexpr std::uint32_t pack_tenant_tag(std::uint8_t tenant, std::uint8_t type,
+                                        std::uint32_t seq) {
+  return kTagValid | (static_cast<std::uint32_t>(tenant) << 23) |
+         (static_cast<std::uint32_t>(type & 0xFu) << 19) | (seq & 0x0007'FFFFu);
+}
+constexpr std::uint8_t tenant_tag_tenant(std::uint32_t tag) {
+  return static_cast<std::uint8_t>((tag >> 23) & 0xFFu);
+}
+constexpr std::uint8_t tenant_tag_type(std::uint32_t tag) {
+  return static_cast<std::uint8_t>((tag >> 19) & 0xFu);
+}
+constexpr std::uint32_t tenant_tag_seq(std::uint32_t tag) { return tag & 0x0007'FFFFu; }
+
+// PacketTagger for multi-tenant tracers: like tag_rmcast_packet, plus the
+// tenant read out of the session id's high half.
+std::uint32_t tag_rmcast_tenant_packet(const std::uint8_t* data, std::size_t size);
+
 // ---- Attribution -----------------------------------------------------------
 
 // Where one run's communication time went. Components are disjoint: each

@@ -36,6 +36,42 @@ std::string GroupMembership::validate() const {
   return "";
 }
 
+std::string GroupMembership::validate(
+    const std::vector<const GroupMembership*>& registered) const {
+  std::string error = validate();
+  if (!error.empty()) return error;
+  for (std::size_t g = 0; g < registered.size(); ++g) {
+    const GroupMembership& other = *registered[g];
+    if (other.group == group) {
+      return str_format("group data endpoint %s collides with registered group %zu",
+                        group.str().c_str(), g);
+    }
+  }
+  return "";
+}
+
+std::string GroupDirectory::add(std::uint64_t id, const GroupMembership& membership) {
+  std::vector<const GroupMembership*> registered;
+  registered.reserve(groups_.size());
+  for (const auto& [key, m] : groups_) {
+    RMC_ENSURE(key != id, "group id already registered");
+    registered.push_back(&m);
+  }
+  std::string error = membership.validate(registered);
+  if (!error.empty()) return error;
+  groups_.emplace_back(id, membership);
+  return "";
+}
+
+void GroupDirectory::remove(std::uint64_t id) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (it->first == id) {
+      groups_.erase(it);
+      return;
+    }
+  }
+}
+
 TreePosition tree_position(std::size_t id, std::size_t n, std::size_t height) {
   RMC_ENSURE(id < n, "node id out of range");
   RMC_ENSURE(height >= 1 && height <= n, "invalid tree height");

@@ -55,6 +55,22 @@ void MulticastReceiver::reset_full_structure() {
   }
 }
 
+void MulticastReceiver::leave() {
+  if (left_) return;
+  left_ = true;
+  // Deactivating the session makes every in-flight completion (FEC decode,
+  // repair backoff closures) a no-op: they all re-check session_active_.
+  session_active_ = false;
+  if (nak_timer_ != rt::kInvalidTimerId) {
+    rt_.cancel(nak_timer_);
+    nak_timer_ = rt::kInvalidTimerId;
+  }
+  disarm_inactivity_timer();
+  disarm_child_monitor();
+  for (auto& [seq, timer] : repair_timers_) rt_.cancel(timer);
+  repair_timers_.clear();
+}
+
 const std::vector<std::size_t>& MulticastReceiver::live() const {
   if (live_dirty_) {
     live_.clear();
@@ -98,6 +114,9 @@ void MulticastReceiver::on_packet(const net::Endpoint& src, BytesView payload) {
   Reader r(payload);
   auto header = read_header(r);
   if (!header) return;
+  // A departed receiver is gone for every session, current and future —
+  // unlike eviction, which only covers the session that evicted it.
+  if (left_) return;
   // An evicted receiver is out of the session: it must not acknowledge,
   // NAK or relay anything — survivors have restructured around it, and a
   // late ACK from it would corrupt the re-formed aggregation. It wakes up

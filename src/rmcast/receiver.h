@@ -97,6 +97,16 @@ class MulticastReceiver : private ReceiverOps {
   // Graceful degradation: true once the sender announced this node's own
   // eviction (the receiver goes passive for the rest of the session).
   bool evicted_self() const { return evicted_self_; }
+  // Membership churn: the receiver departs the group for good — it stops
+  // acknowledging, NAKing and relaying, and cancels every pending timer.
+  // There is no LEAVE packet on the wire (the paper's groups are static);
+  // the sender notices the silence, evicts the node through the ordinary
+  // no-progress path, and the survivors splice the ring/tree around it —
+  // the exact machinery a crash exercises, minus the dead host. The
+  // caller is responsible for dropping the data socket's IGMP membership
+  // so snooping switches prune the port.
+  void leave();
+  bool left() const { return left_; }
   // Current tree links — re-formed over the live set as evict notices
   // arrive; reset to the full-roster structure on each new session.
   const TreeLinks& links() const override { return links_; }
@@ -278,6 +288,7 @@ class MulticastReceiver : private ReceiverOps {
   mutable std::vector<std::size_t> live_;
   mutable bool live_dirty_ = true;
   bool evicted_self_ = false;
+  bool left_ = false;  // departed the group permanently (leave())
   rt::TimerId child_monitor_timer_ = rt::kInvalidTimerId;
 };
 

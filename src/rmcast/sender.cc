@@ -42,6 +42,11 @@ MulticastSender::~MulticastSender() {
   if (rate_timer_ != rt::kInvalidTimerId) rt_.cancel(rate_timer_);
 }
 
+void MulticastSender::set_session_base(std::uint32_t base) {
+  RMC_ENSURE(state_ == State::kIdle, "cannot re-base sessions mid-transfer");
+  session_ = base;
+}
+
 void MulticastSender::send(BytesView message, CompletionHandler on_complete) {
   RMC_ENSURE(state_ == State::kIdle, "sender is busy");
   if (config_.copy_user_data) {

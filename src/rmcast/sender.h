@@ -67,6 +67,14 @@ class MulticastSender {
   bool busy() const { return state_ != State::kIdle; }
   std::uint32_t session() const { return session_; }
 
+  // Namespaces this sender's wire session ids: the next send() uses
+  // base + 1, the one after base + 2, and so on. Multi-tenant runs give
+  // tenant t the base (t + 1) << 16, so every packet's header carries its
+  // tenant in the session's high half — which is what the per-tenant
+  // trace tagger reads back out of frames inside shared switches. Must be
+  // idle (a base change mid-transfer would orphan the session).
+  void set_session_base(std::uint32_t base);
+
   // The node ids currently acknowledging directly to the sender — all
   // receivers (ACK, NAK-polling, ring), the flat-tree chain heads, or the
   // binary-tree root. Shrinks/re-forms as receivers are evicted; reset to

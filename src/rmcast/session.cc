@@ -15,48 +15,21 @@ inet::ClusterParams with_n_hosts(inet::ClusterParams params, std::size_t n_hosts
 
 Session::Session(SessionParams params)
     : params_(std::move(params)),
-      cluster_(std::make_unique<inet::Cluster>(
+      owned_cluster_(std::make_unique<inet::Cluster>(
           with_n_hosts(params_.cluster, params_.n_receivers + 1))) {
   RMC_ENSURE(params_.n_receivers > 0, "session needs at least one receiver");
 
-  membership_.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
-  membership_.sender_control = {inet::Cluster::host_addr(0), 5001};
+  // The classic single-tenant placement: host 0 sends, hosts 1..N receive,
+  // the well-known group and control ports.
+  placement_.sender_host = 0;
   for (std::size_t i = 0; i < params_.n_receivers; ++i) {
-    membership_.receiver_control.push_back({inet::Cluster::host_addr(i + 1), 5002});
+    placement_.receiver_hosts.push_back(i + 1);
   }
+  placement_.group = {net::Ipv4Addr(239, 0, 0, 1), 5000};
+  placement_.sender_control_port = 5001;
+  placement_.receiver_control_port = 5002;
 
-  for (std::size_t h = 0; h < params_.n_receivers + 1; ++h) {
-    runtimes_.push_back(std::make_unique<rt::SimRuntime>(cluster_->host(h)));
-  }
-
-  inet::Socket* sender_raw = cluster_->host(0).open_socket();
-  sender_raw->bind(membership_.sender_control.port);
-  sockets_.push_back(runtimes_[0]->wrap(sender_raw));
-  sender_ = std::make_unique<MulticastSender>(*runtimes_[0], *sockets_.back(),
-                                              membership_, params_.protocol);
-  if (params_.metrics != nullptr) sender_->set_metrics(params_.metrics);
-
-  for (std::size_t i = 0; i < params_.n_receivers; ++i) {
-    inet::Host& host = cluster_->host(i + 1);
-    inet::Socket* data_raw = host.open_socket();
-    data_raw->bind(membership_.group.port);
-    data_raw->join(membership_.group.addr);
-    sockets_.push_back(runtimes_[i + 1]->wrap(data_raw));
-    rt::UdpSocket& data = *sockets_.back();
-
-    inet::Socket* control_raw = host.open_socket();
-    control_raw->bind(membership_.receiver_control[i].port);
-    sockets_.push_back(runtimes_[i + 1]->wrap(control_raw));
-    rt::UdpSocket& control = *sockets_.back();
-
-    receivers_.push_back(std::make_unique<MulticastReceiver>(
-        *runtimes_[i + 1], data, control, membership_, i, params_.protocol));
-    if (params_.metrics != nullptr) receivers_[i]->set_metrics(params_.metrics);
-    receivers_[i]->set_message_handler(
-        [this, i](const Buffer& message, std::uint32_t session) {
-          if (handler_) handler_(i, message, session);
-        });
-  }
+  init(*owned_cluster_);
 
   // Schedule the scripted faults before any traffic exists; host 0 is the
   // sender, so receiver node i maps to host i + 1.
@@ -65,7 +38,110 @@ Session::Session(SessionParams params)
   }
 }
 
-Session::~Session() = default;
+Session::Session(inet::Cluster& fabric, SessionPlacement placement,
+                 ProtocolConfig protocol, metrics::Registry* metrics,
+                 GroupDirectory* directory)
+    : directory_(directory) {
+  params_.n_receivers = placement.receiver_hosts.size();
+  params_.protocol = std::move(protocol);
+  params_.metrics = metrics;
+  placement_ = std::move(placement);
+  init(fabric);
+}
+
+void Session::init(inet::Cluster& fabric) {
+  cluster_ = &fabric;
+  const std::size_t n = placement_.receiver_hosts.size();
+  RMC_ENSURE(n > 0, "session needs at least one receiver");
+  RMC_ENSURE(n == params_.n_receivers, "placement/params receiver count mismatch");
+
+  membership_.group = placement_.group;
+  membership_.sender_control = {inet::Cluster::host_addr(placement_.sender_host),
+                                placement_.sender_control_port};
+  for (std::size_t i = 0; i < n; ++i) {
+    RMC_ENSURE(placement_.receiver_hosts[i] < cluster_->size(),
+               "receiver host out of range");
+    RMC_ENSURE(placement_.receiver_hosts[i] != placement_.sender_host,
+               "receiver host collides with the sender's");
+    membership_.receiver_control.push_back(
+        {inet::Cluster::host_addr(placement_.receiver_hosts[i]),
+         placement_.receiver_control_port});
+  }
+  if (directory_ != nullptr) {
+    // The data endpoint is unique among registered groups (the directory
+    // rejects collisions), so it doubles as the registration key.
+    directory_id_ =
+        (static_cast<std::uint64_t>(membership_.group.addr.bits()) << 16) |
+        membership_.group.port;
+    std::string error = directory_->add(directory_id_, membership_);
+    RMC_ENSURE(error.empty(), error);
+  } else {
+    std::string error = membership_.validate();
+    RMC_ENSURE(error.empty(), error);
+  }
+
+  runtimes_.push_back(
+      std::make_unique<rt::SimRuntime>(cluster_->host(placement_.sender_host)));
+  for (std::size_t i = 0; i < n; ++i) {
+    runtimes_.push_back(
+        std::make_unique<rt::SimRuntime>(cluster_->host(placement_.receiver_hosts[i])));
+  }
+
+  inet::Socket* sender_raw = cluster_->host(placement_.sender_host).open_socket();
+  sender_raw->bind(membership_.sender_control.port);
+  sockets_.push_back(runtimes_[0]->wrap(sender_raw));
+  sender_ = std::make_unique<MulticastSender>(*runtimes_[0], *sockets_.back(),
+                                              membership_, params_.protocol);
+  if (placement_.session_base != 0) sender_->set_session_base(placement_.session_base);
+  if (params_.metrics != nullptr) sender_->set_metrics(params_.metrics);
+
+  receivers_.resize(n);
+  data_raw_.resize(n, nullptr);
+  std::vector<bool> deferred(n, false);
+  for (std::size_t d : placement_.deferred) deferred.at(d) = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!deferred[i]) join_receiver(i);
+  }
+}
+
+void Session::join_receiver(std::size_t i) {
+  if (receivers_.at(i) != nullptr) return;
+  inet::Host& host = cluster_->host(placement_.receiver_hosts[i]);
+  rt::SimRuntime& runtime = *runtimes_[i + 1];
+
+  inet::Socket* data_raw = host.open_socket();
+  data_raw->bind(membership_.group.port);
+  data_raw->join(membership_.group.addr);
+  data_raw_[i] = data_raw;
+  sockets_.push_back(runtime.wrap(data_raw));
+  rt::UdpSocket& data = *sockets_.back();
+
+  inet::Socket* control_raw = host.open_socket();
+  control_raw->bind(membership_.receiver_control[i].port);
+  sockets_.push_back(runtime.wrap(control_raw));
+  rt::UdpSocket& control = *sockets_.back();
+
+  receivers_[i] = std::make_unique<MulticastReceiver>(runtime, data, control,
+                                                      membership_, i, params_.protocol);
+  if (params_.metrics != nullptr) receivers_[i]->set_metrics(params_.metrics);
+  receivers_[i]->set_message_handler(
+      [this, i](const Buffer& message, std::uint32_t session) {
+        if (handler_) handler_(i, message, session);
+      });
+}
+
+void Session::leave_receiver(std::size_t i) {
+  if (receivers_.at(i) == nullptr || receivers_[i]->left()) return;
+  receivers_[i]->leave();
+  // Drop the IGMP membership so snooping switches stop forwarding the
+  // group's data stream to this port — the departure is visible to the
+  // fabric, not just the protocol.
+  if (data_raw_[i] != nullptr) data_raw_[i]->leave(membership_.group.addr);
+}
+
+Session::~Session() {
+  if (directory_ != nullptr) directory_->remove(directory_id_);
+}
 
 void Session::send(BytesView message, MulticastSender::CompletionHandler on_complete) {
   sender_->send(message, std::move(on_complete));

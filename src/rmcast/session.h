@@ -47,6 +47,30 @@ struct SessionParams {
   metrics::Registry* metrics = nullptr;
 };
 
+// Where a Session lives on a shared fabric. Multi-tenant runs place many
+// Sessions on one inet::Cluster: each tenant names its sender host, its
+// receiver hosts (which may overlap other tenants' — host sharing is the
+// contention experiment), a private multicast data endpoint and a private
+// control-port pair, so concurrent groups never collide on the wire. The
+// session_base namespaces wire session ids (tenant t uses (t+1) << 16),
+// which is how per-tenant trace tags are recovered from frames inside
+// shared switches.
+struct SessionPlacement {
+  std::size_t sender_host = 0;
+  std::vector<std::size_t> receiver_hosts;  // distinct; none may equal sender_host
+  net::Endpoint group;                      // multicast data endpoint, unique per session
+  std::uint16_t sender_control_port = 5001;
+  std::uint16_t receiver_control_port = 5002;
+  std::uint32_t session_base = 0;
+  // Roster indices whose receivers are NOT constructed up front: they are
+  // full roster members (the sender allocates for them and will evict
+  // them if they stay silent) but only come alive at join_receiver() —
+  // the mid-transfer join of a churn script. A joiner that answers a
+  // retried ALLOC_REQ before the eviction budget runs out participates
+  // normally; a too-late joiner is evicted like any silent node.
+  std::vector<std::size_t> deferred;
+};
+
 class Session {
  public:
   // Delivery callback: `node` is the receiver that completed `message`.
@@ -54,6 +78,14 @@ class Session {
       std::function<void(std::size_t node, const Buffer& message, std::uint32_t session)>;
 
   explicit Session(SessionParams params);
+  // Shared-fabric mode: the Session opens its sockets on `fabric`'s hosts
+  // per `placement` and owns no cluster. `directory`, when given, is the
+  // cross-group collision guard: construction panics if the placement's
+  // data endpoint collides with a registered group (the Session
+  // unregisters itself on destruction). `metrics` is the tenant's private
+  // registry (not owned; may be null).
+  Session(inet::Cluster& fabric, SessionPlacement placement, ProtocolConfig protocol,
+          metrics::Registry* metrics = nullptr, GroupDirectory* directory = nullptr);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
   ~Session();
@@ -67,9 +99,27 @@ class Session {
   // Sends and steps the simulator until the transfer completes or the
   // simulated clock passes `limit`; nullopt on timeout. This is the
   // one-liner: the returned SendOutcome says per receiver whether the
-  // message arrived or the receiver was evicted.
+  // message arrived or the receiver was evicted. (On a shared fabric this
+  // steps the one shared simulator, advancing every tenant — multi-tenant
+  // drivers schedule sends and step the simulator themselves.)
   std::optional<SendOutcome> send_and_wait(BytesView message,
                                            sim::Time limit = sim::seconds(120.0));
+
+  // Churn: brings deferred receiver `i` alive (opens its sockets, joins
+  // the group). No-op if it is already active.
+  void join_receiver(std::size_t i);
+  // Churn: receiver `i` departs for good — it drops the group membership
+  // (IGMP leave, so snooping switches prune the port) and goes silent;
+  // the sender evicts it through the no-progress path and the survivors
+  // re-form around it. No-op if the receiver never joined or already left.
+  void leave_receiver(std::size_t i);
+  // True when receiver `i` is constructed and has not left.
+  bool receiver_active(std::size_t i) const {
+    return receivers_.at(i) != nullptr && !receivers_[i]->left();
+  }
+  // True when receiver `i` was ever constructed (deferred receivers whose
+  // join never fired read false; left receivers still read true).
+  bool receiver_joined(std::size_t i) const { return receivers_.at(i) != nullptr; }
 
   std::size_t n_receivers() const { return params_.n_receivers; }
   const GroupMembership& membership() const { return membership_; }
@@ -79,11 +129,21 @@ class Session {
   sim::Simulator& simulator() { return cluster_->simulator(); }
 
  private:
+  void init(inet::Cluster& fabric);
+
   SessionParams params_;
-  std::unique_ptr<inet::Cluster> cluster_;
+  std::unique_ptr<inet::Cluster> owned_cluster_;  // legacy single-tenant mode
+  inet::Cluster* cluster_ = nullptr;              // owned, or the shared fabric
+  SessionPlacement placement_;
+  GroupDirectory* directory_ = nullptr;
+  std::uint64_t directory_id_ = 0;
   GroupMembership membership_;
+  // runtimes_[0] is the sender's, runtimes_[i + 1] receiver i's.
   std::vector<std::unique_ptr<rt::SimRuntime>> runtimes_;
   std::vector<std::unique_ptr<rt::UdpSocket>> sockets_;
+  // Raw (pre-wrap) data socket per receiver — leave_receiver() drops the
+  // IGMP membership through it. Null until the receiver joins.
+  std::vector<inet::Socket*> data_raw_;
   std::unique_ptr<MulticastSender> sender_;
   std::vector<std::unique_ptr<MulticastReceiver>> receivers_;
   MessageHandler handler_;

@@ -1,0 +1,148 @@
+// Property-style churn matrix: randomized join/leave/crash scripts over
+// every protocol family. The invariants, for any seed:
+//
+//   * the mix completes — no churn script may deadlock a sender;
+//   * a tenant whose receivers saw no churn delivers everywhere, and
+//     every delivered receiver holds a byte-exact copy (run_tenant_mix
+//     verifies payloads and fails the mix otherwise);
+//   * evictions only happen to churned receivers — the sender never
+//     evicts a healthy node because a neighbour left;
+//   * evicted receivers are absent from the final roster (their
+//     DeliveryReports read not-delivered).
+//
+// The matrix runs under the default, asan and tsan presets (ci.sh runs
+// the shards in parallel there), so a stale ring rotation or tree splice
+// touching a departed receiver's state is a sanitizer failure, not a
+// silent corruption. Four shard TESTs so ctest -j overlaps the work.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/tenant.h"
+#include "rmcast/config.h"
+
+namespace rmc::harness {
+namespace {
+
+constexpr rmcast::ProtocolKind kAllKinds[] = {
+    rmcast::ProtocolKind::kAck,        rmcast::ProtocolKind::kNakPolling,
+    rmcast::ProtocolKind::kRing,       rmcast::ProtocolKind::kFlatTree,
+    rmcast::ProtocolKind::kBinaryTree, rmcast::ProtocolKind::kEcXor,
+    rmcast::ProtocolKind::kEcRs};
+constexpr std::uint64_t kSeedsPerKind = 4;
+
+// Disjoint placement: each tenant owns its hosts, so a crashed host's
+// blast radius is its own tenant and the cross-tenant invariants stay
+// exact. (Colliding-placement blast radius is the isolation suite's
+// subject.)
+TenantMixSpec churn_mix(rmcast::ProtocolKind kind, std::uint64_t seed) {
+  TenantMixSpec spec;
+  spec.n_tenants = 3;
+  spec.receivers_per_tenant = 4;
+  spec.message_bytes = 60'000;
+  spec.kinds = {kind};
+  spec.placement = TenantPlacementPolicy::kDisjoint;
+  spec.arrival_rate_hz = 800.0;
+  spec.churn.late_join_fraction = 0.25;
+  spec.churn.leave_fraction = 0.25;
+  spec.churn.crash_fraction = 0.15;
+  spec.seed = seed;
+  // Tree evictions are deliberately patient: the sender is the detector
+  // of last resort behind the in-tree SUSPECT cascade, and a fully
+  // departed chain evicts its heads serially at the backed-off RTO —
+  // minutes of (cheap) simulated time. The property under test is
+  // termination, so the limit is generous.
+  spec.time_limit = sim::seconds(600.0);
+  return spec;
+}
+
+void check_mix(const TenantMixSpec& spec, const char* label) {
+  const TenantMixResult result = run_tenant_mix(spec);
+  ASSERT_TRUE(result.completed) << label << ": " << result.error;
+  for (const TenantReport& t : result.tenants) {
+    ASSERT_TRUE(t.completed) << label << " tenant " << t.tenant;
+    EXPECT_TRUE(t.payload_ok) << label << " tenant " << t.tenant;
+    const std::size_t churned = t.n_late_joins + t.n_leaves + t.n_crashes;
+    if (churned == 0) {
+      // An untouched tenant must deliver everywhere.
+      EXPECT_TRUE(t.all_delivered) << label << " tenant " << t.tenant;
+    }
+    // Eviction is reserved for churned receivers.
+    EXPECT_LE(t.n_evicted, churned) << label << " tenant " << t.tenant;
+    // Evicted == absent from the final roster.
+    EXPECT_EQ(t.outcome.n_evicted(), t.n_evicted) << label << " tenant " << t.tenant;
+    for (std::size_t node : t.outcome.evicted()) {
+      EXPECT_FALSE(t.outcome.receivers.at(node).delivered())
+          << label << " tenant " << t.tenant << " node " << node;
+    }
+  }
+}
+
+// 7 kinds x 4 seeds, striped across four shard TESTs.
+void run_shard(std::uint64_t shard) {
+  std::uint64_t index = 0;
+  for (rmcast::ProtocolKind kind : kAllKinds) {
+    for (std::uint64_t seed = 1; seed <= kSeedsPerKind; ++seed, ++index) {
+      if (index % 4 != shard) continue;
+      check_mix(churn_mix(kind, seed),
+                rmcast::protocol_name(kind));
+    }
+  }
+}
+
+TEST(ChurnMatrix, RandomizedJoinLeaveCrashShard0) { run_shard(0); }
+TEST(ChurnMatrix, RandomizedJoinLeaveCrashShard1) { run_shard(1); }
+TEST(ChurnMatrix, RandomizedJoinLeaveCrashShard2) { run_shard(2); }
+TEST(ChurnMatrix, RandomizedJoinLeaveCrashShard3) { run_shard(3); }
+
+// Targeted: every receiver joins late (within 2 ms of the send). The
+// ALLOC_REQ retry loop must admit all of them — late join is not lossy
+// when the joiner beats the eviction budget.
+TEST(ChurnTargeted, FastLateJoinersAllDeliver) {
+  for (rmcast::ProtocolKind kind : kAllKinds) {
+    TenantMixSpec spec;
+    spec.n_tenants = 2;
+    spec.receivers_per_tenant = 4;
+    spec.message_bytes = 40'000;
+    spec.kinds = {kind};
+    spec.placement = TenantPlacementPolicy::kDisjoint;
+    spec.churn.late_join_fraction = 1.0;
+    spec.churn.max_join_delay = sim::milliseconds(2);
+    spec.seed = 2;
+    const TenantMixResult result = run_tenant_mix(spec);
+    ASSERT_TRUE(result.completed)
+        << rmcast::protocol_name(kind) << ": " << result.error;
+    for (const TenantReport& t : result.tenants) {
+      EXPECT_TRUE(t.all_delivered) << rmcast::protocol_name(kind) << " tenant "
+                                   << t.tenant;
+      EXPECT_EQ(t.n_late_joins, spec.receivers_per_tenant);
+    }
+  }
+}
+
+// Targeted: every receiver leaves mid-transfer. The sender must still
+// terminate (evicting the departed), never stall.
+TEST(ChurnTargeted, MassDepartureNeverStallsTheSender) {
+  for (rmcast::ProtocolKind kind : kAllKinds) {
+    TenantMixSpec spec;
+    spec.n_tenants = 2;
+    spec.receivers_per_tenant = 4;
+    spec.message_bytes = 400'000;  // long enough that leaves land mid-transfer
+    spec.kinds = {kind};
+    spec.placement = TenantPlacementPolicy::kDisjoint;
+    spec.churn.leave_fraction = 1.0;
+    spec.churn.max_leave_delay = sim::milliseconds(20);
+    spec.seed = 3;
+    spec.time_limit = sim::seconds(600.0);  // trees evict serially; see churn_mix
+    const TenantMixResult result = run_tenant_mix(spec);
+    ASSERT_TRUE(result.completed)
+        << rmcast::protocol_name(kind) << ": " << result.error;
+    for (const TenantReport& t : result.tenants) {
+      EXPECT_EQ(t.n_leaves, spec.receivers_per_tenant);
+      EXPECT_GT(t.n_evicted, 0u) << rmcast::protocol_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmc::harness

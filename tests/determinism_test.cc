@@ -19,6 +19,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "harness/experiment.h"
+#include "harness/tenant.h"
 #include "harness/trace.h"
 #include "sim/simulator.h"
 
@@ -150,6 +151,69 @@ TEST_P(Determinism, DifferentSeedsDiverge) {
   Capture b = capture_run(ProtocolKind::kAck, GetParam(), /*seed=*/2, /*fer=*/0.01);
   ASSERT_TRUE(a.result.completed && b.result.completed);
   EXPECT_FALSE(a.trace == b.trace);
+}
+
+// The multi-tenant tier rides the same contract: a TenantMix — two
+// tenants multiplexed over one shared switch, with churn — is a pure
+// function of its seed, on either event core.
+struct MixCapture {
+  harness::TenantMixResult result;
+  std::string report_json;
+  std::string metrics_json;  // the folded (sweep-style) registry
+  trace::Tracer tracer;      // the shared fabric's tenant-tagged trace
+};
+
+MixCapture capture_mix(sim::EventCoreKind core, std::uint64_t seed) {
+  const sim::EventCoreKind previous = sim::default_event_core();
+  sim::set_default_event_core(core);
+
+  MixCapture cap;
+  metrics::Registry registry;
+  harness::TenantMixSpec spec;
+  spec.n_tenants = 2;
+  spec.receivers_per_tenant = 3;
+  spec.message_bytes = 60'000;
+  spec.kinds = {ProtocolKind::kAck, ProtocolKind::kRing};
+  spec.placement = harness::TenantPlacementPolicy::kColliding;
+  spec.n_hosts = 8;  // both tenants behind the one default switch
+  spec.churn.late_join_fraction = 0.3;
+  spec.churn.leave_fraction = 0.3;
+  spec.seed = seed;
+  spec.metrics = &registry;
+  spec.tracer = &cap.tracer;
+  cap.result = harness::run_tenant_mix(spec);
+  cap.report_json = cap.result.to_json();
+  cap.metrics_json = registry.to_json();
+
+  sim::set_default_event_core(previous);
+  return cap;
+}
+
+void expect_mix_identical(const MixCapture& x, const MixCapture& y) {
+  ASSERT_TRUE(x.result.completed) << x.result.error;
+  ASSERT_TRUE(y.result.completed) << y.result.error;
+  EXPECT_EQ(x.result.events_executed, y.result.events_executed);
+  EXPECT_EQ(x.report_json, y.report_json);
+  EXPECT_EQ(x.metrics_json, y.metrics_json);
+  ASSERT_EQ(x.result.tenants.size(), y.result.tenants.size());
+  for (std::size_t t = 0; t < x.result.tenants.size(); ++t) {
+    EXPECT_EQ(x.result.tenants[t].metrics_json, y.result.tenants[t].metrics_json) << t;
+  }
+  ASSERT_EQ(x.tracer.events().size(), y.tracer.events().size());
+  EXPECT_TRUE(x.tracer.same_as(y.tracer));
+}
+
+TEST_P(Determinism, SameSeedReproducesTwoTenantSharedSwitchMix) {
+  MixCapture a = capture_mix(GetParam(), /*seed=*/17);
+  MixCapture b = capture_mix(GetParam(), /*seed=*/17);
+  expect_mix_identical(a, b);
+  EXPECT_FALSE(a.tracer.events().empty());
+}
+
+TEST(DeterminismCrossCore, CoresAgreeOnTenantMix) {
+  MixCapture pooled = capture_mix(sim::EventCoreKind::kPooledWheel, /*seed=*/19);
+  MixCapture legacy = capture_mix(sim::EventCoreKind::kLegacyHeap, /*seed=*/19);
+  expect_mix_identical(pooled, legacy);
 }
 
 TEST(DeterminismCrossCore, CoresAgreeErrorFree) {
