@@ -74,6 +74,20 @@ for preset in "${PRESETS[@]}"; do
   bench/smoke.sh "$build_dir"
 done
 
+# Posix-parity lane: the sim-vs-real harness end-to-end on this machine's
+# loopback (ctest runs parity_test per preset already; this lane re-runs
+# the default-preset binary with the netem stage requested, so a CI with
+# tc + CAP_NET_ADMIN also proves recovery over a genuinely lossy kernel
+# path — delay + loss shaped onto lo. Without the capability the netem
+# stage records a skip inside the report, never a failure; opt in/out
+# explicitly with RMC_PARITY_NETEM=1/0.)
+echo "=== posix-parity lane ==="
+if [ -x build/tests/parity_test ]; then
+  RMC_PARITY_NETEM="${RMC_PARITY_NETEM:-1}" build/tests/parity_test
+else
+  echo "posix-parity: skipped (build/tests/parity_test missing)"
+fi
+
 # Event-core throughput regression gate, across runs. bench/smoke.sh holds
 # the pooled core to 2x the in-process legacy heap (machine-independent);
 # this gate additionally compares the pooled core's absolute events/sec

@@ -7,16 +7,52 @@
 // PosixRuntime + MulticastSender/Receiver constructors, one role per
 // process — for an actual LAN deployment.
 //
-//   ./build/examples/lan_transfer
+// Pass --runtime=sim to run the identical transfer (same protocol, same
+// payload, same group size) on the discrete-event simulator instead —
+// handy for comparing the two backends' packet counts side by side, which
+// is exactly what the harness::run_parity checker automates.
+//
+//   ./build/examples/lan_transfer                 # real loopback sockets
+//   ./build/examples/lan_transfer --runtime=sim   # simulated cluster
 #include <cstdio>
+#include <cstring>
 
 #include "common/strings.h"
 #include "rmcast/session.h"
 
-int main() {
+namespace {
+
+constexpr std::size_t kReceivers = 4;
+constexpr std::size_t kPayloadBytes = 512 * 1024;
+
+rmc::rmcast::ProtocolConfig protocol() {
+  rmc::rmcast::ProtocolConfig config;
+  config.kind = rmc::rmcast::ProtocolKind::kRing;
+  config.packet_size = 8192;
+  config.window_size = 8;  // > receivers, as the ring requires
+  return config;
+}
+
+rmc::Buffer make_payload() {
+  rmc::Buffer payload(kPayloadBytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return payload;
+}
+
+void print_done(double seconds, const rmc::rmcast::SenderStats& stats) {
+  std::printf("done in %s (%s), %llu data packets, %llu acks, %llu retransmissions\n",
+              rmc::format_seconds(seconds).c_str(),
+              rmc::format_rate(kPayloadBytes * 8.0 / seconds).c_str(),
+              (unsigned long long)stats.data_packets_sent,
+              (unsigned long long)stats.acks_received,
+              (unsigned long long)stats.retransmissions);
+}
+
+int run_posix() {
   using namespace rmc;
 
-  constexpr std::size_t kReceivers = 4;
   constexpr std::uint16_t kBasePort = 47000;
 
   rmcast::GroupMembership membership;
@@ -27,15 +63,10 @@ int main() {
         {net::Ipv4Addr(127, 0, 0, 1), static_cast<std::uint16_t>(kBasePort + 2 + i)});
   }
 
-  rmcast::ProtocolConfig config;
-  config.kind = rmcast::ProtocolKind::kRing;
-  config.packet_size = 8192;
-  config.window_size = 8;  // > receivers, as the ring requires
-
-  rmcast::PosixSession session(membership, config);
+  rmcast::PosixSession session(membership, protocol());
   if (!session.ok()) {
-    std::fprintf(stderr, "sockets unavailable; cannot run the live demo\n");
-    return 1;
+    std::printf("sockets unavailable (sandbox?); skipping the live demo\n");
+    return 0;
   }
 
   std::size_t delivered = 0;
@@ -46,11 +77,7 @@ int main() {
         ++delivered;
       });
 
-  Buffer payload(512 * 1024);
-  for (std::size_t i = 0; i < payload.size(); ++i) {
-    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
-  }
-
+  const Buffer payload = make_payload();
   std::printf("sending %s to %zu receivers over real loopback multicast (%s)...\n",
               format_bytes(payload.size()).c_str(), kReceivers,
               membership.group.str().c_str());
@@ -64,13 +91,55 @@ int main() {
                  kReceivers);
     return 1;
   }
-  double seconds = sim::to_seconds(session.runtime().now() - t0);
-  const auto& stats = session.sender().stats();
-  std::printf("done in %s (%s), %llu data packets, %llu acks, %llu retransmissions\n",
-              format_seconds(seconds).c_str(),
-              format_rate(payload.size() * 8.0 / seconds).c_str(),
-              (unsigned long long)stats.data_packets_sent,
-              (unsigned long long)stats.acks_received,
-              (unsigned long long)stats.retransmissions);
+  print_done(sim::to_seconds(session.runtime().now() - t0), session.sender().stats());
   return 0;
+}
+
+int run_sim() {
+  using namespace rmc;
+
+  rmcast::SessionParams params;
+  params.n_receivers = kReceivers;
+  params.protocol = protocol();
+
+  rmcast::Session session(params);
+
+  std::size_t delivered = 0;
+  session.set_message_handler(
+      [&delivered](std::size_t node, const Buffer& message, std::uint32_t) {
+        std::printf("  receiver %zu: %s received intact\n", node,
+                    format_bytes(message.size()).c_str());
+        ++delivered;
+      });
+
+  const Buffer payload = make_payload();
+  std::printf("sending %s to %zu receivers over the simulated cluster...\n",
+              format_bytes(payload.size()).c_str(), kReceivers);
+
+  auto outcome = session.send_and_wait(BytesView(payload.data(), payload.size()));
+
+  if (!outcome.has_value() || !outcome->all_delivered() || delivered != kReceivers) {
+    std::fprintf(stderr, "transfer incomplete (%zu/%zu receivers)\n", delivered,
+                 kReceivers);
+    return 1;
+  }
+  print_done(sim::to_seconds(session.simulator().now()), session.sender().stats());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool posix = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime=sim") == 0) {
+      posix = false;
+    } else if (std::strcmp(argv[i], "--runtime=posix") == 0) {
+      posix = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--runtime=sim|posix]\n", argv[0]);
+      return 2;
+    }
+  }
+  return posix ? run_posix() : run_sim();
 }

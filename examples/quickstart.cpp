@@ -1,29 +1,57 @@
-// Quickstart: reliable multicast on a simulated Ethernet cluster.
+// Quickstart: reliable multicast, on the simulator or on real sockets.
 //
-// Builds the paper's testbed (1 sender + 8 receivers behind Ethernet
-// switches) through the Session facade, sends one message with the
-// NAK-based protocol, and prints what every receiver got and what it
-// cost. The same protocol code also runs on real sockets via
-// rmc::rmcast::PosixSession — see examples/lan_transfer.cpp. For
-// experiments that need to reach into individual tiers (hosts, switches,
-// sockets), the low-level harness::Testbed + MulticastSender/Receiver
-// constructors remain available.
+// The default run builds the paper's testbed (1 sender + 8 receivers
+// behind Ethernet switches) through the Session facade, sends one
+// message with the NAK-based protocol, and prints what every receiver
+// got and what it cost. Pass --runtime=posix and the SAME protocol code
+// runs over genuine UDP multicast sockets on loopback through the
+// PosixSession facade — one flag, two backends, which is the whole
+// point of the runtime layer. For experiments that need to reach into
+// individual tiers (hosts, switches, sockets), the low-level
+// harness::Testbed + MulticastSender/Receiver constructors remain
+// available.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart                   # simulated cluster
+//   ./build/examples/quickstart --runtime=posix   # real loopback sockets
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/strings.h"
 #include "rmcast/session.h"
 
-int main() {
-  // Pick a protocol. Try kAck, kRing, or kFlatTree (set tree_height).
+namespace {
+
+// Pick a protocol. Try kAck, kRing, or kFlatTree (set tree_height).
+rmc::rmcast::ProtocolConfig protocol() {
+  rmc::rmcast::ProtocolConfig config;
+  config.kind = rmc::rmcast::ProtocolKind::kNakPolling;
+  config.packet_size = 8192;
+  config.window_size = 16;
+  config.poll_interval = 12;
+  return config;
+}
+
+constexpr std::size_t kReceivers = 8;
+const std::string kText = "hello, cluster! reliable multicast over (simulated) UDP";
+
+void print_receipt(std::size_t node, const rmc::Buffer& message, std::uint32_t session_id) {
+  std::printf("receiver %zu got session %u: \"%.*s\" (%zu bytes)\n", node, session_id,
+              static_cast<int>(std::min<std::size_t>(message.size(), 40)),
+              reinterpret_cast<const char*>(message.data()), message.size());
+}
+
+void print_stats(const rmc::rmcast::SenderStats& stats) {
+  std::printf("data packets: %llu, acks processed: %llu, retransmissions: %llu\n",
+              (unsigned long long)stats.data_packets_sent,
+              (unsigned long long)stats.acks_received,
+              (unsigned long long)stats.retransmissions);
+}
+
+int run_sim() {
   rmc::rmcast::SessionParams params;
-  params.n_receivers = 8;
-  params.protocol.kind = rmc::rmcast::ProtocolKind::kNakPolling;
-  params.protocol.packet_size = 8192;
-  params.protocol.window_size = 16;
-  params.protocol.poll_interval = 12;
+  params.n_receivers = kReceivers;
+  params.protocol = protocol();
 
   // To watch graceful degradation instead, enable eviction and crash a
   // receiver mid-transfer:
@@ -31,16 +59,10 @@ int main() {
   //   params.faults.crash(/*receiver=*/5, rmc::sim::milliseconds(5));
 
   rmc::rmcast::Session session(params);
-  session.set_message_handler(
-      [](std::size_t node, const rmc::Buffer& message, std::uint32_t session_id) {
-        std::printf("receiver %zu got session %u: \"%.*s\" (%zu bytes)\n", node,
-                    session_id, static_cast<int>(std::min<std::size_t>(message.size(), 40)),
-                    reinterpret_cast<const char*>(message.data()), message.size());
-      });
+  session.set_message_handler(print_receipt);
 
-  const std::string text = "hello, cluster! reliable multicast over (simulated) UDP";
   auto outcome = session.send_and_wait(rmc::BytesView(
-      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+      reinterpret_cast<const std::uint8_t*>(kText.data()), kText.size()));
 
   if (!outcome.has_value()) {
     std::fprintf(stderr, "transfer timed out\n");
@@ -51,10 +73,60 @@ int main() {
               rmc::format_seconds(rmc::sim::to_seconds(session.simulator().now())).c_str(),
               outcome->receivers.size() - outcome->n_evicted(),
               outcome->receivers.size());
-  const auto& stats = session.sender().stats();
-  std::printf("data packets: %llu, acks processed: %llu, retransmissions: %llu\n",
-              (unsigned long long)stats.data_packets_sent,
-              (unsigned long long)stats.acks_received,
-              (unsigned long long)stats.retransmissions);
+  print_stats(session.sender().stats());
   return outcome->all_delivered() ? 0 : 1;
+}
+
+int run_posix() {
+  using namespace rmc;
+
+  // Port plan: this example owns 47100..47199 on loopback (lan_transfer
+  // uses 47000, the tests/benches sit up at 48300+).
+  constexpr std::uint16_t kBasePort = 47100;
+
+  rmcast::GroupMembership membership;
+  membership.group = {net::Ipv4Addr(239, 77, 1, 2), kBasePort};
+  membership.sender_control = {net::Ipv4Addr(127, 0, 0, 1), kBasePort + 1};
+  for (std::size_t i = 0; i < kReceivers; ++i) {
+    membership.receiver_control.push_back(
+        {net::Ipv4Addr(127, 0, 0, 1), static_cast<std::uint16_t>(kBasePort + 2 + i)});
+  }
+
+  rmcast::PosixSession session(membership, protocol());
+  if (!session.ok()) {
+    std::printf("sockets unavailable (sandbox?); skipping the posix run\n");
+    return 0;
+  }
+  session.set_message_handler(print_receipt);
+
+  auto outcome = session.send_and_wait(BytesView(
+      reinterpret_cast<const std::uint8_t*>(kText.data()), kText.size()));
+
+  if (!outcome.has_value()) {
+    std::fprintf(stderr, "transfer timed out\n");
+    return 1;
+  }
+
+  std::printf("\nsender completed over real loopback multicast (%zu/%zu receivers delivered)\n",
+              outcome->receivers.size() - outcome->n_evicted(),
+              outcome->receivers.size());
+  print_stats(session.sender().stats());
+  return outcome->all_delivered() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool posix = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runtime=posix") == 0) {
+      posix = true;
+    } else if (std::strcmp(argv[i], "--runtime=sim") == 0) {
+      posix = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--runtime=sim|posix]\n", argv[0]);
+      return 2;
+    }
+  }
+  return posix ? run_posix() : run_sim();
 }

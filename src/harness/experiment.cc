@@ -65,67 +65,15 @@ void run_to(sim::Simulator& simulator, const bool& done, sim::Time limit) {
   }
 }
 
-// Publishes one run's protocol counters and network-tier state into the
-// registry. Counters add per-run values (the Testbed is fresh each run, so
+// Publishes the network-tier portion of a simulated run — the `net.*`
+// names — into the registry, on top of the backend-neutral protocol
+// metrics. Counters add per-run values (the Testbed is fresh each run, so
 // every value is a delta); gauges keep the high-water mark across runs.
 // The metric names are part of the observability contract — see
 // docs/OBSERVABILITY.md before renaming anything.
 void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
                         metrics::Registry& m) {
-  m.counter("harness.runs").inc();
-  if (done) m.counter("harness.runs_completed").inc();
-
-  const rmcast::SenderStats& s = result.sender;
-  m.counter("sender.data_packets_sent").inc(s.data_packets_sent);
-  m.counter("sender.retransmissions").inc(s.retransmissions);
-  m.counter("sender.acks_received").inc(s.acks_received);
-  m.counter("sender.naks_received").inc(s.naks_received);
-  m.counter("sender.rto_fires").inc(s.rto_fires);
-  m.counter("sender.suppressed_retransmissions").inc(s.suppressed_retransmissions);
-  m.counter("sender.window_stalls").inc(s.window_stalls);
-  m.gauge("sender.peak_buffered_bytes").set_max(static_cast<double>(s.peak_buffered_bytes));
-  m.counter("sender.receivers_evicted").inc(s.receivers_evicted);
-  m.counter("sender.rto_backoffs").inc(s.rto_backoffs);
-  m.counter("sender.suspect_reports").inc(s.suspect_reports_received);
-  m.counter("sender.parity_packets_sent").inc(s.parity_packets_sent);
-  m.counter("sender.group_naks_received").inc(s.group_naks_received);
-
-  std::uint64_t delivered = 0, acks = 0, naks = 0, naks_suppressed = 0;
-  std::uint64_t repairs = 0, repairs_suppressed = 0, duplicates = 0, gaps = 0;
-  std::uint64_t evict_notices = 0, suspects = 0, reforms = 0;
-  std::uint64_t parity_rx = 0, fec_decodes = 0, fec_recovered = 0, group_naks = 0;
-  for (const rmcast::ReceiverStats& r : result.receivers) {
-    delivered += r.messages_delivered;
-    acks += r.acks_sent;
-    naks += r.naks_sent;
-    naks_suppressed += r.naks_suppressed;
-    repairs += r.repairs_sent;
-    repairs_suppressed += r.repairs_suppressed;
-    duplicates += r.duplicates;
-    gaps += r.gaps_detected;
-    evict_notices += r.evict_notices_received;
-    suspects += r.suspects_sent;
-    reforms += r.structure_reforms;
-    parity_rx += r.parity_packets_received;
-    fec_decodes += r.fec_decodes;
-    fec_recovered += r.fec_blocks_recovered;
-    group_naks += r.group_naks_sent;
-  }
-  m.counter("receiver.messages_delivered").inc(delivered);
-  m.counter("receiver.acks_sent").inc(acks);
-  m.counter("receiver.naks_sent").inc(naks);
-  m.counter("receiver.naks_suppressed").inc(naks_suppressed);
-  m.counter("receiver.repairs_sent").inc(repairs);
-  m.counter("receiver.repairs_suppressed").inc(repairs_suppressed);
-  m.counter("receiver.duplicates").inc(duplicates);
-  m.counter("receiver.gaps_detected").inc(gaps);
-  m.counter("receiver.evict_notices").inc(evict_notices);
-  m.counter("receiver.suspects_sent").inc(suspects);
-  m.counter("receiver.structure_reforms").inc(reforms);
-  m.counter("receiver.parity_packets_received").inc(parity_rx);
-  m.counter("receiver.fec_decodes").inc(fec_decodes);
-  m.counter("receiver.fec_blocks_recovered").inc(fec_recovered);
-  m.counter("receiver.group_naks_sent").inc(group_naks);
+  export_protocol_metrics(result, done, m);
 
   m.counter("net.rcvbuf_drops").inc(result.rcvbuf_drops);
   m.counter("net.link_drops").inc(result.link_drops);
@@ -194,6 +142,65 @@ void export_run_metrics(Testbed& bed, const RunResult& result, bool done,
 }
 
 }  // namespace
+
+void export_protocol_metrics(const RunResult& result, bool done,
+                             metrics::Registry& m) {
+  m.counter("harness.runs").inc();
+  if (done) m.counter("harness.runs_completed").inc();
+  if (done) m.histogram("harness.run_time_us").record_seconds(result.seconds);
+
+  const rmcast::SenderStats& s = result.sender;
+  m.counter("sender.data_packets_sent").inc(s.data_packets_sent);
+  m.counter("sender.retransmissions").inc(s.retransmissions);
+  m.counter("sender.acks_received").inc(s.acks_received);
+  m.counter("sender.naks_received").inc(s.naks_received);
+  m.counter("sender.rto_fires").inc(s.rto_fires);
+  m.counter("sender.suppressed_retransmissions").inc(s.suppressed_retransmissions);
+  m.counter("sender.window_stalls").inc(s.window_stalls);
+  m.gauge("sender.peak_buffered_bytes").set_max(static_cast<double>(s.peak_buffered_bytes));
+  m.counter("sender.receivers_evicted").inc(s.receivers_evicted);
+  m.counter("sender.rto_backoffs").inc(s.rto_backoffs);
+  m.counter("sender.suspect_reports").inc(s.suspect_reports_received);
+  m.counter("sender.parity_packets_sent").inc(s.parity_packets_sent);
+  m.counter("sender.group_naks_received").inc(s.group_naks_received);
+
+  std::uint64_t delivered = 0, acks = 0, naks = 0, naks_suppressed = 0;
+  std::uint64_t repairs = 0, repairs_suppressed = 0, duplicates = 0, gaps = 0;
+  std::uint64_t evict_notices = 0, suspects = 0, reforms = 0;
+  std::uint64_t parity_rx = 0, fec_decodes = 0, fec_recovered = 0, group_naks = 0;
+  for (const rmcast::ReceiverStats& r : result.receivers) {
+    delivered += r.messages_delivered;
+    acks += r.acks_sent;
+    naks += r.naks_sent;
+    naks_suppressed += r.naks_suppressed;
+    repairs += r.repairs_sent;
+    repairs_suppressed += r.repairs_suppressed;
+    duplicates += r.duplicates;
+    gaps += r.gaps_detected;
+    evict_notices += r.evict_notices_received;
+    suspects += r.suspects_sent;
+    reforms += r.structure_reforms;
+    parity_rx += r.parity_packets_received;
+    fec_decodes += r.fec_decodes;
+    fec_recovered += r.fec_blocks_recovered;
+    group_naks += r.group_naks_sent;
+  }
+  m.counter("receiver.messages_delivered").inc(delivered);
+  m.counter("receiver.acks_sent").inc(acks);
+  m.counter("receiver.naks_sent").inc(naks);
+  m.counter("receiver.naks_suppressed").inc(naks_suppressed);
+  m.counter("receiver.repairs_sent").inc(repairs);
+  m.counter("receiver.repairs_suppressed").inc(repairs_suppressed);
+  m.counter("receiver.duplicates").inc(duplicates);
+  m.counter("receiver.gaps_detected").inc(gaps);
+  m.counter("receiver.evict_notices").inc(evict_notices);
+  m.counter("receiver.suspects_sent").inc(suspects);
+  m.counter("receiver.structure_reforms").inc(reforms);
+  m.counter("receiver.parity_packets_received").inc(parity_rx);
+  m.counter("receiver.fec_decodes").inc(fec_decodes);
+  m.counter("receiver.fec_blocks_recovered").inc(fec_recovered);
+  m.counter("receiver.group_naks_sent").inc(group_naks);
+}
 
 std::string TrialsOutcome::describe_failure() const {
   if (ok) return "";
@@ -326,6 +333,7 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
   run_to(bed.simulator(), done, spec.time_limit);
 
   result.sender = sender.stats();
+  if (done) result.seconds = sim::to_seconds(completed_at);
   result.events_executed = bed.simulator().events_executed();
   for (const auto& r : receivers) result.receivers.push_back(r->stats());
   if (trace != nullptr) *spec.sender_trace = trace->events();
@@ -345,10 +353,6 @@ RunResult run_multicast(const MulticastRunSpec& spec) {
     // Export even for failed runs: a timeout's counters show where the
     // packets went (or stopped going).
     export_run_metrics(bed, result, done, *spec.metrics);
-    if (done) {
-      spec.metrics->histogram("harness.run_time_us")
-          .record_seconds(sim::to_seconds(completed_at));
-    }
   }
 
   if (!done) {

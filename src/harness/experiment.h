@@ -96,6 +96,16 @@ struct RunResult {
 // One reliable-multicast transfer on a fresh testbed.
 RunResult run_multicast(const MulticastRunSpec& spec);
 
+// Publishes the backend-neutral protocol metrics of one run — the
+// `harness.*`, `sender.*` and `receiver.*` names — into the registry.
+// Both execution backends go through this one function, so the simulated
+// and the real-socket (parity harness) snapshots carry identical key sets
+// by construction; only the backend-specific tiers differ (`net.*` on the
+// simulator, `posix.*` on real sockets). run_multicast calls this
+// internally; the parity harness calls it for its PosixSession run.
+void export_protocol_metrics(const RunResult& result, bool done,
+                             metrics::Registry& m);
+
 // Figure 8 baseline: sequential TCP fan-out of `message_bytes` to each
 // receiver.
 RunResult run_tcp_fanout(std::size_t n_receivers, std::uint64_t message_bytes,

@@ -1,0 +1,112 @@
+// Sim-vs-real parity harness.
+//
+// The simulator is where the paper's measurements happen; the Posix
+// backend is where the library is actually used. The contract that makes
+// the first trustworthy for the second is that both execute the *same
+// protocol code* over the same Runtime/UdpSocket interface — and this
+// harness checks that contract empirically: run one MulticastRunSpec on
+// the discrete-event simulator and again on PosixRuntime over loopback
+// sockets, then diff
+//
+//   1. metrics-JSON *shape*, exactly: the backend-neutral metric names
+//      (`harness.*`, `sender.*`, `receiver.*`) must be the same key set
+//      on both backends — both publish through export_protocol_metrics,
+//      so a mismatch means a plumbing regression;
+//   2. delivery, strictly: both runs complete, every receiver delivers a
+//      byte-exact copy, and the deterministic counters (first-transmission
+//      data packets, messages delivered) agree exactly;
+//   3. goodput, within declared tolerances: the simulator models a
+//      100 Mbps switched Ethernet while loopback runs at memory speed, so
+//      the ratio is only required to sit inside a wide declared band —
+//      the check catches a backend that stalls or spins, not modelling
+//      error.
+//
+// Optionally the loopback device is shaped with `tc qdisc ... netem`
+// (delay + loss) and the transfer re-run: the recovery machinery must
+// still deliver over a genuinely lossy kernel path. netem needs
+// CAP_NET_ADMIN; without it the stage auto-skips (recorded in the
+// report, never a failure) so the harness runs in any unprivileged CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/experiment.h"
+#include "net/ipv4.h"
+#include "rmcast/config.h"
+
+namespace rmc::harness {
+
+struct ParitySpec {
+  std::size_t n_receivers = 4;
+  rmcast::ProtocolConfig protocol;
+  std::uint64_t message_bytes = 200'000;
+  std::uint64_t seed = 1;
+
+  // Posix-side addressing, all on loopback: multicast data on
+  // {group_addr, base_port}, sender control on base_port + 1, receiver i
+  // control on base_port + 2 + i (and the netem stage, when it runs, on
+  // base_port + 32 + the same layout, so stale datagrams from the first
+  // run cannot leak into it). Concurrent parity runs must use disjoint
+  // port ranges.
+  std::uint16_t base_port = 48300;
+  net::Ipv4Addr group_addr = net::Ipv4Addr(239, 77, 3, 1);
+
+  sim::Time sim_time_limit = sim::seconds(120.0);
+  sim::Time posix_time_limit = sim::seconds(20.0);
+
+  // Declared goodput tolerance band for posix/sim (see the header
+  // comment: loopback is not a 100 Mbps Ethernet and is not supposed to
+  // be). Outside the band means a backend is stalling or spinning.
+  double min_goodput_ratio = 0.01;
+  double max_goodput_ratio = 50'000.0;
+
+  // Shape loopback with netem and re-run the posix transfer. Skipped
+  // (never failed) when tc/CAP_NET_ADMIN is unavailable.
+  bool try_netem = false;
+  std::string netem_spec = "delay 2ms loss 1%";
+};
+
+// One backend's run, as the report sees it.
+struct ParityBackendRun {
+  bool completed = false;
+  double seconds = 0.0;
+  double goodput_bps = 0.0;
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t messages_delivered = 0;
+  // Full metrics snapshot: the protocol tier on both backends, plus
+  // `net.*` on sim and `posix.*` on real sockets.
+  metrics::Registry metrics;
+};
+
+struct ParityReport {
+  // Every executed check passed. Skipped stages (no sockets, no netem
+  // capability) do not fail the report — they are recorded below.
+  bool ok = false;
+  // False when the OS refused sockets (sandbox): all posix checks were
+  // skipped and `ok` reflects only that the sim run completed.
+  bool posix_ran = false;
+  bool netem_requested = false;
+  bool netem_applied = false;  // requested but false => skipped, no capability
+  bool netem_delivered = false;
+
+  ParityBackendRun sim;
+  ParityBackendRun posix;
+
+  // The shape diff over backend-neutral names: empty on parity.
+  std::vector<std::string> missing_in_posix;
+  std::vector<std::string> missing_in_sim;
+  // Human-readable descriptions of every failed check.
+  std::vector<std::string> failures;
+
+  std::string to_json() const;
+};
+
+// Runs spec on both backends and diffs them. Never throws; socket or
+// capability unavailability degrades to recorded skips.
+ParityReport run_parity(const ParitySpec& spec);
+
+}  // namespace rmc::harness

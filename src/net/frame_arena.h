@@ -148,4 +148,55 @@ class PayloadRef {
   detail::PayloadBlock* block_ = nullptr;
 };
 
+// Endian-safe serializer writing straight into an arena block — the
+// zero-copy sibling of rmc::Writer. Wire code knows every packet's exact
+// size up front (header + body), so the block is allocated once at that
+// size and filled in place; take() hands the finished payload out as a
+// refcounted PayloadRef with no intermediate Buffer and no copy. Writing
+// past the declared size is a programming error and panics.
+class ArenaWriter {
+ public:
+  explicit ArenaWriter(std::size_t exact_size)
+      : ref_(PayloadRef::allocate(exact_size)), size_(exact_size) {
+    data_ = ref_.mutable_data();  // freshly allocated: unique, no copy
+  }
+
+  void u8(std::uint8_t v) {
+    RMC_ENSURE(pos_ + 1 <= size_, "arena writer overflow");
+    data_[pos_++] = v;
+  }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(BytesView data) {
+    RMC_ENSURE(pos_ + data.size() <= size_, "arena writer overflow");
+    if (!data.empty()) std::memcpy(data_ + pos_, data.data(), data.size());
+    pos_ += data.size();
+  }
+
+  std::size_t size() const { return pos_; }
+
+  // The finished payload. Every declared byte must have been written.
+  PayloadRef take() {
+    RMC_ENSURE(pos_ == size_, "arena writer underfilled");
+    data_ = nullptr;
+    return std::move(ref_);
+  }
+
+ private:
+  PayloadRef ref_;
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace rmc::net

@@ -213,10 +213,9 @@ void MulticastReceiver::handle_alloc_request(const Header& h, Reader& r) {
 
 void MulticastReceiver::send_alloc_response() {
   Header h{PacketType::kAllocRsp, 0, static_cast<std::uint16_t>(node_id_), session_, 0};
-  Buffer packet = make_control_packet(h);
   ++stats_.alloc_responses_sent;
   alloc_rsp_sent_ = true;
-  control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
+  control_socket_.send_ref(ack_target(), make_control_ref(h));
 }
 
 void MulticastReceiver::handle_chain_alloc_rsp(const Header& h) {
@@ -409,13 +408,12 @@ void MulticastReceiver::maybe_forward_chain_state(bool resend_allowed) {
 
 void MulticastReceiver::send_ack(std::uint32_t cum) {
   Header h{PacketType::kAck, 0, static_cast<std::uint16_t>(node_id_), session_, cum};
-  Buffer packet = make_control_packet(h);
   ++stats_.acks_sent;
   if (observer_) observer_->on_ack_sent(session_, cum);
   if (tracer_) {
     tracer_->record(rt_.now(), trace::EventKind::kAckTx, trace_track_, cum);
   }
-  control_socket_.send_to(ack_target(), BytesView(packet.data(), packet.size()));
+  control_socket_.send_ref(ack_target(), make_control_ref(h));
 }
 
 void MulticastReceiver::want_nak() {
@@ -451,7 +449,7 @@ void MulticastReceiver::want_nak() {
 
 void MulticastReceiver::emit_nak() {
   Header h{PacketType::kNak, 0, static_cast<std::uint16_t>(node_id_), session_, expected_};
-  Buffer packet = make_control_packet(h);
+  net::PayloadRef packet = make_control_ref(h);
   ++stats_.naks_sent;
   if (observer_) observer_->on_nak_sent(session_, expected_);
   if (tracer_) {
@@ -465,22 +463,22 @@ void MulticastReceiver::emit_nak() {
     // REPEAT request for the same gap, no peer could repair it (e.g. the
     // frame died on the sender's own uplink and nobody holds it):
     // escalate to the sender.
-    control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    control_socket_.send_ref(membership_.group, packet);
     if (expected_ == last_emitted_nak_seq_) {
-      control_socket_.send_to(membership_.sender_control,
-                              BytesView(packet.data(), packet.size()));
+      control_socket_.send_ref(membership_.sender_control, std::move(packet));
     }
     last_emitted_nak_seq_ = expected_;
     return;
   }
   // Otherwise NAKs go straight to the source (the paper's ring adaptation
   // for LANs applies to all the protocols here).
-  control_socket_.send_to(membership_.sender_control,
-                          BytesView(packet.data(), packet.size()));
   if (config_.multicast_nak_suppression) {
     // Also let the other receivers hear it, so they can suppress theirs.
     // (The sender does not join the group, hence the unicast copy above.)
-    control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+    control_socket_.send_ref(membership_.sender_control, packet);
+    control_socket_.send_ref(membership_.group, std::move(packet));
+  } else {
+    control_socket_.send_ref(membership_.sender_control, std::move(packet));
   }
 }
 
@@ -731,7 +729,7 @@ void MulticastReceiver::emit_group_nak(std::uint32_t group, std::uint64_t missin
                                        std::size_t n_missing) {
   Header h{PacketType::kGroupNak, 0, static_cast<std::uint16_t>(node_id_), session_,
            group};
-  Writer w(kHeaderBytes + kGroupNakBytes);
+  net::ArenaWriter w(kHeaderBytes + kGroupNakBytes);
   write_header(w, h);
   write_group_nak(w, GroupNak{missing});
   ++stats_.group_naks_sent;
@@ -742,9 +740,7 @@ void MulticastReceiver::emit_group_nak(std::uint32_t group, std::uint64_t missin
   flight_recorder().record(rt_.now(), "receiver", "group_nak",
                            static_cast<std::uint32_t>(node_id_), group,
                            static_cast<std::uint32_t>(n_missing));
-  Buffer packet = w.take();
-  control_socket_.send_to(membership_.sender_control,
-                          BytesView(packet.data(), packet.size()));
+  control_socket_.send_ref(membership_.sender_control, w.take());
 }
 
 void MulticastReceiver::deliver_if_complete() {
@@ -845,7 +841,7 @@ void MulticastReceiver::emit_repair(std::uint32_t seq) {
   // while the sender times out.
   flags |= engine_->repair_flags(seq, config_);
   Header h{PacketType::kData, flags, static_cast<std::uint16_t>(node_id_), session_, seq};
-  Writer w(kHeaderBytes + len);
+  net::ArenaWriter w(kHeaderBytes + len);
   write_header(w, h);
   if (len > 0) {
     w.bytes(BytesView(buffer_.data() + offset, len));
@@ -854,8 +850,7 @@ void MulticastReceiver::emit_repair(std::uint32_t seq) {
   if (observer_) observer_->on_repair_sent(session_, seq);
   flight_recorder().record(rt_.now(), "receiver", "repair",
                            static_cast<std::uint32_t>(node_id_), seq);
-  Buffer packet = w.take();
-  control_socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+  control_socket_.send_ref(membership_.group, w.take());
 }
 
 void MulticastReceiver::handle_evict(const Header& h) {
@@ -991,13 +986,11 @@ std::size_t MulticastReceiver::child_suspect_threshold(std::size_t child) const 
 void MulticastReceiver::send_suspect(std::size_t child) {
   Header h{PacketType::kSuspect, 0, static_cast<std::uint16_t>(node_id_), session_,
            static_cast<std::uint32_t>(child)};
-  Buffer packet = make_control_packet(h);
   ++stats_.suspects_sent;
   flight_recorder().record(rt_.now(), "receiver", "suspect",
                            static_cast<std::uint32_t>(node_id_), session_,
                            static_cast<std::uint32_t>(child));
-  control_socket_.send_to(membership_.sender_control,
-                          BytesView(packet.data(), packet.size()));
+  control_socket_.send_ref(membership_.sender_control, make_control_ref(h));
 }
 
 }  // namespace rmc::rmcast

@@ -82,15 +82,14 @@ void MulticastSender::send_alloc_request() {
   Header h{PacketType::kAllocReq, 0, kSenderNodeId, session_, 0};
   AllocRequest req{message_view_.size(), static_cast<std::uint32_t>(config_.packet_size),
                    total_packets_};
-  Writer w(kHeaderBytes + kAllocRequestBytes);
+  net::ArenaWriter w(kHeaderBytes + kAllocRequestBytes);
   write_header(w, h);
   write_alloc_request(w, req);
   ++core_.stats.alloc_requests_sent;
   if (core_.observer) core_.observer->on_alloc_request(session_, total_packets_);
   flight_recorder().record(rt_.now(), "sender", "alloc_req", kSenderNodeId, session_,
                            total_packets_);
-  Buffer packet = w.take();
-  socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+  socket_.send_ref(membership_.group, w.take());
 }
 
 void MulticastSender::arm_alloc_timer() {
@@ -252,7 +251,7 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
 
   Header h{PacketType::kData, data_flags(seq, retransmission, force_poll), kSenderNodeId,
            session_, seq};
-  Writer w(kHeaderBytes + len);
+  net::ArenaWriter w(kHeaderBytes + len);
   write_header(w, h);
   if (len > 0) w.bytes(message_view_.subspan(offset, len));
 
@@ -273,15 +272,14 @@ void MulticastSender::transmit(std::uint32_t seq, bool retransmission, bool forc
     // Retransmissions resend from the protocol buffer — the user-space
     // copy happened on first transmission — so no copy cost applies.
     ++core_.stats.retransmissions;
-    Buffer packet = w.take();
     const net::Endpoint& dst = unicast_to != nullptr ? *unicast_to : membership_.group;
-    socket_.send_to(dst, BytesView(packet.data(), packet.size()));
+    socket_.send_ref(dst, w.take());
     return;
   }
 
   ++core_.stats.data_packets_sent;
-  auto finish = [this, seq, packet = w.take()] {
-    socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+  auto finish = [this, seq, packet = w.take()]() mutable {
+    socket_.send_ref(membership_.group, std::move(packet));
     if (group_closes_at(seq)) {
       // The group's parity rides the same tx chain as its data: the
       // GF(2^8) encode occupies the CPU, the m frames go out back to
@@ -349,7 +347,7 @@ void MulticastSender::emit_group_parity(std::uint32_t group) {
       const std::uint32_t pseq =
           group * static_cast<std::uint32_t>(m) + static_cast<std::uint32_t>(j);
       Header h{PacketType::kParity, 0, kSenderNodeId, session_, pseq};
-      Writer w(kHeaderBytes + parity[j].size());
+      net::ArenaWriter w(kHeaderBytes + parity[j].size());
       write_header(w, h);
       if (!parity[j].empty()) w.bytes(BytesView(parity[j].data(), parity[j].size()));
       ++core_.stats.parity_packets_sent;
@@ -359,8 +357,7 @@ void MulticastSender::emit_group_parity(std::uint32_t group) {
       }
       flight_recorder().record(rt_.now(), "sender", "parity", kSenderNodeId, pseq,
                                group);
-      Buffer packet = w.take();
-      socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+      socket_.send_ref(membership_.group, w.take());
     }
     tx_chain_active_ = false;
     if (state_ == State::kSending) pump();
@@ -585,8 +582,7 @@ void MulticastSender::on_rto() {
 void MulticastSender::send_evict_notice(std::size_t node) {
   Header h{PacketType::kEvict, 0, kSenderNodeId, session_,
            static_cast<std::uint32_t>(node)};
-  Buffer packet = make_control_packet(h);
-  socket_.send_to(membership_.group, BytesView(packet.data(), packet.size()));
+  socket_.send_ref(membership_.group, make_control_ref(h));
 }
 
 void MulticastSender::announce_evictions() {

@@ -158,30 +158,34 @@ std::optional<SendOutcome> Session::send_and_wait(BytesView message, sim::Time l
 }
 
 PosixSession::PosixSession(GroupMembership membership, ProtocolConfig protocol,
-                           net::Ipv4Addr multicast_if)
+                           PosixSessionOptions options)
     : membership_(std::move(membership)) {
   rt::PosixSocketOptions sender_options;
   sender_options.bind_addr = membership_.sender_control.addr;
   sender_options.port = membership_.sender_control.port;
-  sender_options.multicast_if = multicast_if;
+  sender_options.multicast_if = options.multicast_if;
+  sender_options.batching = options.batching;
   auto sender_socket = runtime_.open_socket(sender_options);
   if (!sender_socket) return;
   sockets_.push_back(std::move(sender_socket));
   sender_ = std::make_unique<MulticastSender>(runtime_, *sockets_.back(), membership_,
                                               protocol);
+  if (options.metrics != nullptr) sender_->set_metrics(options.metrics);
 
   for (std::size_t i = 0; i < membership_.n_receivers(); ++i) {
     rt::PosixSocketOptions data_options;
     data_options.port = membership_.group.port;
     data_options.reuse_addr = true;  // all receivers share the group port
     data_options.join_groups = {membership_.group.addr};
-    data_options.multicast_if = multicast_if;
+    data_options.multicast_if = options.multicast_if;
+    data_options.batching = options.batching;
     auto data = runtime_.open_socket(data_options);
 
     rt::PosixSocketOptions control_options;
     control_options.bind_addr = membership_.receiver_control[i].addr;
     control_options.port = membership_.receiver_control[i].port;
-    control_options.multicast_if = multicast_if;
+    control_options.multicast_if = options.multicast_if;
+    control_options.batching = options.batching;
     auto control = runtime_.open_socket(control_options);
     if (!data || !control) {
       sender_.reset();
@@ -194,6 +198,7 @@ PosixSession::PosixSession(GroupMembership membership, ProtocolConfig protocol,
 
     receivers_.push_back(std::make_unique<MulticastReceiver>(
         runtime_, data_ref, control_ref, membership_, i, protocol));
+    if (options.metrics != nullptr) receivers_[i]->set_metrics(options.metrics);
     receivers_[i]->set_message_handler(
         [this, i](const Buffer& message, std::uint32_t session) {
           if (handler_) handler_(i, message, session);
@@ -201,6 +206,11 @@ PosixSession::PosixSession(GroupMembership membership, ProtocolConfig protocol,
   }
   ok_ = true;
 }
+
+PosixSession::PosixSession(GroupMembership membership, ProtocolConfig protocol,
+                           net::Ipv4Addr multicast_if)
+    : PosixSession(std::move(membership), std::move(protocol),
+                   PosixSessionOptions{multicast_if, true, nullptr}) {}
 
 PosixSession::~PosixSession() = default;
 

@@ -153,14 +153,27 @@ class Session {
 // receivers in one process (the loopback demo shape; spread membership
 // endpoints across machines and run one role per process for a real
 // deployment — the low-level constructors accept any subset).
+struct PosixSessionOptions {
+  // Interface used for multicast (loopback by default so single-machine
+  // demos work anywhere).
+  net::Ipv4Addr multicast_if = net::Ipv4Addr(127, 0, 0, 1);
+  // false = legacy one-syscall-per-datagram sockets (the bench baseline).
+  bool batching = true;
+  // Optional protocol-metrics sink wired into the sender and every
+  // receiver (not owned, must outlive the session). The runtime's own
+  // `posix.*` I/O metrics live in runtime().metrics() regardless.
+  metrics::Registry* metrics = nullptr;
+};
+
 class PosixSession {
  public:
   using MessageHandler = Session::MessageHandler;
 
-  // `multicast_if` is the interface used for multicast (loopback by
-  // default so single-machine demos work anywhere).
   PosixSession(GroupMembership membership, ProtocolConfig protocol,
-               net::Ipv4Addr multicast_if = net::Ipv4Addr(127, 0, 0, 1));
+               PosixSessionOptions options = {});
+  // Legacy convenience: just pick the multicast interface.
+  PosixSession(GroupMembership membership, ProtocolConfig protocol,
+               net::Ipv4Addr multicast_if);
   PosixSession(const PosixSession&) = delete;
   PosixSession& operator=(const PosixSession&) = delete;
   ~PosixSession();

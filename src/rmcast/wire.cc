@@ -2,14 +2,6 @@
 
 namespace rmc::rmcast {
 
-void write_header(Writer& w, const Header& h) {
-  w.u8(static_cast<std::uint8_t>(h.type));
-  w.u8(h.flags);
-  w.u16(h.node_id);
-  w.u32(h.session);
-  w.u32(h.seq);
-}
-
 std::optional<Header> read_header(Reader& r) {
   Header h;
   std::uint8_t type = r.u8();
@@ -26,12 +18,6 @@ std::optional<Header> read_header(Reader& r) {
   return h;
 }
 
-void write_alloc_request(Writer& w, const AllocRequest& a) {
-  w.u64(a.message_bytes);
-  w.u32(a.packet_bytes);
-  w.u32(a.total_packets);
-}
-
 std::optional<AllocRequest> read_alloc_request(Reader& r) {
   AllocRequest a;
   a.message_bytes = r.u64();
@@ -40,8 +26,6 @@ std::optional<AllocRequest> read_alloc_request(Reader& r) {
   if (!r.ok()) return std::nullopt;
   return a;
 }
-
-void write_group_nak(Writer& w, const GroupNak& g) { w.u64(g.missing); }
 
 std::optional<GroupNak> read_group_nak(Reader& r) {
   GroupNak g;
@@ -52,6 +36,12 @@ std::optional<GroupNak> read_group_nak(Reader& r) {
 
 Buffer make_control_packet(const Header& h) {
   Writer w(kHeaderBytes);
+  write_header(w, h);
+  return w.take();
+}
+
+net::PayloadRef make_control_ref(const Header& h) {
+  net::ArenaWriter w(kHeaderBytes);
   write_header(w, h);
   return w.take();
 }

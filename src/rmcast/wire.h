@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "common/serial.h"
+#include "net/frame_arena.h"
 
 namespace rmc::rmcast {
 
@@ -117,17 +118,39 @@ struct GroupNak {
 
 inline constexpr std::size_t kGroupNakBytes = 8;
 
-void write_header(Writer& w, const Header& h);
+// The write_* helpers are templates over the serializer so the same wire
+// code fills a growable rmc::Writer (tests, tools) or a fixed-size
+// net::ArenaWriter (the protocol hot path, which serializes straight into
+// a refcounted arena block and hands it to UdpSocket::send_ref without a
+// copy). Byte output is identical either way.
+template <typename W>
+void write_header(W& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u8(h.flags);
+  w.u16(h.node_id);
+  w.u32(h.session);
+  w.u32(h.seq);
+}
 std::optional<Header> read_header(Reader& r);
 
-void write_alloc_request(Writer& w, const AllocRequest& a);
+template <typename W>
+void write_alloc_request(W& w, const AllocRequest& a) {
+  w.u64(a.message_bytes);
+  w.u32(a.packet_bytes);
+  w.u32(a.total_packets);
+}
 std::optional<AllocRequest> read_alloc_request(Reader& r);
 
-void write_group_nak(Writer& w, const GroupNak& g);
+template <typename W>
+void write_group_nak(W& w, const GroupNak& g) {
+  w.u64(g.missing);
+}
 std::optional<GroupNak> read_group_nak(Reader& r);
 
 // Convenience: serialize a header-only control packet.
 Buffer make_control_packet(const Header& h);
+// Same packet as an arena payload, ready for UdpSocket::send_ref.
+net::PayloadRef make_control_ref(const Header& h);
 
 const char* packet_type_name(PacketType type);
 

@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "common/serial.h"
+#include "net/frame_arena.h"
 #include "net/ipv4.h"
 #include "sim/time.h"
 
@@ -47,6 +48,14 @@ class UdpSocket {
   virtual ~UdpSocket() = default;
 
   virtual void send_to(const net::Endpoint& dst, BytesView payload) = 0;
+  // Zero-copy variant: the caller hands over a refcounted arena payload
+  // (see net::ArenaWriter) instead of bytes to copy. The simulated
+  // backend forwards to send_to — its network model snapshots payloads
+  // anyway — while PosixUdpSocket queues the block itself on its TX ring
+  // so the bytes the protocol serialized are the bytes the kernel reads.
+  virtual void send_ref(const net::Endpoint& dst, net::PayloadRef payload) {
+    send_to(dst, payload.view());
+  }
   virtual void set_handler(Handler handler) = 0;
   virtual net::Endpoint local_endpoint() const = 0;
 };
